@@ -1,0 +1,549 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 4), plus performance benchmarks of the substrate and ablations of
+// the Section 2.3 design principles. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment scale follows -short (tiny) or the default (small); use
+// cmd/gfauto -tests 10000 for paper-scale runs. Shape metrics are attached
+// to each benchmark via b.ReportMetric.
+package spirvfuzz_test
+
+import (
+	"sync"
+	"testing"
+
+	"spirvfuzz/internal/bblang"
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/experiments"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/validate"
+	"spirvfuzz/internal/target"
+	"spirvfuzz/internal/testmod"
+)
+
+// campaigns are shared by the table/figure benchmarks; building them once
+// keeps `go test -bench=.` fast while still exercising the full pipeline.
+var (
+	campaignOnce sync.Once
+	campaignData *experiments.Campaigns
+	campaignErr  error
+)
+
+func sharedCampaigns(b *testing.B) *experiments.Campaigns {
+	b.Helper()
+	campaignOnce.Do(func() {
+		cfg := experiments.Config{Tests: 120, Groups: 6, CapPerSignature: 3}
+		if testing.Short() {
+			cfg = experiments.Config{Tests: 40, Groups: 4, CapPerSignature: 2}
+		}
+		campaignData, campaignErr = experiments.RunCampaigns(cfg)
+	})
+	if campaignErr != nil {
+		b.Fatal(campaignErr)
+	}
+	return campaignData
+}
+
+// BenchmarkTable3BugFinding regenerates Table 3: distinct bug signatures per
+// tool configuration with Mann-Whitney U confidences. Shape target: the
+// spirv-fuzz total exceeds the glsl-fuzz total and the overall confidence is
+// high; glsl-fuzz finds nothing on spirv-opt.
+func BenchmarkTable3BugFinding(b *testing.B) {
+	c := sharedCampaigns(b)
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table3(c)
+	}
+	all := rows[len(rows)-1]
+	b.ReportMetric(float64(all.TotalFuzz), "sigs-spirv-fuzz")
+	b.ReportMetric(float64(all.TotalSimple), "sigs-simple")
+	b.ReportMetric(float64(all.TotalGlsl), "sigs-glsl-fuzz")
+	b.ReportMetric(100*all.ConfVsGlsl, "conf-vs-glsl-%")
+	b.ReportMetric(100*all.ConfVsSimple, "conf-vs-simple-%")
+	if all.TotalFuzz <= all.TotalGlsl {
+		b.Fatalf("shape violated: spirv-fuzz %d <= glsl-fuzz %d", all.TotalFuzz, all.TotalGlsl)
+	}
+}
+
+// BenchmarkFigure7Venn regenerates Figure 7: complementarity of the three
+// configurations. Shape target: a nonzero spirv-fuzz-only segment.
+func BenchmarkFigure7Venn(b *testing.B) {
+	c := sharedCampaigns(b)
+	var segs []experiments.Figure7Segment
+	for i := 0; i < b.N; i++ {
+		segs = experiments.Figure7(c)
+	}
+	all := segs[len(segs)-1].Counts
+	b.ReportMetric(float64(all[1]), "only-spirv-fuzz")
+	b.ReportMetric(float64(all[4]), "only-glsl-fuzz")
+	b.ReportMetric(float64(all[3]), "fuzz-and-simple")
+	b.ReportMetric(float64(all[7]), "all-three")
+}
+
+// BenchmarkRQ2ReductionQuality regenerates the Section 4.2 comparison:
+// median instruction-count deltas after reduction. Shape target: the "free"
+// spirv-fuzz reduction beats the hand-crafted glsl-fuzz reducer (paper:
+// medians 8 vs 29).
+func BenchmarkRQ2ReductionQuality(b *testing.B) {
+	c := sharedCampaigns(b)
+	var r *experiments.RQ2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RQ2(c)
+	}
+	b.ReportMetric(r.MedianFuzz, "median-delta-spirv-fuzz")
+	b.ReportMetric(r.MedianGlsl, "median-delta-glsl-fuzz")
+	b.ReportMetric(r.MedianFuzzUnreduced, "median-unreduced-spirv-fuzz")
+	b.ReportMetric(r.MedianGlslUnreduced, "median-unreduced-glsl-fuzz")
+	if r.MedianFuzz >= r.MedianGlsl {
+		b.Fatalf("shape violated: spirv-fuzz median %v >= glsl-fuzz median %v", r.MedianFuzz, r.MedianGlsl)
+	}
+}
+
+// BenchmarkTable4Dedup regenerates Table 4: deduplication effectiveness.
+// Shape target: over half the distinct crash signatures covered with a low
+// duplicate rate (paper: 41/78 covered, 8/49 duplicates).
+func BenchmarkTable4Dedup(b *testing.B) {
+	c := sharedCampaigns(b)
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table4(c)
+	}
+	total := rows[len(rows)-1]
+	b.ReportMetric(float64(total.Tests), "tests")
+	b.ReportMetric(float64(total.Sigs), "sigs")
+	b.ReportMetric(float64(total.Reports), "reports")
+	b.ReportMetric(float64(total.Distinct), "distinct")
+	b.ReportMetric(float64(total.Dups), "dups")
+	if total.Distinct*2 < total.Sigs {
+		b.Fatalf("shape violated: %d distinct of %d sigs", total.Distinct, total.Sigs)
+	}
+}
+
+// BenchmarkFigure3DontInlineDelta reproduces Figure 3: reduction shrinks a
+// noisy SwiftShader-crashing variant to a single SetFunctionControl
+// transformation, leaving a one-line delta between two 39-instruction
+// modules.
+func BenchmarkFigure3DontInlineDelta(b *testing.B) {
+	in := interp.Inputs{W: 4, H: 4}
+	sw := target.ByName("SwiftShader")
+	var seqLen, delta int
+	for i := 0; i < b.N; i++ {
+		original := testmod.Caller()
+		ctx := fuzz.NewContext(original.Clone(), in)
+		seq := []fuzz.Transformation{
+			&fuzz.AddTypeInt{Fresh: ctx.Mod.Bound, Width: 32, Signed: false},
+			&fuzz.SetFunctionControl{Function: ctx.Mod.Functions[0].ID(), Control: spirv.FunctionControlDontInline},
+			&fuzz.AddConstantBoolean{Fresh: ctx.Mod.Bound + 1, Value: true},
+		}
+		applied := core.ApplySequence(ctx, seq)
+		_, crash := sw.Run(ctx.Mod, in)
+		if crash == nil || len(applied) != len(seq) {
+			b.Fatal("Figure 3 crash did not trigger")
+		}
+		interesting := reduce.CrashInterestingness(sw, in, crash.Signature)
+		r := reduce.Reduce(original, in, seq, interesting)
+		seqLen, delta = len(r.Sequence), r.Variant.InstructionCount()-original.InstructionCount()
+	}
+	b.ReportMetric(float64(seqLen), "reduced-transformations")
+	b.ReportMetric(float64(delta), "instruction-delta")
+	if seqLen != 1 || delta != 0 {
+		b.Fatalf("shape violated: %d transformations, delta %d (want 1 and 0)", seqLen, delta)
+	}
+}
+
+// BenchmarkFigure4BasicBlocks replays the Figure 4 walkthrough on the toy
+// basic-blocks language, checking output preservation at each step.
+func BenchmarkFigure4BasicBlocks(b *testing.B) {
+	input := bblang.Figure4Input()
+	for i := 0; i < b.N; i++ {
+		ctx := bblang.NewContext(bblang.Figure4Program(), input)
+		want, err := bblang.Execute(ctx.Prog, ctx.Input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applied := core.ApplySequence(ctx, bblang.Figure4Sequence())
+		if len(applied) != 5 {
+			b.Fatalf("applied %d of 5 transformations", len(applied))
+		}
+		got, err := bblang.Execute(ctx.Prog, ctx.Input)
+		if err != nil || !bblang.OutputsEqual(got, want) {
+			b.Fatalf("output changed: %v vs %v (%v)", got, want, err)
+		}
+	}
+}
+
+// BenchmarkFigure5Reduction reproduces Figure 5: delta debugging the Figure
+// 4 sequence against the dead-block-obfuscation bug yields T1, T2, T5.
+func BenchmarkFigure5Reduction(b *testing.B) {
+	prog := bblang.Figure4Program()
+	input := bblang.Figure4Input()
+	seq := bblang.Figure4Sequence()
+	var kept []int
+	for i := 0; i < b.N; i++ {
+		var st core.ReduceStats
+		kept, st = core.Reduce(len(seq), func(keep []int) bool {
+			c := bblang.NewContext(prog.Clone(), input)
+			core.ApplySubsequence(c, seq, keep)
+			return bblang.Figure5Bug(c.Prog)
+		})
+		_ = st
+	}
+	if len(kept) != 3 || kept[0] != 0 || kept[1] != 1 || kept[2] != 4 {
+		b.Fatalf("kept %v, want [0 1 4] (T1, T2, T5)", kept)
+	}
+	b.ReportMetric(float64(len(kept)), "kept-transformations")
+}
+
+// BenchmarkFigure8aMesaBug reproduces the Mesa miscompilation of Figure 8a:
+// PropagateInstructionUp on a loop-exit comparison makes the simulated Mesa
+// driver skip the last loop iteration.
+func BenchmarkFigure8aMesaBug(b *testing.B) {
+	in := interp.Inputs{W: 4, H: 4}
+	mesa := target.ByName("Mesa")
+	var diff int
+	for i := 0; i < b.N; i++ {
+		m := testmod.Loop()
+		orig, crash := mesa.Run(m, in)
+		if crash != nil {
+			b.Fatal(crash)
+		}
+		ctx := fuzz.NewContext(m.Clone(), in)
+		fn := ctx.Mod.EntryPointFunction()
+		cmp := fn.Blocks[2].Body[0]
+		tr := &fuzz.PropagateInstructionUp{
+			Instr:    cmp.Result,
+			FreshIDs: map[spirv.ID]spirv.ID{fn.Blocks[1].Label: ctx.Mod.Bound},
+		}
+		if err := core.CheckedApply[*fuzz.Context](ctx, tr); err != nil {
+			b.Fatal(err)
+		}
+		got, crash := mesa.Run(ctx.Mod, in)
+		if crash != nil {
+			b.Fatal(crash)
+		}
+		diff = got.DiffCount(orig)
+	}
+	b.ReportMetric(float64(diff), "pixels-changed")
+	if diff == 0 {
+		b.Fatal("Mesa bug did not fire")
+	}
+}
+
+// BenchmarkFigure8bPixel5Bug reproduces the Pixel 5 miscompilation of Figure
+// 8b: a valid MoveBlockDown reorder produces holes in the rendered image.
+func BenchmarkFigure8bPixel5Bug(b *testing.B) {
+	in := interp.Inputs{W: 8, H: 8}
+	px := target.ByName("Pixel-5")
+	var holes int
+	for i := 0; i < b.N; i++ {
+		m := testmod.Diamond()
+		ctx := fuzz.NewContext(m.Clone(), in)
+		tr := &fuzz.MoveBlockDown{Block: ctx.Mod.EntryPointFunction().Blocks[1].Label}
+		if err := core.CheckedApply[*fuzz.Context](ctx, tr); err != nil {
+			b.Fatal(err)
+		}
+		img, crash := px.Run(ctx.Mod, in)
+		if crash != nil {
+			b.Fatal(crash)
+		}
+		holes = 0
+		for y := 0; y < img.H; y++ {
+			for x := 0; x < img.W; x++ {
+				if img.At(x, y)[3] == 0 {
+					holes++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(holes), "holes")
+	if holes == 0 {
+		b.Fatal("Pixel-5 bug did not fire")
+	}
+}
+
+// --- ablations of the Section 2.3 / 3.5 design choices ----------------------
+
+// BenchmarkAblationDedupIgnoreList quantifies the Section 3.5 refinement:
+// running the Figure 6 algorithm with and without the supporting-type ignore
+// list on the campaign's reduced crash cases. Without the list, supporting
+// types (present in nearly every sequence) collide, so far fewer reports are
+// recommended and coverage drops.
+func BenchmarkAblationDedupIgnoreList(b *testing.B) {
+	c := sharedCampaigns(b)
+	// Reduce a slice of crash outcomes once.
+	type redCase struct {
+		seq []fuzz.Transformation
+		sig string
+	}
+	var cases []redCase
+	perSig := map[string]int{}
+	for _, o := range c.Fuzz.BugOutcomes {
+		if o.Signature == target.MiscompilationSignature {
+			continue
+		}
+		key := o.Target + "|" + o.Signature
+		if perSig[key] >= 2 {
+			continue
+		}
+		perSig[key]++
+		tg := target.ByName(o.Target)
+		interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
+		r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+		cases = append(cases, redCase{r.Sequence, o.Signature})
+		if len(cases) >= 30 {
+			break
+		}
+	}
+	if len(cases) < 5 {
+		b.Skip("too few crash cases")
+	}
+	run := func(ignore map[string]bool) (reports, distinct int) {
+		tests := make([]core.ReducedTest, len(cases))
+		for i, rc := range cases {
+			tests[i] = core.ReducedTest{Name: rc.sig + "#" + string(rune('a'+i%26)) + string(rune('a'+i/26)), Types: core.TypeSet(rc.seq, ignore)}
+		}
+		picked := core.Deduplicate(tests)
+		seen := map[string]bool{}
+		for _, p := range picked {
+			seen[p.Name[:len(p.Name)-3]] = true
+		}
+		return len(picked), len(seen)
+	}
+	var withReports, withDistinct, withoutReports, withoutDistinct int
+	for i := 0; i < b.N; i++ {
+		withReports, withDistinct = run(fuzz.SupportingTypes())
+		withoutReports, withoutDistinct = run(map[string]bool{})
+	}
+	b.ReportMetric(float64(withReports), "reports-with-ignore")
+	b.ReportMetric(float64(withDistinct), "distinct-with-ignore")
+	b.ReportMetric(float64(withoutReports), "reports-without-ignore")
+	b.ReportMetric(float64(withoutDistinct), "distinct-without-ignore")
+
+	// The mechanism, asserted on the Section 3.5 shape directly: two tests
+	// for *different* bugs that share only a supporting type (SplitBlock)
+	// must both be recommended with the ignore list, but collapse to one
+	// without it.
+	mk := func(kinds ...string) []core.Transformation[*fuzz.Context] {
+		var out []core.Transformation[*fuzz.Context]
+		for _, k := range kinds {
+			switch k {
+			case "split":
+				out = append(out, &fuzz.SplitBlock{})
+			case "dead":
+				out = append(out, &fuzz.AddDeadBlock{})
+			case "move":
+				out = append(out, &fuzz.MoveBlockDown{})
+			}
+		}
+		return out
+	}
+	synth := func(ignore map[string]bool) int {
+		tests := []core.ReducedTest{
+			{Name: "bugA", Types: core.TypeSet(mk("split", "dead"), ignore)},
+			{Name: "bugB", Types: core.TypeSet(mk("split", "move"), ignore)},
+		}
+		return len(core.Deduplicate(tests))
+	}
+	if got := synth(fuzz.SupportingTypes()); got != 2 {
+		b.Fatalf("with ignore list: %d reports, want 2 (both bugs)", got)
+	}
+	if got := synth(map[string]bool{}); got != 1 {
+		b.Fatalf("without ignore list: %d reports, want 1 (collision on SplitBlock)", got)
+	}
+}
+
+// BenchmarkAblationChunkedVsLinearReduction compares the Section 3.4 chunked
+// delta-debugging loop against naive one-at-a-time removal, in
+// interestingness queries, on synthetic 200-element sequences where 5
+// scattered elements are needed. Chunking needs far fewer queries.
+func BenchmarkAblationChunkedVsLinearReduction(b *testing.B) {
+	const n = 200
+	needed := []int{3, 41, 99, 150, 199}
+	test := func(keep []int) bool {
+		found := 0
+		for _, k := range keep {
+			for _, want := range needed {
+				if k == want {
+					found++
+				}
+			}
+		}
+		return found == len(needed)
+	}
+	var chunked, linear int
+	for i := 0; i < b.N; i++ {
+		_, st := core.Reduce(n, test)
+		chunked = st.Queries
+		// Naive linear: try removing each element once, repeatedly.
+		keep := make([]int, n)
+		for j := range keep {
+			keep[j] = j
+		}
+		linear = 0
+		for changed := true; changed; {
+			changed = false
+			for j := 0; j < len(keep); j++ {
+				cand := append(append([]int{}, keep[:j]...), keep[j+1:]...)
+				linear++
+				if test(cand) {
+					keep = cand
+					changed = true
+					j--
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(chunked), "queries-chunked")
+	b.ReportMetric(float64(linear), "queries-linear")
+}
+
+// --- substrate performance benchmarks ---------------------------------------
+
+// BenchmarkFuzzOneVariant measures one full spirv-fuzz run on a corpus
+// reference (generation only).
+func BenchmarkFuzzOneVariant(b *testing.B) {
+	item := corpus.References()[3]
+	donors := corpus.Donors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: int64(i), Donors: donors, EnableRecommendations: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderLoop measures reference interpretation of the loop shader
+// over an 8×8 grid.
+func BenchmarkRenderLoop(b *testing.B) {
+	m := testmod.Loop()
+	in := interp.Inputs{W: 8, H: 8}
+	for i := 0; i < b.N; i++ {
+		if _, err := interp.Render(m, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidateVariant measures validation of a fuzzed variant.
+func BenchmarkValidateVariant(b *testing.B) {
+	item := corpus.References()[5]
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 1, Donors: corpus.Donors(), EnableRecommendations: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := validate.Module(res.Variant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinaryRoundTrip measures binary encode+decode of a variant.
+func BenchmarkBinaryRoundTrip(b *testing.B) {
+	m := testmod.Matrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spirv.DecodeBytes(m.EncodeBytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTargetCompile measures one simulated target compile (pipeline +
+// defect predicates).
+func BenchmarkTargetCompile(b *testing.B) {
+	m := testmod.Caller()
+	tg := target.ByName("Mesa")
+	for i := 0; i < b.N; i++ {
+		if _, crash := tg.Compile(m); crash != nil {
+			b.Fatal(crash)
+		}
+	}
+}
+
+// BenchmarkAblationSplitBlockIndependence quantifies the Section 2.3
+// independence principle with the paper's own example: a bug needs a block
+// split before instruction t but not the earlier split before s. With
+// id-anchored SplitBlock the reducer drops the unnecessary split; with the
+// flawed (block, offset) parameterisation the second split names the block
+// the first created, so both must be kept.
+func BenchmarkAblationSplitBlockIndependence(b *testing.B) {
+	build := func() (*spirv.Module, spirv.ID, spirv.ID) {
+		bld := spirv.NewBuilder()
+		s := bld.BeginFragmentShell()
+		m := bld.Mod
+		one := m.EnsureConstantFloat(0.125)
+		c := bld.Emit(spirv.OpLoad, s.Vec2, s.Coord)
+		x := bld.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(c), 0)
+		cur := x
+		var ids []spirv.ID
+		for i := 0; i < 6; i++ {
+			cur = bld.Emit(spirv.OpFAdd, s.Float, cur, one)
+			ids = append(ids, cur)
+		}
+		col := bld.Emit(spirv.OpCompositeConstruct, s.Vec4, cur, cur, cur, one)
+		bld.Store(s.Color, col)
+		bld.FinishFragmentShell(s)
+		return m, ids[1], ids[3] // s and t, with instructions between them
+	}
+	in := interp.Inputs{W: 2, H: 2}
+	var keptFine, keptFlawed int
+	for i := 0; i < b.N; i++ {
+		// The "bug": some block starts with instruction t.
+		mFine, _, tID := build()
+		bugFine := func(m *spirv.Module) bool {
+			for _, fn := range m.Functions {
+				for _, blk := range fn.Blocks {
+					if len(blk.Body) > 0 && blk.Body[0].Result == tID {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		sIDfine := tID - 2
+		seqFine := []fuzz.Transformation{
+			&fuzz.SplitBlock{Anchor: sIDfine, Fresh: mFine.Bound},
+			&fuzz.SplitBlock{Anchor: tID, Fresh: mFine.Bound + 1},
+		}
+		kept, _ := core.Reduce(len(seqFine), func(keep []int) bool {
+			ctx, _ := fuzz.ReplaySubsequenceContext(mFine, in, seqFine, keep)
+			return bugFine(ctx.Mod)
+		})
+		keptFine = len(kept)
+
+		mFlawed, _, tID2 := build()
+		entry := mFlawed.EntryPointFunction().Entry().Label
+		// Offsets: t sits at body offset 5 (load, extract, 4 adds before it).
+		seqFlawed := []fuzz.Transformation{
+			&fuzz.SplitBlockAtOffset{Block: entry, Offset: 3, Fresh: mFlawed.Bound},
+			&fuzz.SplitBlockAtOffset{Block: mFlawed.Bound, Offset: 2, Fresh: mFlawed.Bound + 1},
+		}
+		bugFlawed := func(m *spirv.Module) bool {
+			for _, fn := range m.Functions {
+				for _, blk := range fn.Blocks {
+					if len(blk.Body) > 0 && blk.Body[0].Result == tID2 {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		kept2, _ := core.Reduce(len(seqFlawed), func(keep []int) bool {
+			ctx, _ := fuzz.ReplaySubsequenceContext(mFlawed, in, seqFlawed, keep)
+			return bugFlawed(ctx.Mod)
+		})
+		keptFlawed = len(kept2)
+	}
+	b.ReportMetric(float64(keptFine), "kept-id-anchored")
+	b.ReportMetric(float64(keptFlawed), "kept-offset-anchored")
+	if keptFine != 1 || keptFlawed != 2 {
+		b.Fatalf("ablation shape violated: fine=%d flawed=%d (want 1 and 2)", keptFine, keptFlawed)
+	}
+}

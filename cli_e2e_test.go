@@ -1,0 +1,165 @@
+// End-to-end tests of the command-line tools: build the binaries once, then
+// drive the full fuzz → detect → reduce → dedup → report workflow through
+// their public interfaces, exactly as README documents it.
+package spirvfuzz_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var cliTools = []string{
+	"spirv-fuzz", "spirv-reduce", "spirv-dedup", "spirv-as", "spirv-dis",
+	"spirv-val", "spirv-run", "gfauto",
+}
+
+// buildTools compiles every cmd binary into a temp dir and returns it.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	args := []string{"build", "-o", dir + string(os.PathSeparator)}
+	for _, tool := range cliTools {
+		args = append(args, "./cmd/"+tool)
+	}
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, wantExit int, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	if exit != wantExit {
+		t.Fatalf("%s %v: exit %d, want %d\n%s", bin, args, exit, wantExit, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end skipped in -short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	tool := func(name string) string { return filepath.Join(bin, name) }
+	in := func(name string) string { return filepath.Join(work, name) }
+
+	// 1. Fuzz a corpus reference until SwiftShader crashes.
+	var crashed bool
+	var seqPath, sig string
+	for seed := 1; seed <= 40 && !crashed; seed++ {
+		seqPath = in("seq.json")
+		run(t, tool("spirv-fuzz"), 0,
+			"-in", "corpus:calls2", "-seed", itoa(seed),
+			"-o", in("variant.spvasm"), "-transformations", seqPath)
+		cmd := exec.Command(tool("spirv-run"), "-in", in("variant.spvasm"), "-target", "SwiftShader")
+		outBytes, _ := cmd.CombinedOutput()
+		out := string(outBytes)
+		if strings.Contains(out, "crashed") {
+			if cmd.ProcessState.ExitCode() != 3 {
+				t.Fatalf("crash must exit 3, got %d", cmd.ProcessState.ExitCode())
+			}
+			crashed = true
+			sig = strings.TrimSpace(strings.SplitN(out, "crashed:", 2)[1])
+		}
+	}
+	if !crashed {
+		t.Fatal("no crash in 40 seeds")
+	}
+
+	// 2. Reduce with a bug-report bundle.
+	out := run(t, tool("spirv-reduce"), 0,
+		"-in", "corpus:calls2", "-transformations", seqPath,
+		"-target", "SwiftShader",
+		"-o", in("reduced.spvasm"), "-reduced-transformations", in("reduced.json"),
+		"-report-dir", in("report"))
+	if !strings.Contains(out, "detected signature") {
+		t.Fatalf("reduce output: %s", out)
+	}
+
+	// 3. The reduced variant still crashes with the same signature; the
+	// original does not.
+	out = run(t, tool("spirv-run"), 3, "-in", in("reduced.spvasm"), "-target", "SwiftShader")
+	if !strings.Contains(out, sig) {
+		t.Fatalf("reduced crash %q does not mention %q", out, sig)
+	}
+	run(t, tool("spirv-run"), 0, "-in", "corpus:calls2", "-target", "SwiftShader")
+
+	// 4. Regression mode: original and reduced agree on the reference
+	// interpreter.
+	out = run(t, tool("spirv-run"), 0,
+		"-in", filepath.Join(in("report"), "original.spvasm"),
+		"-inputs", filepath.Join(in("report"), "inputs.json"),
+		"-compare", filepath.Join(in("report"), "reduced_variant.spvasm"))
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("compare output: %s", out)
+	}
+
+	// 5. Assemble/disassemble/validate round trip.
+	run(t, tool("spirv-as"), 0, "-in", in("reduced.spvasm"), "-o", in("reduced.spv"), "-validate")
+	dis := run(t, tool("spirv-dis"), 0, "-in", in("reduced.spv"))
+	if !strings.Contains(dis, "OpEntryPoint") {
+		t.Fatal("disassembly incomplete")
+	}
+	run(t, tool("spirv-val"), 0, "-in", in("reduced.spv"))
+
+	// 6. Dedup over the reduced case.
+	caseDir := in("cases")
+	if err := os.MkdirAll(caseDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seqData, err := os.ReadFile(in("reduced.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(map[string]any{
+		"signature":       sig,
+		"transformations": json.RawMessage(seqData),
+	})
+	if err := os.WriteFile(filepath.Join(caseDir, "case1.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, tool("spirv-dedup"), 0, "-dir", caseDir, "-types")
+	if !strings.Contains(out, "1 recommended") {
+		t.Fatalf("dedup output: %s", out)
+	}
+
+	// 7. gfauto quick sanity (list modes only; campaigns are benchmarked
+	// elsewhere).
+	out = run(t, tool("gfauto"), 0, "-list-targets")
+	if !strings.Contains(out, "SwiftShader") {
+		t.Fatal("gfauto -list-targets incomplete")
+	}
+	out = run(t, tool("gfauto"), 0, "-list-references")
+	if !strings.Contains(out, "diamond2") {
+		t.Fatal("gfauto -list-references incomplete")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,91 @@
+// gfauto is the campaign framework (Section 3.2): it runs the three fuzzer
+// configurations against the nine simulated targets and regenerates the
+// paper's tables and figures.
+//
+//	gfauto -list-targets
+//	gfauto -tests 1000 -groups 10 -table3 -venn -rq2 -table4
+//	gfauto -tests 10000 -groups 10 -all        # paper-scale
+//
+// All experiments derive from one set of campaigns, so combining flags
+// amortizes the fuzzing cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/experiments"
+	"spirvfuzz/internal/interp"
+)
+
+func main() {
+	tests := flag.Int("tests", 300, "tests per tool configuration (paper: 10000)")
+	groups := flag.Int("groups", 10, "disjoint groups for medians and MWU (paper: 10)")
+	capPerSig := flag.Int("cap-per-signature", 6, "reductions per bug signature (paper: 100 / 20)")
+	listTargets := flag.Bool("list-targets", false, "print Table 2 and exit")
+	listRefs := flag.Bool("list-references", false, "print the reference corpus and exit")
+	table3 := flag.Bool("table3", false, "regenerate Table 3 (bug-finding ability)")
+	venn := flag.Bool("venn", false, "regenerate Figure 7 (complementarity)")
+	rq2 := flag.Bool("rq2", false, "regenerate the RQ2 reduction-quality medians")
+	table4 := flag.Bool("table4", false, "regenerate Table 4 (deduplication)")
+	exportReports := flag.String("export-reports", "", "reduce and export a bug-report bundle per distinct signature (Section 5 mode)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	if *listTargets {
+		fmt.Print(experiments.Table2())
+		return
+	}
+	if *listRefs {
+		for _, item := range corpus.References() {
+			img, err := interp.Render(item.Mod, item.Inputs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-12s %4d instructions  image %s\n", item.Name, item.Mod.InstructionCount(), img.Hash())
+		}
+		return
+	}
+	if *all {
+		*table3, *venn, *rq2, *table4 = true, true, true, true
+	}
+	if !*table3 && !*venn && !*rq2 && !*table4 && *exportReports == "" {
+		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-all or -list-targets")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	fmt.Printf("gfauto: running 3 campaigns of %d tests each over 9 targets...\n", *tests)
+	c, err := experiments.RunCampaigns(experiments.Config{Tests: *tests, Groups: *groups, CapPerSignature: *capPerSig})
+	fatal(err)
+	fmt.Printf("gfauto: campaigns done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *table3 {
+		fmt.Println(experiments.RenderTable3(experiments.Table3(c)))
+	}
+	if *venn {
+		fmt.Println(experiments.RenderFigure7(experiments.Figure7(c)))
+	}
+	if *rq2 {
+		fmt.Println(experiments.RenderRQ2(experiments.RQ2(c)))
+	}
+	if *table4 {
+		fmt.Println(experiments.RenderTable4(experiments.Table4(c)))
+	}
+	if *exportReports != "" {
+		rep, err := experiments.ExportWildReports(c, *exportReports)
+		fatal(err)
+		fmt.Println(experiments.RenderWild(rep))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfauto:", err)
+		os.Exit(1)
+	}
+}

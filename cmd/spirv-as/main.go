@@ -1,0 +1,40 @@
+// spirv-as assembles a textual SPIR-V listing into a binary module:
+//
+//	spirv-as -in shader.spvasm -o shader.spv [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spirvfuzz/internal/spirv/asm"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+func main() {
+	in := flag.String("in", "", "input textual listing")
+	out := flag.String("o", "out.spv", "output binary module")
+	check := flag.Bool("validate", false, "validate before writing")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "spirv-as: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	fatal(err)
+	m, err := asm.Parse(string(data))
+	fatal(err)
+	if *check {
+		fatal(validate.Module(m))
+	}
+	fatal(os.WriteFile(*out, m.EncodeBytes(), 0o644))
+	fmt.Printf("spirv-as: %d instructions, %d bytes\n", m.InstructionCount(), len(m.EncodeBytes()))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-as:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// spirv-dedup applies the deduplication heuristic of Figure 6 / Section 3.5
+// to a directory of reduced test cases:
+//
+//	spirv-dedup -dir reduced-cases/
+//
+// Each *.json file in the directory must contain
+//
+//	{"signature": "...", "transformations": [...]}
+//
+// where transformations is a minimized sequence as written by spirv-reduce.
+// The tool prints the test cases recommended for manual investigation; no
+// two recommendations share a (non-supporting) transformation type.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/dedup"
+	"spirvfuzz/internal/fuzz"
+)
+
+type caseFile struct {
+	Signature       string          `json:"signature"`
+	Transformations json.RawMessage `json:"transformations"`
+}
+
+func main() {
+	dir := flag.String("dir", "", "directory of reduced test-case JSON files")
+	showTypes := flag.Bool("types", false, "print each recommendation's transformation-type set")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "spirv-dedup: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	entries, err := os.ReadDir(*dir)
+	fatal(err)
+	var cases []dedup.Case
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+		fatal(err)
+		var cf caseFile
+		fatal(json.Unmarshal(data, &cf))
+		seq, err := fuzz.UnmarshalSequence(cf.Transformations)
+		fatal(err)
+		cases = append(cases, dedup.Case{Name: e.Name(), Sequence: seq, Signature: cf.Signature})
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	if len(cases) == 0 {
+		fatal(fmt.Errorf("no .json test cases in %s", *dir))
+	}
+	recommended := dedup.Recommend(cases)
+	fmt.Printf("spirv-dedup: %d test cases -> %d recommended for investigation\n", len(cases), len(recommended))
+	ignore := fuzz.SupportingTypes()
+	for _, c := range recommended {
+		fmt.Printf("  %s\n", c.Name)
+		if *showTypes {
+			types := core.SortedTypes(core.TypeSet(c.Sequence, ignore))
+			fmt.Printf("    types: %s\n", strings.Join(types, ", "))
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-dedup:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+// spirv-dis disassembles a binary SPIR-V module to a textual listing:
+//
+//	spirv-dis -in shader.spv [-o shader.spvasm]
+//
+// Without -o the listing goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/asm"
+)
+
+func main() {
+	in := flag.String("in", "", "input binary module")
+	out := flag.String("o", "", "output file (stdout when empty)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "spirv-dis: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	fatal(err)
+	m, err := spirv.DecodeBytes(data)
+	fatal(err)
+	text := asm.Disassemble(m)
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	fatal(os.WriteFile(*out, []byte(text), 0o644))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-dis:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// spirv-fuzz applies randomized semantics-preserving transformations to a
+// SPIR-V module (Section 3.2):
+//
+//	spirv-fuzz -in shader.spvasm -inputs inputs.json -seed 42 \
+//	    -o variant.spvasm -transformations seq.json [-simple] [-corpus-donors]
+//
+// The input module may be binary (.spv) or textual assembly. The emitted
+// transformation sequence is self-contained: replaying it with spirv-reduce
+// needs only the original module and inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spirvfuzz/internal/cli"
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/asm"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+func main() {
+	in := flag.String("in", "", "input module (.spv binary or .spvasm text)")
+	inputsPath := flag.String("inputs", "", "JSON inputs file (optional)")
+	out := flag.String("o", "variant.spvasm", "output variant module")
+	seqOut := flag.String("transformations", "transformations.json", "output transformation sequence")
+	seed := flag.Int64("seed", 0, "random seed controlling all fuzzing decisions")
+	simple := flag.Bool("simple", false, "disable the recommendations strategy (spirv-fuzz-simple)")
+	maxT := flag.Int("max-transformations", 2000, "transformation cap")
+	useCorpusDonors := flag.Bool("corpus-donors", true, "use the built-in donor corpus for AddFunction")
+	check := flag.Bool("validate", true, "validate the variant before writing it")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "spirv-fuzz: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mod, err := cli.LoadModule(*in)
+	fatal(err)
+	inputs, err := cli.LoadInputs(*inputsPath, *in)
+	fatal(err)
+	var donors []*spirv.Module
+	if *useCorpusDonors {
+		donors = corpus.Donors()
+	}
+	res, err := fuzz.Fuzz(mod, inputs, fuzz.Options{
+		Seed:                  *seed,
+		Donors:                donors,
+		EnableRecommendations: !*simple,
+		MaxTransformations:    *maxT,
+	})
+	fatal(err)
+	if *check {
+		fatal(validate.Module(res.Variant))
+	}
+	fatal(asm.SaveModule(res.Variant, *out))
+	data, err := fuzz.MarshalSequence(res.Transformations)
+	fatal(err)
+	fatal(os.WriteFile(*seqOut, data, 0o644))
+	fmt.Printf("spirv-fuzz: applied %d transformations over %d passes; %d -> %d instructions\n",
+		len(res.Transformations), len(res.PassesRun), mod.InstructionCount(), res.Variant.InstructionCount())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-fuzz:", err)
+		os.Exit(1)
+	}
+}

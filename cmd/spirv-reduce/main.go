@@ -1,0 +1,98 @@
+// spirv-reduce minimizes a bug-inducing transformation sequence with delta
+// debugging (Section 3.4):
+//
+//	spirv-reduce -in original.spvasm -inputs inputs.json \
+//	    -transformations seq.json -target SwiftShader [-signature SIG] \
+//	    -o reduced.spvasm -reduced-transformations reduced.json
+//
+// When -signature is omitted, the tool first runs the full variant on the
+// target and uses whatever bug signature appears (crash signature or
+// "miscompilation").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spirvfuzz/internal/cli"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/spirv/asm"
+	"spirvfuzz/internal/target"
+)
+
+func main() {
+	in := flag.String("in", "", "original module")
+	inputsPath := flag.String("inputs", "", "JSON inputs file (optional)")
+	seqPath := flag.String("transformations", "", "bug-inducing transformation sequence (JSON)")
+	targetName := flag.String("target", "", "target name (see gfauto -list-targets)")
+	signature := flag.String("signature", "", "bug signature; auto-detected when empty")
+	out := flag.String("o", "reduced.spvasm", "output reduced variant")
+	seqOut := flag.String("reduced-transformations", "reduced.json", "output minimized sequence")
+	reportDir := flag.String("report-dir", "", "also export a full bug-report bundle (Section 2.1) to this directory")
+	flag.Parse()
+
+	if *in == "" || *seqPath == "" || *targetName == "" {
+		fmt.Fprintln(os.Stderr, "spirv-reduce: -in, -transformations and -target are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tg := target.ByName(*targetName)
+	if tg == nil {
+		fatal(fmt.Errorf("unknown target %q", *targetName))
+	}
+	mod, err := cli.LoadModule(*in)
+	fatal(err)
+	inputs, err := cli.LoadInputs(*inputsPath, *in)
+	fatal(err)
+	data, err := os.ReadFile(*seqPath)
+	fatal(err)
+	seq, err := fuzz.UnmarshalSequence(data)
+	fatal(err)
+
+	sig := *signature
+	if sig == "" {
+		variant, _ := fuzz.Replay(mod, inputs, seq)
+		origImg, origCrash := tg.Run(mod, inputs)
+		if origCrash != nil {
+			fatal(fmt.Errorf("original already crashes on %s: %s", tg.Name, origCrash.Signature))
+		}
+		img, crash := tg.Run(variant, inputs)
+		switch {
+		case crash != nil:
+			sig = crash.Signature
+		case tg.CanRender && img != nil && !img.Equal(origImg):
+			sig = target.MiscompilationSignature
+		default:
+			fatal(fmt.Errorf("variant triggers no bug on %s; nothing to reduce", tg.Name))
+		}
+		fmt.Printf("spirv-reduce: detected signature %q\n", sig)
+	}
+
+	interesting := reduce.ForOutcome(tg, mod, inputs, sig)
+	res := reduce.Reduce(mod, inputs, seq, interesting)
+	fatal(asm.SaveModule(res.Variant, *out))
+	outSeq, err := fuzz.MarshalSequence(res.Sequence)
+	fatal(err)
+	fatal(os.WriteFile(*seqOut, outSeq, 0o644))
+	fmt.Printf("spirv-reduce: %d -> %d transformations in %d queries; delta %d instructions\n",
+		len(seq), len(res.Sequence), res.Queries, res.Delta)
+	if *reportDir != "" {
+		o := &harness.Outcome{
+			Tool: harness.ToolSpirvFuzz, Target: tg.Name, Reference: *in, Seed: 0,
+			Signature: sig, Original: mod, Variant: res.Variant, Inputs: inputs,
+			Transformations: res.Sequence,
+		}
+		fatal(harness.ExportBugReport(*reportDir, o, res))
+		fmt.Printf("spirv-reduce: bug-report bundle written to %s\n", *reportDir)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-reduce:", err)
+		os.Exit(1)
+	}
+}

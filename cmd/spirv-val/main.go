@@ -1,0 +1,35 @@
+// spirv-val validates a SPIR-V module against the subset's rules (SSA
+// dominance, typing, block ordering, ϕ coherence, structured control flow):
+//
+//	spirv-val -in shader.spvasm
+//
+// Exit status 0 means valid; 1 means invalid (the violation is printed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spirvfuzz/internal/cli"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+func main() {
+	in := flag.String("in", "", "input module (.spv binary, text, or corpus:NAME)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "spirv-val: -in is required")
+		os.Exit(2)
+	}
+	m, err := cli.LoadModule(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-val:", err)
+		os.Exit(2)
+	}
+	if err := validate.Module(m); err != nil {
+		fmt.Fprintln(os.Stderr, "spirv-val:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("spirv-val: %d instructions, valid\n", m.InstructionCount())
+}

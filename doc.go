@@ -1,0 +1,9 @@
+// Package spirvfuzz is a from-scratch Go reproduction of "Test-Case
+// Reduction and Deduplication Almost for Free with Transformation-Based
+// Compiler Testing" (PLDI 2021).
+//
+// The root package is documentation-only; the implementation lives under
+// internal/ (see DESIGN.md for the system inventory) and the benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation
+// (see EXPERIMENTS.md for measured results).
+package spirvfuzz

@@ -1,0 +1,74 @@
+// Campaign runs a miniature end-to-end evaluation: a fuzzing campaign over
+// all nine simulated targets, reduction of every crash bug found, and
+// transformation-type deduplication — the Table 4 pipeline at small scale.
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/dedup"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/target"
+)
+
+func main() {
+	const tests = 60
+	fmt.Printf("campaign: %d spirv-fuzz tests against %d targets...\n", tests, len(target.All()))
+	res, err := harness.Campaign(harness.ToolSpirvFuzz, tests, 1, corpus.References(), target.All(), corpus.Donors())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tg := range target.All() {
+		if n := len(res.Signatures[tg.Name]); n > 0 {
+			fmt.Printf("  %-14s %d distinct signatures\n", tg.Name, n)
+		}
+	}
+
+	fmt.Println("\ncampaign: reducing crash bugs (capped at 2 per signature)...")
+	perSig := map[string]int{}
+	var cases []dedup.Case
+	for i, o := range res.BugOutcomes {
+		if o.Signature == target.MiscompilationSignature {
+			continue
+		}
+		key := o.Target + "|" + o.Signature
+		if perSig[key] >= 2 {
+			continue
+		}
+		perSig[key]++
+		tg := target.ByName(o.Target)
+		interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
+		r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+		fmt.Printf("  %-14s %-55q  %2d -> %2d transformations, delta %d\n",
+			o.Target, clip(o.Signature, 52), len(o.Transformations), len(r.Sequence), r.Delta)
+		cases = append(cases, dedup.Case{
+			Name:      fmt.Sprintf("%s/case%d", o.Target, i),
+			Sequence:  r.Sequence,
+			Signature: o.Signature,
+		})
+	}
+
+	fmt.Println("\ncampaign: deduplication recommendations (Figure 6):")
+	recommended := dedup.Recommend(cases)
+	ignore := fuzz.SupportingTypes()
+	for _, c := range recommended {
+		fmt.Printf("  %-28s types=%v\n", c.Name, core.SortedTypes(core.TypeSet(c.Sequence, ignore)))
+	}
+	distinct, dups := dedup.Score(recommended)
+	fmt.Printf("\ncampaign: %d cases, %d ground-truth signatures; %d reports covering %d distinct (%d duplicates)\n",
+		len(cases), dedup.SignatureCount(cases), len(recommended), distinct, dups)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

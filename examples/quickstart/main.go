@@ -1,0 +1,65 @@
+// Quickstart: the full transformation-based testing loop in-process —
+// fuzz a reference shader until a simulated target misbehaves, minimize the
+// transformation sequence with delta debugging, and print the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/target"
+)
+
+func main() {
+	refs := corpus.References()
+	donors := corpus.Donors()
+	targets := target.All()
+
+	fmt.Println("quickstart: fuzzing references until a target misbehaves...")
+	var bug *harness.Outcome
+	for seed := int64(0); seed < 500 && bug == nil; seed++ {
+		item := refs[int(seed)%len(refs)]
+		for _, tg := range targets {
+			o, err := harness.RunOne(harness.ToolSpirvFuzz, item, seed, tg, donors)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if o.Bug() {
+				bug = o
+				break
+			}
+		}
+	}
+	if bug == nil {
+		log.Fatal("no bug found in 500 seeds (unexpected)")
+	}
+	fmt.Printf("  seed %d on reference %q triggers %q on target %s\n",
+		bug.Seed, bug.Reference, bug.Signature, bug.Target)
+	fmt.Printf("  variant: %d instructions (original %d), %d transformations\n\n",
+		bug.Variant.InstructionCount(), bug.Original.InstructionCount(), len(bug.Transformations))
+
+	fmt.Println("quickstart: reducing with delta debugging (Section 3.4)...")
+	tg := target.ByName(bug.Target)
+	interesting := reduce.ForOutcome(tg, bug.Original, bug.Inputs, bug.Signature)
+	r := reduce.Reduce(bug.Original, bug.Inputs, bug.Transformations, interesting)
+	fmt.Printf("  %d -> %d transformations in %d interestingness queries\n",
+		len(bug.Transformations), len(r.Sequence), r.Queries)
+	fmt.Printf("  reduced variant: %d instructions; delta vs original: %d instructions\n\n",
+		r.Variant.InstructionCount(), r.Delta)
+
+	fmt.Println("quickstart: the minimized transformation sequence:")
+	for i, t := range r.Sequence {
+		fmt.Printf("  T%d: %s\n", i+1, t.Type())
+	}
+	types := core.SortedTypes(core.TypeSet(r.Sequence, fuzz.SupportingTypes()))
+	fmt.Printf("\nquickstart: deduplication type set (supporting types ignored): %v\n", types)
+	fmt.Println("quickstart: report the bug as the pair (original, reduced variant) — both")
+	fmt.Println("compute the same image, yet the target treats them differently.")
+}

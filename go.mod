@@ -1,0 +1,3 @@
+module spirvfuzz
+
+go 1.22

@@ -1,0 +1,131 @@
+package bblang
+
+// DefinitelyAssigned computes, for every (block, instruction offset) point,
+// the set of variables guaranteed to be assigned on every path from the
+// entry to that point (input variables are assigned from the start). The
+// AddLoad transformation uses this to establish that reading a variable at
+// an arbitrary program point cannot fault.
+//
+// The result maps a block name to a slice of length len(instrs)+1: entry[i]
+// is the set holding immediately before instruction i, and entry[len] the
+// set at the terminator.
+func DefinitelyAssigned(p *Program, input Input) map[string][]map[string]bool {
+	// Forward must-analysis: in(b) = ∩ out(preds), with the entry seeded by
+	// the input variables. Unreachable blocks converge to the universe; they
+	// are dead, so any answer is sound there, but we keep the fixpoint exact
+	// by starting unvisited blocks at ⊤ (nil sentinel).
+	preds := make(map[string][]string)
+	for _, b := range p.Blocks {
+		for _, s := range b.Successors() {
+			preds[s] = append(preds[s], b.Name)
+		}
+	}
+	in := make(map[string]map[string]bool)  // ⊤ when absent
+	out := make(map[string]map[string]bool) // ⊤ when absent
+	seed := make(map[string]bool, len(input))
+	for k := range input {
+		seed[k] = true
+	}
+	in[p.Entry] = seed
+
+	transfer := func(b *Block, start map[string]bool) map[string]bool {
+		cur := copySet(start)
+		for _, instr := range b.Instrs {
+			if instr.Kind != Print && instr.Dst != "" {
+				cur[instr.Dst] = true
+			}
+		}
+		return cur
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range p.Blocks {
+			var newIn map[string]bool
+			if b.Name == p.Entry {
+				newIn = copySet(seed)
+			} else {
+				first := true
+				for _, pr := range preds[b.Name] {
+					o, ok := out[pr]
+					if !ok {
+						continue // predecessor still ⊤: contributes nothing to ∩ yet
+					}
+					if first {
+						newIn = copySet(o)
+						first = false
+					} else {
+						newIn = intersect(newIn, o)
+					}
+				}
+				if first {
+					continue // all predecessors ⊤ (or no predecessors): stay ⊤
+				}
+			}
+			if prev, ok := in[b.Name]; !ok || !sameSet(prev, newIn) {
+				in[b.Name] = newIn
+				changed = true
+			}
+			newOut := transfer(b, in[b.Name])
+			if prev, ok := out[b.Name]; !ok || !sameSet(prev, newOut) {
+				out[b.Name] = newOut
+				changed = true
+			}
+		}
+	}
+
+	result := make(map[string][]map[string]bool, len(p.Blocks))
+	for _, b := range p.Blocks {
+		points := make([]map[string]bool, len(b.Instrs)+1)
+		start, ok := in[b.Name]
+		if !ok {
+			// Unreachable block: every variable in the program is "definitely
+			// assigned" vacuously; use the full variable set plus inputs.
+			start = p.Variables()
+			for k := range input {
+				start[k] = true
+			}
+		}
+		cur := copySet(start)
+		points[0] = copySet(cur)
+		for i, instr := range b.Instrs {
+			if instr.Kind != Print && instr.Dst != "" {
+				cur[instr.Dst] = true
+			}
+			points[i+1] = copySet(cur)
+		}
+		result[b.Name] = points
+	}
+	return result
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	t := make(map[string]bool, len(s))
+	for k := range s {
+		t[k] = true
+	}
+	return t
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	t := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			t[k] = true
+		}
+	}
+	return t
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

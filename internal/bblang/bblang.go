@@ -1,0 +1,356 @@
+// Package bblang implements the "basic blocks" language of Section 2.1 of
+// the paper: a deliberately tiny language used to explain transformation-
+// based testing. Every block contains instructions of the form x := y,
+// x := y1 + y2 or print(y1), and ends either by halting, branching
+// unconditionally to a single successor, or branching conditionally on a
+// boolean variable.
+//
+// The package provides the language, a reference interpreter, and the five
+// transformation templates of Table 1 (SplitBlock, AddDeadBlock, AddLoad,
+// AddStore, ChangeRHS), instantiating the generic engine in package core.
+// It exists both as a self-contained test bed for the engine and to
+// reproduce Figures 4 and 5.
+package bblang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a runtime value: an integer or a boolean.
+type Value struct {
+	IsBool bool
+	B      bool
+	N      int64
+}
+
+// Int returns an integer value.
+func Int(n int64) Value { return Value{N: n} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{IsBool: true, B: b} }
+
+// String renders the value as it appears in program listings.
+func (v Value) String() string {
+	if v.IsBool {
+		return fmt.Sprintf("%t", v.B)
+	}
+	return fmt.Sprintf("%d", v.N)
+}
+
+// Equal reports whether two values are identical in kind and content.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Operand is either a variable reference or a literal.
+type Operand struct {
+	Var string // non-empty for a variable reference
+	Lit Value  // used when Var is empty
+}
+
+// V returns a variable operand.
+func V(name string) Operand { return Operand{Var: name} }
+
+// L returns a literal operand.
+func L(v Value) Operand { return Operand{Lit: v} }
+
+// LitInt returns an integer literal operand.
+func LitInt(n int64) Operand { return L(Int(n)) }
+
+// LitBool returns a boolean literal operand.
+func LitBool(b bool) Operand { return L(Bool(b)) }
+
+// String renders the operand (variable name or literal).
+func (o Operand) String() string {
+	if o.Var != "" {
+		return o.Var
+	}
+	return o.Lit.String()
+}
+
+// InstrKind discriminates the three instruction forms.
+type InstrKind int
+
+// The instruction forms of the basic blocks language.
+const (
+	Assign InstrKind = iota // Dst := A
+	Add                     // Dst := A + B
+	Print                   // print(A)
+)
+
+// Instr is a single instruction.
+type Instr struct {
+	Kind InstrKind
+	Dst  string
+	A, B Operand
+}
+
+// String renders the instruction as it appears in listings.
+func (in Instr) String() string {
+	switch in.Kind {
+	case Assign:
+		return fmt.Sprintf("%s := %s", in.Dst, in.A)
+	case Add:
+		return fmt.Sprintf("%s := %s + %s", in.Dst, in.A, in.B)
+	case Print:
+		return fmt.Sprintf("print(%s)", in.A)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Block is a basic block. Exactly one of the terminator shapes is active:
+// if CondVar is non-empty the block branches to True when CondVar holds and
+// to False otherwise; else if Succ is non-empty the block branches
+// unconditionally to Succ; else the block halts the program.
+type Block struct {
+	Name    string
+	Instrs  []Instr
+	Succ    string
+	CondVar string
+	True    string
+	False   string
+}
+
+// HasSingleSuccessor reports whether the block unconditionally branches to
+// exactly one successor (the precondition shape AddDeadBlock requires).
+func (b *Block) HasSingleSuccessor() bool { return b.CondVar == "" && b.Succ != "" }
+
+// Successors returns the block's successor names in order.
+func (b *Block) Successors() []string {
+	if b.CondVar != "" {
+		return []string{b.True, b.False}
+	}
+	if b.Succ != "" {
+		return []string{b.Succ}
+	}
+	return nil
+}
+
+// Program is an ordered collection of blocks with a designated entry block.
+type Program struct {
+	Entry  string
+	Blocks []*Block
+}
+
+// Block returns the named block, or nil if absent.
+func (p *Program) Block(name string) *Block {
+	for _, b := range p.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	q := &Program{Entry: p.Entry, Blocks: make([]*Block, len(p.Blocks))}
+	for i, b := range p.Blocks {
+		nb := *b
+		nb.Instrs = append([]Instr(nil), b.Instrs...)
+		q.Blocks[i] = &nb
+	}
+	return q
+}
+
+// Variables returns the set of variable names mentioned anywhere in the
+// program (destinations, operands, and branch conditions).
+func (p *Program) Variables() map[string]bool {
+	vars := make(map[string]bool)
+	use := func(o Operand) {
+		if o.Var != "" {
+			vars[o.Var] = true
+		}
+	}
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != "" {
+				vars[in.Dst] = true
+			}
+			use(in.A)
+			use(in.B)
+		}
+		if b.CondVar != "" {
+			vars[b.CondVar] = true
+		}
+	}
+	return vars
+}
+
+// String renders the program as a readable listing, blocks in order.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+		switch {
+		case b.CondVar != "":
+			fmt.Fprintf(&sb, "  br %s ? %s : %s\n", b.CondVar, b.True, b.False)
+		case b.Succ != "":
+			fmt.Fprintf(&sb, "  br %s\n", b.Succ)
+		default:
+			sb.WriteString("  halt\n")
+		}
+	}
+	return sb.String()
+}
+
+// Input maps input variable names to their values. Input variables are in
+// scope from the start of execution.
+type Input map[string]Value
+
+// Clone returns a copy of the input.
+func (in Input) Clone() Input {
+	out := make(Input, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Facts is the fact set of a transformation context. The only fact kind the
+// basic blocks language needs is "block b is dead" (dynamically unreachable).
+type Facts struct {
+	DeadBlocks map[string]bool
+}
+
+// NewFacts returns an empty fact set.
+func NewFacts() *Facts { return &Facts{DeadBlocks: make(map[string]bool)} }
+
+// Clone returns a copy of the facts.
+func (f *Facts) Clone() *Facts {
+	g := NewFacts()
+	for k := range f.DeadBlocks {
+		g.DeadBlocks[k] = true
+	}
+	return g
+}
+
+// Context is the transformation context (Definition 2.3) for the basic
+// blocks language: a program, an input on which it is well-defined, and
+// facts established by earlier transformations.
+type Context struct {
+	Prog  *Program
+	Input Input
+	Facts *Facts
+}
+
+// NewContext returns a context with an empty fact set.
+func NewContext(p *Program, in Input) *Context {
+	return &Context{Prog: p, Input: in, Facts: NewFacts()}
+}
+
+// Clone deep-copies the context so a transformation sequence can be replayed
+// from scratch during reduction.
+func (c *Context) Clone() *Context {
+	return &Context{Prog: c.Prog.Clone(), Input: c.Input.Clone(), Facts: c.Facts.Clone()}
+}
+
+// MaxSteps bounds interpretation so that a (buggy) transformation that
+// introduced an infinite loop faults instead of hanging the test harness.
+const MaxSteps = 100000
+
+// Execute runs the program on the input and returns the sequence of printed
+// values. A program that reads an undefined variable, branches on a
+// non-boolean, adds booleans, jumps to a missing block, or exceeds MaxSteps
+// faults with a non-nil error.
+func Execute(p *Program, input Input) ([]Value, error) {
+	env := make(map[string]Value, len(input))
+	for k, v := range input {
+		env[k] = v
+	}
+	read := func(o Operand) (Value, error) {
+		if o.Var == "" {
+			return o.Lit, nil
+		}
+		v, ok := env[o.Var]
+		if !ok {
+			return Value{}, fmt.Errorf("bblang: read of undefined variable %q", o.Var)
+		}
+		return v, nil
+	}
+	var output []Value
+	cur := p.Block(p.Entry)
+	if cur == nil {
+		return nil, fmt.Errorf("bblang: entry block %q does not exist", p.Entry)
+	}
+	steps := 0
+	for {
+		for _, in := range cur.Instrs {
+			steps++
+			if steps > MaxSteps {
+				return nil, fmt.Errorf("bblang: step limit exceeded")
+			}
+			switch in.Kind {
+			case Assign:
+				v, err := read(in.A)
+				if err != nil {
+					return nil, err
+				}
+				env[in.Dst] = v
+			case Add:
+				a, err := read(in.A)
+				if err != nil {
+					return nil, err
+				}
+				b, err := read(in.B)
+				if err != nil {
+					return nil, err
+				}
+				if a.IsBool || b.IsBool {
+					return nil, fmt.Errorf("bblang: addition of boolean operands in %q", cur.Name)
+				}
+				env[in.Dst] = Int(a.N + b.N)
+			case Print:
+				v, err := read(in.A)
+				if err != nil {
+					return nil, err
+				}
+				output = append(output, v)
+			}
+		}
+		steps++
+		if steps > MaxSteps {
+			return nil, fmt.Errorf("bblang: step limit exceeded")
+		}
+		var next string
+		switch {
+		case cur.CondVar != "":
+			v, ok := env[cur.CondVar]
+			if !ok {
+				return nil, fmt.Errorf("bblang: branch on undefined variable %q", cur.CondVar)
+			}
+			if !v.IsBool {
+				return nil, fmt.Errorf("bblang: branch on non-boolean variable %q", cur.CondVar)
+			}
+			if v.B {
+				next = cur.True
+			} else {
+				next = cur.False
+			}
+		case cur.Succ != "":
+			next = cur.Succ
+		default:
+			return output, nil
+		}
+		cur = p.Block(next)
+		if cur == nil {
+			return nil, fmt.Errorf("bblang: branch to missing block %q", next)
+		}
+	}
+}
+
+// OutputsEqual reports whether two print sequences are identical.
+func OutputsEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package bblang_test
+
+import (
+	"strings"
+	"testing"
+
+	"spirvfuzz/internal/bblang"
+)
+
+func figure4Ctx() *bblang.Context {
+	return bblang.NewContext(bblang.Figure4Program(), bblang.Figure4Input())
+}
+
+func mustRun(t *testing.T, c *bblang.Context) []bblang.Value {
+	t.Helper()
+	out, err := bblang.Execute(c.Prog, c.Input)
+	if err != nil {
+		t.Fatalf("Execute: %v\nprogram:\n%s", err, c.Prog)
+	}
+	return out
+}
+
+func TestFigure4OriginalPrintsSix(t *testing.T) {
+	out := mustRun(t, figure4Ctx())
+	if len(out) != 1 || !out[0].Equal(bblang.Int(6)) {
+		t.Fatalf("output = %v, want [6]", out)
+	}
+}
+
+func TestExecuteFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *bblang.Program
+		want string
+	}{
+		{
+			"undefined variable",
+			&bblang.Program{Entry: "a", Blocks: []*bblang.Block{{
+				Name:   "a",
+				Instrs: []bblang.Instr{{Kind: bblang.Print, A: bblang.V("nope")}},
+			}}},
+			"undefined variable",
+		},
+		{
+			"missing entry",
+			&bblang.Program{Entry: "zzz"},
+			"entry block",
+		},
+		{
+			"branch to missing block",
+			&bblang.Program{Entry: "a", Blocks: []*bblang.Block{{Name: "a", Succ: "gone"}}},
+			"missing block",
+		},
+		{
+			"branch on non-boolean",
+			&bblang.Program{Entry: "a", Blocks: []*bblang.Block{{
+				Name:    "a",
+				Instrs:  []bblang.Instr{{Kind: bblang.Assign, Dst: "x", A: bblang.LitInt(1)}},
+				CondVar: "x", True: "a", False: "a",
+			}}},
+			"non-boolean",
+		},
+		{
+			"boolean addition",
+			&bblang.Program{Entry: "a", Blocks: []*bblang.Block{{
+				Name:   "a",
+				Instrs: []bblang.Instr{{Kind: bblang.Add, Dst: "x", A: bblang.LitBool(true), B: bblang.LitInt(1)}},
+			}}},
+			"boolean operands",
+		},
+		{
+			"infinite loop hits step limit",
+			&bblang.Program{Entry: "a", Blocks: []*bblang.Block{{Name: "a", Succ: "a"}}},
+			"step limit",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := bblang.Execute(tc.prog, bblang.Input{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestProgramStringAndClone(t *testing.T) {
+	p := bblang.Figure4Program()
+	s := p.String()
+	for _, want := range []string{"a:", "s := i + j", "print(t)", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+	q := p.Clone()
+	q.Blocks[0].Instrs[0].Dst = "zz"
+	q.Blocks[0].Name = "changed"
+	if p.Blocks[0].Instrs[0].Dst != "s" || p.Blocks[0].Name != "a" {
+		t.Fatal("Clone is not deep")
+	}
+}
+
+func TestVariables(t *testing.T) {
+	p := bblang.Figure4Program()
+	vars := p.Variables()
+	for _, v := range []string{"s", "t", "i", "j"} {
+		if !vars[v] {
+			t.Errorf("Variables missing %q", v)
+		}
+	}
+	if vars["k"] {
+		t.Error("k is input-only and should not appear in program variables")
+	}
+}
+
+func TestDefinitelyAssigned(t *testing.T) {
+	// a: x := 1;  br c ? b : d   (c from input)
+	// b: y := 2;  br e
+	// d: br e
+	// e: print(x)
+	p := &bblang.Program{Entry: "a", Blocks: []*bblang.Block{
+		{Name: "a", Instrs: []bblang.Instr{{Kind: bblang.Assign, Dst: "x", A: bblang.LitInt(1)}}, CondVar: "c", True: "b", False: "d"},
+		{Name: "b", Instrs: []bblang.Instr{{Kind: bblang.Assign, Dst: "y", A: bblang.LitInt(2)}}, Succ: "e"},
+		{Name: "d", Succ: "e"},
+		{Name: "e", Instrs: []bblang.Instr{{Kind: bblang.Print, A: bblang.V("x")}}},
+	}}
+	in := bblang.Input{"c": bblang.Bool(true)}
+	da := bblang.DefinitelyAssigned(p, in)
+	if !da["a"][0]["c"] {
+		t.Error("input variable c should be assigned at entry")
+	}
+	if da["a"][0]["x"] {
+		t.Error("x not yet assigned before a[0]")
+	}
+	if !da["a"][1]["x"] {
+		t.Error("x assigned after a[0]")
+	}
+	if !da["e"][0]["x"] {
+		t.Error("x definitely assigned at e (assigned in a, dominates e)")
+	}
+	if da["e"][0]["y"] {
+		t.Error("y only assigned on the b path; not definite at e")
+	}
+	if !da["b"][1]["y"] {
+		t.Error("y assigned after b[0]")
+	}
+}
+
+func TestDefinitelyAssignedUnreachableBlock(t *testing.T) {
+	p := &bblang.Program{Entry: "a", Blocks: []*bblang.Block{
+		{Name: "a", Instrs: []bblang.Instr{{Kind: bblang.Assign, Dst: "x", A: bblang.LitInt(1)}}},
+		{Name: "orphan", Instrs: []bblang.Instr{{Kind: bblang.Print, A: bblang.V("x")}}},
+	}}
+	da := bblang.DefinitelyAssigned(p, bblang.Input{})
+	// Unreachable blocks are vacuously fine: x counts as assigned there.
+	if !da["orphan"][0]["x"] {
+		t.Error("unreachable block should treat all program variables as assigned")
+	}
+}
+
+func TestDefinitelyAssignedLoop(t *testing.T) {
+	// a: i0 := 0; br b
+	// b: br c ? b : d    (c input; loop)
+	// d: print(i0)
+	p := &bblang.Program{Entry: "a", Blocks: []*bblang.Block{
+		{Name: "a", Instrs: []bblang.Instr{{Kind: bblang.Assign, Dst: "i0", A: bblang.LitInt(0)}}, Succ: "b"},
+		{Name: "b", CondVar: "c", True: "b", False: "d"},
+		{Name: "d", Instrs: []bblang.Instr{{Kind: bblang.Print, A: bblang.V("i0")}}},
+	}}
+	da := bblang.DefinitelyAssigned(p, bblang.Input{"c": bblang.Bool(false)})
+	if !da["b"][0]["i0"] {
+		t.Error("i0 definite at loop header: assigned before entry on all paths")
+	}
+	if !da["d"][0]["i0"] {
+		t.Error("i0 definite at loop exit")
+	}
+}

@@ -1,0 +1,68 @@
+package bblang
+
+// This file reconstructs the running example of Section 2.1: the program of
+// Figure 4, its input, and the transformation sequence T1..T5. Tests,
+// examples and benchmarks replay these to reproduce Figures 4 and 5.
+
+// Figure4Program returns the original program of Figure 4: a single block
+//
+//	a: s := i + j; t := s + s; print(t)
+//
+// which prints 6 on the input of Figure4Input.
+func Figure4Program() *Program {
+	return &Program{
+		Entry: "a",
+		Blocks: []*Block{{
+			Name: "a",
+			Instrs: []Instr{
+				{Kind: Add, Dst: "s", A: V("i"), B: V("j")},
+				{Kind: Add, Dst: "t", A: V("s"), B: V("s")},
+				{Kind: Print, A: V("t")},
+			},
+		}},
+	}
+}
+
+// Figure4Input returns the input of Figure 4: i = 1, j = 2, k = true.
+func Figure4Input() Input {
+	return Input{"i": Int(1), "j": Int(2), "k": Bool(true)}
+}
+
+// Figure4Sequence returns the transformation sequence T1..T5 of Figure 4:
+//
+//	T1 = SplitBlock(a, 1, b)
+//	T2 = AddDeadBlock(a, c, u)
+//	T3 = AddStore(c, 0, s, i)
+//	T4 = AddLoad(b, 0, v, s)
+//	T5 = ChangeRHS(a, 1, k)
+func Figure4Sequence() []Transformation {
+	return []Transformation{
+		SplitBlock{Block: "a", Offset: 1, Fresh: "b"},
+		AddDeadBlock{Block: "a", FreshBlock: "c", FreshVar: "u"},
+		AddStore{Block: "c", Offset: 0, Dst: "s", Src: "i"},
+		AddLoad{Block: "b", Offset: 0, Fresh: "v", Src: "s"},
+		ChangeRHS{Block: "a", Offset: 1, NewVar: "k"},
+	}
+}
+
+// Figure5Bug is the hypothetical compiler bug of Figure 5: it suffices to
+// add a dead block and obfuscate the fact that it is dead. Concretely the
+// bug triggers on any program containing a conditional branch whose
+// condition variable is assigned from a *variable* (rather than a literal)
+// within the branching block — the shape produced by AddDeadBlock followed
+// by ChangeRHS. A "compiler" affected by this bug would be exercised through
+// an Impl; for reduction experiments the trigger predicate is all that is
+// needed.
+func Figure5Bug(p *Program) bool {
+	for _, b := range p.Blocks {
+		if b.CondVar == "" {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Kind == Assign && in.Dst == b.CondVar && in.A.Var != "" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package bblang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a basic-blocks program in the textual format produced by
+// Program.String:
+//
+//	a:
+//	  s := i + j
+//	  t := s + s
+//	  print(t)
+//	  br u ? b : c        (conditional branch)
+//	  br b                (unconditional branch)
+//	  halt                (program end)
+//
+// The first block is the entry. Literals are integers or true/false;
+// anything else is a variable name.
+func Parse(text string) (*Program, error) {
+	p := &Program{}
+	var cur *Block
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("bblang: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			name := strings.TrimSuffix(line, ":")
+			if name == "" {
+				return nil, fail("empty block name")
+			}
+			if p.Block(name) != nil {
+				return nil, fail("duplicate block %q", name)
+			}
+			cur = &Block{Name: name}
+			p.Blocks = append(p.Blocks, cur)
+			if p.Entry == "" {
+				p.Entry = name
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fail("statement before any block label")
+		}
+		switch {
+		case line == "halt":
+			// Terminators leave the zero-valued block shape.
+		case strings.HasPrefix(line, "br "):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "br "))
+			if strings.Contains(rest, "?") {
+				var cond, targets string
+				parts := strings.SplitN(rest, "?", 2)
+				cond, targets = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+				tb := strings.SplitN(targets, ":", 2)
+				if len(tb) != 2 {
+					return nil, fail("conditional branch needs 'br c ? t : f'")
+				}
+				cur.CondVar = cond
+				cur.True = strings.TrimSpace(tb[0])
+				cur.False = strings.TrimSpace(tb[1])
+			} else {
+				cur.Succ = rest
+			}
+		case strings.HasPrefix(line, "print(") && strings.HasSuffix(line, ")"):
+			arg := strings.TrimSuffix(strings.TrimPrefix(line, "print("), ")")
+			op, err := parseOperand(strings.TrimSpace(arg))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.Instrs = append(cur.Instrs, Instr{Kind: Print, A: op})
+		case strings.Contains(line, ":="):
+			parts := strings.SplitN(line, ":=", 2)
+			dst := strings.TrimSpace(parts[0])
+			rhs := strings.TrimSpace(parts[1])
+			if dst == "" {
+				return nil, fail("missing destination")
+			}
+			if strings.Contains(rhs, "+") {
+				ab := strings.SplitN(rhs, "+", 2)
+				a, err := parseOperand(strings.TrimSpace(ab[0]))
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				b, err := parseOperand(strings.TrimSpace(ab[1]))
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				cur.Instrs = append(cur.Instrs, Instr{Kind: Add, Dst: dst, A: a, B: b})
+			} else {
+				a, err := parseOperand(rhs)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				cur.Instrs = append(cur.Instrs, Instr{Kind: Assign, Dst: dst, A: a})
+			}
+		default:
+			return nil, fail("cannot parse %q", line)
+		}
+	}
+	if len(p.Blocks) == 0 {
+		return nil, fmt.Errorf("bblang: empty program")
+	}
+	return p, nil
+}
+
+func parseOperand(tok string) (Operand, error) {
+	switch {
+	case tok == "":
+		return Operand{}, fmt.Errorf("empty operand")
+	case tok == "true":
+		return LitBool(true), nil
+	case tok == "false":
+		return LitBool(false), nil
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return LitInt(n), nil
+	}
+	for _, r := range tok {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return Operand{}, fmt.Errorf("bad operand %q", tok)
+		}
+	}
+	return V(tok), nil
+}

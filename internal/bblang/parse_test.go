@@ -1,0 +1,105 @@
+package bblang_test
+
+import (
+	"strings"
+	"testing"
+
+	"spirvfuzz/internal/bblang"
+	"spirvfuzz/internal/core"
+)
+
+func TestParseRoundTripFigure4(t *testing.T) {
+	p := bblang.Figure4Program()
+	text := p.String()
+	back, err := bblang.Parse(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if back.String() != text {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", text, back.String())
+	}
+	out, err := bblang.Execute(back, bblang.Figure4Input())
+	if err != nil || !bblang.OutputsEqual(out, []bblang.Value{bblang.Int(6)}) {
+		t.Fatalf("parsed program output %v (%v)", out, err)
+	}
+}
+
+func TestParseRoundTripTransformedPrograms(t *testing.T) {
+	// The fully-transformed Figure 4 program (with conditional branches and
+	// dead blocks) must round trip too.
+	c := figure4Ctx()
+	core.ApplySequence(c, bblang.Figure4Sequence())
+	text := c.Prog.String()
+	back, err := bblang.Parse(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if back.String() != text {
+		t.Fatal("round trip unstable for transformed program")
+	}
+	out, err := bblang.Execute(back, bblang.Figure4Input())
+	if err != nil || !bblang.OutputsEqual(out, []bblang.Value{bblang.Int(6)}) {
+		t.Fatalf("output %v (%v)", out, err)
+	}
+}
+
+func TestParseHandwritten(t *testing.T) {
+	text := `
+# Figure 4's P3, hand-written
+a:
+  s := i + j
+  u := k
+  br u ? b : c
+c:
+  br b
+b:
+  t := s + s
+  print(t)
+  halt
+`
+	p, err := bblang.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "a" || len(p.Blocks) != 3 {
+		t.Fatalf("entry %q, %d blocks", p.Entry, len(p.Blocks))
+	}
+	out, err := bblang.Execute(p, bblang.Figure4Input())
+	if err != nil || !bblang.OutputsEqual(out, []bblang.Value{bblang.Int(6)}) {
+		t.Fatalf("output %v (%v)", out, err)
+	}
+	if !bblang.Figure5Bug(p) {
+		t.Fatal("hand-written P3 should trigger the Figure 5 bug predicate")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"empty", "", "empty program"},
+		{"statement before block", "x := 1", "before any block"},
+		{"duplicate block", "a:\na:", "duplicate block"},
+		{"bad operand", "a:\n  x := @", "bad operand"},
+		{"bad conditional", "a:\n  br c ? x", "conditional branch needs"},
+		{"garbage", "a:\n  what is this", "cannot parse"},
+		{"empty destination", "a:\n   := 1", "missing destination"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := bblang.Parse(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	p, err := bblang.Parse("a:\n  x := -5\n  y := true\n  z := false\n  print(x)\n  halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := bblang.Execute(p, bblang.Input{})
+	if err != nil || !bblang.OutputsEqual(out, []bblang.Value{bblang.Int(-5)}) {
+		t.Fatalf("output %v (%v)", out, err)
+	}
+}

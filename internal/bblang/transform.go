@@ -1,0 +1,250 @@
+package bblang
+
+import "spirvfuzz/internal/core"
+
+// Transformation is the basic-blocks instantiation of the generic engine.
+type Transformation = core.Transformation[*Context]
+
+// Template type identifiers (Table 1).
+const (
+	TypeSplitBlock   = "SplitBlock"
+	TypeAddDeadBlock = "AddDeadBlock"
+	TypeAddLoad      = "AddLoad"
+	TypeAddStore     = "AddStore"
+	TypeChangeRHS    = "ChangeRHS"
+)
+
+// freshBlock reports whether name is unused as a block name.
+func freshBlock(c *Context, name string) bool {
+	return name != "" && c.Prog.Block(name) == nil
+}
+
+// freshVar reports whether name is unused as a variable (in the program or
+// the input).
+func freshVar(c *Context, name string) bool {
+	if name == "" {
+		return false
+	}
+	if _, ok := c.Input[name]; ok {
+		return false
+	}
+	return !c.Prog.Variables()[name]
+}
+
+// SplitBlock splits block Block after Offset instructions: instructions
+// Block[Offset:] are placed in a new block Fresh, Fresh inherits Block's
+// successors, and Block branches to Fresh (Table 1).
+//
+// This template deliberately identifies the split point by (block, offset),
+// reproducing the independence flaw discussed in Section 2.3: two splits of
+// what was originally one block cannot be reduced independently.
+type SplitBlock struct {
+	Block  string
+	Offset int
+	Fresh  string
+}
+
+// Type returns the template identifier.
+func (t SplitBlock) Type() string { return TypeSplitBlock }
+
+// Precondition: Block exists with at least Offset instructions, Fresh is a
+// fresh block identifier.
+func (t SplitBlock) Precondition(c *Context) bool {
+	b := c.Prog.Block(t.Block)
+	return b != nil && t.Offset >= 0 && len(b.Instrs) >= t.Offset && freshBlock(c, t.Fresh)
+}
+
+// Apply performs the split.
+func (t SplitBlock) Apply(c *Context) {
+	b := c.Prog.Block(t.Block)
+	nb := &Block{
+		Name:    t.Fresh,
+		Instrs:  append([]Instr(nil), b.Instrs[t.Offset:]...),
+		Succ:    b.Succ,
+		CondVar: b.CondVar,
+		True:    b.True,
+		False:   b.False,
+	}
+	b.Instrs = b.Instrs[:t.Offset:t.Offset]
+	b.Succ, b.CondVar, b.True, b.False = t.Fresh, "", "", ""
+	// Insert the new block immediately after the split block.
+	for i, blk := range c.Prog.Blocks {
+		if blk == b {
+			rest := append([]*Block{nb}, c.Prog.Blocks[i+1:]...)
+			c.Prog.Blocks = append(c.Prog.Blocks[:i+1:i+1], rest...)
+			break
+		}
+	}
+	// If the split block was dead, the carved-off tail is dead too.
+	if c.Facts.DeadBlocks[t.Block] {
+		c.Facts.DeadBlocks[t.Fresh] = true
+	}
+}
+
+// AddDeadBlock introduces a dynamically-unreachable block (Table 1). Block
+// must have a single successor c; a new block FreshBlock branching to c is
+// added, FreshVar := true is appended to Block, and Block branches to c when
+// FreshVar holds and to FreshBlock otherwise. The fact "FreshBlock is dead"
+// is recorded.
+type AddDeadBlock struct {
+	Block      string
+	FreshBlock string
+	FreshVar   string
+}
+
+// Type returns the template identifier.
+func (t AddDeadBlock) Type() string { return TypeAddDeadBlock }
+
+// Precondition: Block exists with a single unconditional successor;
+// FreshBlock and FreshVar are fresh and distinct.
+func (t AddDeadBlock) Precondition(c *Context) bool {
+	b := c.Prog.Block(t.Block)
+	if b == nil || !b.HasSingleSuccessor() {
+		return false
+	}
+	return freshBlock(c, t.FreshBlock) && freshVar(c, t.FreshVar) && t.FreshBlock != t.FreshVar
+}
+
+// Apply performs the insertion.
+func (t AddDeadBlock) Apply(c *Context) {
+	b := c.Prog.Block(t.Block)
+	succ := b.Succ
+	nb := &Block{Name: t.FreshBlock, Succ: succ}
+	b.Instrs = append(b.Instrs, Instr{Kind: Assign, Dst: t.FreshVar, A: LitBool(true)})
+	b.Succ, b.CondVar, b.True, b.False = "", t.FreshVar, succ, t.FreshBlock
+	for i, blk := range c.Prog.Blocks {
+		if blk == b {
+			rest := append([]*Block{nb}, c.Prog.Blocks[i+1:]...)
+			c.Prog.Blocks = append(c.Prog.Blocks[:i+1:i+1], rest...)
+			break
+		}
+	}
+	c.Facts.DeadBlocks[t.FreshBlock] = true
+}
+
+// AddLoad inserts Fresh := Src at index Offset of Block (Table 1). Loading
+// an existing variable into a fresh one is safe at any point where Src is
+// definitely assigned; the precondition checks this with a must-analysis so
+// the inserted read can never fault at runtime.
+type AddLoad struct {
+	Block  string
+	Offset int
+	Fresh  string
+	Src    string
+}
+
+// Type returns the template identifier.
+func (t AddLoad) Type() string { return TypeAddLoad }
+
+// Precondition: Block exists with at least Offset instructions, Fresh is a
+// fresh variable, and Src is definitely assigned at (Block, Offset).
+func (t AddLoad) Precondition(c *Context) bool {
+	b := c.Prog.Block(t.Block)
+	if b == nil || t.Offset < 0 || len(b.Instrs) < t.Offset || !freshVar(c, t.Fresh) {
+		return false
+	}
+	points := DefinitelyAssigned(c.Prog, c.Input)[t.Block]
+	return points[t.Offset][t.Src]
+}
+
+// Apply inserts the load.
+func (t AddLoad) Apply(c *Context) {
+	b := c.Prog.Block(t.Block)
+	in := Instr{Kind: Assign, Dst: t.Fresh, A: V(t.Src)}
+	b.Instrs = append(b.Instrs[:t.Offset:t.Offset], append([]Instr{in}, b.Instrs[t.Offset:]...)...)
+}
+
+// AddStore inserts Dst := Src at index Offset of Block (Table 1). A store to
+// an existing variable would in general change the program's semantics, so
+// the precondition requires the fact "Block is dead".
+type AddStore struct {
+	Block  string
+	Offset int
+	Dst    string
+	Src    string
+}
+
+// Type returns the template identifier.
+func (t AddStore) Type() string { return TypeAddStore }
+
+// Precondition: the fact "Block is dead" holds, Block has at least Offset
+// instructions, and Dst and Src are existing variables.
+func (t AddStore) Precondition(c *Context) bool {
+	if !c.Facts.DeadBlocks[t.Block] {
+		return false
+	}
+	b := c.Prog.Block(t.Block)
+	if b == nil || t.Offset < 0 || len(b.Instrs) < t.Offset {
+		return false
+	}
+	exists := func(v string) bool {
+		if _, ok := c.Input[v]; ok {
+			return true
+		}
+		return c.Prog.Variables()[v]
+	}
+	return exists(t.Dst) && exists(t.Src)
+}
+
+// Apply inserts the store.
+func (t AddStore) Apply(c *Context) {
+	b := c.Prog.Block(t.Block)
+	in := Instr{Kind: Assign, Dst: t.Dst, A: V(t.Src)}
+	b.Instrs = append(b.Instrs[:t.Offset:t.Offset], append([]Instr{in}, b.Instrs[t.Offset:]...)...)
+}
+
+// ChangeRHS replaces the right-hand side z of an assignment y := z with a
+// variable guaranteed to hold the same value at that point (Table 1). The
+// equality guarantee implemented here is the one Figure 4's T5 exploits: z
+// is a literal and NewVar is an input variable whose (fixed, known) input
+// value equals that literal, with no intervening reassignment of NewVar.
+type ChangeRHS struct {
+	Block  string
+	Offset int
+	NewVar string
+}
+
+// Type returns the template identifier.
+func (t ChangeRHS) Type() string { return TypeChangeRHS }
+
+// Precondition: Block[Offset] has the form y := literal, NewVar is an input
+// variable never reassigned anywhere in the program, and its input value
+// equals the literal.
+func (t ChangeRHS) Precondition(c *Context) bool {
+	b := c.Prog.Block(t.Block)
+	if b == nil || t.Offset < 0 || t.Offset >= len(b.Instrs) {
+		return false
+	}
+	in := b.Instrs[t.Offset]
+	if in.Kind != Assign || in.A.Var != "" {
+		return false
+	}
+	val, ok := c.Input[t.NewVar]
+	if !ok || !val.Equal(in.A.Lit) {
+		return false
+	}
+	// NewVar must still hold its input value at the use: conservatively
+	// require that the program never assigns to it.
+	for _, blk := range c.Prog.Blocks {
+		for _, instr := range blk.Instrs {
+			if instr.Kind != Print && instr.Dst == t.NewVar {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Apply replaces the literal with the variable.
+func (t ChangeRHS) Apply(c *Context) {
+	b := c.Prog.Block(t.Block)
+	b.Instrs[t.Offset].A = V(t.NewVar)
+}
+
+var (
+	_ Transformation = SplitBlock{}
+	_ Transformation = AddDeadBlock{}
+	_ Transformation = AddLoad{}
+	_ Transformation = AddStore{}
+	_ Transformation = ChangeRHS{}
+)

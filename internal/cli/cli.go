@@ -1,0 +1,62 @@
+// Package cli holds small helpers shared by the command-line tools: module
+// and input loading with support for the built-in corpus ("corpus:NAME"
+// paths reference the reproduction's GraphicsFuzz-analogue shaders).
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/asm"
+)
+
+// LoadModule loads a module from a file (binary or textual) or, with a
+// "corpus:" prefix, from the built-in reference corpus.
+func LoadModule(path string) (*spirv.Module, error) {
+	if name, ok := strings.CutPrefix(path, "corpus:"); ok {
+		item, err := CorpusItem(name)
+		if err != nil {
+			return nil, err
+		}
+		return item.Mod, nil
+	}
+	return asm.LoadModule(path)
+}
+
+// CorpusItem resolves a reference shader by name.
+func CorpusItem(name string) (corpus.Item, error) {
+	for _, item := range corpus.References() {
+		if item.Name == name {
+			return item, nil
+		}
+	}
+	var names []string
+	for _, item := range corpus.References() {
+		names = append(names, item.Name)
+	}
+	return corpus.Item{}, fmt.Errorf("cli: no corpus reference %q (have: %s)", name, strings.Join(names, ", "))
+}
+
+// LoadInputs loads a JSON inputs file; an empty path yields the standard
+// corpus inputs when the module came from the corpus, or empty inputs.
+func LoadInputs(path, modulePath string) (interp.Inputs, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return interp.Inputs{}, err
+		}
+		return interp.ParseInputs(data)
+	}
+	if name, ok := strings.CutPrefix(modulePath, "corpus:"); ok {
+		item, err := CorpusItem(name)
+		if err != nil {
+			return interp.Inputs{}, err
+		}
+		return item.Inputs, nil
+	}
+	return interp.Inputs{}, nil
+}

@@ -1,0 +1,115 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spirvfuzz/internal/cli"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv/asm"
+	"spirvfuzz/internal/testmod"
+)
+
+func TestLoadModuleCorpusPrefix(t *testing.T) {
+	m, err := cli.LoadModule("corpus:diamond2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EntryPointFunction() == nil {
+		t.Fatal("corpus module has no entry point")
+	}
+	if _, err := cli.LoadModule("corpus:nope"); err == nil || !strings.Contains(err.Error(), "no corpus reference") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadModuleFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	m := testmod.Loop()
+	binPath := filepath.Join(dir, "m.spv")
+	txtPath := filepath.Join(dir, "m.spvasm")
+	if err := asm.SaveModule(m, binPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.SaveModule(m, txtPath); err != nil {
+		t.Fatal(err)
+	}
+	viaBin, err := cli.LoadModule(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTxt, err := cli.LoadModule(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBin.String() != viaTxt.String() {
+		t.Fatal("binary and text loads disagree")
+	}
+	if _, err := cli.LoadModule(filepath.Join(dir, "missing.spv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadInputs(t *testing.T) {
+	// Corpus default: standard uniforms.
+	in, err := cli.LoadInputs("", "corpus:gradient1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Uniforms["u_one"].F != 1 {
+		t.Fatalf("u_one = %v", in.Uniforms["u_one"])
+	}
+	// Explicit file wins.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(path, []byte(`{"width":2,"height":3,"uniforms":{"x":{"kind":"float","value":0.25}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := cli.LoadInputs(path, "corpus:gradient1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.W != 2 || in2.H != 3 || in2.Uniforms["x"].F != 0.25 {
+		t.Fatalf("in2 = %+v", in2)
+	}
+	// Plain file path without inputs: empty inputs.
+	in3, err := cli.LoadInputs("", "whatever.spv")
+	if err != nil || in3.Uniforms != nil {
+		t.Fatalf("in3 = %+v, %v", in3, err)
+	}
+}
+
+func TestInputsJSONRoundTrip(t *testing.T) {
+	item, err := cli.CorpusItem("matrix1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := item.Inputs
+	in.Uniforms["extra_bool"] = interp.BoolVal(true)
+	in.Uniforms["extra_vec"] = interp.Vec2(0.5, -1)
+	data, err := interp.EncodeInputs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := interp.ParseInputs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != in.W || back.H != in.H || len(back.Uniforms) != len(in.Uniforms) {
+		t.Fatalf("shape mismatch: %+v vs %+v", back, in)
+	}
+	for name, v := range in.Uniforms {
+		if !back.Uniforms[name].Equal(v) {
+			t.Fatalf("uniform %s: %v vs %v", name, back.Uniforms[name], v)
+		}
+	}
+	// Malformed inputs are rejected.
+	if _, err := interp.ParseInputs([]byte(`{"uniforms":{"x":{"kind":"martian"}}}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := interp.ParseInputs([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

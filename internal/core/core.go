@@ -1,0 +1,90 @@
+// Package core implements the language-agnostic formulation of
+// transformation-based compiler testing from "Test-Case Reduction and
+// Deduplication Almost for Free with Transformation-Based Compiler Testing"
+// (PLDI 2021), Section 2.2.
+//
+// A transformation context (Definition 2.3) bundles a program, an input for
+// which the program is well-defined, and a set of facts about the pair. A
+// transformation (Definition 2.4) has a type identifier, a precondition over
+// contexts, and an effect that — when the precondition holds — yields an
+// equivalent context. Sequences of transformations are applied with Apply
+// (Definition 2.5), silently skipping transformations whose preconditions
+// fail; this skip rule is what lets delta debugging explore arbitrary
+// subsequences during reduction.
+//
+// The package is generic over the context type C so that it can be
+// instantiated both by the didactic "basic blocks" language of Section 2.1
+// (package bblang) and by the SPIR-V subset (package fuzz).
+package core
+
+import "fmt"
+
+// Transformation is a semantics-preserving rewrite of a context
+// (Definition 2.4). Implementations must guarantee that whenever
+// Precondition(c) holds, Apply(c) mutates c into a context whose program
+// computes the same result on its input, and that Apply is never invoked on
+// a context for which Precondition is false.
+type Transformation[C any] interface {
+	// Type identifies the transformation's template. It is the unit of
+	// comparison for the deduplication heuristic (Figure 6).
+	Type() string
+	// Precondition reports whether the transformation can be applied to c.
+	Precondition(c C) bool
+	// Apply performs the transformation's effect on c. It must only be
+	// called when Precondition(c) holds.
+	Apply(c C)
+}
+
+// ApplySequence applies ts to c in order per Definition 2.5: each
+// transformation whose precondition holds is applied, the rest are skipped.
+// It returns the indices (into ts) of the transformations that were applied.
+func ApplySequence[C any](c C, ts []Transformation[C]) []int {
+	applied := make([]int, 0, len(ts))
+	for i, t := range ts {
+		if t.Precondition(c) {
+			t.Apply(c)
+			applied = append(applied, i)
+		}
+	}
+	return applied
+}
+
+// ApplySubsequence applies the transformations of ts selected by keep (a
+// sorted list of indices into ts), again skipping failed preconditions.
+// It returns the indices of ts that were actually applied.
+func ApplySubsequence[C any](c C, ts []Transformation[C], keep []int) []int {
+	applied := make([]int, 0, len(keep))
+	for _, i := range keep {
+		if ts[i].Precondition(c) {
+			ts[i].Apply(c)
+			applied = append(applied, i)
+		}
+	}
+	return applied
+}
+
+// CheckedApply applies t to c, first verifying the precondition. It returns
+// an error naming the transformation type if the precondition fails. This is
+// the entry point fuzzer passes should use, so that a pass that constructs an
+// inapplicable transformation is caught immediately rather than producing a
+// silently wrong variant.
+func CheckedApply[C any](c C, t Transformation[C]) error {
+	if !t.Precondition(c) {
+		return fmt.Errorf("core: precondition of %s does not hold", t.Type())
+	}
+	t.Apply(c)
+	return nil
+}
+
+// TypeSet returns the duplicate-free set of transformation types appearing
+// in ts, excluding any type present in ignore. This is types(t) in Figure 6,
+// refined per Section 3.5 to ignore supporting transformations.
+func TypeSet[C any](ts []Transformation[C], ignore map[string]bool) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range ts {
+		if !ignore[t.Type()] {
+			set[t.Type()] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,95 @@
+package core
+
+import "sort"
+
+// ReducedTest is a reduced test case as consumed by the deduplication
+// algorithm of Figure 6: all that matters is the set of transformation types
+// in its minimized sequence, and an identifier for reporting.
+type ReducedTest struct {
+	// Name identifies the test case (e.g. a file path or seed).
+	Name string
+	// Types is the duplicate-free set of transformation types appearing in
+	// the test's minimized transformation sequence, after removing any types
+	// on the deduplicator's ignore list (Section 3.5).
+	Types map[string]bool
+}
+
+// Deduplicate implements the algorithm of Figure 6. It returns a subset of
+// tests — the recommended bug reports — such that no two selected tests share
+// a transformation type. The hypothesis (Section 2.1) is that tests built
+// from disjoint transformation types have a good chance of triggering bugs
+// with distinct root causes.
+//
+// The loop considers candidate tests in order of increasing type-set size i:
+// whenever a test with exactly i types exists it is selected, and every test
+// sharing a type with it (including itself) is discarded. Tests whose type
+// set is empty after ignoring supporting types can never be selected nor
+// discarded by the paper's loop; they are dropped up front, mirroring the
+// accompanying spirv-fuzz script.
+//
+// Selection is deterministic: among tests of size i, the one earliest in the
+// input order is taken.
+func Deduplicate(tests []ReducedTest) []ReducedTest {
+	pending := make([]ReducedTest, 0, len(tests))
+	for _, t := range tests {
+		if len(t.Types) > 0 {
+			pending = append(pending, t)
+		}
+	}
+	var toInvestigate []ReducedTest
+	maxSize := 0
+	for _, t := range pending {
+		if len(t.Types) > maxSize {
+			maxSize = len(t.Types)
+		}
+	}
+	for i := 1; i <= maxSize && len(pending) > 0; {
+		idx := -1
+		for j, t := range pending {
+			if len(t.Types) == i {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			i++
+			continue
+		}
+		chosen := pending[idx]
+		toInvestigate = append(toInvestigate, chosen)
+		next := pending[:0]
+		for _, t := range pending {
+			if !intersects(chosen.Types, t.Types) {
+				next = append(next, t)
+			}
+		}
+		pending = next
+		// Discarding tests may remove every remaining test of size i, but
+		// smaller sizes can never (re)appear, so i is left unchanged and the
+		// next iteration re-scans at the current size, exactly as in Figure 6.
+	}
+	return toInvestigate
+}
+
+func intersects(a, b map[string]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedTypes returns the elements of a type set in lexicographic order, for
+// stable display in reports and tests.
+func SortedTypes(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spirvfuzz/internal/core"
+)
+
+func types(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestDeduplicateSectionTwoExample(t *testing.T) {
+	// The Section 2.1 scenario: set A uses {SplitBlock, AddDeadBlock,
+	// ChangeRHS}, set B uses {AddStore, AddLoad}, and the rest use at least
+	// four of the five types. Exactly one report from A and one from B should
+	// be recommended, and nothing else (every remaining test shares a type
+	// with one of the two).
+	var tests []core.ReducedTest
+	for i := 0; i < 35; i++ {
+		tests = append(tests, core.ReducedTest{Name: "A", Types: types("SplitBlock", "AddDeadBlock", "ChangeRHS")})
+	}
+	for i := 0; i < 42; i++ {
+		tests = append(tests, core.ReducedTest{Name: "B", Types: types("AddStore", "AddLoad")})
+	}
+	for i := 0; i < 23; i++ {
+		tests = append(tests, core.ReducedTest{Name: "C", Types: types("SplitBlock", "AddDeadBlock", "ChangeRHS", "AddLoad")})
+	}
+	got := core.Deduplicate(tests)
+	if len(got) != 2 {
+		t.Fatalf("Deduplicate returned %d reports, want 2: %v", len(got), got)
+	}
+	if got[0].Name != "B" || got[1].Name != "A" {
+		// B has the smaller type set (2 < 3) so it is selected first.
+		t.Fatalf("reports = %s, %s; want B then A", got[0].Name, got[1].Name)
+	}
+}
+
+func TestDeduplicateEmptyTypeSetsDropped(t *testing.T) {
+	tests := []core.ReducedTest{
+		{Name: "empty", Types: types()},
+		{Name: "x", Types: types("T")},
+	}
+	got := core.Deduplicate(tests)
+	if len(got) != 1 || got[0].Name != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeduplicateNoTests(t *testing.T) {
+	if got := core.Deduplicate(nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeduplicateDisjointAllKept(t *testing.T) {
+	tests := []core.ReducedTest{
+		{Name: "a", Types: types("T1")},
+		{Name: "b", Types: types("T2")},
+		{Name: "c", Types: types("T3", "T4")},
+	}
+	got := core.Deduplicate(tests)
+	if len(got) != 3 {
+		t.Fatalf("got %d reports, want 3", len(got))
+	}
+}
+
+func TestDeduplicatePairwiseDisjointProperty(t *testing.T) {
+	// Property: the recommended set is always pairwise type-disjoint, and
+	// every non-selected test shares a type with some selected test.
+	prop := func(seed uint32, n uint8) bool {
+		count := int(n%20) + 1
+		s := seed
+		rnd := func(mod uint32) uint32 { s = s*1664525 + 1013904223; return s % mod }
+		var tests []core.ReducedTest
+		for i := 0; i < count; i++ {
+			tc := core.ReducedTest{Name: string(rune('a' + i)), Types: map[string]bool{}}
+			k := int(rnd(4)) + 1
+			for j := 0; j < k; j++ {
+				tc.Types[string(rune('A'+rnd(8)))] = true
+			}
+			tests = append(tests, tc)
+		}
+		selected := core.Deduplicate(tests)
+		for i := range selected {
+			for j := i + 1; j < len(selected); j++ {
+				for k := range selected[i].Types {
+					if selected[j].Types[k] {
+						return false
+					}
+				}
+			}
+		}
+		// Coverage: each input test shares a type with some selected test.
+		for _, tc := range tests {
+			covered := false
+			for _, sel := range selected {
+				for k := range sel.Types {
+					if tc.Types[k] {
+						covered = true
+					}
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedTypes(t *testing.T) {
+	got := core.SortedTypes(types("c", "a", "b"))
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+// This file states Theorem 2.6 as an executable oracle: if applying a
+// transformation sequence to a well-defined (program, input) pair yields a
+// pair on which an implementation faults or disagrees with its own result
+// for the original pair, the implementation is incorrect.
+
+// Verdict is the outcome of an oracle comparison.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictAgree: no evidence of incorrectness.
+	VerdictAgree Verdict = iota
+	// VerdictVariantFaulted: the implementation faulted on the variant but
+	// not the original — incorrect by Theorem 2.6.
+	VerdictVariantFaulted
+	// VerdictMismatch: both executions succeeded with different results —
+	// incorrect by Theorem 2.6.
+	VerdictMismatch
+	// VerdictOriginalFaulted: the implementation faulted on the original
+	// pair, so the precondition of Theorem 2.6 (the original is handled) is
+	// not established; no conclusion is drawn and the test is discarded.
+	VerdictOriginalFaulted
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAgree:
+		return "agree"
+	case VerdictVariantFaulted:
+		return "variant-faulted"
+	case VerdictMismatch:
+		return "mismatch"
+	case VerdictOriginalFaulted:
+		return "original-faulted"
+	}
+	return "?"
+}
+
+// IncorrectByTheorem26 reports whether the verdict proves the implementation
+// incorrect.
+func (v Verdict) IncorrectByTheorem26() bool {
+	return v == VerdictVariantFaulted || v == VerdictMismatch
+}
+
+// Execution is one run of an implementation on a (program, input) pair:
+// either a fault (Faulted true, Result ignored) or a comparable result.
+type Execution[R any] struct {
+	Faulted bool
+	Result  R
+}
+
+// Oracle applies Theorem 2.6 to the executions of an original pair and a
+// transformed variant pair, using equal to compare results.
+func Oracle[R any](original, variant Execution[R], equal func(a, b R) bool) Verdict {
+	if original.Faulted {
+		return VerdictOriginalFaulted
+	}
+	if variant.Faulted {
+		return VerdictVariantFaulted
+	}
+	if !equal(original.Result, variant.Result) {
+		return VerdictMismatch
+	}
+	return VerdictAgree
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/core"
+)
+
+func TestOracleVerdicts(t *testing.T) {
+	eq := func(a, b int) bool { return a == b }
+	ok := core.Execution[int]{Result: 7}
+	fault := core.Execution[int]{Faulted: true}
+	other := core.Execution[int]{Result: 8}
+
+	cases := []struct {
+		name      string
+		o, v      core.Execution[int]
+		want      core.Verdict
+		incorrect bool
+	}{
+		{"agree", ok, ok, core.VerdictAgree, false},
+		{"variant faults", ok, fault, core.VerdictVariantFaulted, true},
+		{"mismatch", ok, other, core.VerdictMismatch, true},
+		{"original faults", fault, ok, core.VerdictOriginalFaulted, false},
+		{"both fault", fault, fault, core.VerdictOriginalFaulted, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := core.Oracle(tc.o, tc.v, eq)
+			if got != tc.want {
+				t.Fatalf("verdict = %v, want %v", got, tc.want)
+			}
+			if got.IncorrectByTheorem26() != tc.incorrect {
+				t.Fatalf("IncorrectByTheorem26 = %t", !tc.incorrect)
+			}
+			if got.String() == "?" {
+				t.Fatal("missing String case")
+			}
+		})
+	}
+}

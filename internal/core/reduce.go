@@ -1,0 +1,75 @@
+package core
+
+// Interestingness reports whether the subsequence of an implicit
+// transformation sequence selected by keep (sorted indices into the original
+// sequence) still triggers the bug under investigation. Implementations
+// replay the subsequence from the original context per Definition 2.5 and
+// re-run the interestingness test of Section 3.4 (crash-signature match or
+// image mismatch).
+type Interestingness func(keep []int) bool
+
+// ReduceStats records the work performed by a reduction.
+type ReduceStats struct {
+	// Queries is the number of interestingness-test invocations.
+	Queries int
+	// Initial and Final are the sequence lengths before and after reduction.
+	Initial int
+	Final   int
+}
+
+// Reduce runs the delta-debugging loop of Section 3.4 over a transformation
+// sequence of length n, returning a 1-minimal list of kept indices: removing
+// any single remaining transformation makes the interestingness test fail.
+//
+// The algorithm maintains a chunk size c initialised to ⌊n/2⌋. The sequence
+// is divided into chunks of size c starting from the last transformation and
+// working backwards (so the chunk at the start is smaller than c when c does
+// not divide the length). Each chunk is considered in turn and removed if the
+// test still passes without it. When no chunk of size c can be removed, c is
+// halved; reduction terminates when no chunk of size 1 can be removed.
+//
+// test must hold for the full sequence; Reduce panics otherwise since a
+// reduction of an uninteresting sequence indicates a harness bug.
+func Reduce(n int, test Interestingness) ([]int, ReduceStats) {
+	stats := ReduceStats{Initial: n}
+	keep := make([]int, n)
+	for i := range keep {
+		keep[i] = i
+	}
+	if n == 0 {
+		return keep, stats
+	}
+	stats.Queries++
+	if !test(keep) {
+		panic("core: Reduce invoked on a sequence that does not pass the interestingness test")
+	}
+	first := n / 2
+	if first < 1 {
+		first = 1
+	}
+	for c := first; c >= 1; c /= 2 {
+		for removedAny := true; removedAny; {
+			removedAny = false
+			// Chunks are laid out backwards from the end of the current
+			// sequence; the leading chunk may be short.
+			for end := len(keep); end > 0; end -= c {
+				start := end - c
+				if start < 0 {
+					start = 0
+				}
+				candidate := make([]int, 0, len(keep)-(end-start))
+				candidate = append(candidate, keep[:start]...)
+				candidate = append(candidate, keep[end:]...)
+				stats.Queries++
+				if test(candidate) {
+					keep = candidate
+					removedAny = true
+					// Continue scanning from where the removed chunk began.
+					end = start + c
+				}
+			}
+		}
+	}
+	stats.Final = len(keep)
+	return keep, stats
+}

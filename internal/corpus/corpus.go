@@ -1,0 +1,354 @@
+// Package corpus provides the reference and donor modules for the
+// controlled experiments, mirroring the role of the GraphicsFuzz shader
+// sets in the paper (Section 4): 21 reference shaders known to produce
+// numerically-stable images, and 43 donor modules whose functions feed the
+// AddFunction transformation. All modules are built procedurally and
+// deterministically.
+package corpus
+
+import (
+	"fmt"
+
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+)
+
+// Item is a reference shader with the inputs it executes on.
+type Item struct {
+	Name   string
+	Mod    *spirv.Module
+	Inputs interp.Inputs
+}
+
+// StandardUniforms returns the uniform values shared by all references: the
+// fuzzer knows these (they are part of the input), letting
+// ReplaceConstantWithUniform obfuscate equal-valued constants.
+func StandardUniforms() map[string]interp.Value {
+	return map[string]interp.Value{
+		"u_one":  interp.FloatVal(1),
+		"u_half": interp.FloatVal(0.5),
+		"u_ten":  interp.IntVal(10),
+	}
+}
+
+func stdInputs() interp.Inputs {
+	return interp.Inputs{W: 8, H: 8, Uniforms: StandardUniforms()}
+}
+
+// shell extends the fragment scaffolding with the standard uniforms.
+type shell struct {
+	*spirv.FragmentShell
+	b     *spirv.Builder
+	uOne  spirv.ID // float uniform = 1.0
+	uHalf spirv.ID // float uniform = 0.5
+	uTen  spirv.ID // int uniform = 10
+}
+
+func newShell() (*spirv.Builder, *shell) {
+	b := spirv.NewBuilder()
+	// Uniforms are declared before main so they precede the function.
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	i32 := m.EnsureTypeInt(32, true)
+	s := &shell{b: b}
+	s.uOne = b.Uniform("u_one", f32, 1)
+	s.uHalf = b.Uniform("u_half", f32, 2)
+	s.uTen = b.Uniform("u_ten", i32, 3)
+	s.FragmentShell = b.BeginFragmentShell()
+	return b, s
+}
+
+// finish completes the module.
+func (s *shell) finish() *spirv.Module {
+	s.b.FinishFragmentShell(s.FragmentShell)
+	return s.b.Mod
+}
+
+// coordXY loads the coordinate and extracts both components.
+func (s *shell) coordXY() (x, y spirv.ID) {
+	b := s.b
+	c := b.Emit(spirv.OpLoad, s.Vec2, s.Coord)
+	x = b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(c), 0)
+	y = b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(c), 1)
+	return x, y
+}
+
+// emitColor stores (r, g, b, 1).
+func (s *shell) emitColor(r, g, bl spirv.ID) {
+	one := s.b.Mod.EnsureConstantFloat(1)
+	col := s.b.Emit(spirv.OpCompositeConstruct, s.Vec4, r, g, bl, one)
+	s.b.Store(s.Color, col)
+}
+
+// --- reference builders ------------------------------------------------------
+
+// refGradient: straight-line arithmetic over the coordinate.
+func refGradient(k int) *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, y := s.coordXY()
+	scale := m.EnsureConstantFloat(float32(k) * 0.25)
+	half := m.EnsureConstantFloat(0.5)
+	r := b.Emit(spirv.OpFMul, s.Float, x, scale)
+	g := b.Emit(spirv.OpFMul, s.Float, y, half)
+	t := b.Emit(spirv.OpFAdd, s.Float, x, y)
+	bl := b.Emit(spirv.OpFMul, s.Float, t, half)
+	s.emitColor(r, g, bl)
+	return s.finish()
+}
+
+// refDiamond: k nested if/else diamonds over coordinate thresholds, joined
+// with ϕs.
+func refDiamond(k int) *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, y := s.coordXY()
+	acc := m.EnsureConstantFloat(0.1)
+	cur := b.Emit(spirv.OpFAdd, s.Float, x, acc)
+	for i := 0; i < k; i++ {
+		thr := m.EnsureConstantFloat(0.25 * float32(i+1))
+		operand := x
+		if i%2 == 1 {
+			operand = y
+		}
+		cond := b.Emit(spirv.OpFOrdLessThan, s.Bool, operand, thr)
+		left, right, merge := b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.SelectionMerge(merge)
+		b.BranchCond(cond, left, right)
+		b.Begin(left)
+		lv := b.Emit(spirv.OpFAdd, s.Float, cur, thr)
+		b.Branch(merge)
+		b.Begin(right)
+		rv := b.Emit(spirv.OpFMul, s.Float, cur, thr)
+		b.Branch(merge)
+		b.Begin(merge)
+		cur = b.Phi(s.Float, lv, left, rv, right)
+	}
+	s.emitColor(cur, cur, x)
+	return s.finish()
+}
+
+// refLoop: a structured loop accumulating n iterations of coordinate math.
+func refLoop(n int32) *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, _ := s.coordXY()
+	zero := m.EnsureConstantInt(0)
+	oneI := m.EnsureConstantInt(1)
+	limit := m.EnsureConstantInt(n)
+	scale := m.EnsureConstantFloat(1 / float32(n))
+
+	header, check, body, cont, merge := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	entry := b.Fn.Blocks[0].Label
+	zeroF := m.EnsureConstantFloat(0)
+	b.Branch(header)
+
+	b.Begin(header)
+	iPhi := m.FreshID()
+	aPhi := m.FreshID()
+	iNext := m.FreshID()
+	aNext := m.FreshID()
+	b.Blk.Phis = append(b.Blk.Phis,
+		spirv.NewInstr(spirv.OpPhi, s.Int, iPhi, uint32(zero), uint32(entry), uint32(iNext), uint32(cont)),
+		spirv.NewInstr(spirv.OpPhi, s.Float, aPhi, uint32(zeroF), uint32(entry), uint32(aNext), uint32(cont)),
+	)
+	b.LoopMerge(merge, cont)
+	b.Branch(check)
+
+	b.Begin(check)
+	cond := b.Emit(spirv.OpSLessThan, s.Bool, iPhi, limit)
+	b.BranchCond(cond, body, merge)
+
+	b.Begin(body)
+	step := b.Emit(spirv.OpFMul, s.Float, x, scale)
+	b.Blk.Body = append(b.Blk.Body, spirv.NewInstr(spirv.OpFAdd, s.Float, aNext, uint32(aPhi), uint32(step)))
+	b.Branch(cont)
+
+	b.Begin(cont)
+	b.Blk.Body = append(b.Blk.Body, spirv.NewInstr(spirv.OpIAdd, s.Int, iNext, uint32(iPhi), uint32(oneI)))
+	b.Branch(header)
+
+	b.Begin(merge)
+	s.emitColor(aPhi, x, aPhi)
+	return s.finish()
+}
+
+// refMatrix: matrix-vector math with uniform-scaled output.
+func refMatrix(k int) *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	one := m.EnsureConstantFloat(1)
+	q := m.EnsureConstantFloat(0.25 * float32(k))
+	mat2 := m.EnsureTypeMatrix(s.Vec2, 2)
+	col0 := m.EnsureConstantComposite(s.Vec2, one, q)
+	col1 := m.EnsureConstantComposite(s.Vec2, q, one)
+	matC := m.EnsureConstantComposite(mat2, col0, col1)
+	c := b.Emit(spirv.OpLoad, s.Vec2, s.Coord)
+	mv := b.Emit(spirv.OpMatrixTimesVector, s.Vec2, matC, c)
+	d := b.Emit(spirv.OpDot, s.Float, mv, c)
+	r := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(mv), 0)
+	g := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(mv), 1)
+	s.emitColor(r, g, d)
+	return s.finish()
+}
+
+// refStructArray: local struct and array traffic through access chains.
+func refStructArray() *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, y := s.coordXY()
+	n4 := m.EnsureConstantInt(4)
+	arr := m.EnsureTypeArray(s.Float, n4)
+	st := m.EnsureTypeStruct(s.Vec2, arr)
+	ptrSt := m.EnsureTypePointer(spirv.StorageFunction, st)
+	ptrV2 := m.EnsureTypePointer(spirv.StorageFunction, s.Vec2)
+	ptrF := m.EnsureTypePointer(spirv.StorageFunction, s.Float)
+	_ = ptrSt
+	i0, i1 := m.EnsureConstantInt(0), m.EnsureConstantInt(1)
+	i2 := m.EnsureConstantInt(2)
+	local := b.LocalVariable(st)
+	pv := b.AccessChain(ptrV2, local, i0)
+	c := b.Emit(spirv.OpLoad, s.Vec2, s.Coord)
+	b.Store(pv, c)
+	pa := b.AccessChain(ptrF, local, i1, i2)
+	sum := b.Emit(spirv.OpFAdd, s.Float, x, y)
+	b.Store(pa, sum)
+	back := b.Emit(spirv.OpLoad, s.Float, pa)
+	px := b.AccessChain(ptrF, local, i0, i0)
+	xv := b.Emit(spirv.OpLoad, s.Float, px)
+	s.emitColor(xv, back, y)
+	return s.finish()
+}
+
+// refCalls: k chained helper functions.
+func refCalls(k int) *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	var helpers []spirv.ID
+	for i := 0; i < k; i++ {
+		cst := m.EnsureConstantFloat(0.1 * float32(i+1))
+		fn, params := b.BeginFunction(fmt.Sprintf("helper%d", i), f32, spirv.FunctionControlNone, f32)
+		b.BeginNew()
+		var v spirv.ID
+		if i%2 == 0 {
+			v = b.Emit(spirv.OpFAdd, f32, params[0], cst)
+		} else {
+			v = b.Emit(spirv.OpFMul, f32, params[0], cst)
+		}
+		b.ReturnValue(v)
+		b.EndFunction()
+		helpers = append(helpers, fn)
+	}
+	s := &shell{b: b}
+	s.uOne = b.Uniform("u_one", f32, 1)
+	s.uHalf = b.Uniform("u_half", f32, 2)
+	s.uTen = b.Uniform("u_ten", m.EnsureTypeInt(32, true), 3)
+	s.FragmentShell = b.BeginFragmentShell()
+	x, y := s.coordXY()
+	cur := x
+	for _, h := range helpers {
+		cur = b.Emit(spirv.OpFunctionCall, f32, h, cur)
+	}
+	s.emitColor(cur, y, cur)
+	return s.finish()
+}
+
+// refSwitch: OpSwitch over a quantized coordinate.
+func refSwitch() *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, y := s.coordXY()
+	four := m.EnsureConstantFloat(4)
+	one := m.EnsureConstantFloat(1)
+	xi := b.Emit(spirv.OpFMul, s.Float, x, four)
+	sel := b.Emit(spirv.OpConvertFToS, s.Int, xi)
+	c0, c1, def, merge := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.SelectionMerge(merge)
+	b.Blk.Term = spirv.NewInstr(spirv.OpSwitch, 0, 0, uint32(sel), uint32(def), 0, uint32(c0), 1, uint32(c1))
+	b.Blk = nil
+	b.Begin(c0)
+	v0 := b.Emit(spirv.OpFMul, s.Float, y, one)
+	b.Branch(merge)
+	b.Begin(c1)
+	half := m.EnsureConstantFloat(0.5)
+	v1 := b.Emit(spirv.OpFMul, s.Float, y, half)
+	b.Branch(merge)
+	b.Begin(def)
+	v2 := b.Emit(spirv.OpFAdd, s.Float, y, half)
+	b.Branch(merge)
+	b.Begin(merge)
+	r := b.Phi(s.Float, v0, c0, v1, c1, v2, def)
+	s.emitColor(r, x, r)
+	return s.finish()
+}
+
+// refKill: discard the top-left corner.
+func refKill() *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, y := s.coordXY()
+	q := m.EnsureConstantFloat(0.25)
+	cx := b.Emit(spirv.OpFOrdLessThan, s.Bool, x, q)
+	cy := b.Emit(spirv.OpFOrdLessThan, s.Bool, y, q)
+	both := b.Emit(spirv.OpLogicalAnd, s.Bool, cx, cy)
+	killB, rest := b.NewLabel(), b.NewLabel()
+	b.SelectionMerge(rest)
+	b.BranchCond(both, killB, rest)
+	b.Begin(killB)
+	b.Kill()
+	b.Begin(rest)
+	s.emitColor(x, y, x)
+	return s.finish()
+}
+
+// refSelects: branch-free data flow with OpSelect chains and integer math.
+func refSelects(k int) *spirv.Module {
+	b, s := newShell()
+	m := b.Mod
+	x, y := s.coordXY()
+	ten := m.EnsureConstantInt(10)
+	one := m.EnsureConstantInt(1)
+	xi0 := b.Emit(spirv.OpFMul, s.Float, x, b.Mod.EnsureConstantFloat(10))
+	xi := b.Emit(spirv.OpConvertFToS, s.Int, xi0)
+	cur := xi
+	for i := 0; i < k; i++ {
+		cmp := b.Emit(spirv.OpSLessThan, s.Bool, cur, ten)
+		inc := b.Emit(spirv.OpIAdd, s.Int, cur, one)
+		dbl := b.Emit(spirv.OpIMul, s.Int, cur, m.EnsureConstantInt(2))
+		cur = b.Emit(spirv.OpSelect, s.Int, cmp, inc, dbl)
+		cur = b.Emit(spirv.OpSMod, s.Int, cur, m.EnsureConstantInt(16))
+	}
+	cf := b.Emit(spirv.OpConvertSToF, s.Float, cur)
+	r := b.Emit(spirv.OpFMul, s.Float, cf, m.EnsureConstantFloat(1.0/16))
+	s.emitColor(r, y, r)
+	return s.finish()
+}
+
+// References returns the 21 reference shaders with their inputs.
+func References() []Item {
+	items := []Item{
+		{"gradient1", refGradient(1), stdInputs()},
+		{"gradient2", refGradient(2), stdInputs()},
+		{"gradient3", refGradient(3), stdInputs()},
+		{"diamond1", refDiamond(1), stdInputs()},
+		{"diamond2", refDiamond(2), stdInputs()},
+		{"diamond3", refDiamond(3), stdInputs()},
+		{"diamond4", refDiamond(4), stdInputs()},
+		{"loop4", refLoop(4), stdInputs()},
+		{"loop10", refLoop(10), stdInputs()},
+		{"loop16", refLoop(16), stdInputs()},
+		{"matrix1", refMatrix(1), stdInputs()},
+		{"matrix2", refMatrix(2), stdInputs()},
+		{"structarray", refStructArray(), stdInputs()},
+		{"calls1", refCalls(1), stdInputs()},
+		{"calls2", refCalls(2), stdInputs()},
+		{"calls4", refCalls(4), stdInputs()},
+		{"switch", refSwitch(), stdInputs()},
+		{"kill", refKill(), stdInputs()},
+		{"selects2", refSelects(2), stdInputs()},
+		{"selects5", refSelects(5), stdInputs()},
+		{"selects8", refSelects(8), stdInputs()},
+	}
+	return items
+}

@@ -1,0 +1,95 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+func TestCorpusShape(t *testing.T) {
+	refs := corpus.References()
+	if len(refs) != 21 {
+		t.Fatalf("references = %d, want 21 (as in the paper)", len(refs))
+	}
+	names := map[string]bool{}
+	for _, item := range refs {
+		if names[item.Name] {
+			t.Errorf("duplicate reference name %q", item.Name)
+		}
+		names[item.Name] = true
+		if item.Inputs.W == 0 || item.Inputs.H == 0 {
+			t.Errorf("%s: missing grid size", item.Name)
+		}
+		if err := validate.Module(item.Mod); err != nil {
+			t.Errorf("%s: %v", item.Name, err)
+		}
+	}
+	donors := corpus.Donors()
+	if len(donors) != 43 {
+		t.Fatalf("donors = %d, want 43 (as in the paper)", len(donors))
+	}
+}
+
+// TestCorpusDeterministic: builders are pure — two calls produce identical
+// modules (campaign reproducibility depends on this).
+func TestCorpusDeterministic(t *testing.T) {
+	a, b := corpus.References(), corpus.References()
+	for i := range a {
+		if a[i].Mod.String() != b[i].Mod.String() {
+			t.Fatalf("%s differs across builds", a[i].Name)
+		}
+	}
+	da, db := corpus.Donors(), corpus.Donors()
+	for i := range da {
+		if da[i].String() != db[i].String() {
+			t.Fatalf("donor %d differs across builds", i)
+		}
+	}
+}
+
+// TestEveryDonorHasADonatableFunction: the donation pipeline must accept at
+// least one function from every donor module.
+func TestEveryDonorHasADonatableFunction(t *testing.T) {
+	item := corpus.References()[0]
+	for i, d := range corpus.Donors() {
+		c := fuzz.NewContext(item.Mod.Clone(), item.Inputs)
+		ok := false
+		for _, fn := range d.Functions {
+			if ts := fuzz.Donate(c, d, fn, true); ts != nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("donor %d has no donatable function", i)
+		}
+	}
+}
+
+// TestReferencesAreNumericallyStable: quantized images are stable under
+// repeated rendering and nontrivial (not all-black).
+func TestReferencesAreNumericallyStable(t *testing.T) {
+	for _, item := range corpus.References() {
+		img1, err := interp.Render(item.Mod, item.Inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", item.Name, err)
+		}
+		img2, _ := interp.Render(item.Mod, item.Inputs)
+		if !img1.Equal(img2) {
+			t.Errorf("%s: unstable image", item.Name)
+		}
+		nonzero := false
+		for _, px := range img1.Pix {
+			if px != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s: all-black image carries no signal", item.Name)
+		}
+	}
+}

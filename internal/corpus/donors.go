@@ -1,0 +1,210 @@
+package corpus
+
+import (
+	"fmt"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// Donor modules: sources of functions for the AddFunction transformation.
+// Every donor function is built to be live-safe by construction: pure
+// (memory access only through locals and parameters), call-free, OpKill-free
+// and terminating (loops have constant bounds), so calling it from anywhere
+// cannot affect the results of computation.
+
+// donorPoly builds f(x) = x*a + b over floats.
+func donorPoly(a, bconst float32) *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	ca := m.EnsureConstantFloat(a)
+	cb := m.EnsureConstantFloat(bconst)
+	_, params := b.BeginFunction("poly", f32, spirv.FunctionControlNone, f32)
+	b.BeginNew()
+	t := b.Emit(spirv.OpFMul, f32, params[0], ca)
+	r := b.Emit(spirv.OpFAdd, f32, t, cb)
+	b.ReturnValue(r)
+	b.EndFunction()
+	return m
+}
+
+// donorIntMix builds f(n) = ((n*k) % 7) + (n & 3) over signed ints.
+func donorIntMix(k int32) *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	i32 := m.EnsureTypeInt(32, true)
+	ck := m.EnsureConstantInt(k)
+	c7 := m.EnsureConstantInt(7)
+	c3 := m.EnsureConstantInt(3)
+	_, params := b.BeginFunction("intmix", i32, spirv.FunctionControlNone, i32)
+	b.BeginNew()
+	t := b.Emit(spirv.OpIMul, i32, params[0], ck)
+	md := b.Emit(spirv.OpSMod, i32, t, c7)
+	an := b.Emit(spirv.OpBitwiseAnd, i32, params[0], c3)
+	r := b.Emit(spirv.OpIAdd, i32, md, an)
+	b.ReturnValue(r)
+	b.EndFunction()
+	return m
+}
+
+// donorAbsSelect builds |x| via compare + select, plus a clampish helper.
+func donorAbsSelect() *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	boolT := m.EnsureTypeBool()
+	zero := m.EnsureConstantFloat(0)
+	one := m.EnsureConstantFloat(1)
+	_, params := b.BeginFunction("absf", f32, spirv.FunctionControlNone, f32)
+	b.BeginNew()
+	neg := b.Emit(spirv.OpFNegate, f32, params[0])
+	lt := b.Emit(spirv.OpFOrdLessThan, boolT, params[0], zero)
+	r := b.Emit(spirv.OpSelect, f32, lt, neg, params[0])
+	b.ReturnValue(r)
+	b.EndFunction()
+
+	_, p2 := b.BeginFunction("clamp01", f32, spirv.FunctionControlNone, f32)
+	b.BeginNew()
+	lo := b.Emit(spirv.OpFOrdLessThan, boolT, p2[0], zero)
+	c1 := b.Emit(spirv.OpSelect, f32, lo, zero, p2[0])
+	hi := b.Emit(spirv.OpFOrdGreaterThan, boolT, c1, one)
+	c2 := b.Emit(spirv.OpSelect, f32, hi, one, c1)
+	b.ReturnValue(c2)
+	b.EndFunction()
+	return m
+}
+
+// donorBoundedLoop builds f(x) = x summed over n constant iterations using a
+// structured loop with a constant bound, demonstrating live-safe loops.
+func donorBoundedLoop(n int32) *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	i32 := m.EnsureTypeInt(32, true)
+	boolT := m.EnsureTypeBool()
+	zero := m.EnsureConstantInt(0)
+	oneI := m.EnsureConstantInt(1)
+	limit := m.EnsureConstantInt(n)
+	zeroF := m.EnsureConstantFloat(0)
+
+	_, params := b.BeginFunction("loopsum", f32, spirv.FunctionControlNone, f32)
+	entry := b.BeginNew()
+	header, check, body, cont, merge := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Branch(header)
+
+	b.Begin(header)
+	iPhi, aPhi := m.FreshID(), m.FreshID()
+	iNext, aNext := m.FreshID(), m.FreshID()
+	b.Blk.Phis = append(b.Blk.Phis,
+		spirv.NewInstr(spirv.OpPhi, i32, iPhi, uint32(zero), uint32(entry), uint32(iNext), uint32(cont)),
+		spirv.NewInstr(spirv.OpPhi, f32, aPhi, uint32(zeroF), uint32(entry), uint32(aNext), uint32(cont)),
+	)
+	b.LoopMerge(merge, cont)
+	b.Branch(check)
+
+	b.Begin(check)
+	cond := b.Emit(spirv.OpSLessThan, boolT, iPhi, limit)
+	b.BranchCond(cond, body, merge)
+
+	b.Begin(body)
+	b.Blk.Body = append(b.Blk.Body, spirv.NewInstr(spirv.OpFAdd, f32, aNext, uint32(aPhi), uint32(params[0])))
+	b.Branch(cont)
+
+	b.Begin(cont)
+	b.Blk.Body = append(b.Blk.Body, spirv.NewInstr(spirv.OpIAdd, i32, iNext, uint32(iPhi), uint32(oneI)))
+	b.Branch(header)
+
+	b.Begin(merge)
+	b.ReturnValue(aPhi)
+	b.EndFunction()
+	return m
+}
+
+// donorVecOps builds a vector helper: f(x) = dot((x, 2x), (0.5, 0.25)).
+func donorVecOps(scale float32) *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	vec2 := m.EnsureTypeVector(f32, 2)
+	cs := m.EnsureConstantFloat(scale)
+	ch := m.EnsureConstantFloat(0.5)
+	cq := m.EnsureConstantFloat(0.25)
+	w := m.EnsureConstantComposite(vec2, ch, cq)
+	_, params := b.BeginFunction("vecdot", f32, spirv.FunctionControlNone, f32)
+	b.BeginNew()
+	x2 := b.Emit(spirv.OpFMul, f32, params[0], cs)
+	v := b.Emit(spirv.OpCompositeConstruct, vec2, params[0], x2)
+	d := b.Emit(spirv.OpDot, f32, v, w)
+	b.ReturnValue(d)
+	b.EndFunction()
+	return m
+}
+
+// donorLocalMemory builds a helper that round-trips its argument through a
+// local variable and an extra scratch slot.
+func donorLocalMemory() *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	_, params := b.BeginFunction("localmem", f32, spirv.FunctionControlNone, f32)
+	b.BeginNew()
+	v := b.LocalVariable(f32)
+	b.Store(v, params[0])
+	back := b.Emit(spirv.OpLoad, f32, v)
+	doubled := b.Emit(spirv.OpFAdd, f32, back, back)
+	b.Store(v, doubled)
+	final := b.Emit(spirv.OpLoad, f32, v)
+	b.ReturnValue(final)
+	b.EndFunction()
+	return m
+}
+
+// donorBoolChain builds a boolean helper used for branchy donations.
+func donorBoolChain(thr float32) *spirv.Module {
+	b := spirv.NewBuilder()
+	m := b.Mod
+	f32 := m.EnsureTypeFloat(32)
+	boolT := m.EnsureTypeBool()
+	ct := m.EnsureConstantFloat(thr)
+	one := m.EnsureConstantFloat(1)
+	zero := m.EnsureConstantFloat(0)
+	_, params := b.BeginFunction("step", f32, spirv.FunctionControlNone, f32)
+	b.BeginNew()
+	lt := b.Emit(spirv.OpFOrdLessThan, boolT, params[0], ct)
+	ge := b.Emit(spirv.OpFOrdGreaterThanEqual, boolT, params[0], zero)
+	both := b.Emit(spirv.OpLogicalAnd, boolT, lt, ge)
+	r := b.Emit(spirv.OpSelect, f32, both, one, zero)
+	b.ReturnValue(r)
+	b.EndFunction()
+	return m
+}
+
+// Donors returns the 43 donor modules.
+func Donors() []*spirv.Module {
+	var out []*spirv.Module
+	for i := 0; i < 8; i++ {
+		out = append(out, donorPoly(0.25*float32(i+1), 0.1*float32(i)))
+	}
+	for i := 0; i < 7; i++ {
+		out = append(out, donorIntMix(int32(i+2)))
+	}
+	for i := 0; i < 6; i++ {
+		out = append(out, donorAbsSelect())
+	}
+	for i := 0; i < 6; i++ {
+		out = append(out, donorBoundedLoop(int32(2+i*2)))
+	}
+	for i := 0; i < 6; i++ {
+		out = append(out, donorVecOps(0.5*float32(i+1)))
+	}
+	for i := 0; i < 5; i++ {
+		out = append(out, donorLocalMemory())
+	}
+	for i := 0; i < 5; i++ {
+		out = append(out, donorBoolChain(0.2*float32(i+1)))
+	}
+	if len(out) != 43 {
+		panic(fmt.Sprintf("corpus: expected 43 donors, built %d", len(out)))
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Package dedup is the test-case deduplication front-end of Section 3.5: it
+// applies the algorithm of Figure 6 (package core) to reduced test cases,
+// ignoring the fixed list of supporting transformation types — the add-type/
+// constant/variable transformations, SplitBlock and AddFunction (enablers
+// for other transformations), and ReplaceIdWithSynonym (which reaps the
+// benefits of prior transformations but is not interesting in isolation).
+// The list was fixed before running the controlled experiments.
+package dedup
+
+import (
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/fuzz"
+)
+
+// Case is a reduced test case submitted for deduplication.
+type Case struct {
+	// Name identifies the test (e.g. "seed-1234/SwiftShader").
+	Name string
+	// Sequence is the minimized transformation sequence.
+	Sequence []fuzz.Transformation
+	// Signature is the known crash signature, used by experiments as ground
+	// truth to score the heuristic (the algorithm itself never sees it).
+	Signature string
+}
+
+// Recommend returns the subset of tests the heuristic suggests reporting:
+// pairwise disjoint in (non-ignored) transformation types, smallest type
+// sets first.
+func Recommend(cases []Case) []Case {
+	ignore := fuzz.SupportingTypes()
+	reduced := make([]core.ReducedTest, len(cases))
+	for i, c := range cases {
+		reduced[i] = core.ReducedTest{
+			Name:  c.Name,
+			Types: core.TypeSet(c.Sequence, ignore),
+		}
+	}
+	picked := core.Deduplicate(reduced)
+	byName := make(map[string]int, len(cases))
+	for i, c := range cases {
+		if _, dup := byName[c.Name]; !dup {
+			byName[c.Name] = i
+		}
+	}
+	out := make([]Case, 0, len(picked))
+	for _, p := range picked {
+		out = append(out, cases[byName[p.Name]])
+	}
+	return out
+}
+
+// Score computes the Table 4 quality measures for a recommendation against
+// ground-truth signatures: the number of distinct signatures covered by the
+// recommended tests and the number of duplicates among them.
+func Score(recommended []Case) (distinct, duplicates int) {
+	seen := map[string]bool{}
+	for _, c := range recommended {
+		if seen[c.Signature] {
+			duplicates++
+		} else {
+			seen[c.Signature] = true
+			distinct++
+		}
+	}
+	return distinct, duplicates
+}
+
+// SignatureCount returns the number of distinct ground-truth signatures in
+// a full case set (Table 4's "Sigs" column).
+func SignatureCount(cases []Case) int {
+	seen := map[string]bool{}
+	for _, c := range cases {
+		seen[c.Signature] = true
+	}
+	return len(seen)
+}

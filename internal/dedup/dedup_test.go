@@ -1,0 +1,105 @@
+package dedup_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/dedup"
+	"spirvfuzz/internal/fuzz"
+)
+
+// seq builds a transformation sequence with the given concrete types.
+func seq(kinds ...string) []fuzz.Transformation {
+	var out []fuzz.Transformation
+	for _, k := range kinds {
+		switch k {
+		case "dead":
+			out = append(out, &fuzz.AddDeadBlock{})
+		case "kill":
+			out = append(out, &fuzz.ReplaceBranchWithKill{})
+		case "move":
+			out = append(out, &fuzz.MoveBlockDown{})
+		case "split":
+			out = append(out, &fuzz.SplitBlock{})
+		case "syn":
+			out = append(out, &fuzz.ReplaceIdWithSynonym{})
+		case "ctrl":
+			out = append(out, &fuzz.SetFunctionControl{})
+		default:
+			panic(k)
+		}
+	}
+	return out
+}
+
+func TestRecommendIgnoresSupportingTypes(t *testing.T) {
+	// Three cases: A and B differ only in supporting types (split/syn) and
+	// share "dead" — same root cause, one report. C uses a disjoint
+	// interesting type.
+	cases := []dedup.Case{
+		{Name: "A", Sequence: seq("split", "dead", "syn"), Signature: "bug-dead"},
+		{Name: "B", Sequence: seq("dead", "split"), Signature: "bug-dead"},
+		{Name: "C", Sequence: seq("split", "move"), Signature: "bug-move"},
+	}
+	got := dedup.Recommend(cases)
+	if len(got) != 2 {
+		t.Fatalf("recommended %d, want 2", len(got))
+	}
+	names := map[string]bool{}
+	for _, c := range got {
+		names[c.Name] = true
+	}
+	if !names["C"] {
+		t.Fatal("C (disjoint type) must be recommended")
+	}
+	if names["A"] && names["B"] {
+		t.Fatal("A and B share the interesting type and must collapse")
+	}
+	distinct, dups := dedup.Score(got)
+	if distinct != 2 || dups != 0 {
+		t.Fatalf("score = %d distinct, %d dups", distinct, dups)
+	}
+	if n := dedup.SignatureCount(cases); n != 2 {
+		t.Fatalf("SignatureCount = %d", n)
+	}
+}
+
+func TestRecommendDetectsDuplicates(t *testing.T) {
+	// Two type-disjoint cases that actually trigger the SAME bug: both get
+	// recommended (the heuristic cannot know), and Score reports the dup.
+	cases := []dedup.Case{
+		{Name: "X", Sequence: seq("dead"), Signature: "same-bug"},
+		{Name: "Y", Sequence: seq("move"), Signature: "same-bug"},
+	}
+	got := dedup.Recommend(cases)
+	if len(got) != 2 {
+		t.Fatalf("recommended %d, want 2", len(got))
+	}
+	distinct, dups := dedup.Score(got)
+	if distinct != 1 || dups != 1 {
+		t.Fatalf("score = %d distinct, %d dups; want 1, 1", distinct, dups)
+	}
+}
+
+func TestRecommendSupportingOnlyCasesDropped(t *testing.T) {
+	// A case whose minimized sequence contains only supporting types has an
+	// empty type set and is dropped (it cannot be meaningfully compared).
+	cases := []dedup.Case{
+		{Name: "onlysupport", Sequence: seq("split", "syn"), Signature: "s"},
+		{Name: "real", Sequence: seq("kill"), Signature: "k"},
+	}
+	got := dedup.Recommend(cases)
+	if len(got) != 1 || got[0].Name != "real" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecommendPrefersSmallTypeSets(t *testing.T) {
+	cases := []dedup.Case{
+		{Name: "big", Sequence: seq("dead", "move", "ctrl"), Signature: "b1"},
+		{Name: "small", Sequence: seq("dead"), Signature: "b2"},
+	}
+	got := dedup.Recommend(cases)
+	if len(got) != 1 || got[0].Name != "small" {
+		t.Fatalf("got %v; the smaller type set must win", got)
+	}
+}

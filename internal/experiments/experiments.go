@@ -1,0 +1,219 @@
+// Package experiments regenerates the paper's tables and figures (Section
+// 4): Table 3 and Figure 7 (bug-finding ability, RQ1), the reduction-quality
+// medians (RQ2), and Table 4 (deduplication effectiveness, RQ3). The
+// absolute numbers depend on the simulated targets' injected defects; the
+// comparative shape is what reproduces the paper's findings.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/stats"
+	"spirvfuzz/internal/target"
+)
+
+// Config scales the experiments. The paper uses 10,000 tests per tool in 10
+// groups of 1,000; the default here is laptop-scale and adjustable.
+type Config struct {
+	Tests  int // tests per tool configuration (default 300)
+	Groups int // disjoint groups for medians/MWU (default 10)
+	// CapPerSignature caps reductions per bug signature (paper: 100 for
+	// RQ2, 20 for the extra RQ3 targets; default 6).
+	CapPerSignature int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tests == 0 {
+		c.Tests = 300
+	}
+	if c.Groups == 0 {
+		c.Groups = 10
+	}
+	if c.CapPerSignature == 0 {
+		c.CapPerSignature = 6
+	}
+	return c
+}
+
+// Campaigns runs the three tool configurations over all targets.
+type Campaigns struct {
+	Config Config
+	Fuzz   *harness.CampaignResult // spirv-fuzz
+	Simple *harness.CampaignResult // spirv-fuzz-simple
+	Glsl   *harness.CampaignResult // glsl-fuzz
+}
+
+// RunCampaigns executes the three campaigns of Section 4.1.
+func RunCampaigns(cfg Config) (*Campaigns, error) {
+	cfg = cfg.withDefaults()
+	refs := corpus.References()
+	targets := target.All()
+	donors := corpus.Donors()
+	fz, err := harness.Campaign(harness.ToolSpirvFuzz, cfg.Tests, cfg.Groups, refs, targets, donors)
+	if err != nil {
+		return nil, err
+	}
+	simple, err := harness.Campaign(harness.ToolSpirvFuzzSimple, cfg.Tests, cfg.Groups, refs, targets, donors)
+	if err != nil {
+		return nil, err
+	}
+	gl, err := harness.Campaign(harness.ToolGlslFuzz, cfg.Tests, cfg.Groups, refs, targets, donors)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaigns{Config: cfg, Fuzz: fz, Simple: simple, Glsl: gl}, nil
+}
+
+// Table3Row is one row of Table 3.
+type Table3Row struct {
+	Target                            string
+	TotalFuzz, TotalSimple, TotalGlsl int
+	MedFuzz, MedSimple, MedGlsl       float64
+	// ConfVsSimple and ConfVsGlsl are MWU confidences (in [0,1]) that
+	// spirv-fuzz finds more distinct signatures per group.
+	ConfVsSimple, ConfVsGlsl float64
+}
+
+// Table3 computes Table 3 from campaign data, including the "All" row.
+func Table3(c *Campaigns) []Table3Row {
+	var rows []Table3Row
+	totalFuzz, totalSimple, totalGlsl := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	names := targetNames(c)
+	groups := len(c.Fuzz.GroupSignatures[names[0]])
+	allGroupFuzz := make([]float64, groups)
+	allGroupSimple := make([]float64, groups)
+	allGroupGlsl := make([]float64, groups)
+	for _, name := range names {
+		gf := toF(c.Fuzz.GroupSignatures[name])
+		gs := toF(c.Simple.GroupSignatures[name])
+		gg := toF(c.Glsl.GroupSignatures[name])
+		for i := range gf {
+			allGroupFuzz[i] += gf[i]
+			allGroupSimple[i] += gs[i]
+			allGroupGlsl[i] += gg[i]
+		}
+		_, confSimple := stats.MannWhitneyU(gf, gs)
+		_, confGlsl := stats.MannWhitneyU(gf, gg)
+		rows = append(rows, Table3Row{
+			Target:       name,
+			TotalFuzz:    len(c.Fuzz.Signatures[name]),
+			TotalSimple:  len(c.Simple.Signatures[name]),
+			TotalGlsl:    len(c.Glsl.Signatures[name]),
+			MedFuzz:      stats.Median(gf),
+			MedSimple:    stats.Median(gs),
+			MedGlsl:      stats.Median(gg),
+			ConfVsSimple: confSimple,
+			ConfVsGlsl:   confGlsl,
+		})
+		for s := range c.Fuzz.Signatures[name] {
+			totalFuzz[name+"|"+s] = true
+		}
+		for s := range c.Simple.Signatures[name] {
+			totalSimple[name+"|"+s] = true
+		}
+		for s := range c.Glsl.Signatures[name] {
+			totalGlsl[name+"|"+s] = true
+		}
+	}
+	_, confSimple := stats.MannWhitneyU(allGroupFuzz, allGroupSimple)
+	_, confGlsl := stats.MannWhitneyU(allGroupFuzz, allGroupGlsl)
+	rows = append(rows, Table3Row{
+		Target:       "All",
+		TotalFuzz:    len(totalFuzz),
+		TotalSimple:  len(totalSimple),
+		TotalGlsl:    len(totalGlsl),
+		MedFuzz:      stats.Median(allGroupFuzz),
+		MedSimple:    stats.Median(allGroupSimple),
+		MedGlsl:      stats.Median(allGroupGlsl),
+		ConfVsSimple: confSimple,
+		ConfVsGlsl:   confGlsl,
+	})
+	return rows
+}
+
+// RenderTable3 formats Table 3 as text.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: distinct bug signatures (totals and per-group medians)\n")
+	fmt.Fprintf(&sb, "%-14s %22s %22s %22s  %s\n", "Target",
+		"spirv-fuzz(tot/med)", "simple(tot/med)", "glsl-fuzz(tot/med)", "beats simple? / glsl?")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %15d/%5.1f %16d/%5.1f %16d/%5.1f  %s(%5.2f%%) / %s(%5.2f%%)\n",
+			r.Target,
+			r.TotalFuzz, r.MedFuzz, r.TotalSimple, r.MedSimple, r.TotalGlsl, r.MedGlsl,
+			yesNo(r.ConfVsSimple), 100*r.ConfVsSimple,
+			yesNo(r.ConfVsGlsl), 100*r.ConfVsGlsl)
+	}
+	return sb.String()
+}
+
+func yesNo(conf float64) string {
+	if conf > 0.5 {
+		return "Yes"
+	}
+	return "No"
+}
+
+// Figure7Segment is one target's Venn segment counts, masks as in
+// stats.VennCounts3 with bit0=spirv-fuzz, bit1=spirv-fuzz-simple,
+// bit2=glsl-fuzz.
+type Figure7Segment struct {
+	Target string
+	Counts map[int]int
+}
+
+// Figure7 computes the Venn complementarity data.
+func Figure7(c *Campaigns) []Figure7Segment {
+	var out []Figure7Segment
+	allF, allS, allG := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, name := range targetNames(c) {
+		f, s, g := c.Fuzz.Signatures[name], c.Simple.Signatures[name], c.Glsl.Signatures[name]
+		out = append(out, Figure7Segment{Target: name, Counts: stats.VennCounts3(f, s, g)})
+		for k := range f {
+			allF[name+"|"+k] = true
+		}
+		for k := range s {
+			allS[name+"|"+k] = true
+		}
+		for k := range g {
+			allG[name+"|"+k] = true
+		}
+	}
+	out = append(out, Figure7Segment{Target: "All", Counts: stats.VennCounts3(allF, allS, allG)})
+	return out
+}
+
+// RenderFigure7 formats the Venn data as text.
+func RenderFigure7(segs []Figure7Segment) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: bug-signature complementarity (F=spirv-fuzz, S=simple, G=glsl-fuzz)\n")
+	fmt.Fprintf(&sb, "%-14s %6s %6s %6s %6s %6s %6s %6s\n", "Target",
+		"F", "S", "G", "F∩S", "F∩G", "S∩G", "F∩S∩G")
+	for _, seg := range segs {
+		fmt.Fprintf(&sb, "%-14s %6d %6d %6d %6d %6d %6d %6d\n", seg.Target,
+			seg.Counts[1], seg.Counts[2], seg.Counts[4],
+			seg.Counts[3], seg.Counts[5], seg.Counts[6], seg.Counts[7])
+	}
+	return sb.String()
+}
+
+func targetNames(c *Campaigns) []string {
+	names := make([]string, 0, len(c.Fuzz.Signatures))
+	for _, tg := range target.All() {
+		if _, ok := c.Fuzz.Signatures[tg.Name]; ok {
+			names = append(names, tg.Name)
+		}
+	}
+	return names // already in Table 2 order
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

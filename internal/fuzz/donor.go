@@ -1,0 +1,349 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// Donation: harvesting functions from donor modules (Section 3.2). The
+// fuzzer pass picks a function from a donor, emits supporting
+// transformations for any types and constants the target module lacks, and
+// encodes the function — with all ids remapped to fresh target ids — into a
+// self-contained AddFunction transformation.
+
+// donatable reports whether fn can be made live-safe trivially: it touches
+// no global state, calls no functions, cannot kill the fragment, and (by
+// corpus construction) its loops have constant bounds. Such a function's
+// only observable behaviour is its return value, so calling it from
+// anywhere preserves results.
+func donatable(m *spirv.Module, fn *spirv.Function) bool {
+	localOrParam := make(map[spirv.ID]bool)
+	for _, p := range fn.Params {
+		localOrParam[p.Result] = true
+	}
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Body {
+			if ins.Result != 0 {
+				localOrParam[ins.Result] = true
+			}
+		}
+		for _, p := range b.Phis {
+			localOrParam[p.Result] = true
+		}
+	}
+	for _, b := range fn.Blocks {
+		if b.Term.Op == spirv.OpKill || b.Term.Op == spirv.OpUnreachable {
+			return false
+		}
+		for _, ins := range b.Body {
+			switch ins.Op {
+			case spirv.OpFunctionCall:
+				return false
+			case spirv.OpStore, spirv.OpLoad, spirv.OpAccessChain:
+				// Memory access is fine only through locals or parameters.
+				if !localOrParam[ins.IDOperand(0)] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Donate exposes the donation pipeline: it builds the supporting
+// transformations plus the AddFunction that graft a copy of donor function
+// fn into the target context (nil when fn is not donatable). The fuzzer's
+// DonateFunctions pass uses it internally; it is also the building block for
+// custom donation strategies.
+func Donate(c *Context, donor *spirv.Module, fn *spirv.Function, liveSafe bool) []Transformation {
+	return donate(c, donor, fn, liveSafe, nil)
+}
+
+// donate builds the transformations that graft a copy of donor function fn
+// into the target context: supporting type/constant transformations first,
+// then the AddFunction itself. It returns nil when the function is not
+// donatable. The ids in the returned transformations are chosen against c's
+// current state; the transformations must be applied in order immediately.
+func donate(c *Context, donor *spirv.Module, fn *spirv.Function, liveSafe bool, rng *rand.Rand) []Transformation {
+	if !donatable(donor, fn) {
+		return nil
+	}
+	var out []Transformation
+	next := c.Mod.Bound // fresh ids are handed out sequentially from here
+	fresh := func() spirv.ID {
+		id := next
+		next++
+		return id
+	}
+
+	// typeMap/constMap translate donor module-scope ids to target ids,
+	// emitting supporting transformations for anything missing.
+	idMap := make(map[spirv.ID]spirv.ID)
+	var mapType func(t spirv.ID) (spirv.ID, bool)
+	var mapConst func(cid spirv.ID) (spirv.ID, bool)
+
+	mapType = func(t spirv.ID) (spirv.ID, bool) {
+		if got, ok := idMap[t]; ok {
+			return got, ok
+		}
+		def := donor.Def(t)
+		if def == nil || !def.Op.IsType() {
+			return 0, false
+		}
+		var id spirv.ID
+		switch def.Op {
+		case spirv.OpTypeVoid:
+			if id = c.Mod.FindTypeVoid(); id == 0 {
+				return 0, false // void is always present in real modules
+			}
+		case spirv.OpTypeBool:
+			if id = c.Mod.FindTypeBool(); id == 0 {
+				id = fresh()
+				out = append(out, &AddTypeBool{Fresh: id})
+			}
+		case spirv.OpTypeInt:
+			signed := def.Operands[1] == 1
+			if id = c.Mod.FindTypeInt(def.Operands[0], signed); id == 0 {
+				id = fresh()
+				out = append(out, &AddTypeInt{Fresh: id, Width: def.Operands[0], Signed: signed})
+			}
+		case spirv.OpTypeFloat:
+			if id = c.Mod.FindTypeFloat(def.Operands[0]); id == 0 {
+				id = fresh()
+				out = append(out, &AddTypeFloat{Fresh: id, Width: def.Operands[0]})
+			}
+		case spirv.OpTypeVector:
+			elem, ok := mapType(spirv.ID(def.Operands[0]))
+			if !ok {
+				return 0, false
+			}
+			if id = c.Mod.FindTypeVector(elem, int(def.Operands[1])); id == 0 {
+				id = fresh()
+				out = append(out, &AddTypeVector{Fresh: id, Elem: elem, N: int(def.Operands[1])})
+			}
+		case spirv.OpTypePointer:
+			if def.Operands[0] != spirv.StorageFunction {
+				return 0, false // only local pointers are donatable
+			}
+			pointee, ok := mapType(spirv.ID(def.Operands[1]))
+			if !ok {
+				return 0, false
+			}
+			if id = c.Mod.FindTypePointer(def.Operands[0], pointee); id == 0 {
+				id = fresh()
+				out = append(out, &AddTypePointer{Fresh: id, Storage: def.Operands[0], Pointee: pointee})
+			}
+		case spirv.OpTypeFunction:
+			ret, ok := mapType(spirv.ID(def.Operands[0]))
+			if !ok {
+				return 0, false
+			}
+			var params []spirv.ID
+			for _, w := range def.Operands[1:] {
+				p, ok := mapType(spirv.ID(w))
+				if !ok {
+					return 0, false
+				}
+				params = append(params, p)
+			}
+			if id = c.Mod.FindTypeFunction(ret, params...); id == 0 {
+				id = fresh()
+				out = append(out, &AddTypeFunction{Fresh: id, Return: ret, Params: params})
+			}
+		default:
+			return 0, false // matrices/arrays/structs: donors avoid them at function scope
+		}
+		idMap[t] = id
+		return id, true
+	}
+
+	mapConst = func(cid spirv.ID) (spirv.ID, bool) {
+		if got, ok := idMap[cid]; ok {
+			return got, ok
+		}
+		def := donor.Def(cid)
+		if def == nil || !def.Op.IsConstant() {
+			return 0, false
+		}
+		var id spirv.ID
+		switch def.Op {
+		case spirv.OpConstantTrue, spirv.OpConstantFalse:
+			val := def.Op == spirv.OpConstantTrue
+			if v, ok := findBoolConst(c.Mod, val); ok {
+				id = v
+			} else {
+				if _, ok := mapType(def.Type); !ok {
+					return 0, false
+				}
+				id = fresh()
+				out = append(out, &AddConstantBoolean{Fresh: id, Value: val})
+			}
+		case spirv.OpConstant:
+			typ, ok := mapType(def.Type)
+			if !ok || len(def.Operands) != 1 {
+				return 0, false
+			}
+			if v, ok := findScalarConst(c.Mod, typ, def.Operands[0]); ok {
+				id = v
+			} else {
+				id = fresh()
+				out = append(out, &AddConstantScalar{Fresh: id, TypeID: typ, Word: def.Operands[0]})
+			}
+		case spirv.OpConstantComposite:
+			typ, ok := mapType(def.Type)
+			if !ok {
+				return 0, false
+			}
+			members := make([]spirv.ID, len(def.Operands))
+			for i, w := range def.Operands {
+				mc, ok := mapConst(spirv.ID(w))
+				if !ok {
+					return 0, false
+				}
+				members[i] = mc
+			}
+			if v, ok := findCompositeConst(c.Mod, typ, members); ok {
+				id = v
+			} else {
+				id = fresh()
+				out = append(out, &AddConstantComposite{Fresh: id, TypeID: typ, Members: members})
+			}
+		default:
+			return 0, false
+		}
+		idMap[cid] = id
+		return id, true
+	}
+
+	// Remap the function body. Internal ids get fresh ids; external ids go
+	// through the type/constant maps.
+	internal := make(map[spirv.ID]bool)
+	internal[fn.ID()] = true
+	for _, p := range fn.Params {
+		internal[p.Result] = true
+	}
+	for _, b := range fn.Blocks {
+		internal[b.Label] = true
+		b.Instructions(func(ins *spirv.Instruction) {
+			if ins.Result != 0 {
+				internal[ins.Result] = true
+			}
+		})
+	}
+	mapID := func(id spirv.ID) (spirv.ID, bool) {
+		if got, ok := idMap[id]; ok {
+			return got, ok
+		}
+		if internal[id] {
+			f := fresh()
+			idMap[id] = f
+			return f, true
+		}
+		if t, ok := mapType(id); ok {
+			return t, true
+		}
+		return mapConst(id)
+	}
+
+	encode := func(ins *spirv.Instruction) (EncodedInstr, bool) {
+		cl := ins.Clone()
+		ok := true
+		cl.MapAllIDs(func(id spirv.ID) spirv.ID {
+			m, found := mapID(id)
+			if !found {
+				ok = false
+				return id
+			}
+			return m
+		})
+		return EncodeInstr(cl), ok
+	}
+
+	add := &AddFunction{LiveSafe: liveSafe}
+	var ok bool
+	if add.Def, ok = encode(fn.Def); !ok {
+		return nil
+	}
+	for _, p := range fn.Params {
+		e, ok := encode(p)
+		if !ok {
+			return nil
+		}
+		add.Params = append(add.Params, e)
+	}
+	for _, b := range fn.Blocks {
+		label, _ := mapID(b.Label)
+		eb := EncodedBlock{Label: label}
+		for _, p := range b.Phis {
+			e, ok := encode(p)
+			if !ok {
+				return nil
+			}
+			eb.Phis = append(eb.Phis, e)
+		}
+		for _, ins := range b.Body {
+			e, ok := encode(ins)
+			if !ok {
+				return nil
+			}
+			eb.Body = append(eb.Body, e)
+		}
+		if b.Merge != nil {
+			e, ok := encode(b.Merge)
+			if !ok {
+				return nil
+			}
+			eb.Merge = &e
+		}
+		e, ok := encode(b.Term)
+		if !ok {
+			return nil
+		}
+		eb.Term = e
+		add.Blocks = append(add.Blocks, eb)
+	}
+	_ = rng
+	return append(out, add)
+}
+
+func findBoolConst(m *spirv.Module, val bool) (spirv.ID, bool) {
+	want := spirv.OpConstantFalse
+	if val {
+		want = spirv.OpConstantTrue
+	}
+	for _, ins := range m.TypesGlobals {
+		if ins.Op == want {
+			return ins.Result, true
+		}
+	}
+	return 0, false
+}
+
+func findCompositeConst(m *spirv.Module, typ spirv.ID, members []spirv.ID) (spirv.ID, bool) {
+	for _, ins := range m.TypesGlobals {
+		if ins.Op != spirv.OpConstantComposite || ins.Type != typ || len(ins.Operands) != len(members) {
+			continue
+		}
+		match := true
+		for i, mID := range members {
+			if spirv.ID(ins.Operands[i]) != mID {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ins.Result, true
+		}
+	}
+	return 0, false
+}
+
+func findScalarConst(m *spirv.Module, typ spirv.ID, word uint32) (spirv.ID, bool) {
+	for _, ins := range m.TypesGlobals {
+		if ins.Op == spirv.OpConstant && ins.Type == typ && len(ins.Operands) == 1 && ins.Operands[0] == word {
+			return ins.Result, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,285 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+// TestFuzzPreservesSemantics is the central invariant (Definition 2.4 /
+// Theorem 2.6): every variant the fuzzer produces must validate and render
+// exactly the same image as its original.
+func TestFuzzPreservesSemantics(t *testing.T) {
+	refs := corpus.References()
+	donors := corpus.Donors()
+	for _, item := range refs {
+		item := item
+		t.Run(item.Name, func(t *testing.T) {
+			want, err := interp.Render(item.Mod, item.Inputs)
+			if err != nil {
+				t.Fatalf("reference does not render: %v", err)
+			}
+			for seed := int64(0); seed < 4; seed++ {
+				res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+					Seed:                  seed,
+					Donors:                donors,
+					EnableRecommendations: true,
+					ValidateAfterEachPass: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				got, err := interp.Render(res.Variant, res.Inputs)
+				if err != nil {
+					t.Fatalf("seed %d: variant faults after %d transformations: %v\n%s",
+						seed, len(res.Transformations), err, res.Variant)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("seed %d: image changed after %d transformations (%d pixels differ)\npasses: %v\n%s",
+						seed, len(res.Transformations), got.DiffCount(want), res.PassesRun, res.Variant)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzAppliesTransformations ensures fuzzing is actually doing work:
+// across a handful of seeds on a control-flow-rich reference, the average
+// sequence is substantial and variants grow.
+func TestFuzzAppliesTransformations(t *testing.T) {
+	item := corpus.References()[5] // diamond3
+	total, grew := 0, 0
+	for seed := int64(40); seed < 45; seed++ {
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:                  seed,
+			Donors:                corpus.Donors(),
+			EnableRecommendations: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(res.Transformations)
+		if res.Variant.InstructionCount() > item.Mod.InstructionCount() {
+			grew++
+		}
+	}
+	if total < 50 {
+		t.Fatalf("only %d transformations across 5 seeds", total)
+	}
+	if grew < 4 {
+		t.Fatalf("variants grew in only %d of 5 runs", grew)
+	}
+}
+
+// TestFuzzDeterministicForSeed checks the run is a pure function of the
+// seed.
+func TestFuzzDeterministicForSeed(t *testing.T) {
+	item := corpus.References()[3]
+	donors := corpus.Donors()
+	a, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 7, Donors: donors, EnableRecommendations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 7, Donors: donors, EnableRecommendations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Variant.String() != b.Variant.String() {
+		t.Fatal("same seed produced different variants")
+	}
+	c, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 8, Donors: donors, EnableRecommendations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Variant.String() == c.Variant.String() {
+		t.Fatal("different seeds produced identical variants (suspicious)")
+	}
+}
+
+// TestReplayReproducesVariant: replaying the recorded sequence on the
+// original module must rebuild the variant exactly — the property reduction
+// relies on.
+func TestReplayReproducesVariant(t *testing.T) {
+	for _, item := range corpus.References()[:6] {
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:   99,
+			Donors: corpus.Donors(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, applied := fuzz.Replay(item.Mod, item.Inputs, res.Transformations)
+		if len(applied) != len(res.Transformations) {
+			t.Fatalf("%s: replay applied %d of %d transformations", item.Name, len(applied), len(res.Transformations))
+		}
+		if replayed.String() != res.Variant.String() {
+			t.Fatalf("%s: replay diverged from variant", item.Name)
+		}
+	}
+}
+
+// TestSerializationRoundTrip: sequences survive JSON round trips and still
+// replay identically (donors are not needed at replay time).
+func TestSerializationRoundTrip(t *testing.T) {
+	item := corpus.References()[7]
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 5, Donors: corpus.Donors(), EnableRecommendations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := fuzz.MarshalSequence(res.Transformations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fuzz.UnmarshalSequence(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Transformations) {
+		t.Fatalf("lost transformations: %d vs %d", len(back), len(res.Transformations))
+	}
+	replayed, _ := fuzz.Replay(item.Mod, item.Inputs, back)
+	if replayed.String() != res.Variant.String() {
+		t.Fatal("deserialized sequence replays differently")
+	}
+	if err := validate.Module(replayed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsequenceReplayStaysValid: arbitrary subsequences (as explored by
+// the reducer) must still produce valid, semantics-preserving variants,
+// because skipped preconditions guard all dependencies.
+func TestSubsequenceReplayStaysValid(t *testing.T) {
+	item := corpus.References()[4]
+	want, err := interp.Render(item.Mod, item.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 11, Donors: corpus.Donors(), EnableRecommendations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Transformations)
+	if n < 8 {
+		t.Skipf("sequence too short (%d)", n)
+	}
+	// Try a few structured subsequences: evens, odds, first half, last half.
+	subsets := [][]int{{}, nil, nil, nil}
+	for i := 0; i < n; i += 2 {
+		subsets[0] = append(subsets[0], i)
+	}
+	for i := 1; i < n; i += 2 {
+		subsets[1] = append(subsets[1], i)
+	}
+	for i := 0; i < n/2; i++ {
+		subsets[2] = append(subsets[2], i)
+	}
+	for i := n / 2; i < n; i++ {
+		subsets[3] = append(subsets[3], i)
+	}
+	for si, keep := range subsets {
+		ctx, _ := fuzz.ReplaySubsequenceContext(item.Mod, item.Inputs, res.Transformations, keep)
+		if err := validate.Module(ctx.Mod); err != nil {
+			t.Fatalf("subset %d: invalid module: %v\n%s", si, err, ctx.Mod)
+		}
+		got, err := interp.Render(ctx.Mod, ctx.Inputs)
+		if err != nil {
+			t.Fatalf("subset %d: %v", si, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("subset %d: image changed", si)
+		}
+	}
+}
+
+// TestSimpleModeRunsWithoutRecommendations covers spirv-fuzz-simple.
+func TestSimpleModeRunsWithoutRecommendations(t *testing.T) {
+	item := corpus.References()[1]
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 3, Donors: corpus.Donors(), EnableRecommendations: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transformations) == 0 {
+		t.Fatal("no transformations in simple mode")
+	}
+}
+
+// TestTransformationCap enforces the 2000-transformation limit (scaled down
+// here for speed).
+func TestTransformationCap(t *testing.T) {
+	item := corpus.References()[0]
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+		Seed:                  1,
+		Donors:                corpus.Donors(),
+		MaxTransformations:    25,
+		MaxPasses:             100,
+		EnableRecommendations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transformations) > 25 {
+		t.Fatalf("cap exceeded: %d", len(res.Transformations))
+	}
+}
+
+// TestCorpusValidatesAndRenders sanity-checks the corpus itself.
+func TestCorpusValidatesAndRenders(t *testing.T) {
+	refs := corpus.References()
+	if len(refs) != 21 {
+		t.Fatalf("expected 21 references, got %d", len(refs))
+	}
+	for _, item := range refs {
+		if err := validate.Module(item.Mod); err != nil {
+			t.Errorf("%s: %v", item.Name, err)
+			continue
+		}
+		img, err := interp.Render(item.Mod, item.Inputs)
+		if err != nil {
+			t.Errorf("%s: %v", item.Name, err)
+			continue
+		}
+		// Determinism.
+		img2, _ := interp.Render(item.Mod, item.Inputs)
+		if !img.Equal(img2) {
+			t.Errorf("%s: nondeterministic render", item.Name)
+		}
+	}
+	donors := corpus.Donors()
+	if len(donors) != 43 {
+		t.Fatalf("expected 43 donors, got %d", len(donors))
+	}
+	for i, d := range donors {
+		if err := validate.Module(d); err != nil {
+			t.Errorf("donor %d: %v", i, err)
+		}
+	}
+}
+
+func TestResultTypeCounts(t *testing.T) {
+	item := corpus.References()[3]
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: 6, Donors: corpus.Donors(), EnableRecommendations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.TypeCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(res.Transformations) {
+		t.Fatalf("counts sum %d != %d transformations", total, len(res.Transformations))
+	}
+	reg := map[string]bool{}
+	for _, name := range fuzz.RegisteredTypes() {
+		reg[name] = true
+	}
+	for name := range counts {
+		if !reg[name] {
+			t.Fatalf("unknown type %q in counts", name)
+		}
+	}
+}

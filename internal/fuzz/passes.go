@@ -1,0 +1,739 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// A Pass sweeps the module looking for opportunities to apply a particular
+// combination of transformations, probabilistically deciding which to take
+// (Section 3.2). Passes construct candidate transformations and hand them to
+// emit, which applies them when their preconditions hold.
+type Pass struct {
+	Name string
+	Run  func(c *Context, rng *rand.Rand, emit emitFn)
+}
+
+// emitFn applies a transformation if its precondition holds, recording it in
+// the growing sequence. It reports whether the transformation was applied.
+type emitFn func(Transformation) bool
+
+func coin(rng *rand.Rand, p float64) bool { return rng.Float64() < p }
+
+// blockRef pairs a function with one of its blocks.
+type blockRef struct {
+	fn *spirv.Function
+	b  *spirv.Block
+}
+
+func allBlocks(c *Context) []blockRef {
+	var out []blockRef
+	for _, fn := range c.Mod.Functions {
+		for _, b := range fn.Blocks {
+			out = append(out, blockRef{fn, b})
+		}
+	}
+	return out
+}
+
+// randomBefore picks an insertion anchor in b: the result id of a body
+// instruction, or 0 for the end of the block.
+func randomBefore(rng *rand.Rand, b *spirv.Block) spirv.ID {
+	var withResults []spirv.ID
+	for _, ins := range b.Body {
+		if ins.Result != 0 {
+			withResults = append(withResults, ins.Result)
+		}
+	}
+	if len(withResults) == 0 || coin(rng, 0.3) {
+		return 0
+	}
+	return withResults[rng.Intn(len(withResults))]
+}
+
+// --- supporting-transformation helpers -------------------------------------
+
+func ensureBoolType(c *Context, emit emitFn) bool {
+	if c.Mod.FindTypeBool() != 0 {
+		return true
+	}
+	return emit(&AddTypeBool{Fresh: c.Mod.Bound})
+}
+
+func ensureBoolConst(c *Context, emit emitFn, val bool) (spirv.ID, bool) {
+	if id, ok := findBoolConst(c.Mod, val); ok {
+		return id, true
+	}
+	if !ensureBoolType(c, emit) {
+		return 0, false
+	}
+	id := c.Mod.Bound
+	if !emit(&AddConstantBoolean{Fresh: id, Value: val}) {
+		return 0, false
+	}
+	return id, true
+}
+
+func ensureIntType(c *Context, emit emitFn, signed bool) (spirv.ID, bool) {
+	if id := c.Mod.FindTypeInt(32, signed); id != 0 {
+		return id, true
+	}
+	id := c.Mod.Bound
+	if !emit(&AddTypeInt{Fresh: id, Width: 32, Signed: signed}) {
+		return 0, false
+	}
+	return id, true
+}
+
+func ensureScalarConst(c *Context, emit emitFn, typ spirv.ID, word uint32) (spirv.ID, bool) {
+	if id, ok := findScalarConst(c.Mod, typ, word); ok {
+		return id, true
+	}
+	id := c.Mod.Bound
+	if !emit(&AddConstantScalar{Fresh: id, TypeID: typ, Word: word}) {
+		return 0, false
+	}
+	return id, true
+}
+
+// trivialConstantOf returns (emitting supporting transformations if needed)
+// a trivial constant of the given scalar/bool type: 0, 0.0 or false — the
+// "simple transformations" principle (Section 3.3): calls and parameters get
+// boring values first, enriched later by ReplaceIrrelevantId.
+func trivialConstantOf(c *Context, emit emitFn, typ spirv.ID) (spirv.ID, bool) {
+	switch c.Mod.TypeOp(typ) {
+	case spirv.OpTypeBool:
+		return ensureBoolConst(c, emit, false)
+	case spirv.OpTypeInt, spirv.OpTypeFloat:
+		return ensureScalarConst(c, emit, typ, 0)
+	}
+	return 0, false
+}
+
+// candidateValuesAt returns ids likely available at (fn, blk, idx) whose
+// types satisfy keep: constants, parameters, values defined earlier in the
+// block, and values defined in the entry block (which dominates everything).
+// Preconditions re-verify availability, so over-approximation is harmless.
+func candidateValuesAt(c *Context, fn *spirv.Function, blk *spirv.Block, idx int, keep func(typ spirv.ID) bool) []spirv.ID {
+	var out []spirv.ID
+	add := func(id, typ spirv.ID) {
+		if typ != 0 && c.Mod.TypeOp(typ) != spirv.OpTypeVoid && keep(typ) {
+			out = append(out, id)
+		}
+	}
+	for _, ins := range c.Mod.TypesGlobals {
+		if ins.Op.IsConstant() || ins.Op == spirv.OpVariable || ins.Op == spirv.OpUndef {
+			add(ins.Result, ins.Type)
+		}
+	}
+	for _, p := range fn.Params {
+		add(p.Result, p.Type)
+	}
+	scan := func(b *spirv.Block, limit int) {
+		for _, p := range b.Phis {
+			add(p.Result, p.Type)
+		}
+		for i, ins := range b.Body {
+			if limit >= 0 && i >= limit {
+				break
+			}
+			if ins.Result != 0 {
+				add(ins.Result, ins.Type)
+			}
+		}
+	}
+	if blk != fn.Entry() {
+		scan(fn.Entry(), -1)
+	}
+	scan(blk, idx)
+	return out
+}
+
+// --- the passes -------------------------------------------------------------
+
+// Pass names, used by the recommendation table.
+const (
+	PassDonateFunctions         = "DonateFunctions"
+	PassAddDeadBlocks           = "AddDeadBlocks"
+	PassSplitBlocks             = "SplitBlocks"
+	PassCopyObjects             = "CopyObjects"
+	PassAddNoOpArithmetic       = "AddNoOpArithmetic"
+	PassCompositeSynonyms       = "CompositeSynonyms"
+	PassReplaceIdsWithSynonyms  = "ReplaceIdsWithSynonyms"
+	PassObfuscateConstants      = "ObfuscateConstants"
+	PassPermuteBlocks           = "PermuteBlocks"
+	PassReplaceBranchesWithKill = "ReplaceBranchesWithKill"
+	PassWrapRegions             = "WrapRegions"
+	PassAddFunctionCalls        = "AddFunctionCalls"
+	PassInlineFunctions         = "InlineFunctions"
+	PassSetFunctionControls     = "SetFunctionControls"
+	PassAddParameters           = "AddParameters"
+	PassPropagateInstructionsUp = "PropagateInstructionsUp"
+	PassSwapCommutableOperands  = "SwapCommutableOperands"
+	PassAddLoadsStores          = "AddLoadsStores"
+	PassScaleUniforms           = "ScaleUniforms"
+)
+
+// Passes returns the full fuzzer pass list. donors may be nil.
+func Passes(donors []*spirv.Module) []Pass {
+	return []Pass{
+		{PassDonateFunctions, func(c *Context, rng *rand.Rand, emit emitFn) {
+			if len(donors) == 0 {
+				return
+			}
+			donor := donors[rng.Intn(len(donors))]
+			if len(donor.Functions) == 0 {
+				return
+			}
+			fn := donor.Functions[rng.Intn(len(donor.Functions))]
+			for _, t := range donate(c, donor, fn, true, rng) {
+				if !emit(t) {
+					return // a failed supporting transformation poisons the rest
+				}
+			}
+		}},
+
+		{PassAddDeadBlocks, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if ref.b.Merge != nil || ref.b.Term.Op != spirv.OpBranch || !coin(rng, 0.3) {
+					continue
+				}
+				trueC, ok := ensureBoolConst(c, emit, true)
+				if !ok {
+					return
+				}
+				emit(&AddDeadBlock{Fresh: c.Mod.Bound, Block: ref.b.Label, TrueConst: trueC})
+			}
+		}},
+
+		{PassSplitBlocks, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if ref.b.Merge != nil || len(ref.b.Body) == 0 || !coin(rng, 0.25) {
+					continue
+				}
+				ins := ref.b.Body[rng.Intn(len(ref.b.Body))]
+				if ins.Result == 0 {
+					continue
+				}
+				emit(&SplitBlock{Anchor: ins.Result, Fresh: c.Mod.Bound})
+			}
+		}},
+
+		{PassCopyObjects, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if !coin(rng, 0.3) {
+					continue
+				}
+				before := randomBefore(rng, ref.b)
+				idx := len(ref.b.Body)
+				if before != 0 {
+					idx = ref.b.FindBody(before)
+				}
+				cands := candidateValuesAt(c, ref.fn, ref.b, idx, func(spirv.ID) bool { return true })
+				if len(cands) == 0 {
+					continue
+				}
+				emit(&CopyObject{
+					Fresh:  c.Mod.Bound,
+					Source: cands[rng.Intn(len(cands))],
+					Block:  ref.b.Label,
+					Before: before,
+				})
+			}
+		}},
+
+		{PassAddNoOpArithmetic, func(c *Context, rng *rand.Rand, emit emitFn) {
+			ops := []string{"OpIAdd", "OpISub", "OpIMul", "OpBitwiseOr", "OpBitwiseAnd", "OpBitwiseXor"}
+			for _, ref := range allBlocks(c) {
+				if !coin(rng, 0.3) {
+					continue
+				}
+				before := randomBefore(rng, ref.b)
+				idx := len(ref.b.Body)
+				if before != 0 {
+					idx = ref.b.FindBody(before)
+				}
+				cands := candidateValuesAt(c, ref.fn, ref.b, idx, c.Mod.IsIntType)
+				if len(cands) == 0 {
+					continue
+				}
+				src := cands[rng.Intn(len(cands))]
+				opName := ops[rng.Intn(len(ops))]
+				typ, _ := c.valueType(src)
+				var neutral spirv.ID
+				t := &AddNoOpArithmetic{Opcode: opName, Source: src, Block: ref.b.Label, Before: before}
+				if word, needed := t.neutralWord(); needed {
+					var ok bool
+					if neutral, ok = ensureScalarConst(c, emit, typ, word); !ok {
+						continue
+					}
+				}
+				t.Neutral = neutral
+				t.Fresh = c.Mod.Bound
+				emit(t)
+			}
+		}},
+
+		{PassCompositeSynonyms, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if !coin(rng, 0.3) {
+					continue
+				}
+				before := randomBefore(rng, ref.b)
+				idx := len(ref.b.Body)
+				if before != 0 {
+					idx = ref.b.FindBody(before)
+				}
+				// Extract from an available composite...
+				comps := candidateValuesAt(c, ref.fn, ref.b, idx, func(t spirv.ID) bool {
+					_, ok := c.Mod.CompositeMemberCount(t)
+					return ok
+				})
+				if len(comps) > 0 && coin(rng, 0.5) {
+					comp := comps[rng.Intn(len(comps))]
+					typ, _ := c.valueType(comp)
+					if n, ok := c.Mod.CompositeMemberCount(typ); ok && n > 0 {
+						emit(&CompositeExtract{
+							Fresh:     c.Mod.Bound,
+							Composite: comp,
+							Index:     uint32(rng.Intn(n)),
+							Block:     ref.b.Label,
+							Before:    before,
+						})
+					}
+					continue
+				}
+				// ...or construct a vector from available scalars.
+				scalars := candidateValuesAt(c, ref.fn, ref.b, idx, c.Mod.IsFloatType)
+				if len(scalars) == 0 {
+					continue
+				}
+				elemType, _ := c.valueType(scalars[rng.Intn(len(scalars))])
+				n := 2 + rng.Intn(3)
+				vecType := c.Mod.FindTypeVector(elemType, n)
+				if vecType == 0 {
+					id := c.Mod.Bound
+					if !emit(&AddTypeVector{Fresh: id, Elem: elemType, N: n}) {
+						continue
+					}
+					vecType = id
+				}
+				members := make([]spirv.ID, n)
+				usable := candidateValuesAt(c, ref.fn, ref.b, idx, func(t spirv.ID) bool { return t == elemType })
+				if len(usable) == 0 {
+					continue
+				}
+				for i := range members {
+					members[i] = usable[rng.Intn(len(usable))]
+				}
+				emit(&CompositeConstruct{
+					Fresh:   c.Mod.Bound,
+					TypeID:  vecType,
+					Members: members,
+					Block:   ref.b.Label,
+					Before:  before,
+				})
+			}
+		}},
+
+		{PassReplaceIdsWithSynonyms, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				for _, ins := range ref.b.Body {
+					if ins.Result == 0 || !coin(rng, 0.4) {
+						continue
+					}
+					idxs := ins.IDOperandIndices()
+					if len(idxs) == 0 {
+						continue
+					}
+					oi := idxs[rng.Intn(len(idxs))]
+					old := spirv.ID(ins.Operands[oi])
+					syns := c.Facts.WholeSynonymsOf(old)
+					if len(syns) == 0 {
+						continue
+					}
+					emit(&ReplaceIdWithSynonym{
+						User:         ins.Result,
+						OperandIndex: oi,
+						Synonym:      syns[rng.Intn(len(syns))],
+					})
+				}
+			}
+		}},
+
+		{PassObfuscateConstants, func(c *Context, rng *rand.Rand, emit emitFn) {
+			uniforms := uniformVars(c)
+			if len(uniforms) == 0 {
+				return
+			}
+			for _, ref := range allBlocks(c) {
+				for _, ins := range ref.b.Body {
+					if ins.Result == 0 || !coin(rng, 0.4) {
+						continue
+					}
+					for _, oi := range ins.IDOperandIndices() {
+						op := spirv.ID(ins.Operands[oi])
+						def := c.Mod.Def(op)
+						if def == nil || !def.Op.IsConstant() {
+							continue
+						}
+						uv := uniforms[rng.Intn(len(uniforms))]
+						emit(&ReplaceConstantWithUniform{
+							User:         ins.Result,
+							OperandIndex: oi,
+							UniformVar:   uv,
+							FreshLoad:    c.Mod.Bound,
+						})
+						break
+					}
+				}
+			}
+		}},
+
+		{PassPermuteBlocks, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, fn := range c.Mod.Functions {
+				for sweep := 0; sweep < 3; sweep++ {
+					for _, b := range fn.Blocks {
+						if coin(rng, 0.25) {
+							emit(&MoveBlockDown{Block: b.Label})
+						}
+					}
+				}
+			}
+		}},
+
+		{PassReplaceBranchesWithKill, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, blk := range c.Facts.DeadBlocks() {
+				if coin(rng, 0.5) {
+					emit(&ReplaceBranchWithKill{Block: blk})
+				}
+			}
+		}},
+
+		{PassWrapRegions, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if ref.b.Merge != nil || ref.b.Term.Op != spirv.OpBranch || !coin(rng, 0.2) {
+					continue
+				}
+				cond, ok := ensureBoolConst(c, emit, coin(rng, 0.5))
+				if !ok {
+					return
+				}
+				emit(&WrapRegionInSelection{
+					Block:      ref.b.Label,
+					FreshInner: c.Mod.Bound,
+					FreshMerge: c.Mod.Bound + 1,
+					CondConst:  cond,
+				})
+			}
+		}},
+
+		{PassAddFunctionCalls, func(c *Context, rng *rand.Rand, emit emitFn) {
+			var liveSafe []*spirv.Function
+			for _, fn := range c.Mod.Functions {
+				if c.Facts.IsLiveSafe(fn.ID()) {
+					liveSafe = append(liveSafe, fn)
+				}
+			}
+			for _, ref := range allBlocks(c) {
+				if !coin(rng, 0.25) {
+					continue
+				}
+				var callee *spirv.Function
+				if len(liveSafe) > 0 {
+					callee = liveSafe[rng.Intn(len(liveSafe))]
+				} else if c.Facts.IsDeadBlock(ref.b.Label) && len(c.Mod.Functions) > 1 {
+					callee = c.Mod.Functions[rng.Intn(len(c.Mod.Functions))]
+				}
+				if callee == nil || callee.ID() == ref.fn.ID() {
+					continue
+				}
+				_, params, ok := c.Mod.FunctionTypeInfo(callee.TypeID())
+				if !ok {
+					continue
+				}
+				args := make([]spirv.ID, 0, len(params))
+				good := true
+				for _, p := range params {
+					if _, _, isPtr := c.Mod.PointerInfo(p); isPtr {
+						good = false // pointer params need IrrelevantPointee plumbing
+						break
+					}
+					arg, ok := trivialConstantOf(c, emit, p)
+					if !ok {
+						good = false
+						break
+					}
+					args = append(args, arg)
+				}
+				if !good {
+					continue
+				}
+				emit(&FunctionCall{
+					Fresh:  c.Mod.Bound,
+					Callee: callee.ID(),
+					Args:   args,
+					Block:  ref.b.Label,
+					Before: randomBefore(rng, ref.b),
+				})
+			}
+		}},
+
+		{PassInlineFunctions, func(c *Context, rng *rand.Rand, emit emitFn) {
+			type callSite struct{ call spirv.ID }
+			var sites []callSite
+			for _, ref := range allBlocks(c) {
+				for _, ins := range ref.b.Body {
+					if ins.Op == spirv.OpFunctionCall {
+						sites = append(sites, callSite{ins.Result})
+					}
+				}
+			}
+			for _, s := range sites {
+				if !coin(rng, 0.4) {
+					continue
+				}
+				loc := c.FindInstruction(s.call)
+				if loc == nil {
+					continue
+				}
+				callee := c.Mod.Function(loc.Instr.IDOperand(0))
+				if callee == nil || len(callee.Blocks) != 1 {
+					continue
+				}
+				idMap := make(map[spirv.ID]spirv.ID)
+				next := c.Mod.Bound
+				for _, ins := range callee.Blocks[0].Body {
+					if ins.Result != 0 {
+						idMap[ins.Result] = next
+						next++
+					}
+				}
+				emit(&InlineFunction{Call: s.call, IDMap: idMap})
+			}
+		}},
+
+		{PassSetFunctionControls, func(c *Context, rng *rand.Rand, emit emitFn) {
+			masks := []uint32{spirv.FunctionControlNone, spirv.FunctionControlInline, spirv.FunctionControlDontInline}
+			for _, fn := range c.Mod.Functions {
+				if coin(rng, 0.3) {
+					emit(&SetFunctionControl{Function: fn.ID(), Control: masks[rng.Intn(len(masks))]})
+				}
+			}
+		}},
+
+		{PassAddParameters, func(c *Context, rng *rand.Rand, emit emitFn) {
+			entries := c.EntryPointIDs()
+			for _, fn := range c.Mod.Functions {
+				if entries[fn.ID()] || !coin(rng, 0.3) {
+					continue
+				}
+				intType, ok := ensureIntType(c, emit, true)
+				if !ok {
+					return
+				}
+				ret, params, ok := c.Mod.FunctionTypeInfo(fn.TypeID())
+				if !ok {
+					continue
+				}
+				newParams := append(append([]spirv.ID{}, params...), intType)
+				newFnType := c.Mod.FindTypeFunction(ret, newParams...)
+				if newFnType == 0 {
+					id := c.Mod.Bound
+					if !emit(&AddTypeFunction{Fresh: id, Return: ret, Params: newParams}) {
+						continue
+					}
+					newFnType = id
+				}
+				arg, ok := trivialConstantOf(c, emit, intType)
+				if !ok {
+					continue
+				}
+				callArgs := make(map[spirv.ID]spirv.ID)
+				for _, cf := range c.Mod.Functions {
+					for _, b := range cf.Blocks {
+						for _, ins := range b.Body {
+							if ins.Op == spirv.OpFunctionCall && ins.IDOperand(0) == fn.ID() {
+								callArgs[ins.Result] = arg
+							}
+						}
+					}
+				}
+				emit(&AddParameter{
+					Function:   fn.ID(),
+					FreshParam: c.Mod.Bound,
+					ParamType:  intType,
+					NewFnType:  newFnType,
+					CallArgs:   callArgs,
+				})
+			}
+		}},
+
+		{PassPropagateInstructionsUp, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if len(ref.b.Body) == 0 || !coin(rng, 0.25) {
+					continue
+				}
+				ins := ref.b.Body[0]
+				if ins.Result == 0 || !movable(ins.Op) {
+					continue
+				}
+				preds := make(map[spirv.ID]spirv.ID)
+				next := c.Mod.Bound
+				for _, other := range ref.fn.Blocks {
+					for _, s := range other.Successors() {
+						if s == ref.b.Label {
+							if _, ok := preds[other.Label]; !ok {
+								preds[other.Label] = next
+								next++
+							}
+						}
+					}
+				}
+				if len(preds) == 0 {
+					continue
+				}
+				emit(&PropagateInstructionUp{Instr: ins.Result, FreshIDs: preds})
+			}
+		}},
+
+		{PassSwapCommutableOperands, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				for _, ins := range ref.b.Body {
+					if ins.Result != 0 && coin(rng, 0.2) {
+						emit(&SwapCommutableOperands{Instr: ins.Result})
+					}
+				}
+			}
+		}},
+
+		{PassScaleUniforms, passScaleUniformsImpl},
+
+		{PassAddLoadsStores, func(c *Context, rng *rand.Rand, emit emitFn) {
+			for _, ref := range allBlocks(c) {
+				if !coin(rng, 0.3) {
+					continue
+				}
+				// Ensure an irrelevant local variable exists in this function.
+				var ptr spirv.ID
+				for _, id := range c.Facts.IrrelevantPointees() {
+					if loc := c.FindInstruction(id); loc != nil && loc.Fn == ref.fn {
+						ptr = id
+						break
+					}
+				}
+				if ptr == 0 {
+					intType, ok := ensureIntType(c, emit, true)
+					if !ok {
+						return
+					}
+					ptrType := c.Mod.FindTypePointer(spirv.StorageFunction, intType)
+					if ptrType == 0 {
+						id := c.Mod.Bound
+						if !emit(&AddTypePointer{Fresh: id, Storage: spirv.StorageFunction, Pointee: intType}) {
+							continue
+						}
+						ptrType = id
+					}
+					id := c.Mod.Bound
+					if !emit(&AddLocalVariable{Fresh: id, PtrType: ptrType, Function: ref.fn.ID()}) {
+						continue
+					}
+					ptr = id
+				}
+				before := randomBefore(rng, ref.b)
+				idx := len(ref.b.Body)
+				if before != 0 {
+					idx = ref.b.FindBody(before)
+				}
+				ptrType, _ := c.valueType(ptr)
+				_, pointee, _ := c.Mod.PointerInfo(ptrType)
+				if coin(rng, 0.5) {
+					vals := candidateValuesAt(c, ref.fn, ref.b, idx, func(t spirv.ID) bool { return t == pointee })
+					if len(vals) > 0 {
+						emit(&AddStore{
+							Pointer: ptr,
+							Value:   vals[rng.Intn(len(vals))],
+							Block:   ref.b.Label,
+							Before:  before,
+						})
+					}
+				} else {
+					emit(&AddLoad{Fresh: c.Mod.Bound, Pointer: ptr, Block: ref.b.Label, Before: before})
+				}
+			}
+		}},
+	}
+}
+
+// passScaleUniformsImpl modifies the module and its input in sync: it
+// doubles a float uniform's input value and compensates every load (the
+// paper's first future-work item, implemented as an extension).
+func passScaleUniformsImpl(c *Context, rng *rand.Rand, emit emitFn) {
+	for _, uv := range uniformVars(c) {
+		if !coin(rng, 0.3) {
+			continue
+		}
+		def := c.Mod.Def(uv)
+		_, pointee, ok := c.Mod.PointerInfo(def.Type)
+		if !ok || !c.Mod.IsFloatType(pointee) {
+			continue
+		}
+		half, ok := ensureScalarConst(c, emit, pointee, 0x3F000000 /* 0.5f */)
+		if !ok {
+			continue
+		}
+		freshIDs := make(map[spirv.ID]spirv.ID)
+		next := c.Mod.Bound
+		for _, fn := range c.Mod.Functions {
+			for _, b := range fn.Blocks {
+				for _, ins := range b.Body {
+					if ins.Op == spirv.OpLoad && ins.IDOperand(0) == uv {
+						freshIDs[ins.Result] = next
+						next++
+					}
+				}
+			}
+		}
+		emit(&ScaleUniform{UniformVar: uv, HalfConst: half, FreshIDs: freshIDs})
+	}
+}
+
+// uniformVars returns the ids of uniform variables that have input values.
+func uniformVars(c *Context) []spirv.ID {
+	var out []spirv.ID
+	for _, ins := range c.Mod.TypesGlobals {
+		if ins.Op != spirv.OpVariable {
+			continue
+		}
+		if sc := ins.Operands[0]; sc != spirv.StorageUniformConstant && sc != spirv.StorageUniform {
+			continue
+		}
+		if _, ok := c.UniformValue(ins.Result); ok {
+			out = append(out, ins.Result)
+		}
+	}
+	return out
+}
+
+// Recommendations maps each pass to follow-on passes worth running soon
+// after it (Section 3.2): donated functions create call opportunities, calls
+// create inlining opportunities, dead blocks enable kills and stores, and
+// synonym-creating passes feed the synonym-replacement pass.
+var Recommendations = map[string][]string{
+	PassDonateFunctions:         {PassAddFunctionCalls},
+	PassAddFunctionCalls:        {PassInlineFunctions, PassAddParameters, PassSetFunctionControls},
+	PassAddDeadBlocks:           {PassReplaceBranchesWithKill, PassObfuscateConstants, PassAddLoadsStores, PassAddFunctionCalls},
+	PassSplitBlocks:             {PassAddDeadBlocks, PassWrapRegions, PassPermuteBlocks},
+	PassCopyObjects:             {PassReplaceIdsWithSynonyms},
+	PassAddNoOpArithmetic:       {PassReplaceIdsWithSynonyms},
+	PassCompositeSynonyms:       {PassReplaceIdsWithSynonyms},
+	PassAddParameters:           {PassObfuscateConstants},
+	PassPermuteBlocks:           {PassPermuteBlocks},
+	PassWrapRegions:             {PassSplitBlocks},
+	PassInlineFunctions:         {PassPermuteBlocks, PassSplitBlocks},
+	PassPropagateInstructionsUp: {PassPropagateInstructionsUp},
+	PassAddLoadsStores:          {PassObfuscateConstants},
+	PassScaleUniforms:           {PassObfuscateConstants},
+}

@@ -1,0 +1,76 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file serializes transformation sequences. The real spirv-fuzz encodes
+// transformations as Protocol Buffers; this reproduction uses JSON from the
+// standard library. The property that matters is preserved: a serialized
+// sequence is fully self-contained (AddFunction embeds the donated function,
+// InlineFunction embeds its fresh-id map) so replay needs only the original
+// module and inputs.
+
+// registry maps a transformation's Type() string to a factory producing a
+// pointer to its zero value for unmarshalling.
+var registry = map[string]func() Transformation{}
+
+// register installs a factory; called from init functions next to each
+// transformation type.
+func register(name string, f func() Transformation) {
+	if _, dup := registry[name]; dup {
+		panic("fuzz: duplicate transformation type " + name)
+	}
+	registry[name] = f
+}
+
+// RegisteredTypes returns all transformation type names, sorted.
+func RegisteredTypes() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type recordEnvelope struct {
+	Type string          `json:"type"`
+	Args json.RawMessage `json:"args"`
+}
+
+// MarshalSequence serializes a transformation sequence to JSON.
+func MarshalSequence(ts []Transformation) ([]byte, error) {
+	envs := make([]recordEnvelope, len(ts))
+	for i, t := range ts {
+		args, err := json.Marshal(t)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: marshal %s: %w", t.Type(), err)
+		}
+		envs[i] = recordEnvelope{Type: t.Type(), Args: args}
+	}
+	return json.MarshalIndent(envs, "", "  ")
+}
+
+// UnmarshalSequence parses a transformation sequence from JSON.
+func UnmarshalSequence(data []byte) ([]Transformation, error) {
+	var envs []recordEnvelope
+	if err := json.Unmarshal(data, &envs); err != nil {
+		return nil, fmt.Errorf("fuzz: unmarshal sequence: %w", err)
+	}
+	out := make([]Transformation, len(envs))
+	for i, env := range envs {
+		mk, ok := registry[env.Type]
+		if !ok {
+			return nil, fmt.Errorf("fuzz: unknown transformation type %q", env.Type)
+		}
+		t := mk()
+		if err := json.Unmarshal(env.Args, t); err != nil {
+			return nil, fmt.Errorf("fuzz: unmarshal %s: %w", env.Type, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+)
+
+func TestSerializationManySeeds(t *testing.T) {
+	refs := corpus.References()
+	donors := corpus.Donors()
+	for seed := int64(0); seed < 30; seed++ {
+		item := refs[int(seed)%len(refs)]
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{Seed: seed, Donors: donors, EnableRecommendations: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fuzz.MarshalSequence(res.Transformations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := fuzz.UnmarshalSequence(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, _ := fuzz.Replay(item.Mod, item.Inputs, back)
+		direct, _ := fuzz.Replay(item.Mod, item.Inputs, res.Transformations)
+		if replayed.String() != direct.String() {
+			t.Fatalf("seed %d (%s): serialization changed replay", seed, item.Name)
+		}
+		if direct.String() != res.Variant.String() {
+			t.Fatalf("seed %d (%s): replay diverged", seed, item.Name)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+// TestSoakSemanticPreservation is the heavyweight version of the central
+// invariant: many seeds across the whole corpus, validating and rendering
+// every variant on its own (possibly co-modified) inputs. Skipped with
+// -short.
+func TestSoakSemanticPreservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	donors := corpus.Donors()
+	refs := corpus.References()
+	checked := 0
+	for seed := int64(100); seed < 100+int64(len(refs)*8); seed++ {
+		item := refs[int(seed)%len(refs)]
+		want, err := interp.Render(item.Mod, item.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:                  seed,
+			Donors:                donors,
+			EnableRecommendations: seed%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := validate.Module(res.Variant); err != nil {
+			t.Fatalf("%s seed %d: invalid after %d transformations: %v", item.Name, seed, len(res.Transformations), err)
+		}
+		got, err := interp.Render(res.Variant, res.Inputs)
+		if err != nil {
+			t.Fatalf("%s seed %d: variant faults: %v", item.Name, seed, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s seed %d: image changed after %d transformations\npasses: %v",
+				item.Name, seed, len(res.Transformations), res.PassesRun)
+		}
+		// The serialized sequence must replay to the identical context.
+		data, err := fuzz.MarshalSequence(res.Transformations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := fuzz.UnmarshalSequence(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, applied := fuzz.ReplayContext(item.Mod, item.Inputs, back)
+		if len(applied) != len(res.Transformations) {
+			t.Fatalf("%s seed %d: replay applied %d of %d", item.Name, seed, len(applied), len(res.Transformations))
+		}
+		if ctx.Mod.String() != res.Variant.String() {
+			t.Fatalf("%s seed %d: replay diverged", item.Name, seed)
+		}
+		checked++
+	}
+	t.Logf("soak: %d variants checked", checked)
+}

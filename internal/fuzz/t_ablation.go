@@ -1,0 +1,58 @@
+package fuzz
+
+import "spirvfuzz/internal/spirv"
+
+// TypeSplitBlockAtOffset identifies the deliberately flawed SplitBlock
+// variant used by the design-principle ablations.
+const TypeSplitBlockAtOffset = "SplitBlockAtOffset"
+
+// SplitBlockAtOffset is the (block, offset)-parameterised SplitBlock that
+// Section 2.3 warns against: two splits of what was originally one block
+// become artificially dependent, because the second split must name the
+// block the first one created. It exists only so the ablation benchmarks can
+// quantify the cost of violating the independence principle; no fuzzer pass
+// emits it.
+type SplitBlockAtOffset struct {
+	Block  spirv.ID `json:"block"`
+	Offset int      `json:"offset"`
+	Fresh  spirv.ID `json:"fresh"`
+}
+
+// Type implements Transformation.
+func (t *SplitBlockAtOffset) Type() string { return TypeSplitBlockAtOffset }
+
+// Precondition: the named block exists with at least Offset body
+// instructions and no merge instruction, and Fresh is unused.
+func (t *SplitBlockAtOffset) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	_, b := c.FindBlock(t.Block)
+	return b != nil && b.Merge == nil && t.Offset >= 0 && t.Offset <= len(b.Body)
+}
+
+// Apply splits exactly like SplitBlock, but keyed on the offset.
+func (t *SplitBlockAtOffset) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	fn, b := c.FindBlock(t.Block)
+	nb := &spirv.Block{
+		Label: t.Fresh,
+		Body:  append([]*spirv.Instruction(nil), b.Body[t.Offset:]...),
+		Term:  b.Term,
+	}
+	for _, s := range b.Successors() {
+		if _, sb := c.FindBlock(s); sb != nil {
+			retargetPhis(sb, b.Label, t.Fresh)
+		}
+	}
+	b.Body = b.Body[:t.Offset:t.Offset]
+	b.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(t.Fresh))
+	InsertBlockAfter(fn, b, nb)
+	if c.Facts.IsDeadBlock(t.Block) {
+		c.Facts.MarkDeadBlock(t.Fresh)
+	}
+}
+
+func init() {
+	register(TypeSplitBlockAtOffset, func() Transformation { return &SplitBlockAtOffset{} })
+}

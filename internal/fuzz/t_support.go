@@ -1,0 +1,387 @@
+package fuzz
+
+import "spirvfuzz/internal/spirv"
+
+// Supporting transformations add types, constants and variables to the
+// module. They are "not interesting in isolation, but fuzzer passes
+// frequently use them to enable more interesting transformations"
+// (Section 3.2); the deduplicator ignores all of them (Section 3.5).
+
+// Transformation type identifiers for supporting transformations.
+const (
+	TypeAddTypeBool          = "AddTypeBool"
+	TypeAddTypeInt           = "AddTypeInt"
+	TypeAddTypeFloat         = "AddTypeFloat"
+	TypeAddTypeVector        = "AddTypeVector"
+	TypeAddTypePointer       = "AddTypePointer"
+	TypeAddTypeFunction      = "AddTypeFunction"
+	TypeAddConstantBoolean   = "AddConstantBoolean"
+	TypeAddConstantScalar    = "AddConstantScalar"
+	TypeAddConstantComposite = "AddConstantComposite"
+	TypeAddGlobalVariable    = "AddGlobalVariable"
+	TypeAddLocalVariable     = "AddLocalVariable"
+)
+
+// SupportingTypes is the set of transformation types the deduplicator
+// ignores entirely, fixed before running the controlled experiments
+// (Section 3.5): the supporting add-type/constant/variable transformations,
+// SplitBlock and AddFunction (enablers), and ReplaceIdWithSynonym (reaps the
+// benefits of earlier transformations but is uninteresting alone).
+func SupportingTypes() map[string]bool {
+	return map[string]bool{
+		TypeAddTypeBool:          true,
+		TypeAddTypeInt:           true,
+		TypeAddTypeFloat:         true,
+		TypeAddTypeVector:        true,
+		TypeAddTypePointer:       true,
+		TypeAddTypeFunction:      true,
+		TypeAddConstantBoolean:   true,
+		TypeAddConstantScalar:    true,
+		TypeAddConstantComposite: true,
+		TypeAddGlobalVariable:    true,
+		TypeAddLocalVariable:     true,
+		TypeSplitBlock:           true,
+		TypeAddFunction:          true,
+		TypeReplaceIdWithSynonym: true,
+	}
+}
+
+// AddTypeBool adds OpTypeBool with a fresh id (no-op precondition failure if
+// the type already exists, keeping types unique).
+type AddTypeBool struct {
+	Fresh spirv.ID `json:"fresh"`
+}
+
+// Type implements Transformation.
+func (t *AddTypeBool) Type() string { return TypeAddTypeBool }
+
+// Precondition requires the id fresh and the type absent.
+func (t *AddTypeBool) Precondition(c *Context) bool {
+	return c.IsFreshID(t.Fresh) && c.Mod.FindTypeBool() == 0
+}
+
+// Apply adds the type.
+func (t *AddTypeBool) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(spirv.OpTypeBool, 0, t.Fresh))
+}
+
+// AddTypeInt adds OpTypeInt.
+type AddTypeInt struct {
+	Fresh  spirv.ID `json:"fresh"`
+	Width  uint32   `json:"width"`
+	Signed bool     `json:"signed"`
+}
+
+// Type implements Transformation.
+func (t *AddTypeInt) Type() string { return TypeAddTypeInt }
+
+// Precondition requires the id fresh and the exact type absent.
+func (t *AddTypeInt) Precondition(c *Context) bool {
+	return c.IsFreshID(t.Fresh) && t.Width == 32 && c.Mod.FindTypeInt(t.Width, t.Signed) == 0
+}
+
+// Apply adds the type.
+func (t *AddTypeInt) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	s := uint32(0)
+	if t.Signed {
+		s = 1
+	}
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(spirv.OpTypeInt, 0, t.Fresh, t.Width, s))
+}
+
+// AddTypeFloat adds OpTypeFloat.
+type AddTypeFloat struct {
+	Fresh spirv.ID `json:"fresh"`
+	Width uint32   `json:"width"`
+}
+
+// Type implements Transformation.
+func (t *AddTypeFloat) Type() string { return TypeAddTypeFloat }
+
+// Precondition requires the id fresh and the type absent.
+func (t *AddTypeFloat) Precondition(c *Context) bool {
+	return c.IsFreshID(t.Fresh) && t.Width == 32 && c.Mod.FindTypeFloat(t.Width) == 0
+}
+
+// Apply adds the type.
+func (t *AddTypeFloat) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(spirv.OpTypeFloat, 0, t.Fresh, t.Width))
+}
+
+// AddTypeVector adds OpTypeVector over an existing scalar type.
+type AddTypeVector struct {
+	Fresh spirv.ID `json:"fresh"`
+	Elem  spirv.ID `json:"elem"`
+	N     int      `json:"n"`
+}
+
+// Type implements Transformation.
+func (t *AddTypeVector) Type() string { return TypeAddTypeVector }
+
+// Precondition requires a fresh id, an existing scalar element type, a legal
+// size and the exact type absent.
+func (t *AddTypeVector) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) || t.N < 2 || t.N > 4 {
+		return false
+	}
+	if !c.Mod.IsNumericScalarType(t.Elem) && !c.Mod.IsBoolType(t.Elem) {
+		return false
+	}
+	return c.Mod.FindTypeVector(t.Elem, t.N) == 0
+}
+
+// Apply adds the type.
+func (t *AddTypeVector) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals,
+		spirv.NewInstr(spirv.OpTypeVector, 0, t.Fresh, uint32(t.Elem), uint32(t.N)))
+}
+
+// AddTypePointer adds OpTypePointer to an existing type.
+type AddTypePointer struct {
+	Fresh   spirv.ID `json:"fresh"`
+	Storage uint32   `json:"storage"`
+	Pointee spirv.ID `json:"pointee"`
+}
+
+// Type implements Transformation.
+func (t *AddTypePointer) Type() string { return TypeAddTypePointer }
+
+// Precondition requires a fresh id, an existing pointee type and the exact
+// pointer type absent.
+func (t *AddTypePointer) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	if c.Mod.TypeOp(t.Pointee) == spirv.OpNop {
+		return false
+	}
+	return c.Mod.FindTypePointer(t.Storage, t.Pointee) == 0
+}
+
+// Apply adds the type.
+func (t *AddTypePointer) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals,
+		spirv.NewInstr(spirv.OpTypePointer, 0, t.Fresh, t.Storage, uint32(t.Pointee)))
+}
+
+// AddTypeFunction adds OpTypeFunction over existing types.
+type AddTypeFunction struct {
+	Fresh  spirv.ID   `json:"fresh"`
+	Return spirv.ID   `json:"return"`
+	Params []spirv.ID `json:"params,omitempty"`
+}
+
+// Type implements Transformation.
+func (t *AddTypeFunction) Type() string { return TypeAddTypeFunction }
+
+// Precondition requires a fresh id, existing component types and the exact
+// function type absent.
+func (t *AddTypeFunction) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) || c.Mod.TypeOp(t.Return) == spirv.OpNop {
+		return false
+	}
+	for _, p := range t.Params {
+		if c.Mod.TypeOp(p) == spirv.OpNop {
+			return false
+		}
+	}
+	return c.Mod.FindTypeFunction(t.Return, t.Params...) == 0
+}
+
+// Apply adds the type.
+func (t *AddTypeFunction) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	ops := []uint32{uint32(t.Return)}
+	for _, p := range t.Params {
+		ops = append(ops, uint32(p))
+	}
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(spirv.OpTypeFunction, 0, t.Fresh, ops...))
+}
+
+// AddConstantBoolean adds OpConstantTrue/False.
+type AddConstantBoolean struct {
+	Fresh spirv.ID `json:"fresh"`
+	Value bool     `json:"value"`
+}
+
+// Type implements Transformation.
+func (t *AddConstantBoolean) Type() string { return TypeAddConstantBoolean }
+
+// Precondition requires a fresh id, the bool type present and the constant
+// absent.
+func (t *AddConstantBoolean) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) || c.Mod.FindTypeBool() == 0 {
+		return false
+	}
+	for _, ins := range c.Mod.TypesGlobals {
+		if (t.Value && ins.Op == spirv.OpConstantTrue) || (!t.Value && ins.Op == spirv.OpConstantFalse) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply adds the constant.
+func (t *AddConstantBoolean) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	op := spirv.OpConstantFalse
+	if t.Value {
+		op = spirv.OpConstantTrue
+	}
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(op, c.Mod.FindTypeBool(), t.Fresh))
+}
+
+// AddConstantScalar adds an OpConstant of an existing numeric scalar type.
+type AddConstantScalar struct {
+	Fresh  spirv.ID `json:"fresh"`
+	TypeID spirv.ID `json:"typeId"`
+	Word   uint32   `json:"word"`
+}
+
+// Type implements Transformation.
+func (t *AddConstantScalar) Type() string { return TypeAddConstantScalar }
+
+// Precondition requires a fresh id, an existing numeric scalar type, and no
+// identical constant.
+func (t *AddConstantScalar) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) || !c.Mod.IsNumericScalarType(t.TypeID) {
+		return false
+	}
+	for _, ins := range c.Mod.TypesGlobals {
+		if ins.Op == spirv.OpConstant && ins.Type == t.TypeID && len(ins.Operands) == 1 && ins.Operands[0] == t.Word {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply adds the constant.
+func (t *AddConstantScalar) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(spirv.OpConstant, t.TypeID, t.Fresh, t.Word))
+}
+
+// AddConstantComposite adds an OpConstantComposite from existing constants.
+type AddConstantComposite struct {
+	Fresh   spirv.ID   `json:"fresh"`
+	TypeID  spirv.ID   `json:"typeId"`
+	Members []spirv.ID `json:"members"`
+}
+
+// Type implements Transformation.
+func (t *AddConstantComposite) Type() string { return TypeAddConstantComposite }
+
+// Precondition requires a fresh id, a composite type whose member types
+// match the (constant) members.
+func (t *AddConstantComposite) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	n, ok := c.Mod.CompositeMemberCount(t.TypeID)
+	if !ok || n != len(t.Members) {
+		return false
+	}
+	for i, mid := range t.Members {
+		def := c.Mod.Def(mid)
+		if def == nil || !def.Op.IsConstant() {
+			return false
+		}
+		want, _ := c.Mod.CompositeMemberType(t.TypeID, i)
+		if def.Type != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply adds the constant.
+func (t *AddConstantComposite) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	ops := make([]uint32, len(t.Members))
+	for i, m := range t.Members {
+		ops[i] = uint32(m)
+	}
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals, spirv.NewInstr(spirv.OpConstantComposite, t.TypeID, t.Fresh, ops...))
+}
+
+// AddGlobalVariable adds a Private-storage module-scope variable. Its
+// contents never influence the result (nothing reads it until some
+// transformation stores to it, and only irrelevant loads read it back), so
+// the variable gets an IrrelevantPointee fact.
+type AddGlobalVariable struct {
+	Fresh   spirv.ID `json:"fresh"`
+	PtrType spirv.ID `json:"ptrType"`
+}
+
+// Type implements Transformation.
+func (t *AddGlobalVariable) Type() string { return TypeAddGlobalVariable }
+
+// Precondition requires a fresh id and an existing Private-storage pointer
+// type.
+func (t *AddGlobalVariable) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	storage, _, ok := c.Mod.PointerInfo(t.PtrType)
+	return ok && storage == spirv.StoragePrivate
+}
+
+// Apply adds the variable and the IrrelevantPointee fact.
+func (t *AddGlobalVariable) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	c.Mod.TypesGlobals = append(c.Mod.TypesGlobals,
+		spirv.NewInstr(spirv.OpVariable, t.PtrType, t.Fresh, spirv.StoragePrivate))
+	c.Facts.MarkIrrelevantPointee(t.Fresh)
+}
+
+// AddLocalVariable adds a Function-storage variable at the start of a
+// function's entry block, with an IrrelevantPointee fact.
+type AddLocalVariable struct {
+	Fresh    spirv.ID `json:"fresh"`
+	PtrType  spirv.ID `json:"ptrType"`
+	Function spirv.ID `json:"function"`
+}
+
+// Type implements Transformation.
+func (t *AddLocalVariable) Type() string { return TypeAddLocalVariable }
+
+// Precondition requires a fresh id, an existing Function-storage pointer
+// type and an existing function.
+func (t *AddLocalVariable) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	storage, _, ok := c.Mod.PointerInfo(t.PtrType)
+	if !ok || storage != spirv.StorageFunction {
+		return false
+	}
+	return c.Mod.Function(t.Function) != nil
+}
+
+// Apply inserts the variable at the top of the entry block.
+func (t *AddLocalVariable) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	fn := c.Mod.Function(t.Function)
+	ins := spirv.NewInstr(spirv.OpVariable, t.PtrType, t.Fresh, spirv.StorageFunction)
+	InsertBefore(fn.Entry(), 0, ins)
+	c.Facts.MarkIrrelevantPointee(t.Fresh)
+}
+
+func init() {
+	register(TypeAddTypeBool, func() Transformation { return &AddTypeBool{} })
+	register(TypeAddTypeInt, func() Transformation { return &AddTypeInt{} })
+	register(TypeAddTypeFloat, func() Transformation { return &AddTypeFloat{} })
+	register(TypeAddTypeVector, func() Transformation { return &AddTypeVector{} })
+	register(TypeAddTypePointer, func() Transformation { return &AddTypePointer{} })
+	register(TypeAddTypeFunction, func() Transformation { return &AddTypeFunction{} })
+	register(TypeAddConstantBoolean, func() Transformation { return &AddConstantBoolean{} })
+	register(TypeAddConstantScalar, func() Transformation { return &AddConstantScalar{} })
+	register(TypeAddConstantComposite, func() Transformation { return &AddConstantComposite{} })
+	register(TypeAddGlobalVariable, func() Transformation { return &AddGlobalVariable{} })
+	register(TypeAddLocalVariable, func() Transformation { return &AddLocalVariable{} })
+}

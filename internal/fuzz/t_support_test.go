@@ -1,0 +1,166 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/validate"
+	"spirvfuzz/internal/testmod"
+)
+
+// ctxOf builds a fuzzing context over a fresh module.
+func ctxOf(m *spirv.Module) *fuzz.Context {
+	return fuzz.NewContext(m, interp.Inputs{W: 4, H: 4})
+}
+
+// applyOK asserts the precondition holds, applies, and validates the module.
+func applyOK(t *testing.T, c *fuzz.Context, tr fuzz.Transformation) {
+	t.Helper()
+	if !tr.Precondition(c) {
+		t.Fatalf("%s: precondition does not hold", tr.Type())
+	}
+	tr.Apply(c)
+	if err := validate.Module(c.Mod); err != nil {
+		t.Fatalf("%s: module invalid after apply: %v\n%s", tr.Type(), err, c.Mod)
+	}
+}
+
+// rejected asserts the precondition fails.
+func rejected(t *testing.T, c *fuzz.Context, tr fuzz.Transformation) {
+	t.Helper()
+	if tr.Precondition(c) {
+		t.Fatalf("%s: precondition unexpectedly holds: %+v", tr.Type(), tr)
+	}
+}
+
+func TestAddTypeTransformations(t *testing.T) {
+	m := spirv.NewModule()
+	c := ctxOf(m)
+
+	applyOK(t, c, &fuzz.AddTypeBool{Fresh: m.Bound})
+	rejected(t, c, &fuzz.AddTypeBool{Fresh: m.Bound}) // duplicate type
+	boolT := m.FindTypeBool()
+
+	applyOK(t, c, &fuzz.AddTypeInt{Fresh: m.Bound, Width: 32, Signed: true})
+	rejected(t, c, &fuzz.AddTypeInt{Fresh: m.Bound, Width: 64, Signed: true}) // unsupported width
+	rejected(t, c, &fuzz.AddTypeInt{Fresh: m.Bound, Width: 32, Signed: true}) // duplicate
+	applyOK(t, c, &fuzz.AddTypeInt{Fresh: m.Bound, Width: 32, Signed: false}) // distinct signedness
+	intT := m.FindTypeInt(32, true)
+
+	applyOK(t, c, &fuzz.AddTypeFloat{Fresh: m.Bound, Width: 32})
+	floatT := m.FindTypeFloat(32)
+
+	applyOK(t, c, &fuzz.AddTypeVector{Fresh: m.Bound, Elem: floatT, N: 4})
+	rejected(t, c, &fuzz.AddTypeVector{Fresh: m.Bound, Elem: floatT, N: 5}) // size
+	rejected(t, c, &fuzz.AddTypeVector{Fresh: m.Bound, Elem: 9999, N: 2})   // missing elem
+	rejected(t, c, &fuzz.AddTypeVector{Fresh: m.Bound, Elem: floatT, N: 4}) // duplicate
+	rejected(t, c, &fuzz.AddTypeVector{Fresh: boolT, Elem: floatT, N: 3})   // non-fresh id
+
+	applyOK(t, c, &fuzz.AddTypePointer{Fresh: m.Bound, Storage: spirv.StorageFunction, Pointee: intT})
+	rejected(t, c, &fuzz.AddTypePointer{Fresh: m.Bound, Storage: spirv.StorageFunction, Pointee: 9999})
+
+	applyOK(t, c, &fuzz.AddTypeFunction{Fresh: m.Bound, Return: floatT, Params: []spirv.ID{floatT, intT}})
+	rejected(t, c, &fuzz.AddTypeFunction{Fresh: m.Bound, Return: floatT, Params: []spirv.ID{floatT, intT}})
+	rejected(t, c, &fuzz.AddTypeFunction{Fresh: m.Bound, Return: 12345})
+}
+
+func TestAddConstantTransformations(t *testing.T) {
+	m := spirv.NewModule()
+	c := ctxOf(m)
+	rejected(t, c, &fuzz.AddConstantBoolean{Fresh: m.Bound, Value: true}) // bool type missing
+	applyOK(t, c, &fuzz.AddTypeBool{Fresh: m.Bound})
+	applyOK(t, c, &fuzz.AddConstantBoolean{Fresh: m.Bound, Value: true})
+	rejected(t, c, &fuzz.AddConstantBoolean{Fresh: m.Bound, Value: true}) // duplicate
+	applyOK(t, c, &fuzz.AddConstantBoolean{Fresh: m.Bound, Value: false})
+
+	applyOK(t, c, &fuzz.AddTypeInt{Fresh: m.Bound, Width: 32, Signed: true})
+	intT := m.FindTypeInt(32, true)
+	applyOK(t, c, &fuzz.AddConstantScalar{Fresh: m.Bound, TypeID: intT, Word: 7})
+	rejected(t, c, &fuzz.AddConstantScalar{Fresh: m.Bound, TypeID: intT, Word: 7}) // duplicate value
+	rejected(t, c, &fuzz.AddConstantScalar{Fresh: m.Bound, TypeID: 9999, Word: 1}) // bad type
+	seven, _ := m.ConstantIntValue(m.Bound - 1)
+	if seven != 7 {
+		t.Fatalf("constant value = %d", seven)
+	}
+
+	applyOK(t, c, &fuzz.AddTypeFloat{Fresh: m.Bound, Width: 32})
+	floatT := m.FindTypeFloat(32)
+	applyOK(t, c, &fuzz.AddTypeVector{Fresh: m.Bound, Elem: floatT, N: 2})
+	vec2 := m.FindTypeVector(floatT, 2)
+	applyOK(t, c, &fuzz.AddConstantScalar{Fresh: m.Bound, TypeID: floatT, Word: 0})
+	zeroF := m.Bound - 1
+	applyOK(t, c, &fuzz.AddConstantComposite{Fresh: m.Bound, TypeID: vec2, Members: []spirv.ID{zeroF, zeroF}})
+	rejected(t, c, &fuzz.AddConstantComposite{Fresh: m.Bound, TypeID: vec2, Members: []spirv.ID{zeroF}})       // arity
+	rejected(t, c, &fuzz.AddConstantComposite{Fresh: m.Bound, TypeID: vec2, Members: []spirv.ID{zeroF, intT}}) // member not a constant
+	rejected(t, c, &fuzz.AddConstantComposite{Fresh: m.Bound, TypeID: floatT, Members: []spirv.ID{zeroF}})     // not composite
+}
+
+func TestAddVariableTransformations(t *testing.T) {
+	m := testmod.Diamond()
+	c := ctxOf(m)
+	f32 := m.EnsureTypeFloat(32)
+
+	// Global: requires a Private-storage pointer type.
+	rejected(t, c, &fuzz.AddGlobalVariable{Fresh: m.Bound, PtrType: f32}) // not a pointer
+	applyOK(t, c, &fuzz.AddTypePointer{Fresh: m.Bound, Storage: spirv.StoragePrivate, Pointee: f32})
+	privPtr := m.Bound - 1
+	applyOK(t, c, &fuzz.AddGlobalVariable{Fresh: m.Bound, PtrType: privPtr})
+	gvar := m.Bound - 1
+	if !c.Facts.IsIrrelevantPointee(gvar) {
+		t.Fatal("global variable should carry IrrelevantPointee")
+	}
+	// Function-storage pointer is rejected for globals.
+	fnPtr := m.EnsureTypePointer(spirv.StorageFunction, f32)
+	rejected(t, c, &fuzz.AddGlobalVariable{Fresh: m.Bound, PtrType: fnPtr})
+
+	// Local: lands at the top of the function's entry block.
+	fn := m.EntryPointFunction()
+	entryLen := len(fn.Entry().Body)
+	applyOK(t, c, &fuzz.AddLocalVariable{Fresh: m.Bound, PtrType: fnPtr, Function: fn.ID()})
+	lvar := m.Bound - 1
+	if fn.Entry().Body[0].Result != lvar {
+		t.Fatal("local variable must be first in the entry block")
+	}
+	if len(fn.Entry().Body) != entryLen+1 {
+		t.Fatal("exactly one instruction added")
+	}
+	if !c.Facts.IsIrrelevantPointee(lvar) {
+		t.Fatal("local variable should carry IrrelevantPointee")
+	}
+	rejected(t, c, &fuzz.AddLocalVariable{Fresh: m.Bound, PtrType: privPtr, Function: fn.ID()}) // wrong storage
+	rejected(t, c, &fuzz.AddLocalVariable{Fresh: m.Bound, PtrType: fnPtr, Function: 9999})      // missing function
+}
+
+// TestSupportingTypesListMatchesSectionThreeFive pins the dedup ignore list.
+func TestSupportingTypesListMatchesSectionThreeFive(t *testing.T) {
+	sup := fuzz.SupportingTypes()
+	for _, want := range []string{
+		fuzz.TypeSplitBlock, fuzz.TypeAddFunction, fuzz.TypeReplaceIdWithSynonym,
+		fuzz.TypeAddTypeBool, fuzz.TypeAddConstantScalar, fuzz.TypeAddLocalVariable,
+	} {
+		if !sup[want] {
+			t.Errorf("supporting list missing %s", want)
+		}
+	}
+	for _, interesting := range []string{
+		fuzz.TypeAddDeadBlock, fuzz.TypeReplaceBranchWithKill, fuzz.TypeMoveBlockDown,
+		fuzz.TypeInlineFunction, fuzz.TypeSetFunctionControl, fuzz.TypePropagateInstructionUp,
+		fuzz.TypeWrapRegionInSelection, fuzz.TypeFunctionCall,
+	} {
+		if sup[interesting] {
+			t.Errorf("%s must not be ignored by deduplication", interesting)
+		}
+	}
+	// Every supporting type must be a registered transformation type.
+	reg := map[string]bool{}
+	for _, name := range fuzz.RegisteredTypes() {
+		reg[name] = true
+	}
+	for name := range sup {
+		if !reg[name] {
+			t.Errorf("supporting type %s is not registered", name)
+		}
+	}
+}

@@ -1,0 +1,582 @@
+package fuzz
+
+import (
+	"spirvfuzz/internal/fact"
+	"spirvfuzz/internal/spirv"
+)
+
+// Data-flow transformations: synonym creation, id replacement, obfuscation
+// of constants via uniforms, and stores/loads that cannot affect results.
+
+// Transformation type identifiers for value transformations.
+const (
+	TypeCopyObject                 = "CopyObject"
+	TypeAddNoOpArithmetic          = "AddNoOpArithmetic"
+	TypeCompositeConstructSynonym  = "CompositeConstruct"
+	TypeCompositeExtractSynonym    = "CompositeExtract"
+	TypeReplaceIdWithSynonym       = "ReplaceIdWithSynonym"
+	TypeReplaceIrrelevantId        = "ReplaceIrrelevantId"
+	TypeReplaceConstantWithUniform = "ReplaceConstantWithUniform"
+	TypeSwapCommutableOperands     = "SwapCommutableOperands"
+	TypeAddStore                   = "AddStore"
+	TypeAddLoad                    = "AddLoad"
+)
+
+// insertionPoint locates the place identified by (Block, Before): the body
+// index of the instruction with result id Before, or the end of the block's
+// body when Before is zero. Returns nil when invalid.
+type insertionPoint struct {
+	fn    *spirv.Function
+	block *spirv.Block
+	index int
+}
+
+func (c *Context) insertion(blockID, before spirv.ID) *insertionPoint {
+	fn, b := c.FindBlock(blockID)
+	if fn == nil {
+		return nil
+	}
+	if before == 0 {
+		return &insertionPoint{fn: fn, block: b, index: len(b.Body)}
+	}
+	for i, ins := range b.Body {
+		if ins.Result == before {
+			return &insertionPoint{fn: fn, block: b, index: i}
+		}
+	}
+	return nil
+}
+
+// valueType reports whether id names a usable value (not a type, label,
+// function or void-typed result).
+func (c *Context) valueType(id spirv.ID) (spirv.ID, bool) {
+	def := c.Mod.Def(id)
+	if def == nil || def.Op.IsType() || def.Op == spirv.OpLabel || def.Op == spirv.OpFunction {
+		return 0, false
+	}
+	if def.Type == 0 || c.Mod.TypeOp(def.Type) == spirv.OpTypeVoid {
+		return 0, false
+	}
+	return def.Type, true
+}
+
+// CopyObject inserts Fresh = OpCopyObject Source at an insertion point where
+// Source is available, recording Synonymous(Fresh, Source).
+type CopyObject struct {
+	Fresh  spirv.ID `json:"fresh"`
+	Source spirv.ID `json:"source"`
+	Block  spirv.ID `json:"block"`
+	Before spirv.ID `json:"before,omitempty"` // 0 = end of block
+}
+
+// Type implements Transformation.
+func (t *CopyObject) Type() string { return TypeCopyObject }
+
+// Precondition: fresh id, valid insertion point, source available there.
+func (t *CopyObject) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	pt := c.insertion(t.Block, t.Before)
+	if pt == nil {
+		return false
+	}
+	if _, ok := c.valueType(t.Source); !ok {
+		return false
+	}
+	return c.AvailableAt(t.Source, pt.fn, pt.block, pt.index)
+}
+
+// Apply inserts the copy and records the synonym fact.
+func (t *CopyObject) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	pt := c.insertion(t.Block, t.Before)
+	typ, _ := c.valueType(t.Source)
+	InsertBefore(pt.block, pt.index, spirv.NewInstr(spirv.OpCopyObject, typ, t.Fresh, uint32(t.Source)))
+	c.Facts.AddSynonym(fact.A(t.Fresh), fact.A(t.Source))
+}
+
+// AddNoOpArithmetic inserts an integer identity computation — x+0, x-0, x*1,
+// x|0, x&x or x^0 — recording Synonymous(Fresh, Source). Only integer
+// identities are used: they hold bit-exactly for every input, unlike most
+// floating-point identities.
+type AddNoOpArithmetic struct {
+	Fresh   spirv.ID `json:"fresh"`
+	Source  spirv.ID `json:"source"`
+	Opcode  string   `json:"opcode"`  // OpIAdd, OpISub, OpIMul, OpBitwiseOr, OpBitwiseAnd, OpBitwiseXor
+	Neutral spirv.ID `json:"neutral"` // the 0/1 constant (ignored for OpBitwiseAnd x&x)
+	Block   spirv.ID `json:"block"`
+	Before  spirv.ID `json:"before,omitempty"`
+}
+
+// Type implements Transformation.
+func (t *AddNoOpArithmetic) Type() string { return TypeAddNoOpArithmetic }
+
+// neutralWord returns the required literal value of the neutral constant.
+func (t *AddNoOpArithmetic) neutralWord() (uint32, bool) {
+	switch t.Opcode {
+	case "OpIAdd", "OpISub", "OpBitwiseOr", "OpBitwiseXor":
+		return 0, true
+	case "OpIMul":
+		return 1, true
+	case "OpBitwiseAnd":
+		return 0, false // x & x: no neutral constant needed
+	}
+	return 0, false
+}
+
+// Precondition: source is an available integer scalar, and the neutral
+// constant (when required) is an integer constant of the same type holding
+// the identity element.
+func (t *AddNoOpArithmetic) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	op, knownOp := spirv.OpcodeByName(t.Opcode)
+	switch op {
+	case spirv.OpIAdd, spirv.OpISub, spirv.OpIMul, spirv.OpBitwiseOr, spirv.OpBitwiseAnd, spirv.OpBitwiseXor:
+	default:
+		knownOp = false
+	}
+	if !knownOp {
+		return false
+	}
+	pt := c.insertion(t.Block, t.Before)
+	if pt == nil {
+		return false
+	}
+	typ, ok := c.valueType(t.Source)
+	if !ok || !c.Mod.IsIntType(typ) {
+		return false
+	}
+	if !c.AvailableAt(t.Source, pt.fn, pt.block, pt.index) {
+		return false
+	}
+	if want, needed := t.neutralWord(); needed {
+		def := c.Mod.Def(t.Neutral)
+		if def == nil || def.Op != spirv.OpConstant || def.Type != typ || def.Operands[0] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply inserts the identity computation and records the synonym.
+func (t *AddNoOpArithmetic) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	pt := c.insertion(t.Block, t.Before)
+	typ, _ := c.valueType(t.Source)
+	op, _ := spirv.OpcodeByName(t.Opcode)
+	second := uint32(t.Neutral)
+	if op == spirv.OpBitwiseAnd {
+		second = uint32(t.Source)
+	}
+	InsertBefore(pt.block, pt.index, spirv.NewInstr(op, typ, t.Fresh, uint32(t.Source), second))
+	c.Facts.AddSynonym(fact.A(t.Fresh), fact.A(t.Source))
+}
+
+// CompositeConstruct builds a composite from available constituents,
+// recording Synonymous facts relating each index of the composite to the
+// constituent it was created from (Section 3.2).
+type CompositeConstruct struct {
+	Fresh   spirv.ID   `json:"fresh"`
+	TypeID  spirv.ID   `json:"typeId"`
+	Members []spirv.ID `json:"members"`
+	Block   spirv.ID   `json:"block"`
+	Before  spirv.ID   `json:"before,omitempty"`
+}
+
+// Type implements Transformation.
+func (t *CompositeConstruct) Type() string { return TypeCompositeConstructSynonym }
+
+// Precondition: composite type with matching member types, all members
+// available at the insertion point.
+func (t *CompositeConstruct) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	pt := c.insertion(t.Block, t.Before)
+	if pt == nil {
+		return false
+	}
+	n, ok := c.Mod.CompositeMemberCount(t.TypeID)
+	if !ok || n != len(t.Members) {
+		return false
+	}
+	for i, mid := range t.Members {
+		typ, ok := c.valueType(mid)
+		if !ok {
+			return false
+		}
+		want, _ := c.Mod.CompositeMemberType(t.TypeID, i)
+		if typ != want || !c.AvailableAt(mid, pt.fn, pt.block, pt.index) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply inserts the construction and records per-index synonyms.
+func (t *CompositeConstruct) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	pt := c.insertion(t.Block, t.Before)
+	ops := make([]uint32, len(t.Members))
+	for i, m := range t.Members {
+		ops[i] = uint32(m)
+	}
+	InsertBefore(pt.block, pt.index, spirv.NewInstr(spirv.OpCompositeConstruct, t.TypeID, t.Fresh, ops...))
+	for i, m := range t.Members {
+		c.Facts.AddSynonym(fact.At(t.Fresh, uint32(i)), fact.A(m))
+	}
+}
+
+// CompositeExtract extracts a component of a composite value, recording
+// Synonymous(Fresh, Composite[Index]).
+type CompositeExtract struct {
+	Fresh     spirv.ID `json:"fresh"`
+	Composite spirv.ID `json:"composite"`
+	Index     uint32   `json:"index"`
+	Block     spirv.ID `json:"block"`
+	Before    spirv.ID `json:"before,omitempty"`
+}
+
+// Type implements Transformation.
+func (t *CompositeExtract) Type() string { return TypeCompositeExtractSynonym }
+
+// Precondition: the composite is available at the insertion point and the
+// index is in range.
+func (t *CompositeExtract) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	pt := c.insertion(t.Block, t.Before)
+	if pt == nil {
+		return false
+	}
+	typ, ok := c.valueType(t.Composite)
+	if !ok {
+		return false
+	}
+	if _, ok := c.Mod.CompositeMemberType(typ, int(t.Index)); !ok {
+		return false
+	}
+	return c.AvailableAt(t.Composite, pt.fn, pt.block, pt.index)
+}
+
+// Apply inserts the extraction and records the synonym.
+func (t *CompositeExtract) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	pt := c.insertion(t.Block, t.Before)
+	typ, _ := c.valueType(t.Composite)
+	mt, _ := c.Mod.CompositeMemberType(typ, int(t.Index))
+	InsertBefore(pt.block, pt.index,
+		spirv.NewInstr(spirv.OpCompositeExtract, mt, t.Fresh, uint32(t.Composite), t.Index))
+	c.Facts.AddSynonym(fact.A(t.Fresh), fact.At(t.Composite, t.Index))
+}
+
+// ReplaceIdWithSynonym replaces a use of an id with a known-to-be-equal id,
+// exploiting Synonymous facts.
+type ReplaceIdWithSynonym struct {
+	User         spirv.ID `json:"user"`    // result id of the using instruction
+	OperandIndex int      `json:"operand"` // index into the user's operand words
+	Synonym      spirv.ID `json:"synonym"`
+}
+
+// Type implements Transformation.
+func (t *ReplaceIdWithSynonym) Type() string { return TypeReplaceIdWithSynonym }
+
+// Precondition: the user exists, the operand is an id operand holding an id
+// synonymous (as whole values) with Synonym, the types match, the synonym is
+// available at the use, and the user is not a ϕ (availability at ϕs depends
+// on the incoming edge, which this transformation does not track).
+func (t *ReplaceIdWithSynonym) Precondition(c *Context) bool {
+	loc := c.FindInstruction(t.User)
+	if loc == nil || loc.Index < 0 {
+		return false
+	}
+	// OpAccessChain indices into structs must stay constants, and OpVariable
+	// initializers must stay constants; leave both alone.
+	if (loc.Instr.Op == spirv.OpAccessChain && t.OperandIndex >= 1) || loc.Instr.Op == spirv.OpVariable {
+		return false
+	}
+	if !validIDOperand(loc.Instr, t.OperandIndex) {
+		return false
+	}
+	old := spirv.ID(loc.Instr.Operands[t.OperandIndex])
+	if old == t.Synonym {
+		return false
+	}
+	oldType, ok := c.valueType(old)
+	if !ok {
+		return false
+	}
+	synType, ok := c.valueType(t.Synonym)
+	if !ok || synType != oldType {
+		return false
+	}
+	if !c.Facts.AreSynonymous(fact.A(old), fact.A(t.Synonym)) {
+		return false
+	}
+	return c.AvailableAt(t.Synonym, loc.Fn, loc.Block, loc.Index)
+}
+
+// Apply swaps the operand.
+func (t *ReplaceIdWithSynonym) Apply(c *Context) {
+	loc := c.FindInstruction(t.User)
+	loc.Instr.Operands[t.OperandIndex] = uint32(t.Synonym)
+}
+
+// validIDOperand reports whether word index i of ins is an id-typed operand.
+func validIDOperand(ins *spirv.Instruction, i int) bool {
+	if i < 0 || i >= len(ins.Operands) {
+		return false
+	}
+	for _, idx := range ins.IDOperandIndices() {
+		if idx == i {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceIrrelevantId replaces a use of an id carrying an Irrelevant fact
+// with any available id of the same type.
+type ReplaceIrrelevantId struct {
+	User         spirv.ID `json:"user"`
+	OperandIndex int      `json:"operand"`
+	Replacement  spirv.ID `json:"replacement"`
+}
+
+// Type implements Transformation.
+func (t *ReplaceIrrelevantId) Type() string { return TypeReplaceIrrelevantId }
+
+// Precondition: the operand currently holds an Irrelevant id; the
+// replacement has the same type and is available at the use.
+func (t *ReplaceIrrelevantId) Precondition(c *Context) bool {
+	loc := c.FindInstruction(t.User)
+	if loc == nil || loc.Index < 0 {
+		return false
+	}
+	if (loc.Instr.Op == spirv.OpAccessChain && t.OperandIndex >= 1) || loc.Instr.Op == spirv.OpVariable {
+		return false
+	}
+	if !validIDOperand(loc.Instr, t.OperandIndex) {
+		return false
+	}
+	old := spirv.ID(loc.Instr.Operands[t.OperandIndex])
+	if !c.Facts.IsIrrelevant(old) || old == t.Replacement {
+		return false
+	}
+	oldType, ok := c.valueType(old)
+	if !ok {
+		return false
+	}
+	newType, ok := c.valueType(t.Replacement)
+	if !ok || newType != oldType {
+		return false
+	}
+	return c.AvailableAt(t.Replacement, loc.Fn, loc.Block, loc.Index)
+}
+
+// Apply swaps the operand. The replacement inherits irrelevance at this use
+// site only; no new fact is recorded.
+func (t *ReplaceIrrelevantId) Apply(c *Context) {
+	loc := c.FindInstruction(t.User)
+	loc.Instr.Operands[t.OperandIndex] = uint32(t.Replacement)
+}
+
+// ReplaceConstantWithUniform exploits the fuzzer's knowledge of the runtime
+// values of the module's inputs: a use of a constant whose value equals a
+// uniform's known value is replaced by a load of that uniform, obfuscating
+// the constant from the compiler (e.g. hiding that a block is dead).
+type ReplaceConstantWithUniform struct {
+	User         spirv.ID `json:"user"`
+	OperandIndex int      `json:"operand"`
+	UniformVar   spirv.ID `json:"uniformVar"`
+	FreshLoad    spirv.ID `json:"freshLoad"`
+}
+
+// Type implements Transformation.
+func (t *ReplaceConstantWithUniform) Type() string { return TypeReplaceConstantWithUniform }
+
+// Precondition: the operand holds a scalar constant, the uniform variable's
+// input value equals that constant, the types match, and the load can be
+// inserted before the user.
+func (t *ReplaceConstantWithUniform) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.FreshLoad) {
+		return false
+	}
+	loc := c.FindInstruction(t.User)
+	if loc == nil || loc.Index < 0 {
+		return false
+	}
+	// Contexts that require a *constant* id operand cannot be obfuscated:
+	// OpAccessChain struct indexing and OpVariable initializers.
+	if loc.Instr.Op == spirv.OpAccessChain || loc.Instr.Op == spirv.OpVariable {
+		return false
+	}
+	if !validIDOperand(loc.Instr, t.OperandIndex) {
+		return false
+	}
+	constID := spirv.ID(loc.Instr.Operands[t.OperandIndex])
+	def := c.Mod.Def(constID)
+	if def == nil || !def.Op.IsConstant() {
+		return false
+	}
+	uVal, ok := c.UniformValue(t.UniformVar)
+	if !ok || !c.ConstantMatchesValue(constID, uVal) {
+		return false
+	}
+	uDef := c.Mod.Def(t.UniformVar)
+	_, pointee, ok := c.Mod.PointerInfo(uDef.Type)
+	return ok && pointee == def.Type
+}
+
+// Precondition note: the user's operand could also be a branch condition;
+// terminators are not body instructions, so FindInstruction's body-only rule
+// keeps this transformation on value instructions, matching how spirv-fuzz
+// first funnels conditions through value instructions.
+
+// Apply inserts the load and swaps the operand.
+func (t *ReplaceConstantWithUniform) Apply(c *Context) {
+	c.ClaimID(t.FreshLoad)
+	loc := c.FindInstruction(t.User)
+	constID := spirv.ID(loc.Instr.Operands[t.OperandIndex])
+	def := c.Mod.Def(constID)
+	InsertBefore(loc.Block, loc.Index,
+		spirv.NewInstr(spirv.OpLoad, def.Type, t.FreshLoad, uint32(t.UniformVar)))
+	loc.Instr.Operands[t.OperandIndex] = uint32(t.FreshLoad)
+}
+
+// SwapCommutableOperands swaps the operands of a commutative instruction.
+type SwapCommutableOperands struct {
+	Instr spirv.ID `json:"instr"`
+}
+
+// Type implements Transformation.
+func (t *SwapCommutableOperands) Type() string { return TypeSwapCommutableOperands }
+
+// Precondition: the instruction exists and its opcode is commutative.
+func (t *SwapCommutableOperands) Precondition(c *Context) bool {
+	loc := c.FindInstruction(t.Instr)
+	if loc == nil || loc.Index < 0 {
+		return false
+	}
+	switch loc.Instr.Op {
+	case spirv.OpIAdd, spirv.OpIMul, spirv.OpFAdd, spirv.OpFMul,
+		spirv.OpBitwiseAnd, spirv.OpBitwiseOr, spirv.OpBitwiseXor,
+		spirv.OpLogicalAnd, spirv.OpLogicalOr, spirv.OpIEqual, spirv.OpINotEqual,
+		spirv.OpFOrdEqual, spirv.OpFOrdNotEqual, spirv.OpDot:
+		return len(loc.Instr.Operands) == 2
+	}
+	return false
+}
+
+// Apply swaps the operands.
+func (t *SwapCommutableOperands) Apply(c *Context) {
+	loc := c.FindInstruction(t.Instr)
+	loc.Instr.Operands[0], loc.Instr.Operands[1] = loc.Instr.Operands[1], loc.Instr.Operands[0]
+}
+
+// AddStore inserts a store of an available value through a pointer. Safe in
+// two cases: the fact IrrelevantPointee(Pointer) holds (nothing meaningful
+// reads the target), or the enclosing block has a DeadBlock fact.
+type AddStore struct {
+	Pointer spirv.ID `json:"pointer"`
+	Value   spirv.ID `json:"value"`
+	Block   spirv.ID `json:"block"`
+	Before  spirv.ID `json:"before,omitempty"`
+}
+
+// Type implements Transformation.
+func (t *AddStore) Type() string { return TypeAddStore }
+
+// Precondition: types match, both ids available at the insertion point, and
+// either the pointee is irrelevant or the block is dead.
+func (t *AddStore) Precondition(c *Context) bool {
+	pt := c.insertion(t.Block, t.Before)
+	if pt == nil {
+		return false
+	}
+	if !c.Facts.IsIrrelevantPointee(t.Pointer) && !c.Facts.IsDeadBlock(t.Block) {
+		return false
+	}
+	ptrType, ok := c.valueType(t.Pointer)
+	if !ok {
+		return false
+	}
+	_, pointee, ok := c.Mod.PointerInfo(ptrType)
+	if !ok {
+		return false
+	}
+	valType, ok := c.valueType(t.Value)
+	if !ok || valType != pointee {
+		return false
+	}
+	return c.AvailableAt(t.Pointer, pt.fn, pt.block, pt.index) &&
+		c.AvailableAt(t.Value, pt.fn, pt.block, pt.index)
+}
+
+// Apply inserts the store.
+func (t *AddStore) Apply(c *Context) {
+	pt := c.insertion(t.Block, t.Before)
+	InsertBefore(pt.block, pt.index,
+		spirv.NewInstr(spirv.OpStore, 0, 0, uint32(t.Pointer), uint32(t.Value)))
+}
+
+// AddLoad inserts a load through an available pointer into a fresh id.
+// Loads have no side effects, so this is safe at any program point; the
+// result is marked Irrelevant when the pointee is irrelevant.
+type AddLoad struct {
+	Fresh   spirv.ID `json:"fresh"`
+	Pointer spirv.ID `json:"pointer"`
+	Block   spirv.ID `json:"block"`
+	Before  spirv.ID `json:"before,omitempty"`
+}
+
+// Type implements Transformation.
+func (t *AddLoad) Type() string { return TypeAddLoad }
+
+// Precondition: the pointer is available at the insertion point.
+func (t *AddLoad) Precondition(c *Context) bool {
+	if !c.IsFreshID(t.Fresh) {
+		return false
+	}
+	pt := c.insertion(t.Block, t.Before)
+	if pt == nil {
+		return false
+	}
+	ptrType, ok := c.valueType(t.Pointer)
+	if !ok {
+		return false
+	}
+	if _, _, isPtr := c.Mod.PointerInfo(ptrType); !isPtr {
+		return false
+	}
+	return c.AvailableAt(t.Pointer, pt.fn, pt.block, pt.index)
+}
+
+// Apply inserts the load.
+func (t *AddLoad) Apply(c *Context) {
+	c.ClaimID(t.Fresh)
+	pt := c.insertion(t.Block, t.Before)
+	ptrType, _ := c.valueType(t.Pointer)
+	_, pointee, _ := c.Mod.PointerInfo(ptrType)
+	InsertBefore(pt.block, pt.index, spirv.NewInstr(spirv.OpLoad, pointee, t.Fresh, uint32(t.Pointer)))
+	if c.Facts.IsIrrelevantPointee(t.Pointer) {
+		c.Facts.MarkIrrelevant(t.Fresh)
+	}
+}
+
+func init() {
+	register(TypeCopyObject, func() Transformation { return &CopyObject{} })
+	register(TypeAddNoOpArithmetic, func() Transformation { return &AddNoOpArithmetic{} })
+	register(TypeCompositeConstructSynonym, func() Transformation { return &CompositeConstruct{} })
+	register(TypeCompositeExtractSynonym, func() Transformation { return &CompositeExtract{} })
+	register(TypeReplaceIdWithSynonym, func() Transformation { return &ReplaceIdWithSynonym{} })
+	register(TypeReplaceIrrelevantId, func() Transformation { return &ReplaceIrrelevantId{} })
+	register(TypeReplaceConstantWithUniform, func() Transformation { return &ReplaceConstantWithUniform{} })
+	register(TypeSwapCommutableOperands, func() Transformation { return &SwapCommutableOperands{} })
+	register(TypeAddStore, func() Transformation { return &AddStore{} })
+	register(TypeAddLoad, func() Transformation { return &AddLoad{} })
+}

@@ -1,0 +1,349 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/fact"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/testmod"
+)
+
+func TestCopyObjectTransformation(t *testing.T) {
+	c, want := baseline(t, testmod.Diamond())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	entry := fn.Entry()
+	x := entry.Body[1].Result // CompositeExtract result
+
+	tr := &fuzz.CopyObject{Fresh: m.Bound, Source: x, Block: entry.Label, Before: 0}
+	applyOK(t, c, tr)
+	renderEq(t, c, want)
+	if !c.Facts.AreSynonymous(fact.A(tr.Fresh), fact.A(x)) {
+		t.Fatal("synonym fact missing")
+	}
+
+	// Availability: copying a right-arm value into the left arm is rejected.
+	left, right := fn.Blocks[1], fn.Blocks[2]
+	rv := right.Body[0].Result
+	rejected(t, c, &fuzz.CopyObject{Fresh: m.Bound, Source: rv, Block: left.Label})
+	// Copying before its own definition is rejected.
+	rejected(t, c, &fuzz.CopyObject{Fresh: m.Bound, Source: x, Block: entry.Label, Before: entry.Body[0].Result})
+	// Types, labels and functions are not copyable values.
+	rejected(t, c, &fuzz.CopyObject{Fresh: m.Bound, Source: m.FindTypeBool(), Block: entry.Label})
+	rejected(t, c, &fuzz.CopyObject{Fresh: m.Bound, Source: left.Label, Block: entry.Label})
+	rejected(t, c, &fuzz.CopyObject{Fresh: m.Bound, Source: fn.ID(), Block: entry.Label})
+}
+
+func TestAddNoOpArithmeticTransformation(t *testing.T) {
+	c, want := baseline(t, testmod.Loop())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	header := fn.Blocks[1]
+	iPhi := header.Phis[0].Result // int ϕ
+	intT := m.TypeOf(iPhi)
+	zero := m.EnsureConstantWord(intT, 0)
+	one := m.EnsureConstantWord(intT, 1)
+
+	for _, tc := range []struct {
+		op      string
+		neutral spirv.ID
+	}{
+		{"OpIAdd", zero}, {"OpISub", zero}, {"OpIMul", one},
+		{"OpBitwiseOr", zero}, {"OpBitwiseXor", zero}, {"OpBitwiseAnd", 0},
+	} {
+		tr := &fuzz.AddNoOpArithmetic{
+			Fresh: m.Bound, Source: iPhi, Opcode: tc.op, Neutral: tc.neutral,
+			Block: header.Label, Before: 0,
+		}
+		applyOK(t, c, tr)
+		if !c.Facts.AreSynonymous(fact.A(tr.Fresh), fact.A(iPhi)) {
+			t.Fatalf("%s: synonym fact missing", tc.op)
+		}
+	}
+	renderEq(t, c, want)
+
+	// Wrong neutral constant, float source and bogus opcodes are rejected.
+	rejected(t, c, &fuzz.AddNoOpArithmetic{Fresh: m.Bound, Source: iPhi, Opcode: "OpIAdd", Neutral: one, Block: header.Label})
+	mergeBlk := fn.Blocks[len(fn.Blocks)-1]
+	floatVal := mergeBlk.Body[0].Result // ConvertSToF result
+	if !m.IsFloatType(m.TypeOf(floatVal)) {
+		t.Fatal("expected a float value in the merge block")
+	}
+	rejected(t, c, &fuzz.AddNoOpArithmetic{Fresh: m.Bound, Source: floatVal, Opcode: "OpIAdd", Neutral: zero, Block: mergeBlk.Label})
+	rejected(t, c, &fuzz.AddNoOpArithmetic{Fresh: m.Bound, Source: iPhi, Opcode: "OpFAdd", Neutral: zero, Block: header.Label})
+	rejected(t, c, &fuzz.AddNoOpArithmetic{Fresh: m.Bound, Source: iPhi, Opcode: "OpBogus", Neutral: zero, Block: header.Label})
+}
+
+func TestCompositeSynonymTransformations(t *testing.T) {
+	c, want := baseline(t, testmod.Diamond())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	entry := fn.Entry()
+	vec := entry.Body[0].Result // loaded coord, vec2
+	f32 := m.EnsureTypeFloat(32)
+
+	ex := &fuzz.CompositeExtract{Fresh: m.Bound, Composite: vec, Index: 1, Block: entry.Label, Before: 0}
+	applyOK(t, c, ex)
+	if !c.Facts.AreSynonymous(fact.A(ex.Fresh), fact.At(vec, 1)) {
+		t.Fatal("extract synonym missing")
+	}
+	rejected(t, c, &fuzz.CompositeExtract{Fresh: m.Bound, Composite: vec, Index: 5, Block: entry.Label})
+
+	x := entry.Body[1].Result
+	vecT := m.EnsureTypeVector(f32, 2)
+	ct := &fuzz.CompositeConstruct{
+		Fresh: m.Bound, TypeID: vecT, Members: []spirv.ID{x, ex.Fresh},
+		Block: entry.Label, Before: 0,
+	}
+	applyOK(t, c, ct)
+	renderEq(t, c, want)
+	if !c.Facts.AreSynonymous(fact.At(ct.Fresh, 0), fact.A(x)) ||
+		!c.Facts.AreSynonymous(fact.At(ct.Fresh, 1), fact.A(ex.Fresh)) {
+		t.Fatal("per-index construct synonyms missing")
+	}
+	// Transitively: construct[1] ~ vec[1] through the extract.
+	if !c.Facts.AreSynonymous(fact.At(ct.Fresh, 1), fact.At(vec, 1)) {
+		t.Fatal("synonym classes must be transitive")
+	}
+	rejected(t, c, &fuzz.CompositeConstruct{Fresh: m.Bound, TypeID: vecT, Members: []spirv.ID{x}, Block: entry.Label})
+	boolT := m.EnsureTypeBool()
+	rejected(t, c, &fuzz.CompositeConstruct{Fresh: m.Bound, TypeID: boolT, Members: []spirv.ID{x}, Block: entry.Label})
+}
+
+func TestReplaceIdWithSynonymTransformation(t *testing.T) {
+	c, want := baseline(t, testmod.Diamond())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	entry := fn.Entry()
+	x := entry.Body[1].Result // extract feeding the comparison
+	cmp := entry.Body[2]      // FOrdLessThan
+
+	// Without a synonym fact the replacement is rejected.
+	copyT := &fuzz.CopyObject{Fresh: m.Bound, Source: x, Block: entry.Label, Before: cmp.Result}
+	rejected(t, c, &fuzz.ReplaceIdWithSynonym{User: cmp.Result, OperandIndex: 0, Synonym: m.Bound})
+	applyOK(t, c, copyT)
+	tr := &fuzz.ReplaceIdWithSynonym{User: cmp.Result, OperandIndex: 0, Synonym: copyT.Fresh}
+	applyOK(t, c, tr)
+	renderEq(t, c, want)
+	if cmp.IDOperand(0) != copyT.Fresh {
+		t.Fatal("operand not replaced")
+	}
+	// Replacing with itself, at a non-id operand index, or where the synonym
+	// is unavailable, is rejected.
+	rejected(t, c, &fuzz.ReplaceIdWithSynonym{User: cmp.Result, OperandIndex: 0, Synonym: copyT.Fresh})
+	rejected(t, c, &fuzz.ReplaceIdWithSynonym{User: cmp.Result, OperandIndex: 7, Synonym: x})
+}
+
+func TestReplaceIrrelevantIdTransformation(t *testing.T) {
+	c, _ := baseline(t, testmod.Caller())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	helper := m.Functions[0]
+
+	// AddParameter marks the fresh parameter irrelevant; the call site's new
+	// argument (a trivial constant) can then be replaced... but the fact
+	// lives on the parameter id, and ReplaceIrrelevantId looks at the
+	// operand's fact. Use a live-safe call's argument instead: mark the
+	// constant-for-parameter flow via FunctionCall's result irrelevance.
+	intT := m.EnsureTypeInt(32, true)
+	newType := m.EnsureTypeFunction(helper.ReturnType(), m.EnsureTypeFloat(32), intT)
+	zero := m.EnsureConstantInt(0)
+	var call *spirv.Instruction
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Body {
+			if ins.Op == spirv.OpFunctionCall {
+				call = ins
+			}
+		}
+	}
+	ap := &fuzz.AddParameter{
+		Function:   helper.ID(),
+		FreshParam: m.Bound,
+		ParamType:  intT,
+		NewFnType:  newType,
+		CallArgs:   map[spirv.ID]spirv.ID{call.Result: zero},
+	}
+	applyOK(t, c, ap)
+	if !c.Facts.IsIrrelevant(ap.FreshParam) {
+		t.Fatal("fresh parameter must be Irrelevant")
+	}
+
+	// The helper never reads the new parameter, so any same-typed value can
+	// replace the argument at the (live-safe-style) call: ReplaceIrrelevantId
+	// permits replacing arguments whose current id is irrelevant — the
+	// constant zero is not itself irrelevant, so this path is rejected...
+	seven := m.EnsureConstantInt(7)
+	tr := &fuzz.ReplaceIrrelevantId{User: call.Result, OperandIndex: 2, Replacement: seven}
+	if tr.Precondition(c) {
+		t.Fatal("argument constant is not an irrelevant id; replacement must be rejected")
+	}
+}
+
+func TestReplaceConstantWithUniformTransformation(t *testing.T) {
+	// Matrix() declares a float uniform named "scale"; give it the value 0.5
+	// so the shader's 0.5 constants can be obfuscated.
+	m := testmod.Matrix()
+	in := interp.Inputs{W: 4, H: 4, Uniforms: map[string]interp.Value{"scale": interp.FloatVal(0.5)}}
+	c := fuzz.NewContext(m, in)
+	want, err := interp.Render(m, c.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := m.EntryPointFunction()
+	var user *spirv.Instruction
+	var opIdx int
+	halfVal := interp.FloatVal(0.5)
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Body {
+			if ins.Result == 0 {
+				continue
+			}
+			for _, oi := range ins.IDOperandIndices() {
+				if c.ConstantMatchesValue(spirv.ID(ins.Operands[oi]), halfVal) {
+					user, opIdx = ins, oi
+				}
+			}
+		}
+	}
+	if user == nil {
+		t.Fatal("no 0.5-constant use found")
+	}
+	var scaleVar spirv.ID
+	for _, ins := range m.TypesGlobals {
+		if ins.Op == spirv.OpVariable && ins.Operands[0] == spirv.StorageUniformConstant {
+			if v, ok := c.UniformValue(ins.Result); ok && v.Equal(halfVal) {
+				scaleVar = ins.Result
+			}
+		}
+	}
+	tr := &fuzz.ReplaceConstantWithUniform{
+		User: user.Result, OperandIndex: opIdx, UniformVar: scaleVar, FreshLoad: m.Bound,
+	}
+	applyOK(t, c, tr)
+	renderEq(t, c, want)
+	if spirv.ID(user.Operands[opIdx]) != tr.FreshLoad {
+		t.Fatal("constant use not redirected through the uniform load")
+	}
+	// Value-mismatched uniforms are rejected.
+	one := m.EnsureConstantFloat(1)
+	var oneUser *spirv.Instruction
+	for _, ins := range fn.Blocks[0].Body {
+		if ins.UsesID(one) && ins.Result != 0 {
+			oneUser = ins
+		}
+	}
+	if oneUser != nil {
+		for _, oi := range oneUser.IDOperandIndices() {
+			if spirv.ID(oneUser.Operands[oi]) == one {
+				rejected(t, c, &fuzz.ReplaceConstantWithUniform{
+					User: oneUser.Result, OperandIndex: oi, UniformVar: scaleVar, FreshLoad: m.Bound,
+				})
+			}
+		}
+	}
+}
+
+func TestSwapCommutableOperandsTransformation(t *testing.T) {
+	c, want := baseline(t, testmod.Loop())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	var add *spirv.Instruction
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Body {
+			if ins.Op == spirv.OpIAdd {
+				add = ins
+			}
+		}
+	}
+	a0, a1 := add.Operands[0], add.Operands[1]
+	applyOK(t, c, &fuzz.SwapCommutableOperands{Instr: add.Result})
+	renderEq(t, c, want)
+	if add.Operands[0] != a1 || add.Operands[1] != a0 {
+		t.Fatal("operands not swapped")
+	}
+	// Non-commutative ops are rejected.
+	var div *spirv.Instruction
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Body {
+			if ins.Op == spirv.OpFDiv {
+				div = ins
+			}
+		}
+	}
+	if div != nil {
+		rejected(t, c, &fuzz.SwapCommutableOperands{Instr: div.Result})
+	}
+	rejected(t, c, &fuzz.SwapCommutableOperands{Instr: 9999})
+}
+
+func TestAddStoreAndLoadTransformations(t *testing.T) {
+	c, want := baseline(t, testmod.Diamond())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	entry := fn.Entry()
+	f32 := m.EnsureTypeFloat(32)
+	ptrT := m.EnsureTypePointer(spirv.StorageFunction, f32)
+
+	// A store through a pointer with no IrrelevantPointee fact, outside any
+	// dead block, is rejected (it could change semantics).
+	lv := &fuzz.AddLocalVariable{Fresh: m.Bound, PtrType: ptrT, Function: fn.ID()}
+	applyOK(t, c, lv)
+	x := entry.Body[2].Result // extract (float)... entry gained the variable at [0]
+	st := &fuzz.AddStore{Pointer: lv.Fresh, Value: x, Block: entry.Label, Before: 0}
+	applyOK(t, c, st) // pointer is IrrelevantPointee, so allowed anywhere
+	renderEq(t, c, want)
+
+	// Loads are safe anywhere; result of loading an irrelevant pointee is
+	// itself irrelevant.
+	ld := &fuzz.AddLoad{Fresh: m.Bound, Pointer: lv.Fresh, Block: entry.Label, Before: 0}
+	applyOK(t, c, ld)
+	renderEq(t, c, want)
+	if !c.Facts.IsIrrelevant(ld.Fresh) {
+		t.Fatal("load of irrelevant pointee must be irrelevant")
+	}
+
+	// Storing through the *output* variable (relevant!) is rejected.
+	var outVar spirv.ID
+	for _, ins := range m.TypesGlobals {
+		if ins.Op == spirv.OpVariable && ins.Operands[0] == spirv.StorageOutput {
+			outVar = ins.Result
+		}
+	}
+	vec4 := m.EnsureTypeVector(f32, 4)
+	zero4 := m.EnsureConstantComposite(vec4,
+		m.EnsureConstantFloat(0), m.EnsureConstantFloat(0), m.EnsureConstantFloat(0), m.EnsureConstantFloat(0))
+	rejected(t, c, &fuzz.AddStore{Pointer: outVar, Value: zero4, Block: entry.Label})
+
+	// Type mismatches are rejected even for irrelevant pointees.
+	one := m.EnsureConstantInt(1)
+	rejected(t, c, &fuzz.AddStore{Pointer: lv.Fresh, Value: one, Block: entry.Label})
+	// Loads through non-pointers are rejected.
+	rejected(t, c, &fuzz.AddLoad{Fresh: m.Bound, Pointer: x, Block: entry.Label})
+}
+
+func TestAddStoreAllowedInDeadBlock(t *testing.T) {
+	c, want := baseline(t, testmod.Diamond())
+	m := c.Mod
+	fn := m.EntryPointFunction()
+	left := fn.Blocks[1]
+	trueC := m.EnsureConstantBool(true)
+	dead := &fuzz.AddDeadBlock{Fresh: m.Bound, Block: left.Label, TrueConst: trueC}
+	applyOK(t, c, dead)
+
+	// Store through the *output* variable inside the dead block: allowed,
+	// because the block never executes.
+	var outVar spirv.ID
+	for _, ins := range m.TypesGlobals {
+		if ins.Op == spirv.OpVariable && ins.Operands[0] == spirv.StorageOutput {
+			outVar = ins.Result
+		}
+	}
+	f32 := m.EnsureTypeFloat(32)
+	vec4 := m.EnsureTypeVector(f32, 4)
+	z := m.EnsureConstantFloat(0)
+	zero4 := m.EnsureConstantComposite(vec4, z, z, z, z)
+	applyOK(t, c, &fuzz.AddStore{Pointer: outVar, Value: zero4, Block: dead.Fresh})
+	renderEq(t, c, want)
+}

@@ -1,0 +1,320 @@
+package glslfuzz
+
+import (
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+)
+
+// apply performs one instance against m, returning false when the instance
+// is not (or no longer) applicable. Fresh ids are allocated on the fly —
+// deliberately, to model glsl-fuzz's lack of transformation independence.
+func apply(m *spirv.Module, inputs interp.Inputs, inst Instance) bool {
+	fn := m.EntryPointFunction()
+	if fn == nil {
+		return false
+	}
+	switch inst.Kind {
+	case KindWrapConditional:
+		return applyWrapConditional(m, inputs, fn, inst)
+	case KindInjectDeadCode:
+		return applyInjectDeadCode(m, inputs, fn, inst)
+	case KindIdentityChain:
+		return applyIdentityChain(m, fn, inst)
+	case KindSingleIterLoop:
+		return applySingleIterLoop(m, fn, inst)
+	case KindSwizzleRoundTrip:
+		return applySwizzleRoundTrip(m, fn, inst)
+	}
+	return false
+}
+
+// bodyDefsEscape reports whether any id defined in b's body is used outside
+// b's body (wrapping kinds move the body into a block that no longer
+// dominates the join).
+func bodyDefsEscape(fn *spirv.Function, b *spirv.Block) bool {
+	defined := make(map[spirv.ID]bool)
+	for _, ins := range b.Body {
+		if ins.Result != 0 {
+			defined[ins.Result] = true
+		}
+	}
+	if len(defined) == 0 {
+		return false
+	}
+	escapes := false
+	for _, ob := range fn.Blocks {
+		if ob == b {
+			continue
+		}
+		ob.Instructions(func(ins *spirv.Instruction) {
+			ins.Uses(func(id spirv.ID) {
+				if defined[id] {
+					escapes = true
+				}
+			})
+		})
+	}
+	return escapes
+}
+
+func retargetPhis(b *spirv.Block, old, new spirv.ID) {
+	for _, phi := range b.Phis {
+		for i := 1; i < len(phi.Operands); i += 2 {
+			if spirv.ID(phi.Operands[i]) == old {
+				phi.Operands[i] = uint32(new)
+			}
+		}
+	}
+}
+
+func insertBlockAfter(fn *spirv.Function, after *spirv.Block, blocks ...*spirv.Block) {
+	for i, blk := range fn.Blocks {
+		if blk == after {
+			rest := append(append([]*spirv.Block{}, blocks...), fn.Blocks[i+1:]...)
+			fn.Blocks = append(fn.Blocks[:i+1:i+1], rest...)
+			return
+		}
+	}
+	fn.Blocks = append(fn.Blocks, blocks...)
+}
+
+// uniformFloatOver checks that the module has a float uniform with the given
+// name whose input value makes (value > threshold) equal to want, and
+// returns the variable id. This is how the simulated glsl-fuzz knows its
+// injected conditions are tautological (GraphicsFuzz's injectionSwitch).
+func uniformFloatOver(m *spirv.Module, inputs interp.Inputs, name string, threshold float32, want bool) (spirv.ID, bool) {
+	v := uniformNamed(m, name)
+	if v == 0 {
+		return 0, false
+	}
+	val, ok := inputs.Uniforms[name]
+	if !ok || val.Kind != interp.KindFloat || (val.F > threshold) != want {
+		return 0, false
+	}
+	def := m.Def(v)
+	if _, pointee, ok := m.PointerInfo(def.Type); !ok || !m.IsFloatType(pointee) {
+		return 0, false
+	}
+	return v, true
+}
+
+// applyWrapConditional wraps the body of a block in "if (u_one > 0.0)",
+// loading the uniform, comparing, and sprinkling identity arithmetic inside
+// the wrapped region — one coarse edit of ~10 instructions.
+func applyWrapConditional(m *spirv.Module, inputs interp.Inputs, fn *spirv.Function, inst Instance) bool {
+	b := fn.Block(inst.Block)
+	if b == nil || b.Merge != nil || b.Term == nil || bodyDefsEscape(fn, b) {
+		return false
+	}
+	if b.Term.Op != spirv.OpBranch && b.Term.Op != spirv.OpReturn {
+		return false
+	}
+	uni, ok := uniformFloatOver(m, inputs, "u_one", 0, true)
+	if !ok {
+		return false
+	}
+	f32 := m.EnsureTypeFloat(32)
+	boolT := m.EnsureTypeBool()
+	zero := m.EnsureConstantFloat(0)
+	one := m.EnsureConstantFloat(1)
+	succ := branchTarget(b.Term)
+
+	load := spirv.NewInstr(spirv.OpLoad, f32, m.FreshID(), uint32(uni))
+	cmp := spirv.NewInstr(spirv.OpFOrdGreaterThan, boolT, m.FreshID(), uint32(load.Result), uint32(zero))
+	inner := &spirv.Block{Label: m.FreshID()}
+	mergeB := &spirv.Block{Label: m.FreshID(), Term: b.Term}
+
+	// The wrapped body, prefixed with identity arithmetic on the loaded
+	// uniform (junk the real glsl-fuzz scatters into injected regions).
+	junk1 := spirv.NewInstr(spirv.OpFMul, f32, m.FreshID(), uint32(load.Result), uint32(one))
+	junk2 := spirv.NewInstr(spirv.OpFDiv, f32, m.FreshID(), uint32(junk1.Result), uint32(one))
+	inner.Body = append([]*spirv.Instruction{junk1, junk2}, b.Body...)
+	inner.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(mergeB.Label))
+
+	b.Body = []*spirv.Instruction{load, cmp}
+	b.Merge = spirv.NewInstr(spirv.OpSelectionMerge, 0, 0, uint32(mergeB.Label), spirv.SelectionControlNone)
+	b.Term = spirv.NewInstr(spirv.OpBranchConditional, 0, 0, uint32(cmp.Result), uint32(inner.Label), uint32(mergeB.Label))
+	insertBlockAfter(fn, b, inner, mergeB)
+	if sb := fn.Block(succ); succ != 0 && sb != nil {
+		retargetPhis(sb, b.Label, mergeB.Label)
+	}
+	return true
+}
+
+// applyInjectDeadCode appends "if (u_half > 0.6) { junk stores }" to a
+// block: the condition is false at runtime, so the junk never executes.
+func applyInjectDeadCode(m *spirv.Module, inputs interp.Inputs, fn *spirv.Function, inst Instance) bool {
+	b := fn.Block(inst.Block)
+	if b == nil || b.Merge != nil || b.Term == nil {
+		return false
+	}
+	if b.Term.Op != spirv.OpBranch && b.Term.Op != spirv.OpReturn {
+		return false
+	}
+	uni, ok := uniformFloatOver(m, inputs, "u_half", 0.6, false)
+	if !ok {
+		return false
+	}
+	f32 := m.EnsureTypeFloat(32)
+	boolT := m.EnsureTypeBool()
+	thr := m.EnsureConstantFloat(0.6)
+	two := m.EnsureConstantFloat(2)
+	succ := branchTarget(b.Term)
+
+	// A fresh private scratch variable the junk stores to; nothing reads it.
+	scratchPtr := m.EnsureTypePointer(spirv.StoragePrivate, f32)
+	scratch := m.FreshID()
+	m.TypesGlobals = append(m.TypesGlobals, spirv.NewInstr(spirv.OpVariable, scratchPtr, scratch, spirv.StoragePrivate))
+
+	load := spirv.NewInstr(spirv.OpLoad, f32, m.FreshID(), uint32(uni))
+	cmp := spirv.NewInstr(spirv.OpFOrdGreaterThan, boolT, m.FreshID(), uint32(load.Result), uint32(thr))
+	junkBlk := &spirv.Block{Label: m.FreshID()}
+	mergeB := &spirv.Block{Label: m.FreshID(), Term: b.Term}
+
+	j1 := spirv.NewInstr(spirv.OpFAdd, f32, m.FreshID(), uint32(load.Result), uint32(thr))
+	j2 := spirv.NewInstr(spirv.OpFMul, f32, m.FreshID(), uint32(j1.Result), uint32(two))
+	st := spirv.NewInstr(spirv.OpStore, 0, 0, uint32(scratch), uint32(j2.Result))
+	junkBlk.Body = []*spirv.Instruction{j1, j2, st}
+	junkBlk.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(mergeB.Label))
+
+	b.Body = append(b.Body, load, cmp)
+	b.Merge = spirv.NewInstr(spirv.OpSelectionMerge, 0, 0, uint32(mergeB.Label), spirv.SelectionControlNone)
+	b.Term = spirv.NewInstr(spirv.OpBranchConditional, 0, 0, uint32(cmp.Result), uint32(junkBlk.Label), uint32(mergeB.Label))
+	insertBlockAfter(fn, b, junkBlk, mergeB)
+	if sb := fn.Block(succ); succ != 0 && sb != nil {
+		retargetPhis(sb, b.Label, mergeB.Label)
+	}
+	return true
+}
+
+// branchTarget returns the target of an unconditional branch, or 0 for
+// other terminators (whose blocks have no successor to repair).
+func branchTarget(term *spirv.Instruction) spirv.ID {
+	if term.Op == spirv.OpBranch {
+		return term.IDOperand(0)
+	}
+	return 0
+}
+
+// replaceUsesExcept rewrites uses of old to new across the function, except
+// in the instructions listed in skip.
+func replaceUsesExcept(fn *spirv.Function, old, new spirv.ID, skip map[*spirv.Instruction]bool) {
+	for _, b := range fn.Blocks {
+		b.Instructions(func(ins *spirv.Instruction) {
+			if skip[ins] {
+				return
+			}
+			ins.MapUses(func(id spirv.ID) spirv.ID {
+				if id == old {
+					return new
+				}
+				return id
+			})
+		})
+	}
+}
+
+// applyIdentityChain rewrites uses of a scalar value v to (v*1.0)/1.0 (or
+// (v+0)*1 for integers), inserting the chain right after v's definition.
+func applyIdentityChain(m *spirv.Module, fn *spirv.Function, inst Instance) bool {
+	for _, b := range fn.Blocks {
+		for i, ins := range b.Body {
+			if ins.Result != inst.Value {
+				continue
+			}
+			typ := ins.Type
+			var c1, c2 *spirv.Instruction
+			switch {
+			case m.IsFloatType(typ):
+				one := m.EnsureConstantFloat(1)
+				c1 = spirv.NewInstr(spirv.OpFMul, typ, m.FreshID(), uint32(ins.Result), uint32(one))
+				c2 = spirv.NewInstr(spirv.OpFDiv, typ, m.FreshID(), uint32(c1.Result), uint32(one))
+			case m.IsIntType(typ):
+				zero := m.EnsureConstantWord(typ, 0)
+				oneI := m.EnsureConstantWord(typ, 1)
+				c1 = spirv.NewInstr(spirv.OpIAdd, typ, m.FreshID(), uint32(ins.Result), uint32(zero))
+				c2 = spirv.NewInstr(spirv.OpIMul, typ, m.FreshID(), uint32(c1.Result), uint32(oneI))
+			default:
+				return false
+			}
+			b.Body = append(b.Body[:i+1:i+1], append([]*spirv.Instruction{c1, c2}, b.Body[i+1:]...)...)
+			replaceUsesExcept(fn, ins.Result, c2.Result, map[*spirv.Instruction]bool{ins: true, c1: true, c2: true})
+			return true
+		}
+	}
+	return false
+}
+
+// applySwizzleRoundTrip rewrites uses of a vector value v to an identity
+// VectorShuffle of v with itself.
+func applySwizzleRoundTrip(m *spirv.Module, fn *spirv.Function, inst Instance) bool {
+	for _, b := range fn.Blocks {
+		for i, ins := range b.Body {
+			if ins.Result != inst.Value {
+				continue
+			}
+			elemN, n, ok := m.VectorInfo(ins.Type)
+			if !ok || !m.IsFloatType(elemN) && !m.IsIntType(elemN) && !m.IsBoolType(elemN) {
+				return false
+			}
+			ops := []uint32{uint32(ins.Result), uint32(ins.Result)}
+			for c := 0; c < n; c++ {
+				ops = append(ops, uint32(c))
+			}
+			sh := spirv.NewInstr(spirv.OpVectorShuffle, ins.Type, m.FreshID(), ops...)
+			b.Body = append(b.Body[:i+1:i+1], append([]*spirv.Instruction{sh}, b.Body[i+1:]...)...)
+			replaceUsesExcept(fn, ins.Result, sh.Result, map[*spirv.Instruction]bool{ins: true, sh: true})
+			return true
+		}
+	}
+	return false
+}
+
+// applySingleIterLoop wraps a block's body in a loop that executes exactly
+// once — the classic GLFuzz transformation.
+func applySingleIterLoop(m *spirv.Module, fn *spirv.Function, inst Instance) bool {
+	b := fn.Block(inst.Block)
+	if b == nil || b.Merge != nil || b.Term == nil || bodyDefsEscape(fn, b) {
+		return false
+	}
+	if b.Term.Op != spirv.OpBranch && b.Term.Op != spirv.OpReturn {
+		return false
+	}
+	i32 := m.EnsureTypeInt(32, true)
+	boolT := m.EnsureTypeBool()
+	zero := m.EnsureConstantInt(0)
+	oneI := m.EnsureConstantInt(1)
+	succ := branchTarget(b.Term)
+
+	header := &spirv.Block{Label: m.FreshID()}
+	check := &spirv.Block{Label: m.FreshID()}
+	inner := &spirv.Block{Label: m.FreshID()}
+	cont := &spirv.Block{Label: m.FreshID()}
+	mergeB := &spirv.Block{Label: m.FreshID(), Term: b.Term}
+
+	iPhi := m.FreshID()
+	iNext := m.FreshID()
+	header.Phis = []*spirv.Instruction{
+		spirv.NewInstr(spirv.OpPhi, i32, iPhi, uint32(zero), uint32(b.Label), uint32(iNext), uint32(cont.Label)),
+	}
+	header.Merge = spirv.NewInstr(spirv.OpLoopMerge, 0, 0, uint32(mergeB.Label), uint32(cont.Label), spirv.LoopControlNone)
+	header.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(check.Label))
+
+	cmp := spirv.NewInstr(spirv.OpSLessThan, boolT, m.FreshID(), uint32(iPhi), uint32(oneI))
+	check.Body = []*spirv.Instruction{cmp}
+	check.Term = spirv.NewInstr(spirv.OpBranchConditional, 0, 0, uint32(cmp.Result), uint32(inner.Label), uint32(mergeB.Label))
+
+	inner.Body = b.Body
+	inner.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(cont.Label))
+
+	cont.Body = []*spirv.Instruction{spirv.NewInstr(spirv.OpIAdd, i32, iNext, uint32(iPhi), uint32(oneI))}
+	cont.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(header.Label))
+
+	b.Body = nil
+	b.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(header.Label))
+	insertBlockAfter(fn, b, header, check, inner, cont, mergeB)
+	if sb := fn.Block(succ); succ != 0 && sb != nil {
+		retargetPhis(sb, b.Label, mergeB.Label)
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package glslfuzz_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/glslfuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+func TestBaselinePreservesSemantics(t *testing.T) {
+	for _, item := range corpus.References() {
+		want, err := interp.Render(item.Mod, item.Inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", item.Name, err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			res := glslfuzz.Fuzz(item.Mod, item.Inputs, glslfuzz.Options{Seed: seed})
+			if err := validate.Module(res.Variant); err != nil {
+				t.Fatalf("%s seed %d: invalid variant: %v\n%s", item.Name, seed, err, res.Variant)
+			}
+			got, err := interp.Render(res.Variant, item.Inputs)
+			if err != nil {
+				t.Fatalf("%s seed %d: variant faults: %v", item.Name, seed, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s seed %d: image changed after %d instances", item.Name, seed, len(res.Instances))
+			}
+		}
+	}
+}
+
+func TestBaselineAppliesCoarseInstances(t *testing.T) {
+	item := corpus.References()[0]
+	res := glslfuzz.Fuzz(item.Mod, item.Inputs, glslfuzz.Options{Seed: 1})
+	if len(res.Instances) == 0 {
+		t.Fatal("no instances applied")
+	}
+	grown := res.Variant.InstructionCount() - item.Mod.InstructionCount()
+	perInstance := float64(grown) / float64(len(res.Instances))
+	if perInstance < 2 {
+		t.Fatalf("instances too fine-grained for the baseline: %.1f instructions each", perInstance)
+	}
+}
+
+func TestBaselineReplayMatches(t *testing.T) {
+	item := corpus.References()[5]
+	res := glslfuzz.Fuzz(item.Mod, item.Inputs, glslfuzz.Options{Seed: 9})
+	replayed := glslfuzz.Replay(item.Mod, item.Inputs, res.Instances)
+	if replayed.String() != res.Variant.String() {
+		t.Fatal("replay diverged")
+	}
+}
+
+func TestBaselineReducer(t *testing.T) {
+	item := corpus.References()[0]
+	res := glslfuzz.Fuzz(item.Mod, item.Inputs, glslfuzz.Options{Seed: 2, MaxInstances: 8})
+	if len(res.Instances) < 3 {
+		t.Skip("not enough instances")
+	}
+	// Interestingness: the variant contains a loop (OpLoopMerge) — only
+	// instances that build loops are needed.
+	interesting := func(m *spirv.Module) bool {
+		found := false
+		m.ForEachInstruction(func(ins *spirv.Instruction) {
+			if ins.Op == spirv.OpLoopMerge {
+				found = true
+			}
+		})
+		return found
+	}
+	if !interesting(res.Variant) {
+		t.Skip("seed produced no loop instance")
+	}
+	reduced, variant := glslfuzz.Reduce(item.Mod, item.Inputs, res.Instances, interesting)
+	if len(reduced) >= len(res.Instances) {
+		t.Fatalf("reducer removed nothing (%d instances)", len(reduced))
+	}
+	if !interesting(variant) {
+		t.Fatal("reduced variant no longer interesting")
+	}
+	for _, inst := range reduced {
+		if inst.Kind != glslfuzz.KindSingleIterLoop {
+			t.Fatalf("unnecessary instance kind %s retained", inst.Kind)
+		}
+	}
+}
+
+func TestBaselineSubsetsStayValid(t *testing.T) {
+	item := corpus.References()[3]
+	want, err := interp.Render(item.Mod, item.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := glslfuzz.Fuzz(item.Mod, item.Inputs, glslfuzz.Options{Seed: 4, MaxInstances: 10})
+	n := len(res.Instances)
+	for drop := 0; drop < n; drop++ {
+		subset := append(append([]glslfuzz.Instance{}, res.Instances[:drop]...), res.Instances[drop+1:]...)
+		m := glslfuzz.Replay(item.Mod, item.Inputs, subset)
+		if err := validate.Module(m); err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		got, err := interp.Render(m, item.Inputs)
+		if err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("drop %d: image changed", drop)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package harness is the gfauto analogue (Section 3.2): it runs fuzzing
+// campaigns against the simulated targets, classifies outcomes into crash
+// signatures and miscompilations, drives reduction, and aggregates the
+// statistics the paper's tables report.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/glslfuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+)
+
+// Tool identifies a fuzzer configuration under evaluation (Section 4.1).
+type Tool string
+
+// The three tool configurations of Table 3.
+const (
+	ToolSpirvFuzz       Tool = "spirv-fuzz"
+	ToolSpirvFuzzSimple Tool = "spirv-fuzz-simple" // recommendations disabled
+	ToolGlslFuzz        Tool = "glsl-fuzz"
+)
+
+// Outcome is the result of running one generated test on one target.
+type Outcome struct {
+	Tool      Tool
+	Target    string
+	Reference string
+	Seed      int64
+	// Signature is empty when no bug was found; otherwise a crash signature
+	// or target.MiscompilationSignature.
+	Signature string
+	// Variant and the original inputs, kept for reduction experiments.
+	Original *spirv.Module
+	Variant  *spirv.Module
+	Inputs   interp.Inputs
+	// VariantInputs are the inputs the variant executes on; they differ from
+	// Inputs when input-modifying transformations were applied.
+	VariantInputs interp.Inputs
+	// Transformations is the spirv-fuzz sequence (nil for glsl-fuzz).
+	Transformations []fuzz.Transformation
+	// Instances is the glsl-fuzz instance list (nil for spirv-fuzz).
+	Instances []glslfuzz.Instance
+}
+
+// Bug reports whether the outcome found a bug.
+func (o *Outcome) Bug() bool { return o.Signature != "" }
+
+// classify compares the behaviour of the original and the variant on the
+// target per Figure 1 / Theorem 2.6 and returns the bug signature, or "".
+func classify(tg *target.Target, original, variant *spirv.Module, origIn, varIn interp.Inputs) (string, error) {
+	origImg, origCrash := tg.Run(original, origIn)
+	if origCrash != nil {
+		return "", fmt.Errorf("harness: original crashes on %s: %s", tg.Name, origCrash.Signature)
+	}
+	varImg, varCrash := tg.Run(variant, varIn)
+	if varCrash != nil {
+		return varCrash.Signature, nil
+	}
+	if tg.CanRender && varImg != nil && origImg != nil && !varImg.Equal(origImg) {
+		return target.MiscompilationSignature, nil
+	}
+	return "", nil
+}
+
+// RunOne generates one test with the given tool and seed from the reference
+// item, runs it on the target, and classifies the outcome.
+func RunOne(tool Tool, item corpus.Item, seed int64, tg *target.Target, donors []*spirv.Module) (*Outcome, error) {
+	out := &Outcome{
+		Tool:      tool,
+		Target:    tg.Name,
+		Reference: item.Name,
+		Seed:      seed,
+		Original:  item.Mod,
+		Inputs:    item.Inputs,
+	}
+	switch tool {
+	case ToolSpirvFuzz, ToolSpirvFuzzSimple:
+		// Campaigns are throughput-bound, so each test gets a moderate pass
+		// budget — the regime where the recommendations strategy pays off
+		// (with an unbounded budget both configurations saturate the same
+		// opportunities).
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:                  seed,
+			Donors:                donors,
+			EnableRecommendations: tool == ToolSpirvFuzz,
+			MinPasses:             5,
+			MaxPasses:             14,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Variant = res.Variant
+		out.VariantInputs = res.Inputs
+		out.Transformations = res.Transformations
+	case ToolGlslFuzz:
+		res := glslfuzz.Fuzz(item.Mod, item.Inputs, glslfuzz.Options{Seed: seed})
+		out.Variant = res.Variant
+		out.VariantInputs = item.Inputs
+		out.Instances = res.Instances
+	default:
+		return nil, fmt.Errorf("harness: unknown tool %q", tool)
+	}
+	sig, err := classify(tg, item.Mod, out.Variant, item.Inputs, out.VariantInputs)
+	if err != nil {
+		return nil, err
+	}
+	out.Signature = sig
+	return out, nil
+}
+
+// CampaignResult aggregates one tool's campaign over all targets.
+type CampaignResult struct {
+	Tool Tool
+	// Signatures[target] is the set of distinct bug signatures observed.
+	Signatures map[string]map[string]bool
+	// GroupSignatures[target][g] is the distinct-signature count within
+	// disjoint test group g (Table 3's median/MWU populations).
+	GroupSignatures map[string][]int
+	// BugOutcomes holds every bug-finding outcome, for reduction and
+	// deduplication experiments.
+	BugOutcomes []*Outcome
+	// Tests is the number of generated tests.
+	Tests int
+}
+
+// Campaign runs tests tests with the tool, each executed against every
+// target, splitting the tests into groups disjoint groups for statistics.
+// Each test uses reference refs[seed mod len(refs)] with a distinct seed
+// offset by the tool's hash so tool configurations use disjoint seeds, as in
+// the paper.
+func Campaign(tool Tool, tests, groups int, refs []corpus.Item, targets []*target.Target, donors []*spirv.Module) (*CampaignResult, error) {
+	if groups <= 0 {
+		groups = 1
+	}
+	res := &CampaignResult{
+		Tool:            tool,
+		Signatures:      make(map[string]map[string]bool),
+		GroupSignatures: make(map[string][]int),
+		Tests:           tests,
+	}
+	groupSets := make(map[string][]map[string]bool)
+	for _, tg := range targets {
+		res.Signatures[tg.Name] = make(map[string]bool)
+		groupSets[tg.Name] = make([]map[string]bool, groups)
+		for g := range groupSets[tg.Name] {
+			groupSets[tg.Name][g] = make(map[string]bool)
+		}
+	}
+	seedBase := int64(0)
+	switch tool {
+	case ToolSpirvFuzzSimple:
+		seedBase = 1 << 32
+	case ToolGlslFuzz:
+		seedBase = 2 << 32
+	}
+	groupSize := (tests + groups - 1) / groups
+
+	// Tests are independent — generate and classify them in parallel, then
+	// merge in index order so results stay deterministic.
+	perTest := make([][]*Outcome, tests)
+	errs := make([]error, tests)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < tests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			item := refs[i%len(refs)]
+			seed := seedBase + int64(i)
+			// Generate once, classify against every target (the variant
+			// does not depend on the target).
+			var generated *Outcome
+			for _, tg := range targets {
+				var o *Outcome
+				var err error
+				if generated == nil {
+					o, err = RunOne(tool, item, seed, tg, donors)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					generated = o
+				} else {
+					o = &Outcome{
+						Tool: tool, Target: tg.Name, Reference: item.Name, Seed: seed,
+						Original: generated.Original, Variant: generated.Variant,
+						Inputs: generated.Inputs, VariantInputs: generated.VariantInputs,
+						Transformations: generated.Transformations,
+						Instances:       generated.Instances,
+					}
+					sig, err := classify(tg, o.Original, o.Variant, o.Inputs, o.VariantInputs)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					o.Signature = sig
+				}
+				if o.Bug() {
+					perTest[i] = append(perTest[i], o)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < tests; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		g := i / groupSize
+		if g >= groups {
+			g = groups - 1
+		}
+		for _, o := range perTest[i] {
+			res.Signatures[o.Target][o.Signature] = true
+			groupSets[o.Target][g][o.Signature] = true
+			res.BugOutcomes = append(res.BugOutcomes, o)
+		}
+	}
+	for _, tg := range targets {
+		counts := make([]int, groups)
+		for g, set := range groupSets[tg.Name] {
+			counts[g] = len(set)
+		}
+		res.GroupSignatures[tg.Name] = counts
+	}
+	return res, nil
+}

@@ -1,0 +1,223 @@
+package harness_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/dedup"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/target"
+)
+
+func smallCampaign(t *testing.T, tool harness.Tool, tests int) *harness.CampaignResult {
+	t.Helper()
+	res, err := harness.Campaign(tool, tests, 4, corpus.References(), target.All(), corpus.Donors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignFindsBugs(t *testing.T) {
+	res := smallCampaign(t, harness.ToolSpirvFuzz, 30)
+	totalSigs := 0
+	for _, sigs := range res.Signatures {
+		totalSigs += len(sigs)
+	}
+	if totalSigs < 5 {
+		t.Fatalf("campaign of 30 tests found only %d signatures across all targets", totalSigs)
+	}
+	if len(res.BugOutcomes) == 0 {
+		t.Fatal("no bug outcomes recorded")
+	}
+	// Group counts must partition sensibly.
+	for tgt, groups := range res.GroupSignatures {
+		if len(groups) != 4 {
+			t.Fatalf("%s: %d groups, want 4", tgt, len(groups))
+		}
+	}
+}
+
+func TestCampaignOutcomesReplay(t *testing.T) {
+	res := smallCampaign(t, harness.ToolSpirvFuzz, 15)
+	for _, o := range res.BugOutcomes[:min(len(res.BugOutcomes), 5)] {
+		replayed, _ := fuzz.Replay(o.Original, o.Inputs, o.Transformations)
+		if replayed.String() != o.Variant.String() {
+			t.Fatalf("outcome %s/%d does not replay", o.Target, o.Seed)
+		}
+	}
+}
+
+func TestGlslFuzzCampaignRuns(t *testing.T) {
+	res := smallCampaign(t, harness.ToolGlslFuzz, 30)
+	// The baseline must find *some* bugs (it shares several defect triggers)
+	// but must find nothing on the spirv-opt targets (its features never
+	// reach the optimizer-only defects) — the Table 3 shape.
+	total := 0
+	for _, sigs := range res.Signatures {
+		total += len(sigs)
+	}
+	if total == 0 {
+		t.Fatal("baseline found nothing at all")
+	}
+	if n := len(res.Signatures["spirv-opt"]); n > 0 {
+		t.Errorf("glsl-fuzz found %d spirv-opt signatures; expected 0 (Table 3 shape)", n)
+	}
+}
+
+func TestReduceCrashOutcome(t *testing.T) {
+	res := smallCampaign(t, harness.ToolSpirvFuzz, 20)
+	var crashOutcome *harnessOutcome
+	for _, o := range res.BugOutcomes {
+		if o.Signature != target.MiscompilationSignature && len(o.Transformations) > 3 {
+			crashOutcome = &harnessOutcome{o}
+			break
+		}
+	}
+	if crashOutcome == nil {
+		t.Skip("no crash outcome in small campaign")
+	}
+	o := crashOutcome.o
+	tg := target.ByName(o.Target)
+	interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
+	if !interesting(o.Variant, o.VariantInputs) {
+		t.Fatal("unreduced variant not interesting")
+	}
+	r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+	if len(r.Sequence) > len(o.Transformations) {
+		t.Fatal("reduction grew the sequence")
+	}
+	if !interesting(r.Variant, r.Inputs) {
+		t.Fatal("reduced variant no longer triggers the bug")
+	}
+	unreducedDelta := o.Variant.InstructionCount() - o.Original.InstructionCount()
+	if r.Delta > unreducedDelta {
+		t.Fatalf("reduced delta %d exceeds unreduced delta %d", r.Delta, unreducedDelta)
+	}
+	// 1-minimality of the delta-debugged core (AddFunction shrinking aside):
+	// dropping any single kept transformation must break the bug... this is
+	// guaranteed by core.Reduce, so just sanity-check a couple.
+	for i := 0; i < len(r.Kept) && i < 3; i++ {
+		keep := append(append([]int{}, r.Kept[:i]...), r.Kept[i+1:]...)
+		ctx, _ := fuzz.ReplaySubsequenceContext(o.Original, o.Inputs, o.Transformations, keep)
+		if interesting(ctx.Mod, ctx.Inputs) && len(r.Sequence) == len(r.Kept) {
+			t.Fatalf("sequence not 1-minimal: index %d removable", r.Kept[i])
+		}
+	}
+}
+
+type harnessOutcome struct{ o *harness.Outcome }
+
+func TestReduceMiscompilationOutcome(t *testing.T) {
+	res := smallCampaign(t, harness.ToolSpirvFuzz, 40)
+	var mis *harness.Outcome
+	for _, o := range res.BugOutcomes {
+		if o.Signature == target.MiscompilationSignature {
+			mis = o
+			break
+		}
+	}
+	if mis == nil {
+		t.Skip("no miscompilation in small campaign")
+	}
+	tg := target.ByName(mis.Target)
+	interesting := reduce.ForOutcome(tg, mis.Original, mis.Inputs, mis.Signature)
+	if !interesting(mis.Variant, mis.VariantInputs) {
+		t.Fatal("unreduced miscompiling variant not interesting")
+	}
+	r := reduce.Reduce(mis.Original, mis.Inputs, mis.Transformations, interesting)
+	if !interesting(r.Variant, r.Inputs) {
+		t.Fatal("reduced variant no longer miscompiles")
+	}
+	if len(r.Sequence) == 0 {
+		t.Fatal("empty sequence cannot miscompile")
+	}
+}
+
+func TestDedupOnReducedCases(t *testing.T) {
+	res := smallCampaign(t, harness.ToolSpirvFuzz, 40)
+	var cases []dedup.Case
+	for i, o := range res.BugOutcomes {
+		if o.Signature == target.MiscompilationSignature || len(o.Transformations) == 0 {
+			continue
+		}
+		tg := target.ByName(o.Target)
+		interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
+		r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+		cases = append(cases, dedup.Case{
+			Name:      o.Target + "/" + itoa(i),
+			Sequence:  r.Sequence,
+			Signature: o.Signature,
+		})
+		if len(cases) >= 12 {
+			break
+		}
+	}
+	if len(cases) < 4 {
+		t.Skipf("only %d reduced cases", len(cases))
+	}
+	recommended := dedup.Recommend(cases)
+	if len(recommended) == 0 {
+		t.Fatal("nothing recommended")
+	}
+	if len(recommended) > len(cases) {
+		t.Fatal("recommended more than submitted")
+	}
+	distinct, dups := dedup.Score(recommended)
+	if distinct+dups != len(recommended) {
+		t.Fatal("score accounting broken")
+	}
+	if got := dedup.SignatureCount(cases); got == 0 {
+		t.Fatal("no ground-truth signatures")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestCampaignDeterministic: the parallel campaign must produce identical
+// results across runs (merging is by test index).
+func TestCampaignDeterministic(t *testing.T) {
+	a := smallCampaign(t, harness.ToolSpirvFuzz, 20)
+	b := smallCampaign(t, harness.ToolSpirvFuzz, 20)
+	if len(a.BugOutcomes) != len(b.BugOutcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a.BugOutcomes), len(b.BugOutcomes))
+	}
+	for i := range a.BugOutcomes {
+		x, y := a.BugOutcomes[i], b.BugOutcomes[i]
+		if x.Target != y.Target || x.Seed != y.Seed || x.Signature != y.Signature {
+			t.Fatalf("outcome %d differs: %s/%d/%q vs %s/%d/%q",
+				i, x.Target, x.Seed, x.Signature, y.Target, y.Seed, y.Signature)
+		}
+	}
+	for tgt, sigs := range a.Signatures {
+		if len(sigs) != len(b.Signatures[tgt]) {
+			t.Fatalf("%s: signature sets differ", tgt)
+		}
+		for s := range sigs {
+			if !b.Signatures[tgt][s] {
+				t.Fatalf("%s: signature %q missing in second run", tgt, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// Inputs describes the execution environment of a module: the image grid
+// size and the values of the module's uniform inputs (keyed by the OpName
+// debug name of the uniform variable). Inputs play the role of the paper's
+// input I in (P, I) pairs.
+type Inputs struct {
+	W, H     int
+	Uniforms map[string]Value
+}
+
+// Clone deep-copies the inputs, so that transformations that modify the
+// module and its input in sync can mutate their copy freely.
+func (in Inputs) Clone() Inputs {
+	out := Inputs{W: in.W, H: in.H}
+	if in.Uniforms != nil {
+		out.Uniforms = make(map[string]Value, len(in.Uniforms))
+		for k, v := range in.Uniforms {
+			out.Uniforms[k] = v.Clone()
+		}
+	}
+	return out
+}
+
+// DefaultGrid is the image size used when Inputs leaves W/H zero. A small
+// grid keeps whole-image comparison cheap while still exercising
+// coordinate-dependent control flow.
+const DefaultGrid = 8
+
+// MaxSteps bounds one shader invocation; exceeding it is a fault.
+const MaxSteps = 200000
+
+// maxCallDepth bounds recursion (the subset's programs are non-recursive;
+// this guards against broken transformations).
+const maxCallDepth = 64
+
+// Fault is an execution fault: the analogue of a crash or hang of the
+// compiled program.
+type Fault struct{ Msg string }
+
+// Error renders the fault message.
+func (f *Fault) Error() string { return "interp: " + f.Msg }
+
+func faultf(format string, args ...any) *Fault {
+	return &Fault{Msg: fmt.Sprintf(format, args...)}
+}
+
+// machine executes one module.
+type machine struct {
+	m         *spirv.Module
+	consts    map[spirv.ID]Value
+	globals   map[spirv.ID]*Cell
+	names     map[spirv.ID]string
+	steps     int
+	callDepth int
+}
+
+// errKill signals OpKill unwinding; it never escapes Render.
+var errKill = &Fault{Msg: "kill"}
+
+func newMachine(m *spirv.Module) (*machine, error) {
+	mc := &machine{
+		m:       m,
+		consts:  make(map[spirv.ID]Value),
+		globals: make(map[spirv.ID]*Cell),
+		names:   make(map[spirv.ID]string),
+	}
+	for _, n := range m.Names {
+		if n.Op == spirv.OpName {
+			s, _ := spirv.DecodeString(n.Operands[1:])
+			mc.names[spirv.ID(n.Operands[0])] = s
+		}
+	}
+	for _, ins := range m.TypesGlobals {
+		switch ins.Op {
+		case spirv.OpConstantTrue:
+			mc.consts[ins.Result] = BoolVal(true)
+		case spirv.OpConstantFalse:
+			mc.consts[ins.Result] = BoolVal(false)
+		case spirv.OpConstant:
+			if m.IsFloatType(ins.Type) {
+				mc.consts[ins.Result] = FloatVal(math.Float32frombits(ins.Operands[0]))
+			} else {
+				mc.consts[ins.Result] = UintVal(ins.Operands[0])
+			}
+		case spirv.OpConstantComposite:
+			elems := make([]Value, len(ins.Operands))
+			for i, w := range ins.Operands {
+				v, ok := mc.consts[spirv.ID(w)]
+				if !ok {
+					return nil, faultf("constant composite %%%d uses non-constant %%%d", ins.Result, w)
+				}
+				elems[i] = v
+			}
+			mc.consts[ins.Result] = Composite(elems...)
+		case spirv.OpConstantNull, spirv.OpUndef:
+			z, err := ZeroValue(m, ins.Type)
+			if err != nil {
+				return nil, err
+			}
+			mc.consts[ins.Result] = z
+		case spirv.OpVariable:
+			_, pointee, ok := m.PointerInfo(ins.Type)
+			if !ok {
+				return nil, faultf("global %%%d has non-pointer type", ins.Result)
+			}
+			var init Value
+			if len(ins.Operands) > 1 {
+				iv, ok := mc.consts[spirv.ID(ins.Operands[1])]
+				if !ok {
+					return nil, faultf("global %%%d initializer is not a constant", ins.Result)
+				}
+				init = iv.Clone()
+			} else {
+				z, err := ZeroValue(m, pointee)
+				if err != nil {
+					return nil, err
+				}
+				init = z
+			}
+			mc.globals[ins.Result] = &Cell{V: init}
+		}
+	}
+	return mc, nil
+}
+
+// setUniforms initialises uniform-storage globals from the inputs.
+func (mc *machine) setUniforms(in Inputs) {
+	for _, ins := range mc.m.TypesGlobals {
+		if ins.Op != spirv.OpVariable {
+			continue
+		}
+		if sc := ins.Operands[0]; sc != spirv.StorageUniformConstant && sc != spirv.StorageUniform {
+			continue
+		}
+		if v, ok := in.Uniforms[mc.names[ins.Result]]; ok {
+			mc.globals[ins.Result].V = v.Clone()
+		}
+	}
+}
+
+// frame is one function activation.
+type frame struct {
+	vals   map[spirv.ID]Value
+	locals map[spirv.ID]*Cell
+}
+
+func (mc *machine) get(fr *frame, id spirv.ID) (Value, error) {
+	if v, ok := fr.vals[id]; ok {
+		return v, nil
+	}
+	if v, ok := mc.consts[id]; ok {
+		return v, nil
+	}
+	if c, ok := mc.globals[id]; ok {
+		return Value{Kind: KindPointer, Ptr: &Pointer{Cell: c}}, nil
+	}
+	return Value{}, faultf("read of id %%%d with no value", id)
+}
+
+// callFunction runs fn with the given arguments to completion.
+func (mc *machine) callFunction(fn *spirv.Function, args []Value) (Value, error) {
+	mc.callDepth++
+	defer func() { mc.callDepth-- }()
+	if mc.callDepth > maxCallDepth {
+		return Value{}, faultf("call depth limit exceeded in function %%%d", fn.ID())
+	}
+	if len(args) != len(fn.Params) {
+		return Value{}, faultf("function %%%d called with %d args, wants %d", fn.ID(), len(args), len(fn.Params))
+	}
+	fr := &frame{vals: make(map[spirv.ID]Value), locals: make(map[spirv.ID]*Cell)}
+	for i, p := range fn.Params {
+		fr.vals[p.Result] = args[i]
+	}
+	cur := fn.Entry()
+	var prev spirv.ID
+	for {
+		mc.steps++
+		if mc.steps > MaxSteps {
+			return Value{}, faultf("step limit exceeded")
+		}
+		// ϕ instructions read their inputs simultaneously on block entry.
+		if len(cur.Phis) > 0 {
+			if prev == 0 {
+				return Value{}, faultf("ϕ in entry block %%%d", cur.Label)
+			}
+			staged := make([]Value, len(cur.Phis))
+			for i, phi := range cur.Phis {
+				found := false
+				for j := 0; j+1 < len(phi.Operands); j += 2 {
+					if spirv.ID(phi.Operands[j+1]) == prev {
+						v, err := mc.get(fr, spirv.ID(phi.Operands[j]))
+						if err != nil {
+							return Value{}, err
+						}
+						staged[i] = v
+						found = true
+						break
+					}
+				}
+				if !found {
+					return Value{}, faultf("ϕ %%%d has no incoming value for predecessor %%%d", phi.Result, prev)
+				}
+			}
+			for i, phi := range cur.Phis {
+				fr.vals[phi.Result] = staged[i]
+			}
+		}
+		for _, ins := range cur.Body {
+			mc.steps++
+			if mc.steps > MaxSteps {
+				return Value{}, faultf("step limit exceeded")
+			}
+			if err := mc.evalInstr(fr, ins); err != nil {
+				return Value{}, err
+			}
+		}
+		term := cur.Term
+		var next spirv.ID
+		switch term.Op {
+		case spirv.OpBranch:
+			next = term.IDOperand(0)
+		case spirv.OpBranchConditional:
+			c, err := mc.get(fr, term.IDOperand(0))
+			if err != nil {
+				return Value{}, err
+			}
+			if c.Kind != KindBool {
+				return Value{}, faultf("conditional branch on non-boolean in %%%d", cur.Label)
+			}
+			if c.B {
+				next = term.IDOperand(1)
+			} else {
+				next = term.IDOperand(2)
+			}
+		case spirv.OpSwitch:
+			sel, err := mc.get(fr, term.IDOperand(0))
+			if err != nil {
+				return Value{}, err
+			}
+			next = term.IDOperand(1)
+			for i := 2; i+1 < len(term.Operands); i += 2 {
+				if term.Operands[i] == sel.Bits {
+					next = spirv.ID(term.Operands[i+1])
+					break
+				}
+			}
+		case spirv.OpReturn:
+			return Value{}, nil
+		case spirv.OpReturnValue:
+			return mc.get(fr, term.IDOperand(0))
+		case spirv.OpKill:
+			return Value{}, errKill
+		case spirv.OpUnreachable:
+			return Value{}, faultf("reached OpUnreachable in block %%%d", cur.Label)
+		default:
+			return Value{}, faultf("block %%%d has no valid terminator", cur.Label)
+		}
+		nb := fn.Block(next)
+		if nb == nil {
+			return Value{}, faultf("branch to missing block %%%d", next)
+		}
+		prev = cur.Label
+		cur = nb
+	}
+}

@@ -1,0 +1,134 @@
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding of Inputs, used by the command-line tools ("a file
+// describing the inputs on which the module will be executed", Section 3.2).
+//
+// Format:
+//
+//	{
+//	  "width": 8, "height": 8,
+//	  "uniforms": {
+//	    "u_one":  {"kind": "float", "value": 1.0},
+//	    "u_ten":  {"kind": "int",   "value": 10},
+//	    "u_flag": {"kind": "bool",  "value": true},
+//	    "u_vec":  {"kind": "composite", "elems": [ ... ]}
+//	  }
+//	}
+
+type inputsJSON struct {
+	Width    int                    `json:"width"`
+	Height   int                    `json:"height"`
+	Uniforms map[string]uniformJSON `json:"uniforms,omitempty"`
+}
+
+type uniformJSON struct {
+	Kind  string          `json:"kind"`
+	Value json.RawMessage `json:"value,omitempty"`
+	Elems []uniformJSON   `json:"elems,omitempty"`
+}
+
+func valueToJSON(v Value) (uniformJSON, error) {
+	switch v.Kind {
+	case KindBool:
+		raw, _ := json.Marshal(v.B)
+		return uniformJSON{Kind: "bool", Value: raw}, nil
+	case KindInt:
+		raw, _ := json.Marshal(int32(v.Bits))
+		return uniformJSON{Kind: "int", Value: raw}, nil
+	case KindFloat:
+		raw, _ := json.Marshal(v.F)
+		return uniformJSON{Kind: "float", Value: raw}, nil
+	case KindComposite:
+		var elems []uniformJSON
+		for _, e := range v.Elems {
+			ej, err := valueToJSON(e)
+			if err != nil {
+				return uniformJSON{}, err
+			}
+			elems = append(elems, ej)
+		}
+		return uniformJSON{Kind: "composite", Elems: elems}, nil
+	}
+	return uniformJSON{}, fmt.Errorf("interp: value kind %d not encodable", v.Kind)
+}
+
+func valueFromJSON(u uniformJSON) (Value, error) {
+	switch u.Kind {
+	case "bool":
+		var b bool
+		if err := json.Unmarshal(u.Value, &b); err != nil {
+			return Value{}, err
+		}
+		return BoolVal(b), nil
+	case "int":
+		var n int32
+		if err := json.Unmarshal(u.Value, &n); err != nil {
+			return Value{}, err
+		}
+		return IntVal(n), nil
+	case "uint":
+		var n uint32
+		if err := json.Unmarshal(u.Value, &n); err != nil {
+			return Value{}, err
+		}
+		return UintVal(n), nil
+	case "float":
+		var f float32
+		if err := json.Unmarshal(u.Value, &f); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(f), nil
+	case "composite":
+		var elems []Value
+		for _, e := range u.Elems {
+			v, err := valueFromJSON(e)
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, v)
+		}
+		return Composite(elems...), nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown uniform kind %q", u.Kind)
+}
+
+// EncodeInputs serialises inputs to JSON.
+func EncodeInputs(in Inputs) ([]byte, error) {
+	out := inputsJSON{Width: in.W, Height: in.H}
+	if len(in.Uniforms) > 0 {
+		out.Uniforms = make(map[string]uniformJSON, len(in.Uniforms))
+		for name, v := range in.Uniforms {
+			uj, err := valueToJSON(v)
+			if err != nil {
+				return nil, err
+			}
+			out.Uniforms[name] = uj
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParseInputs parses the JSON inputs format.
+func ParseInputs(data []byte) (Inputs, error) {
+	var in inputsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return Inputs{}, fmt.Errorf("interp: parse inputs: %w", err)
+	}
+	out := Inputs{W: in.Width, H: in.Height}
+	if len(in.Uniforms) > 0 {
+		out.Uniforms = make(map[string]Value, len(in.Uniforms))
+		for name, uj := range in.Uniforms {
+			v, err := valueFromJSON(uj)
+			if err != nil {
+				return Inputs{}, fmt.Errorf("interp: uniform %q: %w", name, err)
+			}
+			out.Uniforms[name] = v
+		}
+	}
+	return out, nil
+}

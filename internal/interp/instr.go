@@ -1,0 +1,574 @@
+package interp
+
+import (
+	"math"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// evalInstr executes one non-ϕ, non-terminator instruction.
+func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
+	get := func(i int) (Value, error) { return mc.get(fr, ins.IDOperand(i)) }
+	set := func(v Value) { fr.vals[ins.Result] = v }
+
+	bin := func(f func(a, b Value) (Value, error)) error {
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		b, err := get(1)
+		if err != nil {
+			return err
+		}
+		v, err := mapLanes2(a, b, f)
+		if err != nil {
+			return err
+		}
+		set(v)
+		return nil
+	}
+	un := func(f func(a Value) (Value, error)) error {
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		v, err := mapLanes1(a, f)
+		if err != nil {
+			return err
+		}
+		set(v)
+		return nil
+	}
+
+	switch ins.Op {
+	case spirv.OpIAdd:
+		return bin(intOp(func(a, b uint32) uint32 { return a + b }))
+	case spirv.OpISub:
+		return bin(intOp(func(a, b uint32) uint32 { return a - b }))
+	case spirv.OpIMul:
+		return bin(intOp(func(a, b uint32) uint32 { return a * b }))
+	case spirv.OpUDiv:
+		return bin(intOp(func(a, b uint32) uint32 {
+			if b == 0 {
+				return 0 // division by zero is defined as zero in this dialect
+			}
+			return a / b
+		}))
+	case spirv.OpSDiv:
+		return bin(intOp(func(a, b uint32) uint32 {
+			if b == 0 {
+				return 0
+			}
+			sa, sb := int32(a), int32(b)
+			if sa == math.MinInt32 && sb == -1 {
+				return a // wraps, defined
+			}
+			return uint32(sa / sb)
+		}))
+	case spirv.OpUMod:
+		return bin(intOp(func(a, b uint32) uint32 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		}))
+	case spirv.OpSRem:
+		return bin(intOp(func(a, b uint32) uint32 {
+			if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
+				return 0
+			}
+			return uint32(int32(a) % int32(b))
+		}))
+	case spirv.OpSMod:
+		return bin(intOp(func(a, b uint32) uint32 {
+			if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
+				return 0
+			}
+			r := int32(a) % int32(b)
+			if r != 0 && (r < 0) != (int32(b) < 0) {
+				r += int32(b)
+			}
+			return uint32(r)
+		}))
+	case spirv.OpBitwiseOr:
+		return bin(intOp(func(a, b uint32) uint32 { return a | b }))
+	case spirv.OpBitwiseXor:
+		return bin(intOp(func(a, b uint32) uint32 { return a ^ b }))
+	case spirv.OpBitwiseAnd:
+		return bin(intOp(func(a, b uint32) uint32 { return a & b }))
+	case spirv.OpSNegate:
+		return un(intOp1(func(a uint32) uint32 { return -a }))
+	case spirv.OpNot:
+		return un(intOp1(func(a uint32) uint32 { return ^a }))
+
+	case spirv.OpFAdd:
+		return bin(floatOp(func(a, b float32) float32 { return a + b }))
+	case spirv.OpFSub:
+		return bin(floatOp(func(a, b float32) float32 { return a - b }))
+	case spirv.OpFMul:
+		return bin(floatOp(func(a, b float32) float32 { return a * b }))
+	case spirv.OpFDiv:
+		return bin(floatOp(func(a, b float32) float32 { return a / b })) // IEEE: x/0 = ±Inf, defined
+	case spirv.OpFMod:
+		return bin(floatOp(func(a, b float32) float32 {
+			r := float32(math.Mod(float64(a), float64(b)))
+			if r != 0 && (r < 0) != (b < 0) {
+				r += b
+			}
+			return r
+		}))
+	case spirv.OpFNegate:
+		return un(floatOp1(func(a float32) float32 { return -a }))
+
+	case spirv.OpLogicalOr:
+		return bin(boolOp(func(a, b bool) bool { return a || b }))
+	case spirv.OpLogicalAnd:
+		return bin(boolOp(func(a, b bool) bool { return a && b }))
+	case spirv.OpLogicalNot:
+		return un(func(a Value) (Value, error) {
+			if a.Kind != KindBool {
+				return Value{}, faultf("LogicalNot of non-boolean")
+			}
+			return BoolVal(!a.B), nil
+		})
+
+	case spirv.OpIEqual:
+		return bin(intCmp(func(a, b uint32) bool { return a == b }))
+	case spirv.OpINotEqual:
+		return bin(intCmp(func(a, b uint32) bool { return a != b }))
+	case spirv.OpSGreaterThan:
+		return bin(intCmp(func(a, b uint32) bool { return int32(a) > int32(b) }))
+	case spirv.OpSGreaterThanEqual:
+		return bin(intCmp(func(a, b uint32) bool { return int32(a) >= int32(b) }))
+	case spirv.OpSLessThan:
+		return bin(intCmp(func(a, b uint32) bool { return int32(a) < int32(b) }))
+	case spirv.OpSLessThanEqual:
+		return bin(intCmp(func(a, b uint32) bool { return int32(a) <= int32(b) }))
+	case spirv.OpFOrdEqual:
+		return bin(floatCmp(func(a, b float32) bool { return a == b }))
+	case spirv.OpFOrdNotEqual:
+		return bin(floatCmp(func(a, b float32) bool { return a != b && a == a && b == b }))
+	case spirv.OpFOrdLessThan:
+		return bin(floatCmp(func(a, b float32) bool { return a < b }))
+	case spirv.OpFOrdGreaterThan:
+		return bin(floatCmp(func(a, b float32) bool { return a > b }))
+	case spirv.OpFOrdLessThanEqual:
+		return bin(floatCmp(func(a, b float32) bool { return a <= b }))
+	case spirv.OpFOrdGreaterThanEqual:
+		return bin(floatCmp(func(a, b float32) bool { return a >= b }))
+
+	case spirv.OpSelect:
+		c, err := get(0)
+		if err != nil {
+			return err
+		}
+		a, err := get(1)
+		if err != nil {
+			return err
+		}
+		b, err := get(2)
+		if err != nil {
+			return err
+		}
+		if c.Kind == KindBool {
+			if c.B {
+				set(a)
+			} else {
+				set(b)
+			}
+			return nil
+		}
+		if c.Kind == KindComposite && len(c.Elems) == len(a.Elems) {
+			elems := make([]Value, len(c.Elems))
+			for i := range c.Elems {
+				if c.Elems[i].B {
+					elems[i] = a.Elems[i]
+				} else {
+					elems[i] = b.Elems[i]
+				}
+			}
+			set(Composite(elems...))
+			return nil
+		}
+		return faultf("OpSelect with malformed condition")
+
+	case spirv.OpConvertFToS:
+		return un(func(a Value) (Value, error) {
+			if a.Kind != KindFloat {
+				return Value{}, faultf("ConvertFToS of non-float")
+			}
+			f := float64(a.F)
+			switch {
+			case math.IsNaN(f):
+				return IntVal(0), nil
+			case f > math.MaxInt32:
+				return IntVal(math.MaxInt32), nil
+			case f < math.MinInt32:
+				return IntVal(math.MinInt32), nil
+			}
+			return IntVal(int32(f)), nil
+		})
+	case spirv.OpConvertSToF:
+		return un(func(a Value) (Value, error) {
+			if a.Kind != KindInt {
+				return Value{}, faultf("ConvertSToF of non-int")
+			}
+			return FloatVal(float32(int32(a.Bits))), nil
+		})
+	case spirv.OpBitcast:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		toFloat := mc.m.IsFloatType(ins.Type)
+		if elem, _, ok := mc.m.VectorInfo(ins.Type); ok {
+			toFloat = mc.m.IsFloatType(elem)
+		}
+		v, err := mapLanes1(a, func(x Value) (Value, error) {
+			switch {
+			case x.Kind == KindFloat && !toFloat:
+				return UintVal(math.Float32bits(x.F)), nil
+			case x.Kind == KindInt && toFloat:
+				return FloatVal(math.Float32frombits(x.Bits)), nil
+			}
+			return x, nil
+		})
+		if err != nil {
+			return err
+		}
+		set(v)
+		return nil
+
+	case spirv.OpVectorTimesScalar:
+		vec, err := get(0)
+		if err != nil {
+			return err
+		}
+		s, err := get(1)
+		if err != nil {
+			return err
+		}
+		elems := make([]Value, len(vec.Elems))
+		for i, e := range vec.Elems {
+			elems[i] = FloatVal(e.F * s.F)
+		}
+		set(Composite(elems...))
+		return nil
+
+	case spirv.OpMatrixTimesVector:
+		mat, err := get(0)
+		if err != nil {
+			return err
+		}
+		vec, err := get(1)
+		if err != nil {
+			return err
+		}
+		if len(mat.Elems) == 0 || len(vec.Elems) != len(mat.Elems) {
+			return faultf("MatrixTimesVector shape mismatch")
+		}
+		rows := len(mat.Elems[0].Elems)
+		elems := make([]Value, rows)
+		for r := 0; r < rows; r++ {
+			var sum float32
+			for c := range mat.Elems {
+				sum += mat.Elems[c].Elems[r].F * vec.Elems[c].F
+			}
+			elems[r] = FloatVal(sum)
+		}
+		set(Composite(elems...))
+		return nil
+
+	case spirv.OpDot:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		b, err := get(1)
+		if err != nil {
+			return err
+		}
+		var sum float32
+		for i := range a.Elems {
+			sum += a.Elems[i].F * b.Elems[i].F
+		}
+		set(FloatVal(sum))
+		return nil
+
+	case spirv.OpCompositeConstruct:
+		elems := make([]Value, len(ins.Operands))
+		for i := range ins.Operands {
+			v, err := get(i)
+			if err != nil {
+				return err
+			}
+			elems[i] = v
+		}
+		set(Composite(elems...))
+		return nil
+
+	case spirv.OpCompositeExtract:
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		for _, idx := range ins.Operands[1:] {
+			if v.Kind != KindComposite || int(idx) >= len(v.Elems) {
+				return faultf("CompositeExtract index %d out of range", idx)
+			}
+			v = v.Elems[idx]
+		}
+		set(v)
+		return nil
+
+	case spirv.OpCompositeInsert:
+		obj, err := get(0)
+		if err != nil {
+			return err
+		}
+		base, err := get(1)
+		if err != nil {
+			return err
+		}
+		result := base.Clone()
+		target := &result
+		for _, idx := range ins.Operands[2:] {
+			if target.Kind != KindComposite || int(idx) >= len(target.Elems) {
+				return faultf("CompositeInsert index %d out of range", idx)
+			}
+			target = &target.Elems[idx]
+		}
+		*target = obj.Clone()
+		set(result)
+		return nil
+
+	case spirv.OpVectorShuffle:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		b, err := get(1)
+		if err != nil {
+			return err
+		}
+		pool := append(append([]Value(nil), a.Elems...), b.Elems...)
+		elems := make([]Value, 0, len(ins.Operands)-2)
+		for _, idx := range ins.Operands[2:] {
+			if int(idx) >= len(pool) {
+				return faultf("VectorShuffle component %d out of range", idx)
+			}
+			elems = append(elems, pool[idx])
+		}
+		set(Composite(elems...))
+		return nil
+
+	case spirv.OpCopyObject, spirv.OpUndef:
+		if ins.Op == spirv.OpUndef {
+			z, err := ZeroValue(mc.m, ins.Type)
+			if err != nil {
+				return err
+			}
+			set(z)
+			return nil
+		}
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		set(v)
+		return nil
+
+	case spirv.OpVariable:
+		_, pointee, ok := mc.m.PointerInfo(ins.Type)
+		if !ok {
+			return faultf("OpVariable %%%d with non-pointer type", ins.Result)
+		}
+		var init Value
+		if len(ins.Operands) > 1 {
+			v, err := get(1)
+			if err != nil {
+				return err
+			}
+			init = v.Clone()
+		} else {
+			z, err := ZeroValue(mc.m, pointee)
+			if err != nil {
+				return err
+			}
+			init = z
+		}
+		cell := &Cell{V: init}
+		fr.locals[ins.Result] = cell
+		set(Value{Kind: KindPointer, Ptr: &Pointer{Cell: cell}})
+		return nil
+
+	case spirv.OpLoad:
+		p, err := get(0)
+		if err != nil {
+			return err
+		}
+		if p.Kind != KindPointer {
+			return faultf("OpLoad of non-pointer %%%d", ins.IDOperand(0))
+		}
+		set(p.Ptr.Load())
+		return nil
+
+	case spirv.OpStore:
+		p, err := get(0)
+		if err != nil {
+			return err
+		}
+		v, err := get(1)
+		if err != nil {
+			return err
+		}
+		if p.Kind != KindPointer {
+			return faultf("OpStore to non-pointer %%%d", ins.IDOperand(0))
+		}
+		p.Ptr.Store(v)
+		return nil
+
+	case spirv.OpAccessChain:
+		base, err := get(0)
+		if err != nil {
+			return err
+		}
+		if base.Kind != KindPointer {
+			return faultf("OpAccessChain on non-pointer %%%d", ins.IDOperand(0))
+		}
+		p := base.Ptr
+		for i := 1; i < len(ins.Operands); i++ {
+			idx, err := get(i)
+			if err != nil {
+				return err
+			}
+			p = p.Elem(int(int32(idx.Bits)))
+		}
+		set(Value{Kind: KindPointer, Ptr: p})
+		return nil
+
+	case spirv.OpFunctionCall:
+		callee := mc.m.Function(ins.IDOperand(0))
+		if callee == nil {
+			return faultf("call to missing function %%%d", ins.IDOperand(0))
+		}
+		args := make([]Value, len(ins.Operands)-1)
+		for i := 1; i < len(ins.Operands); i++ {
+			v, err := get(i)
+			if err != nil {
+				return err
+			}
+			args[i-1] = v
+		}
+		ret, err := mc.callFunction(callee, args)
+		if err != nil {
+			return err
+		}
+		if mc.m.TypeOp(ins.Type) != spirv.OpTypeVoid {
+			set(ret)
+		}
+		return nil
+
+	case spirv.OpNop:
+		return nil
+	}
+	return faultf("unsupported instruction %s", ins.Op)
+}
+
+// --- lanewise helpers ---
+
+func mapLanes2(a, b Value, f func(x, y Value) (Value, error)) (Value, error) {
+	if a.Kind == KindComposite && b.Kind == KindComposite {
+		if len(a.Elems) != len(b.Elems) {
+			return Value{}, faultf("lane count mismatch")
+		}
+		elems := make([]Value, len(a.Elems))
+		for i := range a.Elems {
+			v, err := f(a.Elems[i], b.Elems[i])
+			if err != nil {
+				return Value{}, err
+			}
+			elems[i] = v
+		}
+		return Composite(elems...), nil
+	}
+	return f(a, b)
+}
+
+func mapLanes1(a Value, f func(x Value) (Value, error)) (Value, error) {
+	if a.Kind == KindComposite {
+		elems := make([]Value, len(a.Elems))
+		for i := range a.Elems {
+			v, err := f(a.Elems[i])
+			if err != nil {
+				return Value{}, err
+			}
+			elems[i] = v
+		}
+		return Composite(elems...), nil
+	}
+	return f(a)
+}
+
+func intOp(f func(a, b uint32) uint32) func(Value, Value) (Value, error) {
+	return func(a, b Value) (Value, error) {
+		if a.Kind != KindInt || b.Kind != KindInt {
+			return Value{}, faultf("integer op on non-integers")
+		}
+		return UintVal(f(a.Bits, b.Bits)), nil
+	}
+}
+
+func intOp1(f func(a uint32) uint32) func(Value) (Value, error) {
+	return func(a Value) (Value, error) {
+		if a.Kind != KindInt {
+			return Value{}, faultf("integer op on non-integer")
+		}
+		return UintVal(f(a.Bits)), nil
+	}
+}
+
+func floatOp(f func(a, b float32) float32) func(Value, Value) (Value, error) {
+	return func(a, b Value) (Value, error) {
+		if a.Kind != KindFloat || b.Kind != KindFloat {
+			return Value{}, faultf("float op on non-floats")
+		}
+		return FloatVal(f(a.F, b.F)), nil
+	}
+}
+
+func floatOp1(f func(a float32) float32) func(Value) (Value, error) {
+	return func(a Value) (Value, error) {
+		if a.Kind != KindFloat {
+			return Value{}, faultf("float op on non-float")
+		}
+		return FloatVal(f(a.F)), nil
+	}
+}
+
+func boolOp(f func(a, b bool) bool) func(Value, Value) (Value, error) {
+	return func(a, b Value) (Value, error) {
+		if a.Kind != KindBool || b.Kind != KindBool {
+			return Value{}, faultf("logical op on non-booleans")
+		}
+		return BoolVal(f(a.B, b.B)), nil
+	}
+}
+
+func intCmp(f func(a, b uint32) bool) func(Value, Value) (Value, error) {
+	return func(a, b Value) (Value, error) {
+		if a.Kind != KindInt || b.Kind != KindInt {
+			return Value{}, faultf("integer comparison on non-integers")
+		}
+		return BoolVal(f(a.Bits, b.Bits)), nil
+	}
+}
+
+func floatCmp(f func(a, b float32) bool) func(Value, Value) (Value, error) {
+	return func(a, b Value) (Value, error) {
+		if a.Kind != KindFloat || b.Kind != KindFloat {
+			return Value{}, faultf("float comparison on non-floats")
+		}
+		return BoolVal(f(a.F, b.F)), nil
+	}
+}

@@ -1,0 +1,237 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/testmod"
+)
+
+func render(t *testing.T, m *spirv.Module, in interp.Inputs) *interp.Image {
+	t.Helper()
+	img, err := interp.Render(m, in)
+	if err != nil {
+		t.Fatalf("Render: %v\n%s", err, m)
+	}
+	return img
+}
+
+func TestDiamondImage(t *testing.T) {
+	img := render(t, testmod.Diamond(), interp.Inputs{W: 8, H: 8})
+	// Left half (x < 0.5): white-ish (1.0); right half: 0.25 gray.
+	left, right := img.At(0, 3), img.At(7, 3)
+	if left[0] != 255 || left[3] != 255 {
+		t.Errorf("left pixel = %v, want r=255 a=255", left)
+	}
+	if right[0] != 64 {
+		t.Errorf("right pixel = %v, want r=64 (0.25*255+0.5)", right)
+	}
+}
+
+func TestLoopImage(t *testing.T) {
+	img := render(t, testmod.Loop(), interp.Inputs{W: 4, H: 4})
+	// sum(0..9)=45, 45/45=1.0 → white everywhere.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if p := img.At(x, y); p[0] != 255 || p[1] != 255 || p[2] != 255 {
+				t.Fatalf("pixel (%d,%d) = %v, want white", x, y, p)
+			}
+		}
+	}
+}
+
+func TestCallerImage(t *testing.T) {
+	img := render(t, testmod.Caller(), interp.Inputs{W: 4, H: 1})
+	// color = coord.x + 0.25; at x=0 coord.x = 0.125 → 0.375.
+	want := uint8(96) // 0.375*255 + 0.5, truncated
+	if p := img.At(0, 0); p[0] != want {
+		t.Errorf("pixel = %v, want r=%d", p, want)
+	}
+}
+
+func TestKillDiscardsFragments(t *testing.T) {
+	img := render(t, testmod.KillHalf(), interp.Inputs{W: 8, H: 2})
+	if p := img.At(0, 0); p[3] != 0 {
+		t.Errorf("left pixel should be discarded, got %v", p)
+	}
+	if p := img.At(7, 0); p != [4]uint8{255, 255, 255, 255} {
+		t.Errorf("right pixel should be white, got %v", p)
+	}
+	// ASCII view shows holes as spaces.
+	art := img.ASCII()
+	if !strings.Contains(art, " ") || !strings.Contains(art, "@") {
+		t.Errorf("ASCII art unexpected:\n%s", art)
+	}
+}
+
+func TestUniformsAffectOutput(t *testing.T) {
+	m := testmod.Matrix()
+	img1 := render(t, m, interp.Inputs{W: 4, H: 4, Uniforms: map[string]interp.Value{"scale": interp.FloatVal(1)}})
+	img0 := render(t, m, interp.Inputs{W: 4, H: 4, Uniforms: map[string]interp.Value{"scale": interp.FloatVal(0)}})
+	if img1.Equal(img0) {
+		t.Fatal("scale uniform had no effect")
+	}
+	// Determinism: rendering twice gives identical images.
+	img1b := render(t, m, interp.Inputs{W: 4, H: 4, Uniforms: map[string]interp.Value{"scale": interp.FloatVal(1)}})
+	if !img1.Equal(img1b) {
+		t.Fatal("rendering is not deterministic")
+	}
+	if img1.Hash() == img0.Hash() {
+		t.Fatal("hashes should differ")
+	}
+	if n := img1.DiffCount(img0); n == 0 {
+		t.Fatal("DiffCount should be nonzero")
+	}
+}
+
+func TestLocalVariablesAndAccessChains(t *testing.T) {
+	img := render(t, testmod.LocalVars(), interp.Inputs{W: 2, H: 2})
+	// color = (coord.x, coord.x, coord.x, 1).
+	if p := img.At(0, 0); p[3] != 255 {
+		t.Errorf("alpha = %d, want 255", p[3])
+	}
+	p0, p1 := img.At(0, 0), img.At(1, 0)
+	if p0[0] >= p1[0] {
+		t.Errorf("x gradient missing: %v vs %v", p0, p1)
+	}
+}
+
+func TestAllCanonicalModulesRender(t *testing.T) {
+	for name, m := range testmod.All() {
+		if _, err := interp.Render(m, interp.Inputs{W: 4, H: 4, Uniforms: map[string]interp.Value{"scale": interp.FloatVal(0.5)}}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestInfiniteLoopFaults(t *testing.T) {
+	m := testmod.Diamond()
+	fn := m.EntryPointFunction()
+	// Retarget the left block to itself: infinite loop.
+	fn.Blocks[1].Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(fn.Blocks[1].Label))
+	_, err := interp.Render(m, interp.Inputs{W: 2, H: 2})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit fault", err)
+	}
+}
+
+func TestUnreachableFaults(t *testing.T) {
+	m := testmod.Diamond()
+	fn := m.EntryPointFunction()
+	fn.Blocks[1].Term = spirv.NewInstr(spirv.OpUnreachable, 0, 0)
+	_, err := interp.Render(m, interp.Inputs{W: 2, H: 2})
+	if err == nil || !strings.Contains(err.Error(), "OpUnreachable") {
+		t.Fatalf("err = %v, want OpUnreachable fault", err)
+	}
+}
+
+func TestDivisionByZeroIsDefined(t *testing.T) {
+	// The dialect defines x/0 = 0 for integers so transformations can never
+	// introduce UB; build a shader computing 7/0 and 7%0.
+	b := spirv.NewBuilder()
+	s := b.BeginFragmentShell()
+	m := b.Mod
+	seven := m.EnsureConstantInt(7)
+	zero := m.EnsureConstantInt(0)
+	one := m.EnsureConstantFloat(1)
+	d := b.Emit(spirv.OpSDiv, s.Int, seven, zero)
+	r := b.Emit(spirv.OpSMod, s.Int, seven, zero)
+	sum := b.Emit(spirv.OpIAdd, s.Int, d, r)
+	f := b.Emit(spirv.OpConvertSToF, s.Float, sum)
+	col := b.Emit(spirv.OpCompositeConstruct, s.Vec4, f, f, f, one)
+	b.Store(s.Color, col)
+	b.FinishFragmentShell(s)
+	img := render(t, m, interp.Inputs{W: 1, H: 1})
+	if p := img.At(0, 0); p[0] != 0 {
+		t.Errorf("7/0 + 7%%0 should be 0, pixel = %v", p)
+	}
+}
+
+func TestAccessChainClamping(t *testing.T) {
+	// Dynamic out-of-range indexing clamps rather than faulting.
+	b := spirv.NewBuilder()
+	s := b.BeginFragmentShell()
+	m := b.Mod
+	one := m.EnsureConstantFloat(1)
+	n4 := m.EnsureConstantInt(4)
+	arr := m.EnsureTypeArray(s.Float, n4)
+	ptrF := m.EnsureTypePointer(spirv.StorageFunction, s.Float)
+	big := m.EnsureConstantInt(99)
+	local := b.LocalVariable(arr)
+	// arr[3] = 1.0 (clamped from index 99), then read it back via index 99.
+	p := b.AccessChain(ptrF, local, big)
+	b.Store(p, one)
+	p2 := b.AccessChain(ptrF, local, big)
+	v := b.Emit(spirv.OpLoad, s.Float, p2)
+	col := b.Emit(spirv.OpCompositeConstruct, s.Vec4, v, v, v, one)
+	b.Store(s.Color, col)
+	b.FinishFragmentShell(s)
+	img := render(t, m, interp.Inputs{W: 1, H: 1})
+	if p := img.At(0, 0); p[0] != 255 {
+		t.Errorf("clamped access should read back 1.0, got %v", p)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	v := interp.Vec4(0.5, 0, 1, 1)
+	if len(v.Elems) != 4 || v.Elems[2].F != 1 {
+		t.Fatalf("Vec4 = %v", v)
+	}
+	if !v.Equal(v.Clone()) {
+		t.Fatal("Clone must equal original")
+	}
+	c := v.Clone()
+	c.Elems[0] = interp.FloatVal(0.9)
+	if v.Equal(c) {
+		t.Fatal("deep clone expected")
+	}
+	if interp.IntVal(-3).Int() != -3 {
+		t.Fatal("IntVal round trip")
+	}
+	if interp.BoolVal(true).String() != "true" || interp.FloatVal(2).String() != "2" {
+		t.Fatal("String rendering")
+	}
+}
+
+func TestSwitchExecution(t *testing.T) {
+	// switch(sel) { case 1: 0.25; case 2: 0.5; default: 1.0 } via OpSwitch.
+	build := func(sel int32) *spirv.Module {
+		b := spirv.NewBuilder()
+		s := b.BeginFragmentShell()
+		m := b.Mod
+		selC := m.EnsureConstantInt(sel)
+		one := m.EnsureConstantFloat(1)
+		q := m.EnsureConstantFloat(0.25)
+		h := m.EnsureConstantFloat(0.5)
+		c1, c2, def, merge := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.SelectionMerge(merge)
+		b.Blk.Term = spirv.NewInstr(spirv.OpSwitch, 0, 0, uint32(selC), uint32(def), 1, uint32(c1), 2, uint32(c2))
+		b.Blk = nil
+		b.Begin(c1)
+		v1 := b.Emit(spirv.OpCopyObject, s.Float, q)
+		b.Branch(merge)
+		b.Begin(c2)
+		v2 := b.Emit(spirv.OpCopyObject, s.Float, h)
+		b.Branch(merge)
+		b.Begin(def)
+		v3 := b.Emit(spirv.OpCopyObject, s.Float, one)
+		b.Branch(merge)
+		b.Begin(merge)
+		r := b.Phi(s.Float, v1, c1, v2, c2, v3, def)
+		col := b.Emit(spirv.OpCompositeConstruct, s.Vec4, r, r, r, one)
+		b.Store(s.Color, col)
+		b.FinishFragmentShell(s)
+		return m
+	}
+	for _, tc := range []struct {
+		sel  int32
+		want uint8
+	}{{1, 64}, {2, 128}, {7, 255}} {
+		img := render(t, build(tc.sel), interp.Inputs{W: 1, H: 1})
+		if p := img.At(0, 0); p[0] != tc.want {
+			t.Errorf("switch(%d) pixel = %v, want %d", tc.sel, p, tc.want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package interp_test
+
+import (
+	"math"
+	"testing"
+
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+// shaderEval builds a 1×1 shader whose body is produced by build, which must
+// return a float id in [0,1]; the test reads the quantized red channel.
+func shaderEval(t *testing.T, build func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID) uint8 {
+	t.Helper()
+	b := spirv.NewBuilder()
+	s := b.BeginFragmentShell()
+	r := build(b, s)
+	one := b.Mod.EnsureConstantFloat(1)
+	col := b.Emit(spirv.OpCompositeConstruct, s.Vec4, r, r, r, one)
+	b.Store(s.Color, col)
+	b.FinishFragmentShell(s)
+	if err := validate.Module(b.Mod); err != nil {
+		t.Fatalf("shader invalid: %v\n%s", err, b.Mod)
+	}
+	img, err := interp.Render(b.Mod, interp.Inputs{W: 1, H: 1})
+	if err != nil {
+		t.Fatalf("render: %v\n%s", err, b.Mod)
+	}
+	return img.At(0, 0)[0]
+}
+
+// boolToFloat converts a boolean id to 1.0/0.0 via OpSelect.
+func boolToFloat(b *spirv.Builder, s *spirv.FragmentShell, cond spirv.ID) spirv.ID {
+	one := b.Mod.EnsureConstantFloat(1)
+	zero := b.Mod.EnsureConstantFloat(0)
+	return b.Emit(spirv.OpSelect, s.Float, cond, one, zero)
+}
+
+func expectTrue(t *testing.T, name string, build func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID) {
+	t.Helper()
+	if got := shaderEval(t, build); got != 255 {
+		t.Errorf("%s: channel = %d, want 255 (true)", name, got)
+	}
+}
+
+func TestCompositeInsertSemantics(t *testing.T) {
+	expectTrue(t, "insert", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		q := m.EnsureConstantFloat(0.25)
+		h := m.EnsureConstantFloat(0.5)
+		base := m.EnsureConstantComposite(s.Vec4, q, q, q, q)
+		// Insert 0.5 at index 2; component 2 becomes 0.5, others stay 0.25.
+		ins := b.EmitWords(spirv.OpCompositeInsert, s.Vec4, uint32(h), uint32(base), 2)
+		e2 := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(ins), 2)
+		e1 := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(ins), 1)
+		c1 := b.Emit(spirv.OpFOrdEqual, s.Bool, e2, h)
+		c2 := b.Emit(spirv.OpFOrdEqual, s.Bool, e1, q)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		// The base must be unmodified (value semantics).
+		b0 := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(base), 2)
+		c3 := b.Emit(spirv.OpFOrdEqual, s.Bool, b0, q)
+		all := b.Emit(spirv.OpLogicalAnd, s.Bool, both, c3)
+		return boolToFloat(b, s, all)
+	})
+}
+
+func TestVectorShuffleSemantics(t *testing.T) {
+	expectTrue(t, "shuffle", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		a := m.EnsureConstantFloat(0.1)
+		c := m.EnsureConstantFloat(0.2)
+		d := m.EnsureConstantFloat(0.3)
+		e := m.EnsureConstantFloat(0.4)
+		v1 := m.EnsureConstantComposite(s.Vec2, a, c)
+		v2 := m.EnsureConstantComposite(s.Vec2, d, e)
+		// shuffle(v1, v2, [3, 0]) = (v2.y, v1.x) = (0.4, 0.1)
+		sh := b.EmitWords(spirv.OpVectorShuffle, s.Vec2, uint32(v1), uint32(v2), 3, 0)
+		x := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(sh), 0)
+		y := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(sh), 1)
+		c1 := b.Emit(spirv.OpFOrdEqual, s.Bool, x, e)
+		c2 := b.Emit(spirv.OpFOrdEqual, s.Bool, y, a)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestConversionSemantics(t *testing.T) {
+	expectTrue(t, "convert", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		cNeg := m.EnsureConstantFloat(-3.7)
+		i := b.Emit(spirv.OpConvertFToS, s.Int, cNeg) // trunc toward zero: -3
+		want := m.EnsureConstantInt(-3)
+		c1 := b.Emit(spirv.OpIEqual, s.Bool, i, want)
+		f := b.Emit(spirv.OpConvertSToF, s.Float, want)
+		wantF := m.EnsureConstantFloat(-3)
+		c2 := b.Emit(spirv.OpFOrdEqual, s.Bool, f, wantF)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestBitcastSemantics(t *testing.T) {
+	expectTrue(t, "bitcast", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		f := m.EnsureConstantFloat(1.0)
+		asInt := b.Emit(spirv.OpBitcast, s.Int, f)
+		want := m.EnsureConstantInt(int32(math.Float32bits(1.0)))
+		c1 := b.Emit(spirv.OpIEqual, s.Bool, asInt, want)
+		back := b.Emit(spirv.OpBitcast, s.Float, asInt)
+		c2 := b.Emit(spirv.OpFOrdEqual, s.Bool, back, f)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestNegationsAndNot(t *testing.T) {
+	expectTrue(t, "negate", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		five := m.EnsureConstantInt(5)
+		negFive := m.EnsureConstantInt(-5)
+		sn := b.Emit(spirv.OpSNegate, s.Int, five)
+		c1 := b.Emit(spirv.OpIEqual, s.Bool, sn, negFive)
+		fq := m.EnsureConstantFloat(0.25)
+		fneg := b.Emit(spirv.OpFNegate, s.Float, fq)
+		fneg2 := b.Emit(spirv.OpFNegate, s.Float, fneg)
+		c2 := b.Emit(spirv.OpFOrdEqual, s.Bool, fneg2, fq)
+		not5 := b.Emit(spirv.OpNot, s.Int, five)
+		wantNot := m.EnsureConstantInt(^int32(5))
+		c3 := b.Emit(spirv.OpIEqual, s.Bool, not5, wantNot)
+		ln := b.Emit(spirv.OpLogicalNot, s.Bool, c3)
+		lnn := b.Emit(spirv.OpLogicalNot, s.Bool, ln)
+		a1 := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		all := b.Emit(spirv.OpLogicalAnd, s.Bool, a1, lnn)
+		return boolToFloat(b, s, all)
+	})
+}
+
+func TestUnsignedOps(t *testing.T) {
+	expectTrue(t, "unsigned", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		u32 := m.EnsureTypeInt(32, false)
+		// 0xFFFFFFFE / 3 = 0x55555554; 0xFFFFFFFE % 3 = 2 (unsigned).
+		big := m.EnsureConstantWord(u32, 0xFFFFFFFE)
+		three := m.EnsureConstantWord(u32, 3)
+		q := b.Emit(spirv.OpUDiv, u32, big, three)
+		r := b.Emit(spirv.OpUMod, u32, big, three)
+		wantQ := m.EnsureConstantWord(u32, 0x55555554)
+		wantR := m.EnsureConstantWord(u32, 2)
+		c1 := b.Emit(spirv.OpIEqual, s.Bool, q, wantQ)
+		c2 := b.Emit(spirv.OpIEqual, s.Bool, r, wantR)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestSRemVsSMod(t *testing.T) {
+	expectTrue(t, "srem-smod", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		negSeven := m.EnsureConstantInt(-7)
+		three := m.EnsureConstantInt(3)
+		// SRem: sign follows dividend: -7 rem 3 = -1. SMod: sign follows
+		// divisor: -7 mod 3 = 2.
+		rem := b.Emit(spirv.OpSRem, s.Int, negSeven, three)
+		mod := b.Emit(spirv.OpSMod, s.Int, negSeven, three)
+		wantRem := m.EnsureConstantInt(-1)
+		wantMod := m.EnsureConstantInt(2)
+		c1 := b.Emit(spirv.OpIEqual, s.Bool, rem, wantRem)
+		c2 := b.Emit(spirv.OpIEqual, s.Bool, mod, wantMod)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestFloatComparisonsOrdered(t *testing.T) {
+	expectTrue(t, "ford", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		a := m.EnsureConstantFloat(0.5)
+		c := m.EnsureConstantFloat(0.75)
+		lt := b.Emit(spirv.OpFOrdLessThan, s.Bool, a, c)
+		ge := b.Emit(spirv.OpFOrdGreaterThanEqual, s.Bool, c, a)
+		le := b.Emit(spirv.OpFOrdLessThanEqual, s.Bool, a, a)
+		ne := b.Emit(spirv.OpFOrdNotEqual, s.Bool, a, c)
+		gt := b.Emit(spirv.OpFOrdGreaterThan, s.Bool, c, a)
+		x1 := b.Emit(spirv.OpLogicalAnd, s.Bool, lt, ge)
+		x2 := b.Emit(spirv.OpLogicalAnd, s.Bool, le, ne)
+		x3 := b.Emit(spirv.OpLogicalAnd, s.Bool, x1, x2)
+		all := b.Emit(spirv.OpLogicalAnd, s.Bool, x3, gt)
+		return boolToFloat(b, s, all)
+	})
+}
+
+func TestVectorTimesScalarAndDot(t *testing.T) {
+	expectTrue(t, "vts-dot", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		a := m.EnsureConstantFloat(0.25)
+		c := m.EnsureConstantFloat(0.5)
+		two := m.EnsureConstantFloat(2)
+		v := m.EnsureConstantComposite(s.Vec2, a, c)
+		scaled := b.Emit(spirv.OpVectorTimesScalar, s.Vec2, v, two) // (0.5, 1.0)
+		d := b.Emit(spirv.OpDot, s.Float, scaled, v)                // 0.5*0.25 + 1*0.5 = 0.625
+		want := m.EnsureConstantFloat(0.625)
+		eq := b.Emit(spirv.OpFOrdEqual, s.Bool, d, want)
+		return boolToFloat(b, s, eq)
+	})
+}
+
+func TestMatrixTimesVectorSemantics(t *testing.T) {
+	expectTrue(t, "mtv", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		one := m.EnsureConstantFloat(1)
+		zero := m.EnsureConstantFloat(0)
+		two := m.EnsureConstantFloat(2)
+		half := m.EnsureConstantFloat(0.5)
+		mat2 := m.EnsureTypeMatrix(s.Vec2, 2)
+		// Columns (1,0) and (0,2): M × (0.5, 0.5) = (0.5, 1.0).
+		col0 := m.EnsureConstantComposite(s.Vec2, one, zero)
+		col1 := m.EnsureConstantComposite(s.Vec2, zero, two)
+		mat := m.EnsureConstantComposite(mat2, col0, col1)
+		v := m.EnsureConstantComposite(s.Vec2, half, half)
+		r := b.Emit(spirv.OpMatrixTimesVector, s.Vec2, mat, v)
+		x := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(r), 0)
+		y := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(r), 1)
+		c1 := b.Emit(spirv.OpFOrdEqual, s.Bool, x, half)
+		c2 := b.Emit(spirv.OpFOrdEqual, s.Bool, y, one)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, c1, c2)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestVectorwiseArithmetic(t *testing.T) {
+	expectTrue(t, "lanewise", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		a := m.EnsureConstantFloat(0.25)
+		c := m.EnsureConstantFloat(0.5)
+		v1 := m.EnsureConstantComposite(s.Vec2, a, c)
+		v2 := m.EnsureConstantComposite(s.Vec2, c, a)
+		sum := b.Emit(spirv.OpFAdd, s.Vec2, v1, v2) // (0.75, 0.75)
+		x := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(sum), 0)
+		y := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(sum), 1)
+		eqXY := b.Emit(spirv.OpFOrdEqual, s.Bool, x, y)
+		want := m.EnsureConstantFloat(0.75)
+		eqW := b.Emit(spirv.OpFOrdEqual, s.Bool, x, want)
+		both := b.Emit(spirv.OpLogicalAnd, s.Bool, eqXY, eqW)
+		return boolToFloat(b, s, both)
+	})
+}
+
+func TestUndefAndConstantNull(t *testing.T) {
+	expectTrue(t, "null-undef", func(b *spirv.Builder, s *spirv.FragmentShell) spirv.ID {
+		m := b.Mod
+		nul := m.EnsureConstantNull(s.Float)
+		zero := m.EnsureConstantFloat(0)
+		eq := b.Emit(spirv.OpFOrdEqual, s.Bool, nul, zero)
+		return boolToFloat(b, s, eq)
+	})
+}

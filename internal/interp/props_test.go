@@ -1,0 +1,154 @@
+package interp_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+)
+
+// TestIntOpsMatchGo checks the interpreter's integer semantics against Go's
+// (two's-complement 32-bit), via direct machine evaluation using a shader
+// that stores equality with the Go-computed expectation.
+func TestIntOpsMatchGo(t *testing.T) {
+	mkCheck := func(op spirv.Opcode, a, b, want int32) bool {
+		bld := spirv.NewBuilder()
+		s := bld.BeginFragmentShell()
+		m := bld.Mod
+		ca := m.EnsureConstantInt(a)
+		cb := m.EnsureConstantInt(b)
+		cw := m.EnsureConstantInt(want)
+		r := bld.Emit(op, s.Int, ca, cb)
+		eq := bld.Emit(spirv.OpIEqual, s.Bool, r, cw)
+		one := m.EnsureConstantFloat(1)
+		zero := m.EnsureConstantFloat(0)
+		sel := bld.Emit(spirv.OpSelect, s.Float, eq, one, zero)
+		col := bld.Emit(spirv.OpCompositeConstruct, s.Vec4, sel, sel, sel, one)
+		bld.Store(s.Color, col)
+		bld.FinishFragmentShell(s)
+		img, err := interp.Render(m, interp.Inputs{W: 1, H: 1})
+		if err != nil {
+			t.Fatalf("%s(%d,%d): %v", op, a, b, err)
+		}
+		return img.At(0, 0)[0] == 255
+	}
+	goSMod := func(a, b int32) int32 {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return 0
+		}
+		r := a % b
+		if r != 0 && (r < 0) != (b < 0) {
+			r += b
+		}
+		return r
+	}
+	prop := func(a, b int32) bool {
+		div := int32(0)
+		if b != 0 && !(a == math.MinInt32 && b == -1) {
+			div = a / b
+		} else if a == math.MinInt32 && b == -1 {
+			div = a // wraps
+		}
+		return mkCheck(spirv.OpIAdd, a, b, a+b) &&
+			mkCheck(spirv.OpISub, a, b, a-b) &&
+			mkCheck(spirv.OpIMul, a, b, a*b) &&
+			mkCheck(spirv.OpSDiv, a, b, div) &&
+			mkCheck(spirv.OpSMod, a, b, goSMod(a, b)) &&
+			mkCheck(spirv.OpBitwiseAnd, a, b, a&b) &&
+			mkCheck(spirv.OpBitwiseOr, a, b, a|b) &&
+			mkCheck(spirv.OpBitwiseXor, a, b, a^b)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Edge cases the generator may miss.
+	for _, pair := range [][2]int32{{math.MinInt32, -1}, {7, 0}, {-7, 3}, {7, -3}, {0, 0}} {
+		if !prop(pair[0], pair[1]) {
+			t.Fatalf("edge case %v failed", pair)
+		}
+	}
+}
+
+// TestFloatOpsAreIEEE checks a few float identities the transformations rely
+// on: x*1 == x, x/1 == x, and that doubling-then-halving is exact.
+func TestFloatOpsAreIEEE(t *testing.T) {
+	check := func(build func(bld *spirv.Builder, s *spirv.FragmentShell, x spirv.ID) spirv.ID, x float32) bool {
+		bld := spirv.NewBuilder()
+		s := bld.BeginFragmentShell()
+		m := bld.Mod
+		cx := m.EnsureConstantFloat(x)
+		r := build(bld, s, cx)
+		eq := bld.Emit(spirv.OpFOrdEqual, s.Bool, r, cx)
+		one := m.EnsureConstantFloat(1)
+		zero := m.EnsureConstantFloat(0)
+		sel := bld.Emit(spirv.OpSelect, s.Float, eq, one, zero)
+		col := bld.Emit(spirv.OpCompositeConstruct, s.Vec4, sel, sel, sel, one)
+		bld.Store(s.Color, col)
+		bld.FinishFragmentShell(s)
+		img, err := interp.Render(m, interp.Inputs{W: 1, H: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img.At(0, 0)[0] == 255
+	}
+	mulOne := func(bld *spirv.Builder, s *spirv.FragmentShell, x spirv.ID) spirv.ID {
+		one := bld.Mod.EnsureConstantFloat(1)
+		return bld.Emit(spirv.OpFMul, s.Float, x, one)
+	}
+	divOne := func(bld *spirv.Builder, s *spirv.FragmentShell, x spirv.ID) spirv.ID {
+		one := bld.Mod.EnsureConstantFloat(1)
+		return bld.Emit(spirv.OpFDiv, s.Float, x, one)
+	}
+	doubleHalf := func(bld *spirv.Builder, s *spirv.FragmentShell, x spirv.ID) spirv.ID {
+		two := bld.Mod.EnsureConstantFloat(2)
+		half := bld.Mod.EnsureConstantFloat(0.5)
+		d := bld.Emit(spirv.OpFMul, s.Float, x, two)
+		return bld.Emit(spirv.OpFMul, s.Float, d, half)
+	}
+	prop := func(bits uint32) bool {
+		x := math.Float32frombits(bits % 0x7F000000) // finite, positive range
+		return check(mulOne, x) && check(divOne, x) && check(doubleHalf, x)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float32{0, 1, 0.1, 1e-30, 3.40282e38 / 4} {
+		if !check(mulOne, x) || !check(divOne, x) || !check(doubleHalf, x) {
+			t.Fatalf("identity failed for %v", x)
+		}
+	}
+}
+
+// TestRenderIsPureFunctionOfModuleAndInputs: repeated renders with equal
+// inputs give equal images; different uniforms give (generally) different
+// hashes for a uniform-sensitive shader.
+func TestRenderIsPureFunctionOfModuleAndInputs(t *testing.T) {
+	prop := func(seed uint8) bool {
+		v := float32(seed%8) / 8
+		m := gradientUniformShader()
+		in := interp.Inputs{W: 4, H: 4, Uniforms: map[string]interp.Value{"g": interp.FloatVal(v)}}
+		a, err1 := interp.Render(m, in)
+		b, err2 := interp.Render(m, in)
+		return err1 == nil && err2 == nil && a.Equal(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gradientUniformShader() *spirv.Module {
+	bld := spirv.NewBuilder()
+	m := bld.Mod
+	f32 := m.EnsureTypeFloat(32)
+	g := bld.Uniform("g", f32, 1)
+	s := bld.BeginFragmentShell()
+	one := m.EnsureConstantFloat(1)
+	gv := bld.Emit(spirv.OpLoad, s.Float, g)
+	col := bld.Emit(spirv.OpCompositeConstruct, s.Vec4, gv, gv, gv, one)
+	bld.Store(s.Color, col)
+	bld.FinishFragmentShell(s)
+	return m
+}

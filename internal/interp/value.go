@@ -1,0 +1,210 @@
+// Package interp is the reference executor for the SPIR-V subset: it
+// defines Semantics(P, I) from Definition 2.1. A module is executed as a
+// fragment shader over an N×M pixel grid; each invocation receives a
+// coordinate input and writes a color output, and the resulting quantized
+// image is the program's deterministic result. Result mismatches between a
+// module and a transformed variant signal compiler bugs (Theorem 2.6).
+//
+// The dialect is UB-free by construction: integer division by zero yields
+// zero, out-of-range dynamic indexing is clamped (as with Vulkan robustness
+// features), and execution is bounded by a step budget — exceeding it is a
+// fault, as is any structural error. This mirrors the paper's requirement
+// that original programs and transformed variants are free from undefined
+// behaviour, without needing external sanitizers.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// Kind discriminates runtime values.
+type Kind int
+
+// Value kinds.
+const (
+	KindBool Kind = iota
+	KindInt       // 32-bit integer, signedness from the static type
+	KindFloat
+	KindComposite
+	KindPointer
+)
+
+// Value is a runtime value.
+type Value struct {
+	Kind  Kind
+	B     bool
+	Bits  uint32 // raw bits of an int value
+	F     float32
+	Elems []Value // composite members
+	Ptr   *Pointer
+}
+
+// Pointer references (a path into) a memory cell.
+type Pointer struct {
+	Cell *Cell
+	Path []int
+}
+
+// Cell is one memory location holding a (possibly composite) value.
+type Cell struct{ V Value }
+
+// BoolVal returns a boolean value.
+func BoolVal(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// IntVal returns an integer value from signed input.
+func IntVal(v int32) Value { return Value{Kind: KindInt, Bits: uint32(v)} }
+
+// UintVal returns an integer value from raw bits.
+func UintVal(v uint32) Value { return Value{Kind: KindInt, Bits: v} }
+
+// FloatVal returns a float value.
+func FloatVal(f float32) Value { return Value{Kind: KindFloat, F: f} }
+
+// Composite returns a composite value.
+func Composite(elems ...Value) Value { return Value{Kind: KindComposite, Elems: elems} }
+
+// Vec4 builds a 4-component float composite.
+func Vec4(x, y, z, w float32) Value {
+	return Composite(FloatVal(x), FloatVal(y), FloatVal(z), FloatVal(w))
+}
+
+// Vec2 builds a 2-component float composite.
+func Vec2(x, y float32) Value { return Composite(FloatVal(x), FloatVal(y)) }
+
+// Int returns the value as a signed integer.
+func (v Value) Int() int32 { return int32(v.Bits) }
+
+// Clone deep-copies the value (pointers are shared; they are references).
+func (v Value) Clone() Value {
+	if v.Kind != KindComposite {
+		return v
+	}
+	c := v
+	c.Elems = make([]Value, len(v.Elems))
+	for i, e := range v.Elems {
+		c.Elems[i] = e.Clone()
+	}
+	return c
+}
+
+// Equal reports deep equality of two values. Floats compare by bits, so the
+// comparison is exact and deterministic.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindBool:
+		return v.B == w.B
+	case KindInt:
+		return v.Bits == w.Bits
+	case KindFloat:
+		return math.Float32bits(v.F) == math.Float32bits(w.F)
+	case KindComposite:
+		if len(v.Elems) != len(w.Elems) {
+			return false
+		}
+		for i := range v.Elems {
+			if !v.Elems[i].Equal(w.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case KindPointer:
+		return v.Ptr == w.Ptr
+	}
+	return false
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindBool:
+		return fmt.Sprintf("%t", v.B)
+	case KindInt:
+		return fmt.Sprintf("%d", int32(v.Bits))
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindComposite:
+		s := "{"
+		for i, e := range v.Elems {
+			if i > 0 {
+				s += ", "
+			}
+			s += e.String()
+		}
+		return s + "}"
+	case KindPointer:
+		return fmt.Sprintf("ptr%v", v.Ptr.Path)
+	}
+	return "?"
+}
+
+// ZeroValue builds the zero value of type t in module m.
+func ZeroValue(m *spirv.Module, t spirv.ID) (Value, error) {
+	switch m.TypeOp(t) {
+	case spirv.OpTypeBool:
+		return BoolVal(false), nil
+	case spirv.OpTypeInt:
+		return UintVal(0), nil
+	case spirv.OpTypeFloat:
+		return FloatVal(0), nil
+	case spirv.OpTypeVector, spirv.OpTypeMatrix, spirv.OpTypeArray, spirv.OpTypeStruct:
+		n, ok := m.CompositeMemberCount(t)
+		if !ok {
+			return Value{}, fmt.Errorf("interp: cannot size composite type %%%d", t)
+		}
+		elems := make([]Value, n)
+		for i := 0; i < n; i++ {
+			mt, _ := m.CompositeMemberType(t, i)
+			z, err := ZeroValue(m, mt)
+			if err != nil {
+				return Value{}, err
+			}
+			elems[i] = z
+		}
+		return Composite(elems...), nil
+	}
+	return Value{}, fmt.Errorf("interp: no zero value for type %%%d (%s)", t, m.TypeOp(t))
+}
+
+// Load reads through the pointer.
+func (p *Pointer) Load() Value {
+	v := &p.Cell.V
+	for _, i := range p.Path {
+		v = &v.Elems[i]
+	}
+	return v.Clone()
+}
+
+// Store writes through the pointer.
+func (p *Pointer) Store(val Value) {
+	v := &p.Cell.V
+	for _, i := range p.Path {
+		v = &v.Elems[i]
+	}
+	*v = val.Clone()
+}
+
+// Elem returns a pointer one level deeper, clamping idx into range (the
+// robust-access rule of the dialect).
+func (p *Pointer) Elem(idx int) *Pointer {
+	v := &p.Cell.V
+	for _, i := range p.Path {
+		v = &v.Elems[i]
+	}
+	if len(v.Elems) == 0 {
+		return p
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(v.Elems) {
+		idx = len(v.Elems) - 1
+	}
+	path := append(append([]int(nil), p.Path...), idx)
+	return &Pointer{Cell: p.Cell, Path: path}
+}

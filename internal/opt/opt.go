@@ -1,0 +1,324 @@
+// Package opt is the optimizer substrate shared by the simulated SPIR-V
+// targets (the spirv-opt analogue): inlining, constant folding, copy
+// propagation, dead-code and dead-block elimination, local CSE and block
+// layout. The passes here are correct; the simulated compiler defects of
+// package target are injected as separate passes wrapped around these.
+package opt
+
+import (
+	"fmt"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// Pass is one optimizer pass. Run mutates m in place and reports whether it
+// changed anything; a non-nil error is a compiler crash (with the error text
+// as the crash message).
+type Pass struct {
+	Name string
+	Run  func(m *spirv.Module) (bool, error)
+}
+
+// Pipeline runs passes in order until a fixpoint or maxRounds, mimicking a
+// -O pass schedule. It returns the first crash error encountered.
+func Pipeline(m *spirv.Module, passes []Pass, maxRounds int) error {
+	if maxRounds <= 0 {
+		maxRounds = 4
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, p := range passes {
+			ch, err := p.Run(m)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			changed = changed || ch
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Standard returns the default -O pipeline. EliminateRedundantPhis is
+// available but not scheduled by default: the simulated targets' ϕ-handling
+// defects live exactly in that corner (single-arm and hoisted ϕs), so the
+// default pipeline leaves those shapes for the injected backends to
+// mishandle, as the real drivers did.
+func Standard() []Pass {
+	return []Pass{
+		Inline(),
+		CopyPropagate(),
+		ConstantFold(),
+		EliminateDeadBlocks(),
+		MergeBlocks(),
+		CSELocal(),
+		DCE(),
+		BlockLayout(),
+	}
+}
+
+// --- inlining ----------------------------------------------------------------
+
+// Inline inlines calls to single-block functions, honouring the function
+// control mask: DontInline suppresses inlining, Inline forces it even for
+// larger single-block bodies.
+func Inline() Pass {
+	return Pass{Name: "inline", Run: func(m *spirv.Module) (bool, error) {
+		changed := false
+		for _, fn := range m.Functions {
+			for _, b := range fn.Blocks {
+				for i := 0; i < len(b.Body); i++ {
+					ins := b.Body[i]
+					if ins.Op != spirv.OpFunctionCall {
+						continue
+					}
+					callee := m.Function(ins.IDOperand(0))
+					if callee == nil || len(callee.Blocks) != 1 {
+						continue
+					}
+					if callee.Control()&spirv.FunctionControlDontInline != 0 {
+						continue
+					}
+					body := callee.Blocks[0]
+					if body.Term.Op != spirv.OpReturn && body.Term.Op != spirv.OpReturnValue {
+						continue
+					}
+					small := len(body.Body) <= 24
+					if !small && callee.Control()&spirv.FunctionControlInline == 0 {
+						continue
+					}
+					inlineCall(m, b, i, callee)
+					changed = true
+					i-- // re-examine the spliced region start
+				}
+			}
+		}
+		return changed, nil
+	}}
+}
+
+// inlineCall splices callee's single block in place of the call at b.Body[i].
+func inlineCall(m *spirv.Module, b *spirv.Block, i int, callee *spirv.Function) {
+	call := b.Body[i]
+	remap := make(map[spirv.ID]spirv.ID)
+	for pi, p := range callee.Params {
+		remap[p.Result] = call.IDOperand(pi + 1)
+	}
+	body := callee.Blocks[0]
+	for _, ins := range body.Body {
+		if ins.Result != 0 {
+			remap[ins.Result] = m.FreshID()
+		}
+	}
+	apply := func(id spirv.ID) spirv.ID {
+		if n, ok := remap[id]; ok {
+			return n
+		}
+		return id
+	}
+	spliced := make([]*spirv.Instruction, 0, len(body.Body)+1)
+	for _, ins := range body.Body {
+		cl := ins.Clone()
+		cl.MapAllIDs(apply)
+		spliced = append(spliced, cl)
+	}
+	if body.Term.Op == spirv.OpReturnValue {
+		spliced = append(spliced,
+			spirv.NewInstr(spirv.OpCopyObject, call.Type, call.Result, uint32(apply(body.Term.IDOperand(0)))))
+	}
+	b.Body = append(b.Body[:i:i], append(spliced, b.Body[i+1:]...)...)
+}
+
+// --- copy propagation ---------------------------------------------------------
+
+// CopyPropagate replaces uses of OpCopyObject results with their sources and
+// removes the copies.
+func CopyPropagate() Pass {
+	return Pass{Name: "copy-propagate", Run: func(m *spirv.Module) (bool, error) {
+		repl := make(map[spirv.ID]spirv.ID)
+		for _, fn := range m.Functions {
+			for _, b := range fn.Blocks {
+				for _, ins := range b.Body {
+					if ins.Op == spirv.OpCopyObject {
+						repl[ins.Result] = ins.IDOperand(0)
+					}
+				}
+			}
+		}
+		if len(repl) == 0 {
+			return false, nil
+		}
+		// Resolve chains.
+		resolve := func(id spirv.ID) spirv.ID {
+			for {
+				n, ok := repl[id]
+				if !ok {
+					return id
+				}
+				id = n
+			}
+		}
+		for _, fn := range m.Functions {
+			for _, b := range fn.Blocks {
+				b.Instructions(func(ins *spirv.Instruction) {
+					if ins.Op == spirv.OpCopyObject {
+						return
+					}
+					ins.MapUses(resolve)
+				})
+				kept := b.Body[:0]
+				for _, ins := range b.Body {
+					if ins.Op != spirv.OpCopyObject {
+						kept = append(kept, ins)
+					}
+				}
+				b.Body = kept
+			}
+		}
+		return true, nil
+	}}
+}
+
+// --- constant folding ---------------------------------------------------------
+
+// ConstantFold folds integer and boolean operations over constants and
+// simplifies conditional branches on constant conditions (removing the
+// merge instruction and pruning ϕ edges of the untaken successor). Floats
+// are left alone, as real optimizers are wary of FP folding differences.
+func ConstantFold() Pass {
+	return Pass{Name: "constant-fold", Run: func(m *spirv.Module) (bool, error) {
+		changed := false
+		for _, fn := range m.Functions {
+			for _, b := range fn.Blocks {
+				for _, ins := range b.Body {
+					if folded, ok := foldInstr(m, ins); ok {
+						*ins = *spirv.NewInstr(spirv.OpCopyObject, ins.Type, ins.Result, uint32(folded))
+						changed = true
+					}
+				}
+			}
+			// Branch simplification.
+			for _, b := range fn.Blocks {
+				t := b.Term
+				if t.Op != spirv.OpBranchConditional {
+					continue
+				}
+				val, isConst := m.ConstantBoolValue(t.IDOperand(0))
+				if !isConst {
+					continue
+				}
+				taken, untaken := t.IDOperand(1), t.IDOperand(2)
+				if !val {
+					taken, untaken = untaken, taken
+				}
+				b.Term = spirv.NewInstr(spirv.OpBranch, 0, 0, uint32(taken))
+				b.Merge = nil
+				if taken != untaken {
+					if ub := fn.Block(untaken); ub != nil {
+						removePhiEdges(ub, b.Label)
+					}
+				}
+				changed = true
+			}
+		}
+		return changed, nil
+	}}
+}
+
+func removePhiEdges(b *spirv.Block, pred spirv.ID) {
+	for _, phi := range b.Phis {
+		ops := phi.Operands[:0]
+		for i := 0; i+1 < len(phi.Operands); i += 2 {
+			if spirv.ID(phi.Operands[i+1]) != pred {
+				ops = append(ops, phi.Operands[i], phi.Operands[i+1])
+			}
+		}
+		phi.Operands = ops
+	}
+}
+
+// foldInstr returns the id of an existing or new constant equal to ins's
+// result, when both operands are integer/bool constants.
+func foldInstr(m *spirv.Module, ins *spirv.Instruction) (spirv.ID, bool) {
+	intOf := func(i int) (int64, bool) { return m.ConstantIntValue(ins.IDOperand(i)) }
+	makeInt := func(v int64) (spirv.ID, bool) {
+		tdef := m.Def(ins.Type)
+		if tdef == nil || tdef.Op != spirv.OpTypeInt {
+			return 0, false
+		}
+		return m.EnsureConstantWord(ins.Type, uint32(int32(v))), true
+	}
+	switch ins.Op {
+	case spirv.OpIAdd, spirv.OpISub, spirv.OpIMul, spirv.OpSDiv, spirv.OpSMod:
+		a, ok1 := intOf(0)
+		bv, ok2 := intOf(1)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		var r int64
+		switch ins.Op {
+		case spirv.OpIAdd:
+			r = a + bv
+		case spirv.OpISub:
+			r = a - bv
+		case spirv.OpIMul:
+			r = a * bv
+		case spirv.OpSDiv:
+			if bv == 0 {
+				return 0, false
+			}
+			r = a / bv
+		case spirv.OpSMod:
+			if bv == 0 {
+				return 0, false
+			}
+			r = a % bv
+			if r != 0 && (r < 0) != (bv < 0) {
+				r += bv
+			}
+		}
+		return makeInt(r)
+	case spirv.OpSLessThan, spirv.OpSGreaterThan, spirv.OpIEqual, spirv.OpINotEqual,
+		spirv.OpSLessThanEqual, spirv.OpSGreaterThanEqual:
+		a, ok1 := intOf(0)
+		bv, ok2 := intOf(1)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		var r bool
+		switch ins.Op {
+		case spirv.OpSLessThan:
+			r = a < bv
+		case spirv.OpSGreaterThan:
+			r = a > bv
+		case spirv.OpSLessThanEqual:
+			r = a <= bv
+		case spirv.OpSGreaterThanEqual:
+			r = a >= bv
+		case spirv.OpIEqual:
+			r = a == bv
+		case spirv.OpINotEqual:
+			r = a != bv
+		}
+		return m.EnsureConstantBool(r), true
+	case spirv.OpLogicalAnd, spirv.OpLogicalOr, spirv.OpLogicalNot:
+		a, ok1 := m.ConstantBoolValue(ins.IDOperand(0))
+		if !ok1 {
+			return 0, false
+		}
+		if ins.Op == spirv.OpLogicalNot {
+			return m.EnsureConstantBool(!a), true
+		}
+		bv, ok2 := m.ConstantBoolValue(ins.IDOperand(1))
+		if !ok2 {
+			return 0, false
+		}
+		if ins.Op == spirv.OpLogicalAnd {
+			return m.EnsureConstantBool(a && bv), true
+		}
+		return m.EnsureConstantBool(a || bv), true
+	}
+	return 0, false
+}

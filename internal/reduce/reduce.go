@@ -1,0 +1,175 @@
+// Package reduce implements the spirv-fuzz reducer of Section 3.4: delta
+// debugging over the bug-inducing transformation sequence against an
+// interestingness test, followed by the spirv-reduce-style shrinking of any
+// remaining AddFunction bodies. It also provides the hand-off that turns a
+// reduced outcome into reduction-quality measurements (Section 4.2).
+package reduce
+
+import (
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+)
+
+// Interestingness is the Section 3.4 interestingness test: given a variant
+// module and the inputs it executes on (input-modifying transformations may
+// have changed them in sync with the module), it reports whether the bug
+// still appears to be triggered.
+type Interestingness func(variant *spirv.Module, in interp.Inputs) bool
+
+// CrashInterestingness builds the interestingness test for a crash bug: the
+// target must crash with the same signature.
+func CrashInterestingness(tg *target.Target, _ interp.Inputs, signature string) Interestingness {
+	return func(variant *spirv.Module, in interp.Inputs) bool {
+		_, crash := tg.Run(variant, in)
+		return crash != nil && crash.Signature == signature
+	}
+}
+
+// MiscompilationInterestingness builds the test for a miscompilation: the
+// image rendered via the variant (on its inputs) must still differ from the
+// image rendered via the original on the original inputs (Section 3.4's
+// image-pair comparison).
+func MiscompilationInterestingness(tg *target.Target, origIn interp.Inputs, original *spirv.Module) Interestingness {
+	origImg, origCrash := tg.Run(original, origIn)
+	return func(variant *spirv.Module, in interp.Inputs) bool {
+		if origCrash != nil {
+			return false
+		}
+		img, crash := tg.Run(variant, in)
+		return crash == nil && img != nil && !img.Equal(origImg)
+	}
+}
+
+// ForOutcome builds the appropriate interestingness test for a bug outcome.
+func ForOutcome(tg *target.Target, original *spirv.Module, in interp.Inputs, signature string) Interestingness {
+	if signature == target.MiscompilationSignature {
+		return MiscompilationInterestingness(tg, in, original)
+	}
+	return CrashInterestingness(tg, in, signature)
+}
+
+// Result is the outcome of a reduction.
+type Result struct {
+	// Kept are the indices of the original sequence that remain.
+	Kept []int
+	// Sequence is the minimized transformation sequence.
+	Sequence []fuzz.Transformation
+	// Variant is the reduced variant module.
+	Variant *spirv.Module
+	// Inputs are the inputs the reduced variant executes on.
+	Inputs interp.Inputs
+	// Delta is the size of the final delta: the difference in instruction
+	// counts between the original module and the reduced variant — the
+	// reduction-quality measure of Section 4.2.
+	Delta int
+	// Queries counts interestingness-test invocations.
+	Queries int
+}
+
+// Reduce minimizes the transformation sequence of a bug-inducing variant.
+// It runs delta debugging to 1-minimality, then applies the spirv-reduce
+// analogue to shrink remaining AddFunction bodies.
+func Reduce(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness) *Result {
+	test := func(keep []int) bool {
+		ctx, _ := fuzz.ReplaySubsequenceContext(original, in, ts, keep)
+		return interesting(ctx.Mod, ctx.Inputs)
+	}
+	kept, st := core.Reduce(len(ts), test)
+	seq := make([]fuzz.Transformation, len(kept))
+	for i, k := range kept {
+		seq[i] = ts[k]
+	}
+	queries := st.Queries
+	seq, extra := shrinkAddFunctions(original, in, seq, interesting)
+	queries += extra
+	ctx, _ := fuzz.ReplayContext(original, in, seq)
+	return &Result{
+		Kept:     kept,
+		Sequence: seq,
+		Variant:  ctx.Mod,
+		Inputs:   ctx.Inputs,
+		Delta:    ctx.Mod.InstructionCount() - original.InstructionCount(),
+		Queries:  queries,
+	}
+}
+
+// shrinkAddFunctions is the spirv-reduce post-pass (Section 3.4): donated
+// functions sometimes carry more instructions than the bug needs, and
+// AddFunction is the one transformation that could not be split into smaller
+// transformations. For each remaining AddFunction, try deleting body
+// instructions whose results nothing in the encoded function uses.
+func shrinkAddFunctions(original *spirv.Module, in interp.Inputs, seq []fuzz.Transformation, interesting Interestingness) ([]fuzz.Transformation, int) {
+	queries := 0
+	test := func(candidate []fuzz.Transformation) bool {
+		queries++
+		ctx, _ := fuzz.ReplayContext(original, in, candidate)
+		return interesting(ctx.Mod, ctx.Inputs)
+	}
+	for i, t := range seq {
+		af, ok := t.(*fuzz.AddFunction)
+		if !ok {
+			continue
+		}
+		for {
+			shrunk, changed := dropOneDeadInstr(af)
+			if !changed {
+				break
+			}
+			candidate := append([]fuzz.Transformation{}, seq...)
+			candidate[i] = shrunk
+			if !test(candidate) {
+				break
+			}
+			af = shrunk
+			seq = candidate
+		}
+	}
+	return seq, queries
+}
+
+// dropOneDeadInstr returns a copy of af with one unused-result body
+// instruction removed, or (af, false) if none can be removed.
+func dropOneDeadInstr(af *fuzz.AddFunction) (*fuzz.AddFunction, bool) {
+	used := map[spirv.ID]bool{}
+	scan := func(e fuzz.EncodedInstr) {
+		ins, ok := e.Decode()
+		if !ok {
+			return
+		}
+		ins.Uses(func(id spirv.ID) { used[id] = true })
+	}
+	scan(af.Def)
+	for _, p := range af.Params {
+		scan(p)
+	}
+	for _, b := range af.Blocks {
+		for _, p := range b.Phis {
+			scan(p)
+		}
+		for _, ins := range b.Body {
+			scan(ins)
+		}
+		if b.Merge != nil {
+			scan(*b.Merge)
+		}
+		scan(b.Term)
+	}
+	for bi, b := range af.Blocks {
+		for ii, e := range b.Body {
+			ins, ok := e.Decode()
+			if !ok || ins.Result == 0 || used[ins.Result] || ins.Op.HasSideEffects() || ins.Op == spirv.OpVariable {
+				continue
+			}
+			clone := *af
+			clone.Blocks = append([]fuzz.EncodedBlock{}, af.Blocks...)
+			nb := clone.Blocks[bi]
+			nb.Body = append(append([]fuzz.EncodedInstr{}, b.Body[:ii]...), b.Body[ii+1:]...)
+			clone.Blocks[bi] = nb
+			return &clone, true
+		}
+	}
+	return af, false
+}

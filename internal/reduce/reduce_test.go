@@ -1,0 +1,164 @@
+package reduce_test
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/validate"
+	"spirvfuzz/internal/target"
+	"spirvfuzz/internal/testmod"
+)
+
+func TestCrashInterestingness(t *testing.T) {
+	sw := target.ByName("SwiftShader")
+	in := interp.Inputs{W: 2, H: 2}
+	original := testmod.Caller()
+	variant := original.Clone()
+	variant.Functions[0].SetControl(spirv.FunctionControlDontInline)
+	_, crash := sw.Run(variant, in)
+	if crash == nil {
+		t.Fatal("setup: variant should crash")
+	}
+	interesting := reduce.CrashInterestingness(sw, in, crash.Signature)
+	if !interesting(variant, in) {
+		t.Fatal("crashing variant must be interesting")
+	}
+	if interesting(original, in) {
+		t.Fatal("healthy original must not be interesting")
+	}
+	other := reduce.CrashInterestingness(sw, in, "some other signature")
+	if other(variant, in) {
+		t.Fatal("signature mismatch must not be interesting")
+	}
+}
+
+func TestMiscompilationInterestingness(t *testing.T) {
+	mesa := target.ByName("Mesa")
+	in := interp.Inputs{W: 4, H: 4}
+	original := testmod.Loop()
+	ctx := fuzz.NewContext(original.Clone(), in)
+	fn := ctx.Mod.EntryPointFunction()
+	cmp := fn.Blocks[2].Body[0]
+	tr := &fuzz.PropagateInstructionUp{
+		Instr:    cmp.Result,
+		FreshIDs: map[spirv.ID]spirv.ID{fn.Blocks[1].Label: ctx.Mod.Bound},
+	}
+	if !tr.Precondition(ctx) {
+		t.Fatal("setup precondition")
+	}
+	tr.Apply(ctx)
+	interesting := reduce.MiscompilationInterestingness(mesa, in, original)
+	if !interesting(ctx.Mod, ctx.Inputs) {
+		t.Fatal("miscompiling variant must be interesting")
+	}
+	if interesting(original, in) {
+		t.Fatal("original must not differ from itself")
+	}
+}
+
+// TestShrinkAddFunctions exercises the spirv-reduce post-pass: a donated
+// function larger than the bug requires loses its unused instructions.
+func TestShrinkAddFunctions(t *testing.T) {
+	item := corpus.References()[0] // gradient1
+	c := fuzz.NewContext(item.Mod.Clone(), item.Inputs)
+
+	// Donate a function with several pure instructions, then pad the
+	// encoding with extra dead arithmetic so the shrinker has work.
+	var donated []fuzz.Transformation
+	for _, d := range corpus.Donors() {
+		donated = fuzz.Donate(c, d, d.Functions[0], true)
+		if donated != nil {
+			break
+		}
+	}
+	if donated == nil {
+		t.Fatal("no donatable function")
+	}
+	af, ok := donated[len(donated)-1].(*fuzz.AddFunction)
+	if !ok {
+		t.Fatalf("last donation transformation is %T", donated[len(donated)-1])
+	}
+	// Pad: duplicate the first body instruction with fresh result ids; the
+	// copies are unused by anything.
+	blk := &af.Blocks[len(af.Blocks)-1]
+	var pad []fuzz.EncodedInstr
+	next := spirv.ID(5000)
+	for i := 0; i < 4; i++ {
+		var template fuzz.EncodedInstr
+		for _, e := range blk.Body {
+			if e.Result != 0 {
+				template = e
+				break
+			}
+		}
+		if template.Op == "" {
+			t.Skip("donor body has no result-producing instructions")
+		}
+		dup := template
+		dup.Operands = append([]uint32(nil), template.Operands...)
+		dup.Result = next
+		next++
+		pad = append(pad, dup)
+	}
+	blk.Body = append(pad, blk.Body...)
+
+	for _, tr := range donated {
+		if !tr.Precondition(c) {
+			t.Fatalf("%s precondition", tr.Type())
+		}
+		tr.Apply(c)
+	}
+	if err := validate.Module(c.Mod); err != nil {
+		t.Fatalf("padded donation invalid: %v\n%s", err, c.Mod)
+	}
+	beforeCount := c.Mod.InstructionCount()
+
+	// The "bug": the module has at least 2 functions (i.e. the donation is
+	// present at all) — every padded instruction is unnecessary.
+	interesting := func(m *spirv.Module, _ interp.Inputs) bool {
+		return len(m.Functions) >= 2
+	}
+	r := reduce.Reduce(item.Mod, item.Inputs, donated, interesting)
+	if !interesting(r.Variant, r.Inputs) {
+		t.Fatal("reduced variant lost the donation")
+	}
+	if err := validate.Module(r.Variant); err != nil {
+		t.Fatalf("reduced variant invalid: %v", err)
+	}
+	if r.Variant.InstructionCount() >= beforeCount {
+		t.Fatalf("shrinker removed nothing: %d -> %d", beforeCount, r.Variant.InstructionCount())
+	}
+	// All four pads must be gone (they are unused pure instructions).
+	var kept *fuzz.AddFunction
+	for _, tr := range r.Sequence {
+		if a, ok := tr.(*fuzz.AddFunction); ok {
+			kept = a
+		}
+	}
+	if kept == nil {
+		t.Fatal("AddFunction missing from reduced sequence")
+	}
+	for _, b := range kept.Blocks {
+		for _, e := range b.Body {
+			if e.Result >= 5000 {
+				t.Fatalf("pad instruction %d survived shrinking", e.Result)
+			}
+		}
+	}
+}
+
+func TestForOutcomeDispatch(t *testing.T) {
+	sw := target.ByName("SwiftShader")
+	in := interp.Inputs{W: 2, H: 2}
+	m := testmod.Caller()
+	if got := reduce.ForOutcome(sw, m, in, target.MiscompilationSignature); got == nil {
+		t.Fatal("nil miscompilation test")
+	}
+	if got := reduce.ForOutcome(sw, m, in, "some crash"); got == nil {
+		t.Fatal("nil crash test")
+	}
+}

@@ -1,0 +1,42 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+
+	"spirvfuzz/internal/spirv"
+)
+
+// LoadModule reads a module from disk, auto-detecting the format: files
+// starting with the SPIR-V magic word (either byte order) are decoded as
+// binaries, anything else is parsed as a textual listing.
+func LoadModule(path string) (*spirv.Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 {
+		word := binary.LittleEndian.Uint32(data)
+		if word == spirv.Magic {
+			return spirv.DecodeBytes(data)
+		}
+		if binary.BigEndian.Uint32(data) == spirv.Magic {
+			return nil, fmt.Errorf("asm: %s is big-endian SPIR-V; only little-endian is supported", path)
+		}
+	}
+	return Parse(string(data))
+}
+
+// SaveModule writes a module to disk: paths ending in .spv get the binary
+// encoding, everything else the textual listing.
+func SaveModule(m *spirv.Module, path string) error {
+	var data []byte
+	if strings.HasSuffix(path, ".spv") {
+		data = m.EncodeBytes()
+	} else {
+		data = []byte(Disassemble(m))
+	}
+	return os.WriteFile(path, data, 0o644)
+}

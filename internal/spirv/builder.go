@@ -1,0 +1,273 @@
+package spirv
+
+import "fmt"
+
+// Builder provides a convenient API for constructing modules in code, used
+// by the reference/donor corpus and by tests. Transformations do not use the
+// builder: they manipulate modules directly so that every change they make
+// is explicit and replayable.
+type Builder struct {
+	Mod *Module
+	Fn  *Function
+	Blk *Block
+}
+
+// NewBuilder returns a builder over a fresh shader module.
+func NewBuilder() *Builder { return &Builder{Mod: NewModule()} }
+
+// --- module-level declarations ---
+
+// GlobalVariable declares a module-scope OpVariable of pointer type
+// (storage, pointee) with an optional initializer (0 for none), returning
+// the variable id.
+func (b *Builder) GlobalVariable(name string, storage uint32, pointee ID, init ID) ID {
+	ptr := b.Mod.EnsureTypePointer(storage, pointee)
+	id := b.Mod.FreshID()
+	ops := []uint32{storage}
+	if init != 0 {
+		ops = append(ops, uint32(init))
+	}
+	b.Mod.TypesGlobals = append(b.Mod.TypesGlobals, NewInstr(OpVariable, ptr, id, ops...))
+	if name != "" {
+		b.Name(id, name)
+	}
+	return id
+}
+
+// Name attaches an OpName debug name to id.
+func (b *Builder) Name(id ID, name string) {
+	b.Mod.Names = append(b.Mod.Names, NewInstr(OpName, 0, 0, append([]uint32{uint32(id)}, EncodeString(name)...)...))
+}
+
+// Decorate attaches an OpDecorate to id.
+func (b *Builder) Decorate(id ID, decoration uint32, extra ...uint32) {
+	b.Mod.Decorations = append(b.Mod.Decorations,
+		NewInstr(OpDecorate, 0, 0, append([]uint32{uint32(id), decoration}, extra...)...))
+}
+
+// EntryPoint declares a fragment-model OpEntryPoint for fn with the given
+// interface variables, plus the OriginUpperLeft execution mode.
+func (b *Builder) EntryPoint(name string, fn ID, iface ...ID) {
+	ops := []uint32{ExecutionModelFragment, uint32(fn)}
+	ops = append(ops, EncodeString(name)...)
+	for _, v := range iface {
+		ops = append(ops, uint32(v))
+	}
+	b.Mod.EntryPoints = append(b.Mod.EntryPoints, NewInstr(OpEntryPoint, 0, 0, ops...))
+	b.Mod.ExecModes = append(b.Mod.ExecModes, NewInstr(OpExecutionMode, 0, 0, uint32(fn), ExecutionModeOriginUpperLeft))
+}
+
+// --- function construction ---
+
+// BeginFunction starts a new function with the given name, return type,
+// function control mask and parameter types. It returns the function id and
+// the parameter ids. The caller must create at least one block and call
+// EndFunction.
+func (b *Builder) BeginFunction(name string, ret ID, control uint32, paramTypes ...ID) (ID, []ID) {
+	if b.Fn != nil {
+		panic("spirv: BeginFunction while a function is open")
+	}
+	fnType := b.Mod.EnsureTypeFunction(ret, paramTypes...)
+	fnID := b.Mod.FreshID()
+	b.Fn = &Function{Def: NewInstr(OpFunction, ret, fnID, control, uint32(fnType))}
+	params := make([]ID, len(paramTypes))
+	for i, pt := range paramTypes {
+		params[i] = b.Mod.FreshID()
+		b.Fn.Params = append(b.Fn.Params, NewInstr(OpFunctionParameter, pt, params[i]))
+	}
+	if name != "" {
+		b.Name(fnID, name)
+	}
+	return fnID, params
+}
+
+// EndFunction finishes the open function and appends it to the module.
+func (b *Builder) EndFunction() *Function {
+	if b.Fn == nil {
+		panic("spirv: EndFunction with no open function")
+	}
+	if b.Blk != nil {
+		panic(fmt.Sprintf("spirv: EndFunction with unterminated block %%%d", b.Blk.Label))
+	}
+	fn := b.Fn
+	b.Mod.Functions = append(b.Mod.Functions, fn)
+	b.Fn = nil
+	return fn
+}
+
+// NewLabel allocates a label id for a future block.
+func (b *Builder) NewLabel() ID { return b.Mod.FreshID() }
+
+// Begin starts a block with the given label inside the open function.
+func (b *Builder) Begin(label ID) {
+	if b.Fn == nil {
+		panic("spirv: Begin outside function")
+	}
+	if b.Blk != nil {
+		panic(fmt.Sprintf("spirv: Begin while block %%%d is unterminated", b.Blk.Label))
+	}
+	b.Blk = &Block{Label: label}
+	b.Fn.Blocks = append(b.Fn.Blocks, b.Blk)
+}
+
+// BeginNew starts a block with a fresh label and returns the label.
+func (b *Builder) BeginNew() ID {
+	l := b.NewLabel()
+	b.Begin(l)
+	return l
+}
+
+// Emit appends a result-producing instruction to the current block and
+// returns its fresh result id. Operand ids are passed as IDs.
+func (b *Builder) Emit(op Opcode, typ ID, operands ...ID) ID {
+	ops := make([]uint32, len(operands))
+	for i, o := range operands {
+		ops[i] = uint32(o)
+	}
+	return b.EmitWords(op, typ, ops...)
+}
+
+// EmitWords appends a result-producing instruction with raw operand words.
+func (b *Builder) EmitWords(op Opcode, typ ID, operands ...uint32) ID {
+	if b.Blk == nil {
+		panic("spirv: Emit outside block")
+	}
+	id := b.Mod.FreshID()
+	b.Blk.Body = append(b.Blk.Body, NewInstr(op, typ, id, operands...))
+	return id
+}
+
+// Phi appends an OpPhi with (value, predecessor) pairs.
+func (b *Builder) Phi(typ ID, pairs ...ID) ID {
+	if len(pairs)%2 != 0 {
+		panic("spirv: Phi needs (value, parent) pairs")
+	}
+	ops := make([]uint32, len(pairs))
+	for i, p := range pairs {
+		ops[i] = uint32(p)
+	}
+	id := b.Mod.FreshID()
+	b.Blk.Phis = append(b.Blk.Phis, NewInstr(OpPhi, typ, id, ops...))
+	return id
+}
+
+// Store appends an OpStore.
+func (b *Builder) Store(ptr, val ID) {
+	if b.Blk == nil {
+		panic("spirv: Store outside block")
+	}
+	b.Blk.Body = append(b.Blk.Body, NewInstr(OpStore, 0, 0, uint32(ptr), uint32(val)))
+}
+
+// LocalVariable emits an OpVariable with Function storage in the current
+// block (which should be the function's entry block).
+func (b *Builder) LocalVariable(pointee ID) ID {
+	ptr := b.Mod.EnsureTypePointer(StorageFunction, pointee)
+	return b.EmitWords(OpVariable, ptr, StorageFunction)
+}
+
+// AccessChain emits an OpAccessChain into base with the given index ids.
+func (b *Builder) AccessChain(resultPtrType ID, base ID, indices ...ID) ID {
+	ops := []ID{base}
+	ops = append(ops, indices...)
+	return b.Emit(OpAccessChain, resultPtrType, ops...)
+}
+
+// --- terminators ---
+
+func (b *Builder) terminate(ins *Instruction) {
+	if b.Blk == nil {
+		panic("spirv: terminator outside block")
+	}
+	b.Blk.Term = ins
+	b.Blk = nil
+}
+
+// Branch terminates the block with OpBranch.
+func (b *Builder) Branch(target ID) { b.terminate(NewInstr(OpBranch, 0, 0, uint32(target))) }
+
+// BranchCond terminates the block with OpBranchConditional.
+func (b *Builder) BranchCond(cond, onTrue, onFalse ID) {
+	b.terminate(NewInstr(OpBranchConditional, 0, 0, uint32(cond), uint32(onTrue), uint32(onFalse)))
+}
+
+// SelectionMerge declares the current block as a selection header.
+func (b *Builder) SelectionMerge(merge ID) {
+	b.Blk.Merge = NewInstr(OpSelectionMerge, 0, 0, uint32(merge), SelectionControlNone)
+}
+
+// LoopMerge declares the current block as a loop header.
+func (b *Builder) LoopMerge(merge, cont ID) {
+	b.Blk.Merge = NewInstr(OpLoopMerge, 0, 0, uint32(merge), uint32(cont), LoopControlNone)
+}
+
+// Return terminates the block with OpReturn.
+func (b *Builder) Return() { b.terminate(NewInstr(OpReturn, 0, 0)) }
+
+// ReturnValue terminates the block with OpReturnValue.
+func (b *Builder) ReturnValue(v ID) { b.terminate(NewInstr(OpReturnValue, 0, 0, uint32(v))) }
+
+// Kill terminates the block with OpKill.
+func (b *Builder) Kill() { b.terminate(NewInstr(OpKill, 0, 0)) }
+
+// Unreachable terminates the block with OpUnreachable.
+func (b *Builder) Unreachable() { b.terminate(NewInstr(OpUnreachable, 0, 0)) }
+
+// --- common shader scaffolding ---
+
+// FragmentShell creates the standard fragment-shader scaffolding used by the
+// corpus: a vec2 coordinate input, a vec4 color output, and an open main
+// function with its entry block begun. It returns the ids needed to build
+// the body.
+type FragmentShell struct {
+	Main  ID // main function id
+	Coord ID // Input vec2 variable (pixel coordinate in [0,1)²)
+	Color ID // Output vec4 variable
+	Float ID // float32 type
+	Vec2  ID
+	Vec4  ID
+	Int   ID // int32 type
+	Bool  ID
+	Void  ID
+}
+
+// BeginFragmentShell builds the scaffolding and leaves the builder inside
+// main's entry block. Call FinishFragmentShell (or terminate main yourself,
+// then EndFunction) when done.
+func (b *Builder) BeginFragmentShell() *FragmentShell {
+	s := &FragmentShell{}
+	m := b.Mod
+	s.Void = m.EnsureTypeVoid()
+	s.Bool = m.EnsureTypeBool()
+	s.Int = m.EnsureTypeInt(32, true)
+	s.Float = m.EnsureTypeFloat(32)
+	s.Vec2 = m.EnsureTypeVector(s.Float, 2)
+	s.Vec4 = m.EnsureTypeVector(s.Float, 4)
+	s.Coord = b.GlobalVariable("coord", StorageInput, s.Vec2, 0)
+	b.Decorate(s.Coord, DecorationLocation, 0)
+	s.Color = b.GlobalVariable("color", StorageOutput, s.Vec4, 0)
+	b.Decorate(s.Color, DecorationLocation, 0)
+	main, _ := b.BeginFunction("main", s.Void, FunctionControlNone)
+	s.Main = main
+	b.BeginNew()
+	return s
+}
+
+// FinishFragmentShell terminates main with OpReturn (if a block is open),
+// ends the function, and declares the entry point.
+func (b *Builder) FinishFragmentShell(s *FragmentShell) {
+	if b.Blk != nil {
+		b.Return()
+	}
+	b.EndFunction()
+	b.EntryPoint("main", s.Main, s.Coord, s.Color)
+}
+
+// Uniform declares a uniform-constant scalar/vector input with the given
+// debug name and location, which the execution environment initialises from
+// the test's input file.
+func (b *Builder) Uniform(name string, pointee ID, location uint32) ID {
+	v := b.GlobalVariable(name, StorageUniformConstant, pointee, 0)
+	b.Decorate(v, DecorationLocation, location)
+	return v
+}

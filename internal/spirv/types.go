@@ -1,0 +1,440 @@
+package spirv
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides type and constant introspection and lookup over a
+// module's TypesGlobals section. SPIR-V requires non-aggregate types to be
+// unique within a module, so lookups are by structural shape.
+
+// TypeOf returns the result-type id of the instruction defining id, or 0.
+func (m *Module) TypeOf(id ID) ID {
+	if def := m.Def(id); def != nil {
+		return def.Type
+	}
+	return 0
+}
+
+// typeDef returns the defining instruction of a type id if it is a type.
+func (m *Module) typeDef(t ID) *Instruction {
+	for _, ins := range m.TypesGlobals {
+		if ins.Result == t && ins.Op.IsType() {
+			return ins
+		}
+	}
+	return nil
+}
+
+// TypeOp returns the opcode of the type definition, or OpNop if t does not
+// name a type.
+func (m *Module) TypeOp(t ID) Opcode {
+	if def := m.typeDef(t); def != nil {
+		return def.Op
+	}
+	return OpNop
+}
+
+// IsBoolType reports whether t is OpTypeBool.
+func (m *Module) IsBoolType(t ID) bool { return m.TypeOp(t) == OpTypeBool }
+
+// IsIntType reports whether t is OpTypeInt.
+func (m *Module) IsIntType(t ID) bool { return m.TypeOp(t) == OpTypeInt }
+
+// IsFloatType reports whether t is OpTypeFloat.
+func (m *Module) IsFloatType(t ID) bool { return m.TypeOp(t) == OpTypeFloat }
+
+// IsNumericScalarType reports whether t is an int or float scalar.
+func (m *Module) IsNumericScalarType(t ID) bool { return m.IsIntType(t) || m.IsFloatType(t) }
+
+// VectorInfo returns the component type and count of vector type t;
+// ok is false if t is not a vector.
+func (m *Module) VectorInfo(t ID) (elem ID, n int, ok bool) {
+	def := m.typeDef(t)
+	if def == nil || def.Op != OpTypeVector {
+		return 0, 0, false
+	}
+	return ID(def.Operands[0]), int(def.Operands[1]), true
+}
+
+// MatrixInfo returns the column type and column count of matrix type t.
+func (m *Module) MatrixInfo(t ID) (col ID, cols int, ok bool) {
+	def := m.typeDef(t)
+	if def == nil || def.Op != OpTypeMatrix {
+		return 0, 0, false
+	}
+	return ID(def.Operands[0]), int(def.Operands[1]), true
+}
+
+// ArrayInfo returns the element type and length-constant id of array type t.
+func (m *Module) ArrayInfo(t ID) (elem ID, lengthConst ID, ok bool) {
+	def := m.typeDef(t)
+	if def == nil || def.Op != OpTypeArray {
+		return 0, 0, false
+	}
+	return ID(def.Operands[0]), ID(def.Operands[1]), true
+}
+
+// StructMembers returns the member type ids of struct type t, or nil.
+func (m *Module) StructMembers(t ID) []ID {
+	def := m.typeDef(t)
+	if def == nil || def.Op != OpTypeStruct {
+		return nil
+	}
+	out := make([]ID, len(def.Operands))
+	for i, w := range def.Operands {
+		out[i] = ID(w)
+	}
+	return out
+}
+
+// PointerInfo returns the storage class and pointee type of pointer type t.
+func (m *Module) PointerInfo(t ID) (storage uint32, pointee ID, ok bool) {
+	def := m.typeDef(t)
+	if def == nil || def.Op != OpTypePointer {
+		return 0, 0, false
+	}
+	return def.Operands[0], ID(def.Operands[1]), true
+}
+
+// FunctionTypeInfo returns the return type and parameter types of function
+// type t.
+func (m *Module) FunctionTypeInfo(t ID) (ret ID, params []ID, ok bool) {
+	def := m.typeDef(t)
+	if def == nil || def.Op != OpTypeFunction {
+		return 0, nil, false
+	}
+	ret = ID(def.Operands[0])
+	for _, w := range def.Operands[1:] {
+		params = append(params, ID(w))
+	}
+	return ret, params, true
+}
+
+// CompositeMemberCount returns the number of direct members of composite
+// type t (vector components, matrix columns, array length, struct members),
+// with ok=false for non-composites. Array lengths must be integer constants.
+func (m *Module) CompositeMemberCount(t ID) (int, bool) {
+	if _, n, ok := m.VectorInfo(t); ok {
+		return n, true
+	}
+	if _, n, ok := m.MatrixInfo(t); ok {
+		return n, true
+	}
+	if _, lc, ok := m.ArrayInfo(t); ok {
+		if v, ok := m.ConstantIntValue(lc); ok {
+			return int(v), true
+		}
+		return 0, false
+	}
+	if members := m.StructMembers(t); members != nil {
+		return len(members), true
+	}
+	return 0, false
+}
+
+// CompositeMemberType returns the type of member i of composite type t.
+func (m *Module) CompositeMemberType(t ID, i int) (ID, bool) {
+	if elem, n, ok := m.VectorInfo(t); ok {
+		if i < n {
+			return elem, true
+		}
+		return 0, false
+	}
+	if col, n, ok := m.MatrixInfo(t); ok {
+		if i < n {
+			return col, true
+		}
+		return 0, false
+	}
+	if elem, lc, ok := m.ArrayInfo(t); ok {
+		if v, ok := m.ConstantIntValue(lc); ok && i < int(v) {
+			return elem, true
+		}
+		return 0, false
+	}
+	if members := m.StructMembers(t); members != nil {
+		if i < len(members) {
+			return members[i], true
+		}
+	}
+	return 0, false
+}
+
+// findType searches for a type with the given opcode and operand words.
+func (m *Module) findType(op Opcode, operands ...uint32) ID {
+	for _, ins := range m.TypesGlobals {
+		if ins.Op != op || len(ins.Operands) != len(operands) {
+			continue
+		}
+		match := true
+		for i := range operands {
+			if ins.Operands[i] != operands[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ins.Result
+		}
+	}
+	return 0
+}
+
+// FindTypeVoid returns the OpTypeVoid id, or 0.
+func (m *Module) FindTypeVoid() ID { return m.findType(OpTypeVoid) }
+
+// FindTypeBool returns the OpTypeBool id, or 0.
+func (m *Module) FindTypeBool() ID { return m.findType(OpTypeBool) }
+
+// FindTypeInt returns the OpTypeInt id with the given width/signedness, or 0.
+func (m *Module) FindTypeInt(width uint32, signed bool) ID {
+	s := uint32(0)
+	if signed {
+		s = 1
+	}
+	return m.findType(OpTypeInt, width, s)
+}
+
+// FindTypeFloat returns the OpTypeFloat id with the given width, or 0.
+func (m *Module) FindTypeFloat(width uint32) ID { return m.findType(OpTypeFloat, width) }
+
+// FindTypeVector returns the OpTypeVector id, or 0.
+func (m *Module) FindTypeVector(elem ID, n int) ID {
+	return m.findType(OpTypeVector, uint32(elem), uint32(n))
+}
+
+// FindTypePointer returns the OpTypePointer id, or 0.
+func (m *Module) FindTypePointer(storage uint32, pointee ID) ID {
+	return m.findType(OpTypePointer, storage, uint32(pointee))
+}
+
+// FindTypeFunction returns the OpTypeFunction id, or 0.
+func (m *Module) FindTypeFunction(ret ID, params ...ID) ID {
+	ops := make([]uint32, 0, 1+len(params))
+	ops = append(ops, uint32(ret))
+	for _, p := range params {
+		ops = append(ops, uint32(p))
+	}
+	return m.findType(OpTypeFunction, ops...)
+}
+
+// ensure appends a new type/constant instruction if no structural duplicate
+// exists, returning the (existing or new) id.
+func (m *Module) ensure(op Opcode, typ ID, operands ...uint32) ID {
+	for _, ins := range m.TypesGlobals {
+		if ins.Op != op || ins.Type != typ || len(ins.Operands) != len(operands) {
+			continue
+		}
+		match := true
+		for i := range operands {
+			if ins.Operands[i] != operands[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ins.Result
+		}
+	}
+	id := m.FreshID()
+	m.TypesGlobals = append(m.TypesGlobals, NewInstr(op, typ, id, operands...))
+	return id
+}
+
+// EnsureTypeVoid returns the OpTypeVoid id, creating it if needed.
+func (m *Module) EnsureTypeVoid() ID { return m.ensure(OpTypeVoid, 0) }
+
+// EnsureTypeBool returns the OpTypeBool id, creating it if needed.
+func (m *Module) EnsureTypeBool() ID { return m.ensure(OpTypeBool, 0) }
+
+// EnsureTypeInt returns an OpTypeInt id, creating it if needed.
+func (m *Module) EnsureTypeInt(width uint32, signed bool) ID {
+	s := uint32(0)
+	if signed {
+		s = 1
+	}
+	return m.ensure(OpTypeInt, 0, width, s)
+}
+
+// EnsureTypeFloat returns an OpTypeFloat id, creating it if needed.
+func (m *Module) EnsureTypeFloat(width uint32) ID { return m.ensure(OpTypeFloat, 0, width) }
+
+// EnsureTypeVector returns an OpTypeVector id, creating it if needed.
+func (m *Module) EnsureTypeVector(elem ID, n int) ID {
+	return m.ensure(OpTypeVector, 0, uint32(elem), uint32(n))
+}
+
+// EnsureTypeMatrix returns an OpTypeMatrix id, creating it if needed.
+func (m *Module) EnsureTypeMatrix(col ID, cols int) ID {
+	return m.ensure(OpTypeMatrix, 0, uint32(col), uint32(cols))
+}
+
+// EnsureTypeArray returns an OpTypeArray id, creating it if needed.
+func (m *Module) EnsureTypeArray(elem ID, lengthConst ID) ID {
+	return m.ensure(OpTypeArray, 0, uint32(elem), uint32(lengthConst))
+}
+
+// EnsureTypeStruct returns an OpTypeStruct id, creating it if needed.
+func (m *Module) EnsureTypeStruct(members ...ID) ID {
+	ops := make([]uint32, len(members))
+	for i, t := range members {
+		ops[i] = uint32(t)
+	}
+	return m.ensure(OpTypeStruct, 0, ops...)
+}
+
+// EnsureTypePointer returns an OpTypePointer id, creating it if needed.
+func (m *Module) EnsureTypePointer(storage uint32, pointee ID) ID {
+	return m.ensure(OpTypePointer, 0, storage, uint32(pointee))
+}
+
+// EnsureTypeFunction returns an OpTypeFunction id, creating it if needed.
+func (m *Module) EnsureTypeFunction(ret ID, params ...ID) ID {
+	ops := make([]uint32, 0, 1+len(params))
+	ops = append(ops, uint32(ret))
+	for _, p := range params {
+		ops = append(ops, uint32(p))
+	}
+	return m.ensure(OpTypeFunction, 0, ops...)
+}
+
+// EnsureConstantBool returns an OpConstantTrue/False id, creating it if
+// needed (and the bool type with it).
+func (m *Module) EnsureConstantBool(v bool) ID {
+	t := m.EnsureTypeBool()
+	if v {
+		return m.ensure(OpConstantTrue, t)
+	}
+	return m.ensure(OpConstantFalse, t)
+}
+
+// EnsureConstantInt returns an OpConstant id of 32-bit signed int type.
+func (m *Module) EnsureConstantInt(v int32) ID {
+	t := m.EnsureTypeInt(32, true)
+	return m.ensure(OpConstant, t, uint32(v))
+}
+
+// EnsureConstantUint returns an OpConstant id of 32-bit unsigned int type.
+func (m *Module) EnsureConstantUint(v uint32) ID {
+	t := m.EnsureTypeInt(32, false)
+	return m.ensure(OpConstant, t, v)
+}
+
+// EnsureConstantFloat returns an OpConstant id of 32-bit float type.
+func (m *Module) EnsureConstantFloat(v float32) ID {
+	t := m.EnsureTypeFloat(32)
+	return m.ensure(OpConstant, t, math.Float32bits(v))
+}
+
+// EnsureConstantWord returns an OpConstant of the given scalar type holding
+// the raw word, creating it if needed.
+func (m *Module) EnsureConstantWord(typ ID, word uint32) ID {
+	return m.ensure(OpConstant, typ, word)
+}
+
+// EnsureConstantComposite returns an OpConstantComposite id.
+func (m *Module) EnsureConstantComposite(typ ID, members ...ID) ID {
+	ops := make([]uint32, len(members))
+	for i, c := range members {
+		ops[i] = uint32(c)
+	}
+	return m.ensure(OpConstantComposite, typ, ops...)
+}
+
+// EnsureConstantNull returns an OpConstantNull id for the given type.
+func (m *Module) EnsureConstantNull(typ ID) ID { return m.ensure(OpConstantNull, typ) }
+
+// ConstantIntValue returns the integer value of id if it is an integer
+// OpConstant.
+func (m *Module) ConstantIntValue(id ID) (int64, bool) {
+	def := m.Def(id)
+	if def == nil || def.Op != OpConstant || len(def.Operands) != 1 {
+		return 0, false
+	}
+	tdef := m.typeDef(def.Type)
+	if tdef == nil || tdef.Op != OpTypeInt {
+		return 0, false
+	}
+	if tdef.Operands[1] == 1 {
+		return int64(int32(def.Operands[0])), true
+	}
+	return int64(def.Operands[0]), true
+}
+
+// ConstantFloatValue returns the float value of id if it is a float
+// OpConstant.
+func (m *Module) ConstantFloatValue(id ID) (float32, bool) {
+	def := m.Def(id)
+	if def == nil || def.Op != OpConstant || len(def.Operands) != 1 {
+		return 0, false
+	}
+	if !m.IsFloatType(def.Type) {
+		return 0, false
+	}
+	return math.Float32frombits(def.Operands[0]), true
+}
+
+// ConstantBoolValue returns the value of id if it is a boolean constant.
+func (m *Module) ConstantBoolValue(id ID) (bool, bool) {
+	def := m.Def(id)
+	if def == nil {
+		return false, false
+	}
+	switch def.Op {
+	case OpConstantTrue:
+		return true, true
+	case OpConstantFalse:
+		return false, true
+	}
+	return false, false
+}
+
+// TypeKey returns a canonical structural description of type t, used for
+// stable type identity across modules (e.g. when donating functions between
+// modules).
+func (m *Module) TypeKey(t ID) string {
+	def := m.typeDef(t)
+	if def == nil {
+		return fmt.Sprintf("?%d", t)
+	}
+	switch def.Op {
+	case OpTypeVoid:
+		return "void"
+	case OpTypeBool:
+		return "bool"
+	case OpTypeInt:
+		return fmt.Sprintf("int%d_%d", def.Operands[0], def.Operands[1])
+	case OpTypeFloat:
+		return fmt.Sprintf("float%d", def.Operands[0])
+	case OpTypeVector:
+		return fmt.Sprintf("vec%d<%s>", def.Operands[1], m.TypeKey(ID(def.Operands[0])))
+	case OpTypeMatrix:
+		return fmt.Sprintf("mat%d<%s>", def.Operands[1], m.TypeKey(ID(def.Operands[0])))
+	case OpTypeArray:
+		n, _ := m.ConstantIntValue(ID(def.Operands[1]))
+		return fmt.Sprintf("arr%d<%s>", n, m.TypeKey(ID(def.Operands[0])))
+	case OpTypeStruct:
+		key := "struct{"
+		for i, w := range def.Operands {
+			if i > 0 {
+				key += ","
+			}
+			key += m.TypeKey(ID(w))
+		}
+		return key + "}"
+	case OpTypePointer:
+		return fmt.Sprintf("ptr%d<%s>", def.Operands[0], m.TypeKey(ID(def.Operands[1])))
+	case OpTypeFunction:
+		key := "fn("
+		for i, w := range def.Operands[1:] {
+			if i > 0 {
+				key += ","
+			}
+			key += m.TypeKey(ID(w))
+		}
+		return key + ")" + m.TypeKey(ID(def.Operands[0]))
+	}
+	return def.Op.String()
+}

@@ -1,0 +1,320 @@
+package validate
+
+import "spirvfuzz/internal/spirv"
+
+// shape describes a scalar-or-vector type for arithmetic checking.
+type shape struct {
+	base  spirv.Opcode // OpTypeInt / OpTypeFloat / OpTypeBool
+	elem  spirv.ID     // scalar element type
+	lanes int          // 1 for scalars
+}
+
+func (v *validator) shapeOf(t spirv.ID) (shape, bool) {
+	if elem, n, ok := v.m.VectorInfo(t); ok {
+		return shape{base: v.m.TypeOp(elem), elem: elem, lanes: n}, true
+	}
+	switch v.m.TypeOp(t) {
+	case spirv.OpTypeInt, spirv.OpTypeFloat, spirv.OpTypeBool:
+		return shape{base: v.m.TypeOp(t), elem: t, lanes: 1}, true
+	}
+	return shape{}, false
+}
+
+// checkInstructionTypes validates the typing of a single body instruction.
+func (v *validator) checkInstructionTypes(fn *spirv.Function, ins *spirv.Instruction) error {
+	m := v.m
+	opnd := func(i int) spirv.ID { return ins.IDOperand(i) }
+	typeOf := func(i int) spirv.ID { return m.TypeOf(opnd(i)) }
+
+	binSame := func(base ...spirv.Opcode) error {
+		s, ok := v.shapeOf(ins.Type)
+		if !ok {
+			return errf("type.arith", "%s %%%d result type %%%d is not scalar/vector", ins.Op, ins.Result, ins.Type)
+		}
+		baseOK := false
+		for _, b := range base {
+			if s.base == b {
+				baseOK = true
+			}
+		}
+		if !baseOK {
+			return errf("type.arith-base", "%s %%%d result type has wrong base", ins.Op, ins.Result)
+		}
+		for i := 0; i < 2; i++ {
+			if typeOf(i) != ins.Type {
+				return errf("type.arith-operand", "%s %%%d operand %d has type %%%d, want %%%d", ins.Op, ins.Result, i, typeOf(i), ins.Type)
+			}
+		}
+		return nil
+	}
+	unarySame := func(base spirv.Opcode) error {
+		s, ok := v.shapeOf(ins.Type)
+		if !ok || s.base != base {
+			return errf("type.unary", "%s %%%d result type %%%d has wrong base", ins.Op, ins.Result, ins.Type)
+		}
+		if typeOf(0) != ins.Type {
+			return errf("type.unary-operand", "%s %%%d operand has type %%%d, want %%%d", ins.Op, ins.Result, typeOf(0), ins.Type)
+		}
+		return nil
+	}
+	compare := func(base ...spirv.Opcode) error {
+		rs, ok := v.shapeOf(ins.Type)
+		if !ok || rs.base != spirv.OpTypeBool {
+			return errf("type.compare-result", "%s %%%d result must be bool-shaped", ins.Op, ins.Result)
+		}
+		os, ok := v.shapeOf(typeOf(0))
+		if !ok || os.lanes != rs.lanes {
+			return errf("type.compare-shape", "%s %%%d operand shape mismatch", ins.Op, ins.Result)
+		}
+		baseOK := false
+		for _, b := range base {
+			if os.base == b {
+				baseOK = true
+			}
+		}
+		if !baseOK {
+			return errf("type.compare-base", "%s %%%d operand has wrong base type", ins.Op, ins.Result)
+		}
+		if typeOf(1) != typeOf(0) {
+			return errf("type.compare-operands", "%s %%%d operands differ: %%%d vs %%%d", ins.Op, ins.Result, typeOf(0), typeOf(1))
+		}
+		return nil
+	}
+
+	switch ins.Op {
+	case spirv.OpIAdd, spirv.OpISub, spirv.OpIMul, spirv.OpUDiv, spirv.OpSDiv,
+		spirv.OpUMod, spirv.OpSRem, spirv.OpSMod,
+		spirv.OpBitwiseOr, spirv.OpBitwiseXor, spirv.OpBitwiseAnd:
+		return binSame(spirv.OpTypeInt)
+	case spirv.OpFAdd, spirv.OpFSub, spirv.OpFMul, spirv.OpFDiv, spirv.OpFMod:
+		return binSame(spirv.OpTypeFloat)
+	case spirv.OpLogicalOr, spirv.OpLogicalAnd:
+		return binSame(spirv.OpTypeBool)
+	case spirv.OpSNegate, spirv.OpNot:
+		return unarySame(spirv.OpTypeInt)
+	case spirv.OpFNegate:
+		return unarySame(spirv.OpTypeFloat)
+	case spirv.OpLogicalNot:
+		return unarySame(spirv.OpTypeBool)
+	case spirv.OpIEqual, spirv.OpINotEqual, spirv.OpSGreaterThan, spirv.OpSGreaterThanEqual,
+		spirv.OpSLessThan, spirv.OpSLessThanEqual:
+		return compare(spirv.OpTypeInt)
+	case spirv.OpFOrdEqual, spirv.OpFOrdNotEqual, spirv.OpFOrdLessThan, spirv.OpFOrdGreaterThan,
+		spirv.OpFOrdLessThanEqual, spirv.OpFOrdGreaterThanEqual:
+		return compare(spirv.OpTypeFloat)
+
+	case spirv.OpSelect:
+		cs, ok := v.shapeOf(typeOf(0))
+		if !ok || cs.base != spirv.OpTypeBool {
+			return errf("type.select-cond", "OpSelect %%%d condition is not bool-shaped", ins.Result)
+		}
+		if typeOf(1) != ins.Type || typeOf(2) != ins.Type {
+			return errf("type.select-operands", "OpSelect %%%d operand types do not match result", ins.Result)
+		}
+		if rs, ok := v.shapeOf(ins.Type); ok && cs.lanes != 1 && cs.lanes != rs.lanes {
+			return errf("type.select-shape", "OpSelect %%%d condition lanes mismatch", ins.Result)
+		}
+
+	case spirv.OpVectorTimesScalar:
+		elem, _, ok := m.VectorInfo(ins.Type)
+		if !ok || !m.IsFloatType(elem) {
+			return errf("type.vts", "OpVectorTimesScalar %%%d result is not a float vector", ins.Result)
+		}
+		if typeOf(0) != ins.Type || typeOf(1) != elem {
+			return errf("type.vts-operands", "OpVectorTimesScalar %%%d operand types wrong", ins.Result)
+		}
+
+	case spirv.OpMatrixTimesVector:
+		col, cols, ok := m.MatrixInfo(typeOf(0))
+		if !ok {
+			return errf("type.mtv", "OpMatrixTimesVector %%%d first operand is not a matrix", ins.Result)
+		}
+		velem, vn, ok := m.VectorInfo(typeOf(1))
+		if !ok || vn != cols {
+			return errf("type.mtv-vec", "OpMatrixTimesVector %%%d vector size must equal column count", ins.Result)
+		}
+		celem, _, _ := m.VectorInfo(col)
+		if velem != celem || ins.Type != col {
+			return errf("type.mtv-result", "OpMatrixTimesVector %%%d result must be the matrix column type", ins.Result)
+		}
+
+	case spirv.OpDot:
+		if typeOf(0) != typeOf(1) {
+			return errf("type.dot", "OpDot %%%d operands differ", ins.Result)
+		}
+		elem, _, ok := m.VectorInfo(typeOf(0))
+		if !ok || !m.IsFloatType(elem) || ins.Type != elem {
+			return errf("type.dot-result", "OpDot %%%d must map float vectors to their element type", ins.Result)
+		}
+
+	case spirv.OpConvertFToS:
+		fs, ok1 := v.shapeOf(typeOf(0))
+		is, ok2 := v.shapeOf(ins.Type)
+		if !ok1 || !ok2 || fs.base != spirv.OpTypeFloat || is.base != spirv.OpTypeInt || fs.lanes != is.lanes {
+			return errf("type.convert", "OpConvertFToS %%%d shape mismatch", ins.Result)
+		}
+	case spirv.OpConvertSToF:
+		is, ok1 := v.shapeOf(typeOf(0))
+		fs, ok2 := v.shapeOf(ins.Type)
+		if !ok1 || !ok2 || is.base != spirv.OpTypeInt || fs.base != spirv.OpTypeFloat || is.lanes != fs.lanes {
+			return errf("type.convert", "OpConvertSToF %%%d shape mismatch", ins.Result)
+		}
+	case spirv.OpBitcast:
+		a, ok1 := v.shapeOf(typeOf(0))
+		b, ok2 := v.shapeOf(ins.Type)
+		if !ok1 || !ok2 || a.lanes != b.lanes || a.base == spirv.OpTypeBool || b.base == spirv.OpTypeBool {
+			return errf("type.bitcast", "OpBitcast %%%d must convert between same-width numeric shapes", ins.Result)
+		}
+
+	case spirv.OpCopyObject:
+		if typeOf(0) != ins.Type {
+			return errf("type.copy", "OpCopyObject %%%d operand type %%%d differs from result type %%%d", ins.Result, typeOf(0), ins.Type)
+		}
+
+	case spirv.OpCompositeConstruct:
+		n, ok := m.CompositeMemberCount(ins.Type)
+		if !ok {
+			return errf("type.construct", "OpCompositeConstruct %%%d result %%%d is not a composite", ins.Result, ins.Type)
+		}
+		if len(ins.Operands) != n {
+			return errf("type.construct-arity", "OpCompositeConstruct %%%d has %d members, want %d", ins.Result, len(ins.Operands), n)
+		}
+		for i := range ins.Operands {
+			want, _ := m.CompositeMemberType(ins.Type, i)
+			if typeOf(i) != want {
+				return errf("type.construct-member", "OpCompositeConstruct %%%d member %d has type %%%d, want %%%d", ins.Result, i, typeOf(i), want)
+			}
+		}
+
+	case spirv.OpCompositeExtract:
+		t := typeOf(0)
+		for _, idx := range ins.Operands[1:] {
+			mt, ok := m.CompositeMemberType(t, int(idx))
+			if !ok {
+				return errf("type.extract-index", "OpCompositeExtract %%%d index %d out of range for type %%%d", ins.Result, idx, t)
+			}
+			t = mt
+		}
+		if t != ins.Type {
+			return errf("type.extract-result", "OpCompositeExtract %%%d result type %%%d, want %%%d", ins.Result, ins.Type, t)
+		}
+
+	case spirv.OpCompositeInsert:
+		if typeOf(1) != ins.Type {
+			return errf("type.insert-base", "OpCompositeInsert %%%d composite type must equal result type", ins.Result)
+		}
+		t := ins.Type
+		for _, idx := range ins.Operands[2:] {
+			mt, ok := m.CompositeMemberType(t, int(idx))
+			if !ok {
+				return errf("type.insert-index", "OpCompositeInsert %%%d index %d out of range", ins.Result, idx)
+			}
+			t = mt
+		}
+		if typeOf(0) != t {
+			return errf("type.insert-object", "OpCompositeInsert %%%d object type %%%d, want %%%d", ins.Result, typeOf(0), t)
+		}
+
+	case spirv.OpVectorShuffle:
+		e1, n1, ok1 := m.VectorInfo(typeOf(0))
+		e2, n2, ok2 := m.VectorInfo(typeOf(1))
+		if !ok1 || !ok2 || e1 != e2 {
+			return errf("type.shuffle-operands", "OpVectorShuffle %%%d operands must be vectors with one element type", ins.Result)
+		}
+		re, rn, ok := m.VectorInfo(ins.Type)
+		if !ok || re != e1 || rn != len(ins.Operands)-2 {
+			return errf("type.shuffle-result", "OpVectorShuffle %%%d result type mismatch", ins.Result)
+		}
+		for _, idx := range ins.Operands[2:] {
+			if int(idx) >= n1+n2 {
+				return errf("type.shuffle-index", "OpVectorShuffle %%%d component %d out of range", ins.Result, idx)
+			}
+		}
+
+	case spirv.OpLoad:
+		_, pointee, ok := m.PointerInfo(typeOf(0))
+		if !ok {
+			return errf("type.load-ptr", "OpLoad %%%d operand %%%d is not a pointer", ins.Result, opnd(0))
+		}
+		if pointee != ins.Type {
+			return errf("type.load-result", "OpLoad %%%d result type %%%d, pointee is %%%d", ins.Result, ins.Type, pointee)
+		}
+
+	case spirv.OpStore:
+		_, pointee, ok := m.PointerInfo(typeOf(0))
+		if !ok {
+			return errf("type.store-ptr", "OpStore target %%%d is not a pointer", opnd(0))
+		}
+		if typeOf(1) != pointee {
+			return errf("type.store-object", "OpStore object %%%d has type %%%d, pointee is %%%d", opnd(1), typeOf(1), pointee)
+		}
+
+	case spirv.OpAccessChain:
+		storage, pointee, ok := m.PointerInfo(typeOf(0))
+		if !ok {
+			return errf("type.chain-base", "OpAccessChain %%%d base %%%d is not a pointer", ins.Result, opnd(0))
+		}
+		t := pointee
+		for _, w := range ins.Operands[1:] {
+			idxID := spirv.ID(w)
+			if m.TypeOp(t) == spirv.OpTypeStruct {
+				iv, isConst := m.ConstantIntValue(idxID)
+				if !isConst {
+					return errf("type.chain-struct-index", "OpAccessChain %%%d indexes a struct with non-constant %%%d", ins.Result, idxID)
+				}
+				mt, ok := m.CompositeMemberType(t, int(iv))
+				if !ok {
+					return errf("type.chain-range", "OpAccessChain %%%d struct index %d out of range", ins.Result, iv)
+				}
+				t = mt
+				continue
+			}
+			if !m.IsIntType(m.TypeOf(idxID)) {
+				return errf("type.chain-index", "OpAccessChain %%%d index %%%d is not an integer", ins.Result, idxID)
+			}
+			var mt spirv.ID
+			if elem, _, ok := m.VectorInfo(t); ok {
+				mt = elem
+			} else if col, _, ok := m.MatrixInfo(t); ok {
+				mt = col
+			} else if elem, _, ok := m.ArrayInfo(t); ok {
+				mt = elem
+			} else {
+				return errf("type.chain-composite", "OpAccessChain %%%d indexes non-composite %%%d", ins.Result, t)
+			}
+			t = mt
+		}
+		rstorage, rpointee, ok := m.PointerInfo(ins.Type)
+		if !ok || rpointee != t || rstorage != storage {
+			return errf("type.chain-result", "OpAccessChain %%%d result must be ptr(storage %d)<%%%d>", ins.Result, storage, t)
+		}
+
+	case spirv.OpFunctionCall:
+		callee := m.Function(opnd(0))
+		if callee == nil {
+			return errf("type.call-target", "OpFunctionCall %%%d calls non-function %%%d", ins.Result, opnd(0))
+		}
+		ret, params, _ := m.FunctionTypeInfo(callee.TypeID())
+		if ins.Type != ret {
+			return errf("type.call-result", "OpFunctionCall %%%d result type %%%d, callee returns %%%d", ins.Result, ins.Type, ret)
+		}
+		if len(ins.Operands)-1 != len(params) {
+			return errf("type.call-arity", "OpFunctionCall %%%d passes %d args, callee wants %d", ins.Result, len(ins.Operands)-1, len(params))
+		}
+		for i, p := range params {
+			if typeOf(i+1) != p {
+				return errf("type.call-arg", "OpFunctionCall %%%d arg %d has type %%%d, want %%%d", ins.Result, i, typeOf(i+1), p)
+			}
+		}
+
+	case spirv.OpVariable:
+		storage, _, ok := m.PointerInfo(ins.Type)
+		if !ok || storage != spirv.StorageFunction || ins.Operands[0] != spirv.StorageFunction {
+			return errf("type.local-var", "in-function OpVariable %%%d must have Function storage pointer type", ins.Result)
+		}
+
+	case spirv.OpUndef, spirv.OpNop:
+		// No constraints beyond the type existing.
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package validate_test
+
+import (
+	"strings"
+	"testing"
+
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/spirv/validate"
+)
+
+// brokenShader builds a minimal fragment shader, lets corrupt inject an
+// ill-typed instruction into the entry block, and returns the module.
+func brokenShader(corrupt func(b *spirv.Builder, s *spirv.FragmentShell)) *spirv.Module {
+	b := spirv.NewBuilder()
+	s := b.BeginFragmentShell()
+	corrupt(b, s)
+	b.FinishFragmentShell(s)
+	return b.Mod
+}
+
+func TestInstructionTypeRules(t *testing.T) {
+	cases := []struct {
+		name    string
+		rule    string
+		corrupt func(b *spirv.Builder, s *spirv.FragmentShell)
+	}{
+		{"dot result must be element type", "type.dot", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			v := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.Emit(spirv.OpDot, s.Int, v, v)
+		}},
+		{"dot operands must match", "type.dot", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			v2 := m.EnsureConstantComposite(s.Vec2, one, one)
+			v4 := m.EnsureConstantComposite(s.Vec4, one, one, one, one)
+			b.Emit(spirv.OpDot, s.Float, v2, v4)
+		}},
+		{"vts scalar type", "type.vts", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			i1 := m.EnsureConstantInt(1)
+			v := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.Emit(spirv.OpVectorTimesScalar, s.Vec2, v, i1)
+		}},
+		{"mtv needs matrix", "type.mtv", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			v := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.Emit(spirv.OpMatrixTimesVector, s.Vec2, v, v)
+		}},
+		{"mtv vector arity", "type.mtv-vec", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			mat2 := m.EnsureTypeMatrix(s.Vec2, 2)
+			col := m.EnsureConstantComposite(s.Vec2, one, one)
+			mat := m.EnsureConstantComposite(mat2, col, col)
+			v4 := m.EnsureConstantComposite(s.Vec4, one, one, one, one)
+			b.Emit(spirv.OpMatrixTimesVector, s.Vec2, mat, v4)
+		}},
+		{"shuffle result arity", "type.shuffle-result", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			v := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.EmitWords(spirv.OpVectorShuffle, s.Vec4, uint32(v), uint32(v), 0, 1) // 2 literals, vec4 result
+		}},
+		{"shuffle index range", "type.shuffle-index", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			v := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.EmitWords(spirv.OpVectorShuffle, s.Vec2, uint32(v), uint32(v), 0, 9)
+		}},
+		{"insert base type", "type.insert-base", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			v2 := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.EmitWords(spirv.OpCompositeInsert, s.Vec4, uint32(one), uint32(v2), 0)
+		}},
+		{"insert object type", "type.insert-object", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			i1 := m.EnsureConstantInt(1)
+			v2 := m.EnsureConstantComposite(s.Vec2, one, one)
+			b.EmitWords(spirv.OpCompositeInsert, s.Vec2, uint32(i1), uint32(v2), 0)
+		}},
+		{"convert shape", "type.convert", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			i1 := m.EnsureConstantInt(1)
+			b.Emit(spirv.OpConvertFToS, s.Int, i1) // operand is int, not float
+		}},
+		{"bitcast bool", "type.bitcast", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			tr := m.EnsureConstantBool(true)
+			b.Emit(spirv.OpBitcast, s.Int, tr)
+		}},
+		{"select condition", "type.select-cond", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			b.Emit(spirv.OpSelect, s.Float, one, one, one)
+		}},
+		{"select operands", "type.select-operands", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			i1 := m.EnsureConstantInt(1)
+			tr := m.EnsureConstantBool(true)
+			b.Emit(spirv.OpSelect, s.Float, tr, one, i1)
+		}},
+		{"copy type mismatch", "type.copy", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			b.Emit(spirv.OpCopyObject, s.Int, one)
+		}},
+		{"logical not base", "type.unary", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			b.Emit(spirv.OpLogicalNot, s.Float, one)
+		}},
+		{"compare result base", "type.compare-result", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			i1 := m.EnsureConstantInt(1)
+			b.Emit(spirv.OpIEqual, s.Int, i1, i1)
+		}},
+		{"compare operand base", "type.compare-base", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			b.Emit(spirv.OpIEqual, s.Bool, one, one)
+		}},
+		{"load of non-pointer", "type.load-ptr", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			b.Emit(spirv.OpLoad, s.Float, one)
+		}},
+		{"construct arity", "type.construct-arity", func(b *spirv.Builder, s *spirv.FragmentShell) {
+			m := b.Mod
+			one := m.EnsureConstantFloat(1)
+			b.Emit(spirv.OpCompositeConstruct, s.Vec4, one, one)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := brokenShader(tc.corrupt)
+			err := validate.Module(m)
+			if err == nil {
+				t.Fatalf("module validated despite %s violation\n%s", tc.rule, m)
+			}
+			if !strings.Contains(err.Error(), tc.rule) {
+				t.Fatalf("err = %v, want rule %q", err, tc.rule)
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats implements the statistical machinery of the evaluation:
+// the Mann-Whitney U test (used in Table 3 to compare bug-finding ability
+// with confidence percentages), medians, and the Venn segment counts of
+// Figure 7.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the paper reports medians of per-group
+// distinct-signature counts and of reduction delta sizes).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianInts is Median over integers.
+func MedianInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Median(fs)
+}
+
+// MannWhitneyU performs a one-sided Mann-Whitney U test of the hypothesis
+// that population a is stochastically larger than population b, returning
+// the confidence (1 - p) as a fraction in [0, 1], computed with the normal
+// approximation with tie correction and continuity correction. The paper
+// reports "the certainty with which spirv-fuzz is (or is not) more
+// effective according to MWU" as a percentage.
+func MannWhitneyU(a, b []float64) (u float64, confidence float64) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 0, 0.5
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, accumulating tie-correction term Σ(t³ - t).
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - n1*(n1+1)/2 // U statistic for group a
+
+	mean := n1 * n2 / 2
+	n := n1 + n2
+	variance := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		// All observations tied: no evidence either way.
+		return u, 0.5
+	}
+	// Continuity correction toward the mean.
+	z := (u - mean - 0.5) / math.Sqrt(variance)
+	confidence = normalCDF(z)
+	return u, confidence
+}
+
+// normalCDF is Φ(z) via the complementary error function.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// VennCounts3 computes the seven segment sizes of a three-set Venn diagram
+// (Figure 7). Keys are bitmasks over the three sets: bit 0 = a, bit 1 = b,
+// bit 2 = c; e.g. counts[0b011] is |a ∩ b \ c|.
+func VennCounts3(a, b, c map[string]bool) map[int]int {
+	counts := make(map[int]int, 7)
+	union := map[string]bool{}
+	for k := range a {
+		union[k] = true
+	}
+	for k := range b {
+		union[k] = true
+	}
+	for k := range c {
+		union[k] = true
+	}
+	for k := range union {
+		mask := 0
+		if a[k] {
+			mask |= 1
+		}
+		if b[k] {
+			mask |= 2
+		}
+		if c[k] {
+			mask |= 4
+		}
+		counts[mask]++
+	}
+	return counts
+}

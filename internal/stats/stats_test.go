@@ -1,0 +1,120 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spirvfuzz/internal/stats"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tc := range cases {
+		if got := stats.Median(tc.in); got != tc.want {
+			t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if !math.IsNaN(stats.Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+	if got := stats.MedianInts([]int{8, 29, 8}); got != 8 {
+		t.Errorf("MedianInts = %v", got)
+	}
+}
+
+func TestMannWhitneyUClearSeparation(t *testing.T) {
+	a := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 0}
+	_, conf := stats.MannWhitneyU(a, b)
+	if conf < 0.999 {
+		t.Fatalf("confidence = %v, want near 1 for clearly larger population", conf)
+	}
+	_, conf = stats.MannWhitneyU(b, a)
+	if conf > 0.001 {
+		t.Fatalf("reverse confidence = %v, want near 0", conf)
+	}
+}
+
+func TestMannWhitneyUIdenticalPopulations(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	_, conf := stats.MannWhitneyU(a, a)
+	if conf != 0.5 {
+		t.Fatalf("confidence = %v, want 0.5 for fully tied populations", conf)
+	}
+}
+
+func TestMannWhitneyUWithTies(t *testing.T) {
+	a := []float64{3, 3, 4, 5, 5, 6}
+	b := []float64{2, 3, 3, 4, 4, 5}
+	_, conf := stats.MannWhitneyU(a, b)
+	if conf <= 0.5 || conf >= 1 {
+		t.Fatalf("confidence = %v, want in (0.5, 1) for slightly larger population", conf)
+	}
+}
+
+func TestMannWhitneyUSymmetryProperty(t *testing.T) {
+	// Property: conf(a, b) + conf(b, a) ≈ 1 (up to continuity correction
+	// asymmetry, which is bounded by the correction term itself).
+	prop := func(seedA, seedB uint32) bool {
+		ra, rb := seedA, seedB
+		var a, b []float64
+		for i := 0; i < 12; i++ {
+			ra = ra*1664525 + 1013904223
+			rb = rb*1664525 + 1013904223
+			a = append(a, float64(ra%13))
+			b = append(b, float64(rb%13))
+		}
+		_, c1 := stats.MannWhitneyU(a, b)
+		_, c2 := stats.MannWhitneyU(b, a)
+		return math.Abs(c1+c2-1) < 0.08
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVennCounts3(t *testing.T) {
+	set := func(keys ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, k := range keys {
+			m[k] = true
+		}
+		return m
+	}
+	a := set("x", "y", "shared", "ab")
+	b := set("z", "shared", "ab", "bc")
+	c := set("w", "shared", "bc")
+	counts := stats.VennCounts3(a, b, c)
+	want := map[int]int{
+		0b001: 2, // x, y
+		0b010: 1, // z
+		0b100: 1, // w
+		0b011: 1, // ab
+		0b110: 1, // bc
+		0b111: 1, // shared
+	}
+	for mask, n := range want {
+		if counts[mask] != n {
+			t.Errorf("segment %03b = %d, want %d", mask, counts[mask], n)
+		}
+	}
+	if counts[0b101] != 0 {
+		t.Errorf("segment 101 = %d, want 0", counts[0b101])
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 7 {
+		t.Errorf("union size = %d, want 7", total)
+	}
+}
