@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test bench baseline
+
+# Everything CI runs, in order; fails fast.
+ci: fmt vet build test bench
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One pass over every benchmark as a smoke test; the table/figure benches
+# assert the paper's comparative shape even at -short scale.
+bench:
+	$(GO) test -short -run '^$$' -bench . -benchtime=1x ./...
+
+# Regenerate BENCH_baseline.json from a fresh -short benchmark pass so perf
+# regressions can be diffed against a committed reference.
+baseline:
+	$(GO) test -short -run '^$$' -bench . -benchtime=1x ./... \
+		| awk -f scripts/bench2json.awk > BENCH_baseline.json
+	@echo wrote BENCH_baseline.json

@@ -10,16 +10,21 @@
 package spirvfuzz_test
 
 import (
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"spirvfuzz/internal/bblang"
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/experiments"
 	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/interp"
 	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/spirv/validate"
 	"spirvfuzz/internal/target"
@@ -400,6 +405,86 @@ func BenchmarkAblationChunkedVsLinearReduction(b *testing.B) {
 	}
 	b.ReportMetric(float64(chunked), "queries-chunked")
 	b.ReportMetric(float64(linear), "queries-linear")
+}
+
+// BenchmarkRunnerParallelReduce measures the execution engine end to end: a
+// spirv-fuzz campaign followed by ddmin reduction of its crash outcomes, on
+// the pre-engine serial path (one worker, caching disabled) versus the
+// engine (worker pool plus content-addressed memoization). Both legs must
+// produce bitwise-identical kept indices — the engine's determinism
+// guarantee — and the wall-clock ratio and cache hit rate are reported as
+// metrics.
+func BenchmarkRunnerParallelReduce(b *testing.B) {
+	refs := corpus.References()
+	targets := target.All()
+	donors := corpus.Donors()
+	tests := 50
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+
+	leg := func(eng *runner.Engine, ddWorkers int) (time.Duration, [][]int) {
+		start := time.Now()
+		res, err := harness.CampaignEngine(eng, harness.ToolSpirvFuzz, tests, 2, refs, targets, donors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var kept [][]int
+		perSig := map[string]int{}
+		for _, o := range res.BugOutcomes {
+			if len(o.Transformations) == 0 {
+				continue
+			}
+			key := o.Target + "|" + o.Signature
+			if perSig[key] >= 1 {
+				continue
+			}
+			perSig[key]++
+			tg := target.ByName(o.Target)
+			interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
+			r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, ddWorkers)
+			kept = append(kept, r.Kept)
+		}
+		if len(kept) == 0 {
+			b.Fatal("campaign produced no reducible crash outcomes")
+		}
+		return time.Since(start), kept
+	}
+
+	var speedup, hitRate float64
+	var reductions int
+	for i := 0; i < b.N; i++ {
+		// Take the best of two runs per leg so a CPU-contention spike during
+		// either leg does not distort the ratio; each repetition gets a fresh
+		// engine, so no state leaks between them.
+		var serialTime, parTime time.Duration
+		for rep := 0; rep < 2; rep++ {
+			serialEng := runner.New(1)
+			serialEng.SetCacheCap(0) // pre-engine baseline: no memoization
+			st, sk := leg(serialEng, 1)
+
+			parEng := runner.New(workers)
+			pt, pk := leg(parEng, workers)
+
+			if !reflect.DeepEqual(sk, pk) {
+				b.Fatalf("parallel reduction diverged from serial:\n%v\nvs\n%v", pk, sk)
+			}
+			if rep == 0 || st < serialTime {
+				serialTime = st
+			}
+			if rep == 0 || pt < parTime {
+				parTime = pt
+			}
+			hitRate = parEng.Stats().HitRate()
+			reductions = len(pk)
+		}
+		speedup = serialTime.Seconds() / parTime.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(100*hitRate, "cache-hit-%")
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(reductions), "reductions")
 }
 
 // --- substrate performance benchmarks ---------------------------------------

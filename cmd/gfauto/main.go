@@ -25,6 +25,7 @@ func main() {
 	tests := flag.Int("tests", 300, "tests per tool configuration (paper: 10000)")
 	groups := flag.Int("groups", 10, "disjoint groups for medians and MWU (paper: 10)")
 	capPerSig := flag.Int("cap-per-signature", 6, "reductions per bug signature (paper: 100 / 20)")
+	workers := flag.Int("workers", 0, "execution-engine worker pool size; 0 means GOMAXPROCS (results are identical for any value)")
 	listTargets := flag.Bool("list-targets", false, "print Table 2 and exit")
 	listRefs := flag.Bool("list-references", false, "print the reference corpus and exit")
 	table3 := flag.Bool("table3", false, "regenerate Table 3 (bug-finding ability)")
@@ -60,9 +61,11 @@ func main() {
 
 	start := time.Now()
 	fmt.Printf("gfauto: running 3 campaigns of %d tests each over 9 targets...\n", *tests)
-	c, err := experiments.RunCampaigns(experiments.Config{Tests: *tests, Groups: *groups, CapPerSignature: *capPerSig})
+	c, err := experiments.RunCampaigns(experiments.Config{Tests: *tests, Groups: *groups, CapPerSignature: *capPerSig, Workers: *workers})
 	fatal(err)
-	fmt.Printf("gfauto: campaigns done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	st := c.Engine.Stats()
+	fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n\n",
+		time.Since(start).Round(time.Millisecond), st.Workers, st.Misses, 100*st.HitRate())
 
 	if *table3 {
 		fmt.Println(experiments.RenderTable3(experiments.Table3(c)))

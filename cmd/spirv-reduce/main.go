@@ -19,6 +19,7 @@ import (
 	"spirvfuzz/internal/fuzz"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/spirv/asm"
 	"spirvfuzz/internal/target"
 )
@@ -32,6 +33,7 @@ func main() {
 	out := flag.String("o", "reduced.spvasm", "output reduced variant")
 	seqOut := flag.String("reduced-transformations", "reduced.json", "output minimized sequence")
 	reportDir := flag.String("report-dir", "", "also export a full bug-report bundle (Section 2.1) to this directory")
+	workers := flag.Int("workers", 0, "concurrent ddmin queries; 0 means GOMAXPROCS (results are identical for any value)")
 	flag.Parse()
 
 	if *in == "" || *seqPath == "" || *targetName == "" {
@@ -52,14 +54,15 @@ func main() {
 	seq, err := fuzz.UnmarshalSequence(data)
 	fatal(err)
 
+	eng := runner.New(*workers)
 	sig := *signature
 	if sig == "" {
 		variant, _ := fuzz.Replay(mod, inputs, seq)
-		origImg, origCrash := tg.Run(mod, inputs)
+		origImg, origCrash := eng.Run(tg, mod, inputs)
 		if origCrash != nil {
 			fatal(fmt.Errorf("original already crashes on %s: %s", tg.Name, origCrash.Signature))
 		}
-		img, crash := tg.Run(variant, inputs)
+		img, crash := eng.Run(tg, variant, inputs)
 		switch {
 		case crash != nil:
 			sig = crash.Signature
@@ -71,14 +74,21 @@ func main() {
 		fmt.Printf("spirv-reduce: detected signature %q\n", sig)
 	}
 
-	interesting := reduce.ForOutcome(tg, mod, inputs, sig)
-	res := reduce.Reduce(mod, inputs, seq, interesting)
+	interesting := reduce.ForOutcomeOn(eng, tg, mod, inputs, sig)
+	full, _ := fuzz.Replay(mod, inputs, seq)
+	if !interesting(full, inputs) {
+		fatal(fmt.Errorf("full sequence does not trigger signature %q on %s; check -signature", sig, tg.Name))
+	}
+	res := reduce.ReduceParallel(mod, inputs, seq, interesting, eng.Workers())
 	fatal(asm.SaveModule(res.Variant, *out))
 	outSeq, err := fuzz.MarshalSequence(res.Sequence)
 	fatal(err)
 	fatal(os.WriteFile(*seqOut, outSeq, 0o644))
+	st := eng.Stats()
 	fmt.Printf("spirv-reduce: %d -> %d transformations in %d queries; delta %d instructions\n",
 		len(seq), len(res.Sequence), res.Queries, res.Delta)
+	fmt.Printf("spirv-reduce: %d workers, %d target runs, %.0f%% cache hit rate\n",
+		st.Workers, st.Misses, 100*st.HitRate())
 	if *reportDir != "" {
 		o := &harness.Outcome{
 			Tool: harness.ToolSpirvFuzz, Target: tg.Name, Reference: *in, Seed: 0,

@@ -14,6 +14,7 @@ import (
 
 	"spirvfuzz/internal/cli"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/target"
 )
 
@@ -23,6 +24,7 @@ func main() {
 	targetName := flag.String("target", "", "run via a simulated target instead of the reference interpreter")
 	ascii := flag.Bool("ascii", true, "print the image as ASCII art")
 	compare := flag.String("compare", "", "second module: render both and exit 4 if the images differ (regression test)")
+	workers := flag.Int("workers", 0, "execution-engine worker pool size; 0 means GOMAXPROCS")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "spirv-run: -in is required")
@@ -32,6 +34,7 @@ func main() {
 	fatal(err)
 	inputs, err := cli.LoadInputs(*inputsPath, *in)
 	fatal(err)
+	eng := runner.New(*workers)
 	var img *interp.Image
 	if *targetName != "" {
 		tg := target.ByName(*targetName)
@@ -39,7 +42,7 @@ func main() {
 			fatal(fmt.Errorf("unknown target %q", *targetName))
 		}
 		var crash *target.Crash
-		img, crash = tg.Run(m, inputs)
+		img, crash = eng.Run(tg, m, inputs)
 		if crash != nil {
 			fmt.Printf("spirv-run: %s crashed: %s\n", tg.Name, crash.Signature)
 			os.Exit(3)
@@ -59,7 +62,7 @@ func main() {
 		if *targetName != "" {
 			tg := target.ByName(*targetName)
 			var crash *target.Crash
-			otherImg, crash = tg.Run(other, inputs)
+			otherImg, crash = eng.Run(tg, other, inputs)
 			if crash != nil {
 				fmt.Printf("spirv-run: %s crashed on %s: %s\n", *targetName, *compare, crash.Signature)
 				os.Exit(3)

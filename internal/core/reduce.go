@@ -1,5 +1,10 @@
 package core
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Interestingness reports whether the subsequence of an implicit
 // transformation sequence selected by keep (sorted indices into the original
 // sequence) still triggers the bug under investigation. Implementations
@@ -10,7 +15,9 @@ type Interestingness func(keep []int) bool
 
 // ReduceStats records the work performed by a reduction.
 type ReduceStats struct {
-	// Queries is the number of interestingness-test invocations.
+	// Queries is the number of interestingness-test invocations. Parallel
+	// reduction may issue more queries than serial reduction (speculative
+	// chunks evaluated past a successful removal), never fewer.
 	Queries int
 	// Initial and Final are the sequence lengths before and after reduction.
 	Initial int
@@ -31,6 +38,24 @@ type ReduceStats struct {
 // test must hold for the full sequence; Reduce panics otherwise since a
 // reduction of an uninteresting sequence indicates a harness bug.
 func Reduce(n int, test Interestingness) ([]int, ReduceStats) {
+	return ReduceParallel(n, test, 1)
+}
+
+// ReduceParallel is Reduce with speculative chunk evaluation: within one
+// backwards scan, up to workers candidate chunks are tested concurrently,
+// and the successful removal earliest in scan order is committed. Later
+// speculative results were computed against a sequence that the commit just
+// changed, so they are discarded and the scan resumes exactly where serial
+// Reduce would — the kept indices are therefore bitwise-identical to serial
+// Reduce for every worker count. test must be safe for concurrent calls when
+// workers > 1. At most workers-1 extra queries are spent per committed
+// removal; a speculative candidate whose wave already holds a success earlier
+// in scan order is skipped without a query, since its result would be
+// discarded either way.
+func ReduceParallel(n int, test Interestingness, workers int) ([]int, ReduceStats) {
+	if workers < 1 {
+		workers = 1
+	}
 	stats := ReduceStats{Initial: n}
 	keep := make([]int, n)
 	for i := range keep {
@@ -51,25 +76,106 @@ func Reduce(n int, test Interestingness) ([]int, ReduceStats) {
 		for removedAny := true; removedAny; {
 			removedAny = false
 			// Chunks are laid out backwards from the end of the current
-			// sequence; the leading chunk may be short.
-			for end := len(keep); end > 0; end -= c {
-				start := end - c
-				if start < 0 {
-					start = 0
+			// sequence; the leading chunk may be short. end is the exclusive
+			// upper bound of the next chunk to consider, in the coordinates
+			// of the current keep slice.
+			for end := len(keep); end > 0; {
+				ends := waveEnds(end, c, workers)
+				cands := make([][]int, len(ends))
+				okay := make([]bool, len(ends))
+				queries := runWave(keep, ends, c, test, cands, okay)
+				committed := -1
+				for i, ok := range okay {
+					if ok {
+						committed = i
+						break
+					}
 				}
-				candidate := make([]int, 0, len(keep)-(end-start))
-				candidate = append(candidate, keep[:start]...)
-				candidate = append(candidate, keep[end:]...)
-				stats.Queries++
-				if test(candidate) {
-					keep = candidate
+				stats.Queries += queries
+				if committed >= 0 {
+					// Speculative results past the commit were computed
+					// against a sequence the commit just changed; their
+					// outcomes are discarded (their queries still count).
+					keep = cands[committed]
 					removedAny = true
-					// Continue scanning from where the removed chunk began.
-					end = start + c
+					// Resume scanning below the removed chunk: indices before
+					// its start are unchanged in the new keep.
+					end = chunkStart(ends[committed], c)
+				} else {
+					end = chunkStart(ends[len(ends)-1], c)
 				}
 			}
 		}
 	}
 	stats.Final = len(keep)
 	return keep, stats
+}
+
+// waveEnds lists the exclusive upper bounds of the next chunks in scan order
+// (decreasing), at most workers of them.
+func waveEnds(end, c, workers int) []int {
+	ends := make([]int, 0, workers)
+	for e := end; e > 0 && len(ends) < workers; e = chunkStart(e, c) {
+		ends = append(ends, e)
+	}
+	return ends
+}
+
+// chunkStart is the inclusive lower bound of the chunk ending at end.
+func chunkStart(end, c int) int {
+	if end < c {
+		return 0
+	}
+	return end - c
+}
+
+// runWave evaluates the candidate for each chunk bound concurrently (serially
+// when there is only one) and returns the number of queries issued.
+//
+// The committed removal is the success earliest in scan order, so once some
+// position succeeds, every candidate later in the wave is doomed to be
+// discarded; goroutines that have not started their query yet observe this
+// and skip it. Positions before the eventual commit are never skipped — a
+// skip requires a strictly earlier success, and the commit is the earliest —
+// so the candidates that decide the outcome are always fully evaluated,
+// exactly as in serial Reduce.
+func runWave(keep []int, ends []int, c int, test Interestingness, cands [][]int, okay []bool) int {
+	eval := func(i int) {
+		end := ends[i]
+		start := chunkStart(end, c)
+		candidate := make([]int, 0, len(keep)-(end-start))
+		candidate = append(candidate, keep[:start]...)
+		candidate = append(candidate, keep[end:]...)
+		cands[i] = candidate
+		okay[i] = test(candidate)
+	}
+	if len(ends) == 1 {
+		eval(0)
+		return 1
+	}
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	var firstOK atomic.Int64 // lowest successful wave position so far
+	firstOK.Store(int64(len(ends)))
+	for i := range ends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if firstOK.Load() < int64(i) {
+				return // superseded: an earlier candidate already succeeded
+			}
+			queries.Add(1)
+			eval(i)
+			if okay[i] {
+				for {
+					cur := firstOK.Load()
+					if int64(i) >= cur || firstOK.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return int(queries.Load())
 }

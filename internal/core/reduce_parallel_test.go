@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// contains reports whether sorted keep contains all of want.
+func containsAll(keep, want []int) bool {
+	set := map[int]bool{}
+	for _, k := range keep {
+		set[k] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReduceExactQueryCounts pins the chunk-scan query schedule on crafted
+// interestingness functions, guarding the rescan restructure: a successful
+// removal must resume the backwards scan directly below the removed chunk,
+// neither re-testing the removed region nor skipping the chunk before it.
+func TestReduceExactQueryCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		keep    []int // test passes iff candidate contains all of these
+		queries int
+		final   int
+	}{
+		// Everything removable, n=4, want={}: initial(1). c=2 removes [2,4)
+		// (2) and, resuming directly below the removed chunk, [0,2) (3);
+		// keep is empty so the rescan and the c=1 pass issue no queries.
+		{"all-removable", 4, nil, 3, 0},
+		// Nothing removable: initial(1). c=2: [2,4) and [0,2) fail (3).
+		// c=1: four singletons fail (7); no removal, so no rescans.
+		{"none-removable", 4, []int{0, 1, 2, 3}, 7, 4},
+		// Single needed element at the front, n=4, want={0}:
+		// initial(1). c=2: [2,4) passes (2), scan resumes below the removed
+		// chunk, [0,2) fails (3); rescan fails (4). c=1 on {0,1}: [1,2)
+		// passes (5), [0,1) fails (6); rescan fails (7). final {0}.
+		{"front-singleton", 4, []int{0}, 7, 1},
+		// want={3}: initial(1). c=2: [2,4) fails (2), [0,2) passes (3);
+		// rescan on {2,3} fails (4). c=1: [1,2)={2} fails (5), [0,1)
+		// passes (6); rescan fails (7). final {3}.
+		{"back-singleton", 4, []int{3}, 7, 1},
+		// Odd length with a short leading chunk: n=5, c starts at 2, leading
+		// chunk is [0,1).
+		{"odd-none-removable", 5, []int{0, 1, 2, 3, 4}, 9, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			queries := 0
+			test := func(keep []int) bool {
+				queries++
+				return containsAll(keep, tc.keep)
+			}
+			kept, st := Reduce(tc.n, test)
+			if len(kept) != tc.final {
+				t.Errorf("final length %d, want %d (kept %v)", len(kept), tc.final, kept)
+			}
+			if st.Queries != queries {
+				t.Errorf("stats.Queries=%d but test ran %d times", st.Queries, queries)
+			}
+			if queries != tc.queries {
+				t.Errorf("queries=%d, want %d", queries, tc.queries)
+			}
+			if !containsAll(kept, tc.keep) {
+				t.Errorf("kept %v lost required %v", kept, tc.keep)
+			}
+		})
+	}
+}
+
+// TestReduceRescanReachesOneMinimality reduces against randomized required
+// subsets and checks the fixed-point property directly: removing any single
+// kept element breaks the test.
+func TestReduceRescanReachesOneMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(24)
+		var want []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				want = append(want, i)
+			}
+		}
+		test := func(keep []int) bool { return containsAll(keep, want) }
+		kept, st := Reduce(n, test)
+		if !reflect.DeepEqual(kept, append([]int{}, want...)) && len(kept) != len(want) {
+			t.Fatalf("n=%d want %v got %v", n, want, kept)
+		}
+		for drop := range kept {
+			cand := append(append([]int{}, kept[:drop]...), kept[drop+1:]...)
+			if test(cand) {
+				t.Fatalf("n=%d: not 1-minimal, index %d removable from %v", n, kept[drop], kept)
+			}
+		}
+		if st.Initial != n || st.Final != len(kept) {
+			t.Fatalf("stats mismatch: %+v vs n=%d kept=%d", st, n, len(kept))
+		}
+	}
+}
+
+// TestReduceParallelMatchesSerial is the determinism guarantee of the
+// speculative mode: for every worker count the kept indices are
+// bitwise-identical to serial Reduce, including on non-monotone tests where
+// speculative evaluation observes states serial reduction never visits.
+func TestReduceParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tests := []func(n int) Interestingness{
+		// Random required subset (monotone).
+		func(n int) Interestingness {
+			var want []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(4) == 0 {
+					want = append(want, i)
+				}
+			}
+			return func(keep []int) bool { return containsAll(keep, want) }
+		},
+		// Non-monotone: passes when the kept sum is even and element 0
+		// present (supersets of a passing set can fail).
+		func(n int) Interestingness {
+			return func(keep []int) bool {
+				if len(keep) == 0 || keep[0] != 0 {
+					return false
+				}
+				sum := 0
+				for _, k := range keep {
+					sum += k
+				}
+				return sum%2 == 0
+			}
+		},
+		// Size-threshold with parity: keeps an awkward plateau shape.
+		func(n int) Interestingness {
+			return func(keep []int) bool { return len(keep)%3 != 1 || len(keep) >= n-1 }
+		},
+	}
+	for ti, mk := range tests {
+		for _, n := range []int{1, 2, 5, 13, 24, 40} {
+			test := mk(n)
+			if !test(initial(n)) {
+				continue
+			}
+			serialKept, _ := Reduce(n, test)
+			for _, workers := range []int{1, 4, 16} {
+				var mu sync.Mutex // the crafted tests share no state, but be explicit
+				concTest := func(keep []int) bool {
+					mu.Lock()
+					defer mu.Unlock()
+					return test(keep)
+				}
+				kept, st := ReduceParallel(n, concTest, workers)
+				if !reflect.DeepEqual(kept, serialKept) {
+					t.Fatalf("test %d n=%d workers=%d: kept %v, serial %v", ti, n, workers, kept, serialKept)
+				}
+				if st.Final != len(kept) || st.Initial != n {
+					t.Fatalf("stats mismatch %+v", st)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceParallelQueryOverhead bounds the speculative waste: parallel
+// reduction issues at least the serial query count and at most workers-1
+// extra per committed removal.
+func TestReduceParallelQueryOverhead(t *testing.T) {
+	n := 32
+	want := []int{3, 17}
+	test := func(keep []int) bool { return containsAll(keep, want) }
+	_, serial := Reduce(n, test)
+	for _, workers := range []int{4, 16} {
+		kept, par := ReduceParallel(n, test, workers)
+		if len(kept) != len(want) {
+			t.Fatalf("workers=%d kept %v", workers, kept)
+		}
+		if par.Queries < serial.Queries {
+			t.Fatalf("workers=%d: parallel %d queries < serial %d", workers, par.Queries, serial.Queries)
+		}
+		removals := n - len(want) // upper bound on committed removals
+		if par.Queries > serial.Queries+removals*(workers-1) {
+			t.Fatalf("workers=%d: parallel %d queries exceeds serial %d + bound %d",
+				workers, par.Queries, serial.Queries, removals*(workers-1))
+		}
+	}
+}
+
+func initial(n int) []int {
+	keep := make([]int, n)
+	for i := range keep {
+		keep[i] = i
+	}
+	return keep
+}

@@ -8,9 +8,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/stats"
 	"spirvfuzz/internal/target"
 )
@@ -23,6 +25,8 @@ type Config struct {
 	// CapPerSignature caps reductions per bug signature (paper: 100 for
 	// RQ2, 20 for the extra RQ3 targets; default 6).
 	CapPerSignature int
+	// Workers sizes the execution engine's worker pool (0: GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -41,30 +45,59 @@ func (c Config) withDefaults() Config {
 // Campaigns runs the three tool configurations over all targets.
 type Campaigns struct {
 	Config Config
+	// Engine is the shared execution engine; downstream experiments (RQ2,
+	// Table 4, report export) reuse it so reductions hit the campaign's
+	// result cache.
+	Engine *runner.Engine
 	Fuzz   *harness.CampaignResult // spirv-fuzz
 	Simple *harness.CampaignResult // spirv-fuzz-simple
 	Glsl   *harness.CampaignResult // glsl-fuzz
 }
 
-// RunCampaigns executes the three campaigns of Section 4.1.
+// engine returns the shared engine, falling back to a fresh one when the
+// Campaigns value was assembled by hand (tests do this).
+func (c *Campaigns) engine() *runner.Engine {
+	if c.Engine == nil {
+		c.Engine = runner.New(c.Config.Workers)
+	}
+	return c.Engine
+}
+
+// RunCampaigns executes the three campaigns of Section 4.1. The campaigns are
+// independent (disjoint seed ranges) and run concurrently on one shared
+// engine, whose content-addressed cache also deduplicates the work they share
+// — every campaign runs the same reference originals on the same targets.
 func RunCampaigns(cfg Config) (*Campaigns, error) {
 	cfg = cfg.withDefaults()
 	refs := corpus.References()
 	targets := target.All()
 	donors := corpus.Donors()
-	fz, err := harness.Campaign(harness.ToolSpirvFuzz, cfg.Tests, cfg.Groups, refs, targets, donors)
-	if err != nil {
-		return nil, err
+	eng := runner.New(cfg.Workers)
+	c := &Campaigns{Config: cfg, Engine: eng}
+	results := []struct {
+		tool harness.Tool
+		into **harness.CampaignResult
+	}{
+		{harness.ToolSpirvFuzz, &c.Fuzz},
+		{harness.ToolSpirvFuzzSimple, &c.Simple},
+		{harness.ToolGlslFuzz, &c.Glsl},
 	}
-	simple, err := harness.Campaign(harness.ToolSpirvFuzzSimple, cfg.Tests, cfg.Groups, refs, targets, donors)
-	if err != nil {
-		return nil, err
+	errs := make([]error, len(results))
+	var wg sync.WaitGroup
+	for i, r := range results {
+		wg.Add(1)
+		go func(i int, tool harness.Tool, into **harness.CampaignResult) {
+			defer wg.Done()
+			*into, errs[i] = harness.CampaignEngine(eng, tool, cfg.Tests, cfg.Groups, refs, targets, donors)
+		}(i, r.tool, r.into)
 	}
-	gl, err := harness.Campaign(harness.ToolGlslFuzz, cfg.Tests, cfg.Groups, refs, targets, donors)
-	if err != nil {
-		return nil, err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Campaigns{Config: cfg, Fuzz: fz, Simple: simple, Glsl: gl}, nil
+	return c, nil
 }
 
 // Table3Row is one row of Table 3.

@@ -35,9 +35,14 @@ var rq2Targets = map[string]bool{
 }
 
 // RQ2 reduces the crash-bug outcomes of both tools and compares delta sizes.
+// Reductions run on the campaigns' shared engine: ddmin probes are evaluated
+// in parallel and memoized, so outcomes of the same signature — whose
+// reductions revisit many identical intermediate variants — get cheaper as
+// the experiment proceeds.
 func RQ2(c *Campaigns) *RQ2Result {
 	res := &RQ2Result{}
 	capPer := c.Config.withDefaults().CapPerSignature
+	eng := c.engine()
 
 	perSig := map[string]int{}
 	for _, o := range c.Fuzz.BugOutcomes {
@@ -50,8 +55,8 @@ func RQ2(c *Campaigns) *RQ2Result {
 		}
 		perSig[key]++
 		tg := target.ByName(o.Target)
-		interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
-		r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+		interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
+		r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers())
 		res.FuzzDeltas = append(res.FuzzDeltas, r.Delta)
 		res.FuzzUnreduced = append(res.FuzzUnreduced, o.Variant.InstructionCount()-o.Original.InstructionCount())
 	}
@@ -67,7 +72,7 @@ func RQ2(c *Campaigns) *RQ2Result {
 		}
 		perSig[key]++
 		tg := target.ByName(o.Target)
-		check := reduce.CrashInterestingness(tg, o.Inputs, o.Signature)
+		check := reduce.CrashInterestingnessOn(eng, tg, o.Inputs, o.Signature)
 		// glsl-fuzz never modifies inputs, so adapt the two-argument test.
 		_, variant := glslfuzz.Reduce(o.Original, o.Inputs, o.Instances,
 			func(m *spirv.Module) bool { return check(m, o.Inputs) })

@@ -26,6 +26,7 @@ type Table4Row struct {
 // bugs are considered (crash signatures are the reliable ground truth).
 func Table4(c *Campaigns) []Table4Row {
 	capPer := c.Config.withDefaults().CapPerSignature
+	eng := c.engine()
 	perTarget := map[string][]dedup.Case{}
 	perSig := map[string]int{}
 	for i, o := range c.Fuzz.BugOutcomes {
@@ -38,8 +39,8 @@ func Table4(c *Campaigns) []Table4Row {
 		}
 		perSig[key]++
 		tg := target.ByName(o.Target)
-		interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
-		r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+		interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
+		r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers())
 		perTarget[o.Target] = append(perTarget[o.Target], dedup.Case{
 			Name:      fmt.Sprintf("%s/seed%d/%d", o.Target, o.Seed, i),
 			Sequence:  r.Sequence,

@@ -29,6 +29,7 @@ func ExportWildReports(c *Campaigns, dir string) (*WildReport, error) {
 	rep := &WildReport{}
 	seen := map[string]bool{}
 	perTarget := map[string]int{}
+	eng := c.engine()
 	for _, o := range c.Fuzz.BugOutcomes {
 		key := o.Target + "|" + o.Signature
 		if seen[key] {
@@ -36,8 +37,8 @@ func ExportWildReports(c *Campaigns, dir string) (*WildReport, error) {
 		}
 		seen[key] = true
 		tg := target.ByName(o.Target)
-		interesting := reduce.ForOutcome(tg, o.Original, o.Inputs, o.Signature)
-		r := reduce.Reduce(o.Original, o.Inputs, o.Transformations, interesting)
+		interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
+		r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers())
 		perTarget[o.Target]++
 		out := filepath.Join(dir, o.Target, fmt.Sprintf("bug%02d", perTarget[o.Target]))
 		if err := harness.ExportBugReport(out, o, r); err != nil {

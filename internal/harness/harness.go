@@ -6,13 +6,12 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/fuzz"
 	"spirvfuzz/internal/glslfuzz"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/target"
 )
@@ -54,12 +53,15 @@ func (o *Outcome) Bug() bool { return o.Signature != "" }
 
 // classify compares the behaviour of the original and the variant on the
 // target per Figure 1 / Theorem 2.6 and returns the bug signature, or "".
-func classify(tg *target.Target, original, variant *spirv.Module, origIn, varIn interp.Inputs) (string, error) {
-	origImg, origCrash := tg.Run(original, origIn)
+// Target runs route through eng, so the per-test original executions — the
+// same (reference, target) pair for every test that drew that reference —
+// are answered from the engine's cache after the first.
+func classify(eng *runner.Engine, tg *target.Target, original, variant *spirv.Module, origIn, varIn interp.Inputs) (string, error) {
+	origImg, origCrash := eng.Run(tg, original, origIn)
 	if origCrash != nil {
 		return "", fmt.Errorf("harness: original crashes on %s: %s", tg.Name, origCrash.Signature)
 	}
-	varImg, varCrash := tg.Run(variant, varIn)
+	varImg, varCrash := eng.Run(tg, variant, varIn)
 	if varCrash != nil {
 		return varCrash.Signature, nil
 	}
@@ -72,6 +74,11 @@ func classify(tg *target.Target, original, variant *spirv.Module, origIn, varIn 
 // RunOne generates one test with the given tool and seed from the reference
 // item, runs it on the target, and classifies the outcome.
 func RunOne(tool Tool, item corpus.Item, seed int64, tg *target.Target, donors []*spirv.Module) (*Outcome, error) {
+	return RunOneEngine(runner.New(1), tool, item, seed, tg, donors)
+}
+
+// RunOneEngine is RunOne with target executions routed through eng.
+func RunOneEngine(eng *runner.Engine, tool Tool, item corpus.Item, seed int64, tg *target.Target, donors []*spirv.Module) (*Outcome, error) {
 	out := &Outcome{
 		Tool:      tool,
 		Target:    tg.Name,
@@ -107,7 +114,7 @@ func RunOne(tool Tool, item corpus.Item, seed int64, tg *target.Target, donors [
 	default:
 		return nil, fmt.Errorf("harness: unknown tool %q", tool)
 	}
-	sig, err := classify(tg, item.Mod, out.Variant, item.Inputs, out.VariantInputs)
+	sig, err := classify(eng, tg, item.Mod, out.Variant, item.Inputs, out.VariantInputs)
 	if err != nil {
 		return nil, err
 	}
@@ -134,8 +141,20 @@ type CampaignResult struct {
 // target, splitting the tests into groups disjoint groups for statistics.
 // Each test uses reference refs[seed mod len(refs)] with a distinct seed
 // offset by the tool's hash so tool configurations use disjoint seeds, as in
-// the paper.
+// the paper. Work is spread over a private GOMAXPROCS-sized engine; use
+// CampaignEngine to share one engine (and its result cache) across
+// campaigns.
 func Campaign(tool Tool, tests, groups int, refs []corpus.Item, targets []*target.Target, donors []*spirv.Module) (*CampaignResult, error) {
+	return CampaignEngine(runner.New(0), tool, tests, groups, refs, targets, donors)
+}
+
+// CampaignEngine is Campaign with generation and classification fanned out
+// on eng's worker pool and every target execution memoized by eng: each
+// reference module is compiled and rendered once per target for the whole
+// campaign instead of once per generated test. Results are identical to the
+// serial path for any worker count — tests are merged in index order and
+// target execution is deterministic.
+func CampaignEngine(eng *runner.Engine, tool Tool, tests, groups int, refs []corpus.Item, targets []*target.Target, donors []*spirv.Module) (*CampaignResult, error) {
 	if groups <= 0 {
 		groups = 1
 	}
@@ -162,54 +181,46 @@ func Campaign(tool Tool, tests, groups int, refs []corpus.Item, targets []*targe
 	}
 	groupSize := (tests + groups - 1) / groups
 
-	// Tests are independent — generate and classify them in parallel, then
-	// merge in index order so results stay deterministic.
+	// Tests are independent — generate and classify them on the engine's
+	// worker pool, then merge in index order so results stay deterministic.
 	perTest := make([][]*Outcome, tests)
 	errs := make([]error, tests)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < tests; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			item := refs[i%len(refs)]
-			seed := seedBase + int64(i)
-			// Generate once, classify against every target (the variant
-			// does not depend on the target).
-			var generated *Outcome
-			for _, tg := range targets {
-				var o *Outcome
-				var err error
-				if generated == nil {
-					o, err = RunOne(tool, item, seed, tg, donors)
-					if err != nil {
-						errs[i] = err
-						return
-					}
-					generated = o
-				} else {
-					o = &Outcome{
-						Tool: tool, Target: tg.Name, Reference: item.Name, Seed: seed,
-						Original: generated.Original, Variant: generated.Variant,
-						Inputs: generated.Inputs, VariantInputs: generated.VariantInputs,
-						Transformations: generated.Transformations,
-						Instances:       generated.Instances,
-					}
-					sig, err := classify(tg, o.Original, o.Variant, o.Inputs, o.VariantInputs)
-					if err != nil {
-						errs[i] = err
-						return
-					}
-					o.Signature = sig
+	eng.Do(tests, func(i int) {
+		item := refs[i%len(refs)]
+		seed := seedBase + int64(i)
+		// Generate once, classify against every target (the variant
+		// does not depend on the target).
+		var generated *Outcome
+		for _, tg := range targets {
+			var o *Outcome
+			var err error
+			if generated == nil {
+				o, err = RunOneEngine(eng, tool, item, seed, tg, donors)
+				if err != nil {
+					errs[i] = err
+					return
 				}
-				if o.Bug() {
-					perTest[i] = append(perTest[i], o)
+				generated = o
+			} else {
+				o = &Outcome{
+					Tool: tool, Target: tg.Name, Reference: item.Name, Seed: seed,
+					Original: generated.Original, Variant: generated.Variant,
+					Inputs: generated.Inputs, VariantInputs: generated.VariantInputs,
+					Transformations: generated.Transformations,
+					Instances:       generated.Instances,
 				}
+				sig, err := classify(eng, tg, o.Original, o.Variant, o.Inputs, o.VariantInputs)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				o.Signature = sig
 			}
-		}(i)
-	}
-	wg.Wait()
+			if o.Bug() {
+				perTest[i] = append(perTest[i], o)
+			}
+		}
+	})
 	for i := 0; i < tests; i++ {
 		if errs[i] != nil {
 			return nil, errs[i]

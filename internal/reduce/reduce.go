@@ -16,14 +16,35 @@ import (
 // Interestingness is the Section 3.4 interestingness test: given a variant
 // module and the inputs it executes on (input-modifying transformations may
 // have changed them in sync with the module), it reports whether the bug
-// still appears to be triggered.
+// still appears to be triggered. Tests built by the *On constructors are safe
+// for concurrent calls, which ReduceParallel relies on.
 type Interestingness func(variant *spirv.Module, in interp.Inputs) bool
+
+// Runner abstracts target execution so reductions can route through a shared
+// memoizing engine (runner.Engine satisfies this); ddmin probes many
+// overlapping candidate subsets whose replays collapse to identical modules.
+type Runner interface {
+	Run(tg *target.Target, m *spirv.Module, in interp.Inputs) (*interp.Image, *target.Crash)
+}
+
+// directRunner executes targets with no pooling or caching.
+type directRunner struct{}
+
+func (directRunner) Run(tg *target.Target, m *spirv.Module, in interp.Inputs) (*interp.Image, *target.Crash) {
+	return tg.Run(m, in)
+}
 
 // CrashInterestingness builds the interestingness test for a crash bug: the
 // target must crash with the same signature.
-func CrashInterestingness(tg *target.Target, _ interp.Inputs, signature string) Interestingness {
+func CrashInterestingness(tg *target.Target, in interp.Inputs, signature string) Interestingness {
+	return CrashInterestingnessOn(directRunner{}, tg, in, signature)
+}
+
+// CrashInterestingnessOn is CrashInterestingness with target runs routed
+// through r.
+func CrashInterestingnessOn(r Runner, tg *target.Target, _ interp.Inputs, signature string) Interestingness {
 	return func(variant *spirv.Module, in interp.Inputs) bool {
-		_, crash := tg.Run(variant, in)
+		_, crash := r.Run(tg, variant, in)
 		return crash != nil && crash.Signature == signature
 	}
 }
@@ -33,22 +54,33 @@ func CrashInterestingness(tg *target.Target, _ interp.Inputs, signature string) 
 // image rendered via the original on the original inputs (Section 3.4's
 // image-pair comparison).
 func MiscompilationInterestingness(tg *target.Target, origIn interp.Inputs, original *spirv.Module) Interestingness {
-	origImg, origCrash := tg.Run(original, origIn)
+	return MiscompilationInterestingnessOn(directRunner{}, tg, origIn, original)
+}
+
+// MiscompilationInterestingnessOn is MiscompilationInterestingness with
+// target runs routed through r.
+func MiscompilationInterestingnessOn(r Runner, tg *target.Target, origIn interp.Inputs, original *spirv.Module) Interestingness {
+	origImg, origCrash := r.Run(tg, original, origIn)
 	return func(variant *spirv.Module, in interp.Inputs) bool {
 		if origCrash != nil {
 			return false
 		}
-		img, crash := tg.Run(variant, in)
+		img, crash := r.Run(tg, variant, in)
 		return crash == nil && img != nil && !img.Equal(origImg)
 	}
 }
 
 // ForOutcome builds the appropriate interestingness test for a bug outcome.
 func ForOutcome(tg *target.Target, original *spirv.Module, in interp.Inputs, signature string) Interestingness {
+	return ForOutcomeOn(directRunner{}, tg, original, in, signature)
+}
+
+// ForOutcomeOn is ForOutcome with target runs routed through r.
+func ForOutcomeOn(r Runner, tg *target.Target, original *spirv.Module, in interp.Inputs, signature string) Interestingness {
 	if signature == target.MiscompilationSignature {
-		return MiscompilationInterestingness(tg, in, original)
+		return MiscompilationInterestingnessOn(r, tg, in, original)
 	}
-	return CrashInterestingness(tg, in, signature)
+	return CrashInterestingnessOn(r, tg, in, signature)
 }
 
 // Result is the outcome of a reduction.
@@ -73,11 +105,22 @@ type Result struct {
 // It runs delta debugging to 1-minimality, then applies the spirv-reduce
 // analogue to shrink remaining AddFunction bodies.
 func Reduce(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness) *Result {
+	return ReduceParallel(original, in, ts, interesting, 1)
+}
+
+// ReduceParallel is Reduce with speculative parallel delta debugging
+// (core.ReduceParallel): chunk candidates of one ddmin pass are replayed and
+// tested on up to workers goroutines, and the earliest interesting removal in
+// scan order is committed, so the kept indices — and therefore the reduced
+// sequence and variant — are bitwise-identical to serial Reduce for every
+// worker count. interesting must be safe for concurrent calls when
+// workers > 1 (tests built by the *On constructors over a runner.Engine are).
+func ReduceParallel(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness, workers int) *Result {
 	test := func(keep []int) bool {
 		ctx, _ := fuzz.ReplaySubsequenceContext(original, in, ts, keep)
 		return interesting(ctx.Mod, ctx.Inputs)
 	}
-	kept, st := core.Reduce(len(ts), test)
+	kept, st := core.ReduceParallel(len(ts), test, workers)
 	seq := make([]fuzz.Transformation, len(kept))
 	for i, k := range kept {
 		seq[i] = ts[k]

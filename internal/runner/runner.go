@@ -1,0 +1,327 @@
+// Package runner is the concurrent execution engine behind campaigns and
+// reduction. It provides two things the rest of the repo composes:
+//
+//   - a worker pool, sized by GOMAXPROCS unless overridden, that bounds how
+//     many simulated-compiler invocations run at once no matter how many
+//     goroutines fan work out; and
+//
+//   - a sharded, content-addressed result cache keyed by (target name, module
+//     binary hash, inputs hash). Delta debugging probes many overlapping
+//     subsets of one transformation sequence and re-probes them after every
+//     successful removal, and campaigns run the same original module once per
+//     generated test; both collapse to a single target execution per distinct
+//     (target, module, inputs) triple.
+//
+// Target execution is deterministic, so cached results are exact and the
+// engine never changes observable behaviour — only how often the simulated
+// compilers actually run. Cache entries are deduplicated in flight: when two
+// goroutines ask for the same triple concurrently, one executes and the other
+// waits for its result.
+package runner
+
+import (
+	"crypto/sha256"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+)
+
+const (
+	// shardCount spreads cache contention; must be a power of two.
+	shardCount = 16
+	// defaultCacheCap bounds total cached results across all shards.
+	defaultCacheCap = 1 << 14
+)
+
+// key identifies one target execution by content, not identity: two
+// structurally identical modules (e.g. the same ddmin candidate reached via
+// different removal orders) hash to the same key. For the render layer the
+// target field is empty — rendering depends only on the compiled module and
+// the inputs, so targets whose simulated defects leave a module untouched
+// share one render.
+type key struct {
+	target string
+	mod    [sha256.Size]byte
+	inputs [sha256.Size]byte
+}
+
+// entry is one cache slot. done is closed once the payload is populated, so
+// concurrent requests for an in-flight key wait instead of re-executing.
+// Result entries carry img/crash; render entries carry img/renderErr.
+type entry struct {
+	done      chan struct{}
+	img       *interp.Image
+	crash     *target.Crash
+	renderErr string
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[key]*entry
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Result layer: full (target, module, inputs) executions.
+	Hits   uint64 // Run calls answered from the cache (incl. in-flight waits)
+	Misses uint64 // Run calls that executed the target toolchain
+	// Render layer: (compiled module, inputs) interpreter runs, consulted on
+	// result-layer misses and shared across targets.
+	RenderHits   uint64
+	RenderMisses uint64
+	Evictions    uint64 // cache entries discarded to stay under the cap
+	Entries      int    // entries currently cached (both layers)
+	Workers      int    // worker-pool size
+}
+
+// HitRate returns the fraction of cache lookups served without executing
+// anything, across both layers; 0 before any Run call.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.RenderHits + s.RenderMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.RenderHits) / float64(total)
+}
+
+// Engine is a memoizing, concurrency-bounded executor of target runs. It is
+// safe for concurrent use; the zero value is not valid — use New.
+type Engine struct {
+	workers     int
+	sem         chan struct{}
+	maxPerShard int
+	shards      [shardCount]shard // result layer: (target, module, inputs)
+	renders     [shardCount]shard // render layer: ("", compiled module, inputs)
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	renderHits   atomic.Uint64
+	renderMisses atomic.Uint64
+	evictions    atomic.Uint64
+}
+
+// New returns an engine whose worker pool admits workers concurrent target
+// executions; workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers:     workers,
+		sem:         make(chan struct{}, workers),
+		maxPerShard: defaultCacheCap / shardCount,
+	}
+	for i := range e.shards {
+		e.shards[i].m = make(map[key]*entry)
+		e.renders[i].m = make(map[key]*entry)
+	}
+	return e
+}
+
+// SetCacheCap rebounds the total number of cached results; 0 disables
+// caching entirely (every Run executes the full toolchain — the pre-engine
+// baseline). It only affects future insertions and is not safe to call
+// concurrently with Run.
+func (e *Engine) SetCacheCap(total int) {
+	if total <= 0 {
+		e.maxPerShard = 0
+		return
+	}
+	per := total / shardCount
+	if per < 1 {
+		per = 1
+	}
+	e.maxPerShard = per
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Run executes m on tg with the given inputs, memoized, with semantics
+// identical to tg.Run. Results are shared between callers and must be
+// treated as immutable (images and crashes are never mutated anywhere in the
+// repo).
+//
+// Two cache layers serve a lookup. The result layer is keyed by (target,
+// module, inputs) and memoizes whole executions. On a result-layer miss the
+// module is compiled — cheap next to rendering — and the interpreter run is
+// served from the render layer, keyed by the compiled module's content:
+// targets whose injected defects leave a module untouched (most modules, for
+// most targets) compile to bit-identical optimized modules and share one
+// render, so a variant classified against all nine targets is typically
+// rendered once, not six times.
+func (e *Engine) Run(tg *target.Target, m *spirv.Module, in interp.Inputs) (*interp.Image, *target.Crash) {
+	if e.maxPerShard == 0 {
+		e.misses.Add(1)
+		e.sem <- struct{}{}
+		img, crash := tg.Run(m, in)
+		<-e.sem
+		return img, crash
+	}
+	k := e.keyFor(tg, m, in)
+	s := &e.shards[k.mod[0]&(shardCount-1)]
+
+	s.mu.Lock()
+	if ent, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		e.hits.Add(1)
+		<-ent.done
+		return ent.img, ent.crash
+	}
+	ent := &entry{done: make(chan struct{})}
+	if len(s.m) >= e.maxPerShard {
+		e.evictOneLocked(s)
+	}
+	s.m[k] = ent
+	s.mu.Unlock()
+
+	e.misses.Add(1)
+	e.sem <- struct{}{}
+	ent.img, ent.crash = e.runUncached(tg, m, k.inputs, in)
+	<-e.sem
+	close(ent.done)
+	return ent.img, ent.crash
+}
+
+// runUncached mirrors target.Run — compile, then render for render-capable
+// targets — with the render memoized by compiled-module content.
+func (e *Engine) runUncached(tg *target.Target, m *spirv.Module, inHash [sha256.Size]byte, in interp.Inputs) (*interp.Image, *target.Crash) {
+	compiled, crash := tg.Compile(m)
+	if crash != nil {
+		return nil, crash
+	}
+	if !tg.CanRender {
+		return nil, nil
+	}
+	img, errMsg := e.render(compiled, inHash, in)
+	if errMsg != "" {
+		return nil, &target.Crash{Signature: tg.Name + ": device fault: " + errMsg}
+	}
+	return img, nil
+}
+
+// render executes the reference interpreter, memoized on (compiled module
+// bytes, inputs). The error message is cached as text so each target can
+// prefix its own name, exactly as target.Run does.
+func (e *Engine) render(compiled *spirv.Module, inHash [sha256.Size]byte, in interp.Inputs) (*interp.Image, string) {
+	if e.maxPerShard == 0 { // caching disabled; Run bypasses us, but stay safe
+		e.renderMisses.Add(1)
+		img, err := interp.Render(compiled, in)
+		if err != nil {
+			return nil, err.Error()
+		}
+		return img, ""
+	}
+	k := key{mod: sha256.Sum256(compiled.EncodeBytes()), inputs: inHash}
+	s := &e.renders[k.mod[0]&(shardCount-1)]
+
+	s.mu.Lock()
+	if ent, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		e.renderHits.Add(1)
+		<-ent.done
+		return ent.img, ent.renderErr
+	}
+	ent := &entry{done: make(chan struct{})}
+	if len(s.m) >= e.maxPerShard {
+		e.evictOneLocked(s)
+	}
+	s.m[k] = ent
+	s.mu.Unlock()
+
+	e.renderMisses.Add(1)
+	img, err := interp.Render(compiled, in)
+	if err != nil {
+		ent.renderErr = err.Error()
+	} else {
+		ent.img = img
+	}
+	close(ent.done)
+	return ent.img, ent.renderErr
+}
+
+// evictOneLocked discards one completed entry from s (any one: target runs
+// are deterministic, so eviction affects only performance, never results).
+// In-flight entries are never evicted — their waiters hold the pointer.
+func (e *Engine) evictOneLocked(s *shard) {
+	for k, ent := range s.m {
+		select {
+		case <-ent.done:
+			delete(s.m, k)
+			e.evictions.Add(1)
+			return
+		default:
+		}
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		RenderHits:   e.renderHits.Load(),
+		RenderMisses: e.renderMisses.Load(),
+		Evictions:    e.evictions.Load(),
+		Workers:      e.workers,
+	}
+	for i := range e.shards {
+		for _, s := range []*shard{&e.shards[i], &e.renders[i]} {
+			s.mu.Lock()
+			st.Entries += len(s.m)
+			s.mu.Unlock()
+		}
+	}
+	return st
+}
+
+// Do runs f(0) … f(n-1) on the worker pool and returns when all calls have
+// finished. Iterations are distributed dynamically, so uneven work does not
+// idle workers. f must be safe for concurrent invocation.
+func (e *Engine) Do(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				f(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// keyFor builds the content-addressed cache key.
+func (e *Engine) keyFor(tg *target.Target, m *spirv.Module, in interp.Inputs) key {
+	k := key{target: tg.Name, mod: sha256.Sum256(m.EncodeBytes())}
+	// EncodeInputs is deterministic (encoding/json sorts map keys). Inputs
+	// that fail to encode share a sentinel hash; they would fail identically
+	// inside the interpreter anyway.
+	if data, err := interp.EncodeInputs(in); err == nil {
+		k.inputs = sha256.Sum256(data)
+	}
+	return k
+}

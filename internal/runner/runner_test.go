@@ -1,0 +1,258 @@
+package runner_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+	"spirvfuzz/internal/testmod"
+)
+
+func TestRunMemoizes(t *testing.T) {
+	eng := runner.New(2)
+	tg := target.ByName("Mesa")
+	m := testmod.Diamond()
+	in := interp.Inputs{}
+
+	img1, crash1 := eng.Run(tg, m, in)
+	if crash1 != nil {
+		t.Fatalf("clean module crashed: %v", crash1)
+	}
+	st := eng.Stats()
+	// One result entry plus one render entry.
+	if st.Hits != 0 || st.Misses != 1 || st.RenderMisses != 1 || st.Entries != 2 {
+		t.Fatalf("after first run: %+v", st)
+	}
+
+	// The same module content — even via a different pointer — must hit.
+	img2, crash2 := eng.Run(tg, m.Clone(), in)
+	st = eng.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("clone did not hit the cache: %+v", st)
+	}
+	if crash2 != nil || img1 != img2 {
+		t.Fatal("cached result differs from computed result")
+	}
+
+	// A different target is a distinct result key, but neither Mesa's nor
+	// Pixel-5's defects touch the diamond module, so the identical compiled
+	// modules share one render across the two targets.
+	img3, _ := eng.Run(target.ByName("Pixel-5"), m, in)
+	st = eng.Stats()
+	if st.Misses != 2 || st.RenderHits != 1 || st.RenderMisses != 1 {
+		t.Fatalf("cross-target render was not shared: %+v", st)
+	}
+	if img3 != img1 {
+		t.Fatal("shared render returned a different image")
+	}
+
+	// Different inputs are distinct keys in both layers.
+	eng.Run(tg, m, interp.Inputs{W: 3, H: 3})
+	st = eng.Stats()
+	if st.Misses != 3 || st.RenderMisses != 2 {
+		t.Fatalf("distinct keys collided: %+v", st)
+	}
+	// Combined rate: (1 result hit + 1 render hit) of (4+3 lookups).
+	if got := st.HitRate(); got != 2.0/7.0 {
+		t.Fatalf("hit rate %v, want 2/7", got)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers %d, want 2", st.Workers)
+	}
+}
+
+// TestCacheCorrectness compares the memoized engine against direct target
+// execution over every (testmod, target) pair, including crashing shapes.
+func TestCacheCorrectness(t *testing.T) {
+	eng := runner.New(4)
+	mods := []*spirv.Module{}
+	for _, m := range testmod.All() {
+		mods = append(mods, m)
+	}
+	crasher := testmod.Caller()
+	crasher.Functions[0].SetControl(spirv.FunctionControlDontInline)
+	mods = append(mods, crasher)
+
+	// Two passes so the second is served from the cache.
+	for pass := 0; pass < 2; pass++ {
+		for _, m := range mods {
+			for _, tg := range target.All() {
+				wantImg, wantCrash := tg.Run(m, interp.Inputs{})
+				gotImg, gotCrash := eng.Run(tg, m, interp.Inputs{})
+				switch {
+				case (wantCrash == nil) != (gotCrash == nil):
+					t.Fatalf("pass %d %s: crash mismatch: %v vs %v", pass, tg.Name, wantCrash, gotCrash)
+				case wantCrash != nil && wantCrash.Signature != gotCrash.Signature:
+					t.Fatalf("pass %d %s: signature %q vs %q", pass, tg.Name, wantCrash.Signature, gotCrash.Signature)
+				case (wantImg == nil) != (gotImg == nil):
+					t.Fatalf("pass %d %s: image presence mismatch", pass, tg.Name)
+				case wantImg != nil && !wantImg.Equal(gotImg):
+					t.Fatalf("pass %d %s: images differ", pass, tg.Name)
+				}
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses: %+v", st)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers runs the same small campaign at 1,
+// 4 and 16 workers and requires identical outcomes: same bug signatures on
+// the same (test, target) pairs in the same order.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	type bug struct {
+		Target, Reference, Signature string
+		Seed                         int64
+	}
+	var baseline []bug
+	for _, workers := range []int{1, 4, 16} {
+		eng := runner.New(workers)
+		res, err := harness.CampaignEngine(eng, harness.ToolSpirvFuzz, 25, 2,
+			corpus.References(), target.All(), corpus.Donors())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var bugs []bug
+		for _, o := range res.BugOutcomes {
+			bugs = append(bugs, bug{o.Target, o.Reference, o.Signature, o.Seed})
+		}
+		if baseline == nil {
+			baseline = bugs
+			if len(baseline) == 0 {
+				t.Fatal("campaign found no bugs; determinism check is vacuous")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(bugs, baseline) {
+			t.Fatalf("workers=%d: outcomes differ from 1-worker baseline:\n%v\nvs\n%v", workers, bugs, baseline)
+		}
+	}
+}
+
+// TestReductionDeterministicAcrossWorkers reduces a real crash outcome at 1,
+// 4 and 16 workers and requires bitwise-identical kept indices.
+func TestReductionDeterministicAcrossWorkers(t *testing.T) {
+	eng := runner.New(4)
+	res, err := harness.CampaignEngine(eng, harness.ToolSpirvFuzz, 40, 2,
+		corpus.References(), target.All(), corpus.Donors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcome *harness.Outcome
+	for _, o := range res.BugOutcomes {
+		if o.Signature != target.MiscompilationSignature && len(o.Transformations) > 4 {
+			outcome = o
+			break
+		}
+	}
+	if outcome == nil {
+		t.Fatal("no crash outcome with a nontrivial sequence")
+	}
+	tg := target.ByName(outcome.Target)
+	var baseline []int
+	for _, workers := range []int{1, 4, 16} {
+		e := runner.New(workers)
+		interesting := reduce.ForOutcomeOn(e, tg, outcome.Original, outcome.Inputs, outcome.Signature)
+		r := reduce.ReduceParallel(outcome.Original, outcome.Inputs, outcome.Transformations, interesting, workers)
+		if baseline == nil {
+			baseline = r.Kept
+			continue
+		}
+		if !reflect.DeepEqual(r.Kept, baseline) {
+			t.Fatalf("workers=%d: kept %v, baseline %v", workers, r.Kept, baseline)
+		}
+	}
+}
+
+// TestCacheHammer drives the sharded cache from many goroutines with a small
+// capacity so insertion, in-flight waiting and eviction all interleave; run
+// with -race. Correctness of returned results is checked on every call.
+func TestCacheHammer(t *testing.T) {
+	eng := runner.New(8)
+	eng.SetCacheCap(32) // force constant eviction
+	tgs := target.All()
+
+	// A pool of distinct modules: vary a constant so hashes differ.
+	var mods []*spirv.Module
+	for i := 0; i < 12; i++ {
+		m := testmod.Diamond()
+		m.EnsureConstantWord(m.EnsureTypeInt(32, true), uint32(1000+i))
+		mods = append(mods, m)
+	}
+	want := make([]*interp.Image, len(mods))
+	for i, m := range mods {
+		var err error
+		want[i], err = interp.Render(m, interp.Inputs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				mi := (g*7 + i) % len(mods)
+				tg := tgs[(g+i)%len(tgs)]
+				img, crash := eng.Run(tg, mods[mi], interp.Inputs{})
+				if crash != nil {
+					errCh <- fmt.Errorf("%s crashed on clean module: %v", tg.Name, crash)
+					return
+				}
+				if tg.CanRender && !img.Equal(want[mi]) {
+					errCh <- fmt.Errorf("%s returned a wrong image under contention", tg.Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("cap 32 with %d keys should evict: %+v", len(mods)*len(tgs), st)
+	}
+	// Soft cap per layer, plus at most one in-flight overshoot per shard.
+	if st.Entries > 2*(32+16) {
+		t.Fatalf("cache grew past its cap: %+v", st)
+	}
+}
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		eng := runner.New(workers)
+		for _, n := range []int{0, 1, 7, 100} {
+			seen := make([]bool, n)
+			var mu sync.Mutex
+			eng.Do(n, func(i int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if seen[i] {
+					t.Fatalf("workers=%d n=%d: index %d ran twice", workers, n, i)
+				}
+				seen[i] = true
+			})
+			for i, s := range seen {
+				if !s {
+					t.Fatalf("workers=%d n=%d: index %d never ran", workers, n, i)
+				}
+			}
+		}
+	}
+}

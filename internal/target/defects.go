@@ -1,0 +1,366 @@
+package target
+
+import "spirvfuzz/internal/spirv"
+
+// The injected defect predicates below are the simulated compiler bugs.
+// Each one keys on a structural feature that no corpus reference program
+// contains (the target_test originals-are-clean guard enforces this), so a
+// defect can only be exposed by fuzzer transformations.
+
+// hasPrivateGlobal fires on any module-scope OpVariable with Private
+// storage. spirv-fuzz's AddGlobalVariable and glsl-fuzz's dead-code scratch
+// variable both introduce one; reference shaders only use interface and
+// Function storage.
+func hasPrivateGlobal(m *spirv.Module) bool {
+	for _, ins := range m.TypesGlobals {
+		if ins.Op == spirv.OpVariable && len(ins.Operands) >= 1 && ins.Operands[0] == spirv.StoragePrivate {
+			return true
+		}
+	}
+	return false
+}
+
+// hasNonzeroFunctionControl fires when any function carries a non-default
+// function control mask (Inline or DontInline), which only
+// SetFunctionControl transformations produce.
+func hasNonzeroFunctionControl(m *spirv.Module) bool {
+	for _, f := range m.Functions {
+		if f.Control() != spirv.FunctionControlNone {
+			return true
+		}
+	}
+	return false
+}
+
+// hasVectorShuffle fires on any OpVectorShuffle. Only glsl-fuzz's
+// swizzle-round-trip feature emits the instruction; spirv-fuzz synonyms use
+// CompositeExtract/Construct instead, so this is a glsl-fuzz-only bug.
+func hasVectorShuffle(m *spirv.Module) bool {
+	found := false
+	m.ForEachInstruction(func(ins *spirv.Instruction) {
+		if ins.Op == spirv.OpVectorShuffle {
+			found = true
+		}
+	})
+	return found
+}
+
+// hasMultiBlockHelper fires when a non-entry function has internal control
+// flow (two or more blocks): donated loop helpers, split helper blocks, or
+// a single-iteration loop wrapped inside a helper. Reference helpers are
+// all straight-line single-block functions.
+func hasMultiBlockHelper(m *spirv.Module) bool {
+	entry := m.EntryPointFunction()
+	for _, f := range m.Functions {
+		if f == entry {
+			continue
+		}
+		if len(f.Blocks) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasKillBehindConstantBranch fires when an OpKill block is an arm of a
+// conditional branch on a constant boolean — the AddDeadBlock +
+// ReplaceBranchWithKill shape. Reference kills (e.g. the killhalf shader)
+// sit behind dynamic conditions.
+func hasKillBehindConstantBranch(m *spirv.Module) bool {
+	for _, f := range m.Functions {
+		for _, b := range f.Blocks {
+			if b.Term == nil || b.Term.Op != spirv.OpBranchConditional {
+				continue
+			}
+			if _, isConst := m.ConstantBoolValue(b.Term.IDOperand(0)); !isConst {
+				continue
+			}
+			for _, arm := range []spirv.ID{b.Term.IDOperand(1), b.Term.IDOperand(2)} {
+				if ab := f.Block(arm); ab != nil && ab.Term != nil && ab.Term.Op == spirv.OpKill {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasSingleArmPhi fires on any ϕ with exactly one incoming (value, parent)
+// pair. PropagateInstructionUp creates these directly when the rewritten
+// block has a single predecessor; reference ϕs always merge two or more
+// edges, and glsl-fuzz never produces the single-arm form.
+func hasSingleArmPhi(m *spirv.Module) bool {
+	for _, f := range m.Functions {
+		for _, b := range f.Blocks {
+			for _, p := range b.Phis {
+				if p.Op == spirv.OpPhi && len(p.Operands) == 2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasConstantFalseBranch fires on a conditional branch whose condition is a
+// constant false — the else-form of WrapRegionInSelection, which only
+// spirv-fuzz generates.
+func hasConstantFalseBranch(m *spirv.Module) bool {
+	for _, f := range m.Functions {
+		for _, b := range f.Blocks {
+			if b.Term == nil || b.Term.Op != spirv.OpBranchConditional {
+				continue
+			}
+			if v, isConst := m.ConstantBoolValue(b.Term.IDOperand(0)); isConst && !v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDontInlineCallee fires when any called function carries the
+// DontInline control mask (Figure 3's SwiftShader bug: the Reactor backend
+// assumes every call can be inlined).
+func hasDontInlineCallee(m *spirv.Module) bool {
+	callees := make(map[spirv.ID]bool)
+	m.ForEachInstruction(func(ins *spirv.Instruction) {
+		if ins.Op == spirv.OpFunctionCall {
+			callees[ins.IDOperand(0)] = true
+		}
+	})
+	for _, f := range m.Functions {
+		if callees[f.ID()] && f.Control()&spirv.FunctionControlDontInline != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasIdentityArithmetic fires on integer arithmetic no-ops: x+0, x-0, x*1,
+// x|0, x^0 and x&x. Both fuzzers emit these — spirv-fuzz via
+// AddNoOpArithmetic synonyms, glsl-fuzz via integer identity chains — while
+// reference shaders never combine a value with a literal identity element.
+// (Float identities like x*1.0 are deliberately excluded: reference shaders
+// legitimately scale by constant 1.0.)
+func hasIdentityArithmetic(m *spirv.Module) bool {
+	found := false
+	m.ForEachInstruction(func(ins *spirv.Instruction) {
+		if found || len(ins.Operands) != 2 {
+			return
+		}
+		a, b := ins.IDOperand(0), ins.IDOperand(1)
+		switch ins.Op {
+		case spirv.OpIAdd, spirv.OpBitwiseOr, spirv.OpBitwiseXor:
+			found = isConstIntWord(m, a, 0) || isConstIntWord(m, b, 0)
+		case spirv.OpISub:
+			found = isConstIntWord(m, b, 0)
+		case spirv.OpIMul:
+			found = isConstIntWord(m, a, 1) || isConstIntWord(m, b, 1)
+		case spirv.OpBitwiseAnd:
+			found = a == b
+		}
+	})
+	return found
+}
+
+func isConstIntWord(m *spirv.Module, id spirv.ID, word uint32) bool {
+	def := m.Def(id)
+	return def != nil && def.Op == spirv.OpConstant && m.IsIntType(def.Type) &&
+		len(def.Operands) == 1 && def.Operands[0] == word
+}
+
+// deadBlockSet returns, per function, the labels of statically-dead blocks:
+// untaken arms of conditional branches on constant conditions. Only fuzzer
+// transformations (AddDeadBlock, WrapRegionInSelection) create these.
+func deadBlockSet(m *spirv.Module, f *spirv.Function) map[spirv.ID]bool {
+	dead := make(map[spirv.ID]bool)
+	for _, b := range f.Blocks {
+		if b.Term == nil || b.Term.Op != spirv.OpBranchConditional {
+			continue
+		}
+		v, ok := m.ConstantBoolValue(b.Term.IDOperand(0))
+		if !ok {
+			continue
+		}
+		if v {
+			dead[b.Term.IDOperand(2)] = true
+		} else {
+			dead[b.Term.IDOperand(1)] = true
+		}
+	}
+	return dead
+}
+
+// hasNestedDeadKill fires when an OpKill block hangs off a constant
+// conditional branch whose own block is itself statically dead — dead code
+// stacked inside dead code. Reaching the shape takes a chain of block
+// transformations (SplitBlocks/AddDeadBlocks feeding further AddDeadBlocks
+// and ReplaceBranchesWithKill), which in practice only the recommendation
+// strategy lines up within one campaign's pass budget.
+func hasNestedDeadKill(m *spirv.Module) bool {
+	for _, f := range m.Functions {
+		dead := deadBlockSet(m, f)
+		for _, b := range f.Blocks {
+			if !dead[b.Label] || b.Term == nil || b.Term.Op != spirv.OpBranchConditional {
+				continue
+			}
+			if _, ok := m.ConstantBoolValue(b.Term.IDOperand(0)); !ok {
+				continue
+			}
+			for _, arm := range []spirv.ID{b.Term.IDOperand(1), b.Term.IDOperand(2)} {
+				if ab := f.Block(arm); ab != nil && ab.Term != nil && ab.Term.Op == spirv.OpKill {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasDeadStoreAndKill fires when statically-dead blocks contain both an
+// OpStore and an OpKill terminator — the AddDeadBlocks → AddLoadsStores +
+// ReplaceBranchesWithKill recommendation fan-out.
+func hasDeadStoreAndKill(m *spirv.Module) bool {
+	store, kill := false, false
+	for _, f := range m.Functions {
+		dead := deadBlockSet(m, f)
+		for _, b := range f.Blocks {
+			if !dead[b.Label] {
+				continue
+			}
+			for _, ins := range b.Body {
+				if ins.Op == spirv.OpStore {
+					store = true
+				}
+			}
+			if b.Term != nil && b.Term.Op == spirv.OpKill {
+				kill = true
+			}
+		}
+	}
+	return store && kill
+}
+
+// hasManyParams fires on a function with three or more parameters.
+// Reference helpers take at most two; the shape needs repeated AddParameter
+// applications, which the AddFunctionCalls → AddParameters recommendation
+// drives.
+func hasManyParams(m *spirv.Module) bool {
+	for _, f := range m.Functions {
+		if len(f.Params) >= 3 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasMultiBlockHelperWithControl fires when a non-entry function has both
+// internal control flow and a non-default function control mask — a donated
+// loop helper that later picked up an inline hint via the AddFunctionCalls →
+// SetFunctionControls recommendation.
+func hasMultiBlockHelperWithControl(m *spirv.Module) bool {
+	entry := m.EntryPointFunction()
+	for _, f := range m.Functions {
+		if f != entry && len(f.Blocks) >= 2 && f.Control() != spirv.FunctionControlNone {
+			return true
+		}
+	}
+	return false
+}
+
+// intCompare reports whether op is an ordered integer comparison.
+func intCompare(op spirv.Opcode) bool {
+	switch op {
+	case spirv.OpSLessThan, spirv.OpSLessThanEqual, spirv.OpSGreaterThan, spirv.OpSGreaterThanEqual:
+		return true
+	}
+	return false
+}
+
+// mutateHoistedLoopBound is the Mesa miscompilation of Figure 8a: when a
+// loop-header body instruction is an integer comparison between a ϕ of that
+// same header and a constant bound (the shape PropagateInstructionUp
+// produces by hoisting the exit check into the header), the simulated
+// loop-invariant hoisting pass decrements the bound by one, skipping the
+// final loop iteration. Reference loop headers keep their exit checks in a
+// separate block, so the rewrite never applies to originals.
+func mutateHoistedLoopBound(m *spirv.Module) bool {
+	changed := false
+	for _, f := range m.Functions {
+		for _, b := range f.Blocks {
+			if b.Merge == nil || b.Merge.Op != spirv.OpLoopMerge {
+				continue
+			}
+			headerPhis := make(map[spirv.ID]bool)
+			for _, p := range b.Phis {
+				if p.Result != 0 {
+					headerPhis[p.Result] = true
+				}
+			}
+			if len(headerPhis) == 0 {
+				continue
+			}
+			for _, ins := range b.Body {
+				if !intCompare(ins.Op) || len(ins.Operands) != 2 {
+					continue
+				}
+				switch {
+				case headerPhis[ins.IDOperand(0)]:
+					changed = decrementConstOperand(m, ins, 1) || changed
+				case headerPhis[ins.IDOperand(1)]:
+					changed = decrementConstOperand(m, ins, 0) || changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// decrementConstOperand replaces the integer constant at operand index i
+// with a constant one less, when the operand is a plain single-word
+// OpConstant of integer type.
+func decrementConstOperand(m *spirv.Module, ins *spirv.Instruction, i int) bool {
+	def := m.Def(ins.IDOperand(i))
+	if def == nil || def.Op != spirv.OpConstant || len(def.Operands) != 1 || !m.IsIntType(def.Type) {
+		return false
+	}
+	ins.Operands[i] = uint32(m.EnsureConstantWord(def.Type, def.Operands[0]-1))
+	return true
+}
+
+// mutateLayoutKill is the Pixel driver miscompilation of Figure 8b: when a
+// dynamically-conditioned branch in the entry function has its false arm
+// laid out before its true arm (the MoveBlockDown shape — natural layout
+// always places the then-arm first), the simulated backend's block-layout
+// pass drops the displaced arm's fragments by routing the true edge to a
+// discard. Only the first violating branch is rewritten.
+func mutateLayoutKill(m *spirv.Module) bool {
+	f := m.EntryPointFunction()
+	if f == nil {
+		return false
+	}
+	idx := make(map[spirv.ID]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		idx[b.Label] = i
+	}
+	for _, b := range f.Blocks {
+		if b.Term == nil || b.Term.Op != spirv.OpBranchConditional {
+			continue
+		}
+		if _, isConst := m.ConstantBoolValue(b.Term.IDOperand(0)); isConst {
+			continue
+		}
+		tArm, fArm := b.Term.IDOperand(1), b.Term.IDOperand(2)
+		ti, tOK := idx[tArm]
+		fi, fOK := idx[fArm]
+		if !tOK || !fOK || tArm == fArm || fi >= ti {
+			continue
+		}
+		kill := &spirv.Block{Label: m.FreshID(), Term: spirv.NewInstr(spirv.OpKill, 0, 0)}
+		f.Blocks = append(f.Blocks, kill)
+		b.Term.Operands[1] = uint32(kill.Label)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+// Package target simulates the nine compiler toolchains of the paper's
+// Table 2. A Target is a deterministic stand-in for a real compiler: it
+// clones the input module, checks a set of injected defect predicates (the
+// simulated compiler bugs), applies any miscompiling rewrites, and then runs
+// the shared optimization pipeline from internal/opt. Render-capable targets
+// additionally execute the compiled module with the reference interpreter to
+// produce an image.
+//
+// Every defect predicate is keyed on a structural feature that fuzzer
+// transformations introduce but that no corpus reference program contains,
+// so original programs never crash and never miscompile — exactly the
+// invariant the test harness relies on when classifying variant outcomes.
+package target
+
+import (
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/opt"
+	"spirvfuzz/internal/spirv"
+)
+
+// Crash describes a simulated compiler or device failure. The signature is
+// the deduplication key used throughout the harness and experiments; two
+// crashes of the same underlying defect share a signature.
+type Crash struct {
+	Signature string
+}
+
+// Error renders the crash like an error value for %v-style printing.
+func (c *Crash) Error() string { return c.Signature }
+
+// String implements fmt.Stringer.
+func (c *Crash) String() string { return c.Signature }
+
+// MiscompilationSignature is the pseudo-signature the harness assigns to
+// wrong-image outcomes, which have no crash text of their own.
+const MiscompilationSignature = "miscompilation (image differs from reference)"
+
+// crashDefect is an injected compiler bug that aborts compilation when its
+// structural trigger is present in the input module.
+type crashDefect struct {
+	sig   string
+	fires func(m *spirv.Module) bool
+}
+
+// mutateDefect is an injected compiler bug that silently miscompiles: it
+// rewrites the cloned module in a semantics-changing way and compilation
+// continues normally.
+type mutateDefect struct {
+	name  string
+	apply func(m *spirv.Module) bool
+}
+
+// Target is one simulated toolchain from Table 2.
+type Target struct {
+	Name      string
+	Version   string
+	GPUType   string
+	CanRender bool // false for offline tools: crash/validity bugs only
+
+	crashes   []crashDefect
+	mutations []mutateDefect
+}
+
+// Compile clones m and pushes the clone through the simulated toolchain:
+// injected crash defects first (deterministic order, first trigger wins),
+// then miscompiling rewrites, then the shared optimization pipeline. It
+// returns the compiled module, or a Crash if the toolchain failed.
+func (t *Target) Compile(m *spirv.Module) (*spirv.Module, *Crash) {
+	for _, d := range t.crashes {
+		if d.fires(m) {
+			return nil, &Crash{Signature: t.Name + ": " + d.sig}
+		}
+	}
+	c := m.Clone()
+	for _, d := range t.mutations {
+		d.apply(c)
+	}
+	if err := opt.Pipeline(c, opt.Standard(), 0); err != nil {
+		return nil, &Crash{Signature: t.Name + ": internal compiler error: " + err.Error()}
+	}
+	return c, nil
+}
+
+// Run compiles m and, for render-capable targets, executes the compiled
+// module on the given inputs. A nil image with a nil crash means the target
+// compiled the module but cannot render (offline tools).
+func (t *Target) Run(m *spirv.Module, in interp.Inputs) (*interp.Image, *Crash) {
+	compiled, crash := t.Compile(m)
+	if crash != nil {
+		return nil, crash
+	}
+	if !t.CanRender {
+		return nil, nil
+	}
+	img, err := interp.Render(compiled, in)
+	if err != nil {
+		return nil, &Crash{Signature: t.Name + ": device fault: " + err.Error()}
+	}
+	return img, nil
+}
+
+// registry holds the targets in Table 2 order.
+var registry = buildRegistry()
+
+// All returns the targets in Table 2 order. The returned slice is fresh but
+// the targets themselves are shared; they are immutable after init.
+func All() []*Target {
+	out := make([]*Target, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the target with the given name, or nil.
+func ByName(name string) *Target {
+	for _, t := range registry {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+func buildRegistry() []*Target {
+	return []*Target{
+		{
+			Name: "AMD-LLPC", Version: "llpc 8.0-dev", GPUType: "Radeon RX 5700 XT", CanRender: false,
+			crashes: []crashDefect{
+				{"LLVM ERROR: isel: unfolded algebraic identity in shader body", hasIdentityArithmetic},
+				{"LLVM ERROR: cannot allocate private segment for module-scope variable", hasPrivateGlobal},
+				{"PAL pipeline assert: subroutine with control flow requires inline expansion", hasMultiBlockHelperWithControl},
+				{"PAL pipeline assert: unexpected function control mask", hasNonzeroFunctionControl},
+			},
+		},
+		{
+			Name: "Mesa", Version: "20.1.0", GPUType: "Intel HD 630", CanRender: true,
+			mutations: []mutateDefect{
+				{"hoisted loop-bound off-by-one", mutateHoistedLoopBound},
+			},
+		},
+		{
+			Name: "Mesa-Old", Version: "19.2.8", GPUType: "Intel HD 630", CanRender: true,
+			crashes: []crashDefect{
+				{"NIR validation failed: vec lowering assert on OpVectorShuffle", hasVectorShuffle},
+			},
+			mutations: []mutateDefect{
+				{"hoisted loop-bound off-by-one", mutateHoistedLoopBound},
+			},
+		},
+		{
+			Name: "NVIDIA", Version: "440.100", GPUType: "GeForce GTX 1060", CanRender: true,
+			crashes: []crashDefect{
+				{"scheduler fault: subroutine with internal control flow", hasMultiBlockHelper},
+			},
+		},
+		{
+			Name: "Pixel-5", Version: "Adreno V@0502", GPUType: "Qualcomm Adreno 620", CanRender: true,
+			crashes: []crashDefect{
+				{"compiler hang: store/discard combination in eliminated region", hasDeadStoreAndKill},
+			},
+			mutations: []mutateDefect{
+				{"block-layout fragment drop", mutateLayoutKill},
+			},
+		},
+		{
+			Name: "Pixel-4", Version: "Adreno V@0415", GPUType: "Qualcomm Adreno 640", CanRender: true,
+			crashes: []crashDefect{
+				{"shader compiler assert: nested statically-dead discard region", hasNestedDeadKill},
+				{"shader compiler assert: discard in statically-taken branch", hasKillBehindConstantBranch},
+			},
+			mutations: []mutateDefect{
+				{"block-layout fragment drop", mutateLayoutKill},
+			},
+		},
+		{
+			Name: "spirv-opt", Version: "v2020.2", GPUType: "n/a (offline optimizer)", CanRender: false,
+			crashes: []crashDefect{
+				{"inline pass assert: argument copy-in overflow for widened signature", hasManyParams},
+				{"ssa-rewrite assert: phi with a single predecessor after CFG cleanup", hasSingleArmPhi},
+			},
+		},
+		{
+			Name: "spirv-opt-old", Version: "v2019.5", GPUType: "n/a (offline optimizer)", CanRender: false,
+			crashes: []crashDefect{
+				{"ssa-rewrite assert: phi with a single predecessor after CFG cleanup", hasSingleArmPhi},
+				{"emitted invalid SPIR-V: constant-false selection leaves orphan edge", hasConstantFalseBranch},
+			},
+		},
+		{
+			Name: "SwiftShader", Version: "4.1 (LLVM 7)", GPUType: "CPU (software renderer)", CanRender: true,
+			crashes: []crashDefect{
+				{"Reactor assertion failed: mustInline(callee) in Optimizer::inlineAll", hasDontInlineCallee},
+			},
+		},
+	}
+}

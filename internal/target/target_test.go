@@ -1,0 +1,238 @@
+package target_test
+
+import (
+	"strings"
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+	"spirvfuzz/internal/testmod"
+)
+
+// Table 2 invariants: nine targets, fixed order, render capabilities.
+func TestRegistryShape(t *testing.T) {
+	all := target.All()
+	wantOrder := []string{
+		"AMD-LLPC", "Mesa", "Mesa-Old", "NVIDIA", "Pixel-5", "Pixel-4",
+		"spirv-opt", "spirv-opt-old", "SwiftShader",
+	}
+	if len(all) != len(wantOrder) {
+		t.Fatalf("got %d targets, want %d", len(all), len(wantOrder))
+	}
+	noRender := map[string]bool{"AMD-LLPC": true, "spirv-opt": true, "spirv-opt-old": true}
+	for i, tg := range all {
+		if tg.Name != wantOrder[i] {
+			t.Errorf("target %d = %q, want %q", i, tg.Name, wantOrder[i])
+		}
+		if tg.CanRender == noRender[tg.Name] {
+			t.Errorf("%s: CanRender = %v", tg.Name, tg.CanRender)
+		}
+		if tg.Version == "" || tg.GPUType == "" {
+			t.Errorf("%s: missing version/GPU metadata", tg.Name)
+		}
+		if target.ByName(tg.Name) != tg {
+			t.Errorf("ByName(%q) does not round-trip", tg.Name)
+		}
+	}
+	if target.ByName("no-such-target") != nil {
+		t.Error("ByName of unknown target should be nil")
+	}
+}
+
+// The load-bearing invariant of the whole harness: no reference program
+// crashes any target, and every render-capable target renders references to
+// the same image as the reference interpreter (optimization plus injected
+// defects must be invisible on clean inputs).
+func TestOriginalsAreCleanOnAllTargets(t *testing.T) {
+	mods := make(map[string]struct {
+		m  *spirv.Module
+		in interp.Inputs
+	})
+	for _, item := range corpus.References() {
+		mods["corpus:"+item.Name] = struct {
+			m  *spirv.Module
+			in interp.Inputs
+		}{item.Mod, item.Inputs}
+	}
+	for name, m := range testmod.All() {
+		mods["testmod:"+name] = struct {
+			m  *spirv.Module
+			in interp.Inputs
+		}{m, interp.Inputs{}}
+	}
+	for name, tc := range mods {
+		ref, err := interp.Render(tc.m, tc.in)
+		if err != nil {
+			t.Fatalf("%s: reference render failed: %v", name, err)
+		}
+		for _, tg := range target.All() {
+			img, crash := tg.Run(tc.m, tc.in)
+			if crash != nil {
+				t.Errorf("%s crashes on %s: %v", name, tg.Name, crash)
+				continue
+			}
+			if !tg.CanRender {
+				if img != nil {
+					t.Errorf("%s: %s cannot render but returned an image", name, tg.Name)
+				}
+				continue
+			}
+			if img == nil {
+				t.Errorf("%s: %s returned no image", name, tg.Name)
+				continue
+			}
+			if !img.Equal(ref) {
+				t.Errorf("%s miscompiles on %s: %d pixels differ", name, tg.Name, ref.DiffCount(img))
+			}
+		}
+	}
+}
+
+// Figure 3's SwiftShader bug: DontInline on a called function crashes, and
+// the crash clears when the control mask is reset.
+func TestSwiftShaderDontInlineCrash(t *testing.T) {
+	tg := target.ByName("SwiftShader")
+	m := testmod.Caller()
+	m.Functions[0].SetControl(spirv.FunctionControlDontInline)
+	_, crash := tg.Run(m, interp.Inputs{})
+	if crash == nil {
+		t.Fatal("DontInline on a called function should crash SwiftShader")
+	}
+	if !strings.Contains(crash.Signature, "SwiftShader") {
+		t.Errorf("signature %q should name the target", crash.Signature)
+	}
+	m.Functions[0].SetControl(spirv.FunctionControlNone)
+	if _, crash := tg.Run(m, interp.Inputs{}); crash != nil {
+		t.Fatalf("clean module crashed: %v", crash)
+	}
+	// The same module must not crash a target without the defect.
+	if _, crash := tg.Run(testmod.Caller(), interp.Inputs{}); crash != nil {
+		t.Fatalf("original crashed: %v", crash)
+	}
+}
+
+// The Mesa defect of Figure 8a: a comparison hoisted into the loop header
+// (using the header's own ϕ against a constant bound) silently drops the
+// final iteration, changing the image without crashing.
+func TestMesaHoistedLoopBoundMiscompilation(t *testing.T) {
+	m := testmod.Loop()
+	fn := m.EntryPointFunction()
+	header, check := fn.Blocks[1], fn.Blocks[2]
+	cmp := check.Body[0]
+	check.Body = nil
+	header.Body = append(header.Body, cmp)
+	freshPhi := spirv.NewInstr(spirv.OpPhi, cmp.Type, m.FreshID(),
+		uint32(cmp.Result), uint32(header.Label))
+	check.Phis = append(check.Phis, freshPhi)
+	check.Term.Operands[0] = uint32(freshPhi.Result)
+
+	ref, err := interp.Render(m, interp.Inputs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, crash := target.ByName("Mesa").Run(m, interp.Inputs{})
+	if crash != nil {
+		t.Fatalf("Mesa should miscompile, not crash: %v", crash)
+	}
+	if img.Equal(ref) {
+		t.Fatal("Mesa image matches reference; expected dropped final iteration")
+	}
+	// spirv-opt crashes on the same variant's single-arm ϕ (Figure 2's
+	// different-targets-different-bugs story).
+	if _, crash := target.ByName("spirv-opt").Run(m, interp.Inputs{}); crash == nil {
+		t.Fatal("spirv-opt should crash on the single-arm phi")
+	}
+}
+
+// The Pixel defect of Figure 8b: moving a conditional arm below its sibling
+// makes the simulated backend drop the displaced arm's fragments.
+func TestPixelLayoutMiscompilation(t *testing.T) {
+	m := testmod.Diamond()
+	fn := m.EntryPointFunction()
+	fn.Blocks[1], fn.Blocks[2] = fn.Blocks[2], fn.Blocks[1]
+
+	ref, err := interp.Render(m, interp.Inputs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, crash := target.ByName("Pixel-5").Run(m, interp.Inputs{})
+	if crash != nil {
+		t.Fatalf("Pixel-5 should miscompile, not crash: %v", crash)
+	}
+	if img.Equal(ref) {
+		t.Fatal("Pixel-5 image matches reference; expected dropped fragments")
+	}
+	holes := 0
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if img.At(x, y)[3] == 0 {
+				holes++
+			}
+		}
+	}
+	if holes == 0 {
+		t.Fatal("expected transparent holes where fragments were dropped")
+	}
+}
+
+// Offline tools accept clean modules, reject their trigger shapes, and
+// never render.
+func TestOfflineToolDefects(t *testing.T) {
+	m := testmod.Diamond()
+	fn := m.EntryPointFunction()
+	merge := fn.Blocks[3]
+	// Prune the ϕ to a single arm, as PropagateInstructionUp does.
+	phi := merge.Phis[0]
+	phi.Operands = phi.Operands[:2]
+	for _, name := range []string{"spirv-opt", "spirv-opt-old"} {
+		img, crash := target.ByName(name).Run(m, interp.Inputs{})
+		if crash == nil {
+			t.Errorf("%s: single-arm phi should crash", name)
+		}
+		if img != nil {
+			t.Errorf("%s: offline tool returned an image", name)
+		}
+	}
+	// The fixed spirv-opt no longer fails on constant-false selections, the
+	// old version does, with an invalid-SPIR-V emission signature.
+	m2 := testmod.Diamond()
+	f2 := m2.EntryPointFunction()
+	f2.Blocks[0].Term.Operands[0] = uint32(m2.EnsureConstantBool(false))
+	if _, crash := target.ByName("spirv-opt").Run(m2, interp.Inputs{}); crash != nil {
+		t.Errorf("spirv-opt: constant-false selection should compile: %v", crash)
+	}
+	_, crash := target.ByName("spirv-opt-old").Run(m2, interp.Inputs{})
+	if crash == nil {
+		t.Fatal("spirv-opt-old: constant-false selection should crash")
+	}
+	if !strings.Contains(crash.Signature, "invalid SPIR-V") {
+		t.Errorf("signature %q should mention invalid SPIR-V", crash.Signature)
+	}
+}
+
+// AMD-LLPC crashes on Private-storage globals — the feature both fuzzers
+// can introduce (glsl-fuzz via dead-code scratch variables).
+func TestAMDPrivateGlobalCrash(t *testing.T) {
+	m := testmod.Diamond()
+	f32 := m.EnsureTypeFloat(32)
+	ptr := m.EnsureTypePointer(spirv.StoragePrivate, f32)
+	m.TypesGlobals = append(m.TypesGlobals,
+		spirv.NewInstr(spirv.OpVariable, ptr, m.FreshID(), spirv.StoragePrivate))
+	_, crash := target.ByName("AMD-LLPC").Run(m, interp.Inputs{})
+	if crash == nil {
+		t.Fatal("private global should crash AMD-LLPC")
+	}
+	if !strings.Contains(crash.Signature, "private segment") {
+		t.Errorf("unexpected signature %q", crash.Signature)
+	}
+}
+
+// Crash values format usefully.
+func TestCrashFormatting(t *testing.T) {
+	c := &target.Crash{Signature: "X: boom"}
+	if c.Error() != "X: boom" || c.String() != "X: boom" {
+		t.Errorf("crash formatting: %q / %q", c.Error(), c.String())
+	}
+}

@@ -1,0 +1,17 @@
+# Convert `go test -bench` output to a JSON object mapping benchmark name to
+# its metrics, e.g. {"BenchmarkRunnerParallelReduce": {"ns/op": ..., ...}}.
+# Usage: go test -short -run '^$' -bench . -benchtime=1x ./... | awk -f scripts/bench2json.awk
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+    if (n++) printf ",\n"
+    printf "  \"%s\": {", name
+    m = 0
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m++) printf ", "
+        printf "\"%s\": %s", $(i + 1), $i
+    }
+    printf "}"
+}
+END { if (n) printf "\n"; print "}" }
