@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench baseline
+.PHONY: ci fmt vet build test bench baseline bench-compare
 
 # Everything CI runs, in order; fails fast.
 ci: fmt vet build test bench
@@ -29,3 +29,14 @@ baseline:
 	$(GO) test -short -run '^$$' -bench . -benchtime=1x ./... \
 		| awk -f scripts/bench2json.awk > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
+
+# Run the reduction benchmarks and fail if any speedup metric (parallel
+# reduction over serial; prefix-snapshot replay over fresh replay) regresses
+# below 0.75x its value in the committed BENCH_pr2.json trajectory point —
+# loose enough for machine noise, tight enough to catch a disabled cache
+# (speedup ~1.0).
+bench-compare:
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay' -benchtime=1x . \
+		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr2.json \
+		-current /tmp/bench-current.json

@@ -26,6 +26,7 @@ func main() {
 	groups := flag.Int("groups", 10, "disjoint groups for medians and MWU (paper: 10)")
 	capPerSig := flag.Int("cap-per-signature", 6, "reductions per bug signature (paper: 100 / 20)")
 	workers := flag.Int("workers", 0, "execution-engine worker pool size; 0 means GOMAXPROCS (results are identical for any value)")
+	replayMB := flag.Int("replay-cache-mb", 64, "prefix-snapshot replay cache budget for reductions, in MiB; 0 disables incremental replay (results are identical either way)")
 	listTargets := flag.Bool("list-targets", false, "print Table 2 and exit")
 	listRefs := flag.Bool("list-references", false, "print the reference corpus and exit")
 	table3 := flag.Bool("table3", false, "regenerate Table 3 (bug-finding ability)")
@@ -61,7 +62,14 @@ func main() {
 
 	start := time.Now()
 	fmt.Printf("gfauto: running 3 campaigns of %d tests each over 9 targets...\n", *tests)
-	c, err := experiments.RunCampaigns(experiments.Config{Tests: *tests, Groups: *groups, CapPerSignature: *capPerSig, Workers: *workers})
+	replayCfg := *replayMB
+	if replayCfg == 0 {
+		replayCfg = -1 // the config's "disabled" convention
+	}
+	c, err := experiments.RunCampaigns(experiments.Config{
+		Tests: *tests, Groups: *groups, CapPerSignature: *capPerSig,
+		Workers: *workers, ReplayCacheMB: replayCfg,
+	})
 	fatal(err)
 	st := c.Engine.Stats()
 	fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n\n",
@@ -83,6 +91,11 @@ func main() {
 		rep, err := experiments.ExportWildReports(c, *exportReports)
 		fatal(err)
 		fmt.Println(experiments.RenderWild(rep))
+	}
+	if rst := c.Replay.Stats(); rst.Queries > 0 {
+		fmt.Printf("gfauto: replay cache: %d ddmin queries, %.0f%% prefix hits, mean suffix %.1f of %.1f transformations (%.0f%% replay work saved), %d snapshots (%.1f MiB), %d evictions\n",
+			rst.Queries, 100*rst.HitRate(), rst.MeanSuffix(), rst.MeanRequested(),
+			100*rst.SavedFraction(), rst.Snapshots, float64(rst.Bytes)/(1<<20), rst.Evictions)
 	}
 }
 

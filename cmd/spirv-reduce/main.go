@@ -19,6 +19,7 @@ import (
 	"spirvfuzz/internal/fuzz"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/spirv/asm"
 	"spirvfuzz/internal/target"
@@ -34,6 +35,7 @@ func main() {
 	seqOut := flag.String("reduced-transformations", "reduced.json", "output minimized sequence")
 	reportDir := flag.String("report-dir", "", "also export a full bug-report bundle (Section 2.1) to this directory")
 	workers := flag.Int("workers", 0, "concurrent ddmin queries; 0 means GOMAXPROCS (results are identical for any value)")
+	replayMB := flag.Int64("replay-cache-mb", 64, "prefix-snapshot replay cache budget in MiB; 0 disables incremental replay (results are identical either way)")
 	flag.Parse()
 
 	if *in == "" || *seqPath == "" || *targetName == "" {
@@ -79,7 +81,8 @@ func main() {
 	if !interesting(full, inputs) {
 		fatal(fmt.Errorf("full sequence does not trigger signature %q on %s; check -signature", sig, tg.Name))
 	}
-	res := reduce.ReduceParallel(mod, inputs, seq, interesting, eng.Workers())
+	reng := replay.NewEngine(*replayMB << 20)
+	res := reduce.ReduceParallelReplay(mod, inputs, seq, interesting, eng.Workers(), reng)
 	fatal(asm.SaveModule(res.Variant, *out))
 	outSeq, err := fuzz.MarshalSequence(res.Sequence)
 	fatal(err)
@@ -89,6 +92,11 @@ func main() {
 		len(seq), len(res.Sequence), res.Queries, res.Delta)
 	fmt.Printf("spirv-reduce: %d workers, %d target runs, %.0f%% cache hit rate\n",
 		st.Workers, st.Misses, 100*st.HitRate())
+	if rst := reng.Stats(); rst.Queries > 0 {
+		fmt.Printf("spirv-reduce: replay cache: %.0f%% prefix hits, mean suffix %.1f of %.1f transformations (%.0f%% replay work saved), %d snapshots (%.1f MiB), %d evictions\n",
+			100*rst.HitRate(), rst.MeanSuffix(), rst.MeanRequested(), 100*rst.SavedFraction(),
+			rst.Snapshots, float64(rst.Bytes)/(1<<20), rst.Evictions)
+	}
 	if *reportDir != "" {
 		o := &harness.Outcome{
 			Tool: harness.ToolSpirvFuzz, Target: tg.Name, Reference: *in, Seed: 0,

@@ -12,6 +12,7 @@ import (
 
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/stats"
 	"spirvfuzz/internal/target"
@@ -27,6 +28,22 @@ type Config struct {
 	CapPerSignature int
 	// Workers sizes the execution engine's worker pool (0: GOMAXPROCS).
 	Workers int
+	// ReplayCacheMB budgets the shared prefix-snapshot replay cache used by
+	// the reduction experiments, in MiB. 0 selects the replay.DefaultBudget;
+	// negative disables incremental replay (the honest baseline).
+	ReplayCacheMB int
+}
+
+// replayBudget maps the config field to an engine byte budget.
+func (c Config) replayBudget() int64 {
+	switch {
+	case c.ReplayCacheMB < 0:
+		return 0
+	case c.ReplayCacheMB == 0:
+		return replay.DefaultBudget
+	default:
+		return int64(c.ReplayCacheMB) << 20
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +66,9 @@ type Campaigns struct {
 	// Table 4, report export) reuse it so reductions hit the campaign's
 	// result cache.
 	Engine *runner.Engine
+	// Replay is the shared prefix-snapshot replay engine; reductions across
+	// all experiments share its byte budget and statistics.
+	Replay *replay.Engine
 	Fuzz   *harness.CampaignResult // spirv-fuzz
 	Simple *harness.CampaignResult // spirv-fuzz-simple
 	Glsl   *harness.CampaignResult // glsl-fuzz
@@ -63,6 +83,15 @@ func (c *Campaigns) engine() *runner.Engine {
 	return c.Engine
 }
 
+// replayEngine returns the shared replay engine, building it from the config
+// on first use (hand-assembled Campaigns values included).
+func (c *Campaigns) replayEngine() *replay.Engine {
+	if c.Replay == nil {
+		c.Replay = replay.NewEngine(c.Config.replayBudget())
+	}
+	return c.Replay
+}
+
 // RunCampaigns executes the three campaigns of Section 4.1. The campaigns are
 // independent (disjoint seed ranges) and run concurrently on one shared
 // engine, whose content-addressed cache also deduplicates the work they share
@@ -73,7 +102,7 @@ func RunCampaigns(cfg Config) (*Campaigns, error) {
 	targets := target.All()
 	donors := corpus.Donors()
 	eng := runner.New(cfg.Workers)
-	c := &Campaigns{Config: cfg, Engine: eng}
+	c := &Campaigns{Config: cfg, Engine: eng, Replay: replay.NewEngine(cfg.replayBudget())}
 	results := []struct {
 		tool harness.Tool
 		into **harness.CampaignResult

@@ -56,7 +56,7 @@ func RQ2(c *Campaigns) *RQ2Result {
 		perSig[key]++
 		tg := target.ByName(o.Target)
 		interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
-		r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers())
+		r := reduce.ReduceParallelReplay(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers(), c.replayEngine())
 		res.FuzzDeltas = append(res.FuzzDeltas, r.Delta)
 		res.FuzzUnreduced = append(res.FuzzUnreduced, o.Variant.InstructionCount()-o.Original.InstructionCount())
 	}

@@ -40,7 +40,7 @@ func Table4(c *Campaigns) []Table4Row {
 		perSig[key]++
 		tg := target.ByName(o.Target)
 		interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
-		r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers())
+		r := reduce.ReduceParallelReplay(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers(), c.replayEngine())
 		perTarget[o.Target] = append(perTarget[o.Target], dedup.Case{
 			Name:      fmt.Sprintf("%s/seed%d/%d", o.Target, o.Seed, i),
 			Sequence:  r.Sequence,

@@ -38,7 +38,7 @@ func ExportWildReports(c *Campaigns, dir string) (*WildReport, error) {
 		seen[key] = true
 		tg := target.ByName(o.Target)
 		interesting := reduce.ForOutcomeOn(eng, tg, o.Original, o.Inputs, o.Signature)
-		r := reduce.ReduceParallel(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers())
+		r := reduce.ReduceParallelReplay(o.Original, o.Inputs, o.Transformations, interesting, eng.Workers(), c.replayEngine())
 		perTarget[o.Target]++
 		out := filepath.Join(dir, o.Target, fmt.Sprintf("bug%02d", perTarget[o.Target]))
 		if err := harness.ExportBugReport(out, o, r); err != nil {

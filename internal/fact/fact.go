@@ -73,9 +73,18 @@ func NewSet() *Set {
 	}
 }
 
-// Clone deep-copies the set.
+// Clone deep-copies the set. Maps are presized from the source: replay-heavy
+// reduction clones fact sets on every ddmin query, so avoiding rehash growth
+// matters.
 func (s *Set) Clone() *Set {
-	c := NewSet()
+	c := &Set{
+		dead:              make(map[spirv.ID]bool, len(s.dead)),
+		irrelevant:        make(map[spirv.ID]bool, len(s.irrelevant)),
+		irrelevantPointee: make(map[spirv.ID]bool, len(s.irrelevantPointee)),
+		liveSafe:          make(map[spirv.ID]bool, len(s.liveSafe)),
+		parent:            make(map[string]string, len(s.parent)),
+		access:            make(map[string]Access, len(s.access)),
+	}
 	for k := range s.dead {
 		c.dead[k] = true
 	}
@@ -95,6 +104,20 @@ func (s *Set) Clone() *Set {
 		c.access[k] = v
 	}
 	return c
+}
+
+// ApproxBytes estimates the retained size of the set, for cache accounting
+// (internal/replay budgets context snapshots by bytes). Rough is fine: the
+// estimate only steers eviction order, never semantics.
+func (s *Set) ApproxBytes() int {
+	n := 96 + 16*(len(s.dead)+len(s.irrelevant)+len(s.irrelevantPointee)+len(s.liveSafe))
+	for k := range s.parent {
+		n += 48 + 2*len(k)
+	}
+	for k, a := range s.access {
+		n += 48 + len(k) + 4*len(a.Path)
+	}
+	return n
 }
 
 // MarkDeadBlock records DeadBlock(b).

@@ -97,16 +97,43 @@ func (c *Context) IsFreshID(id spirv.ID) bool {
 	return true
 }
 
-// FreshAll reports whether all ids are fresh and pairwise distinct.
+// FreshAll reports whether all ids are fresh and pairwise distinct. Unlike a
+// loop over IsFreshID — a full module scan per id — it walks the module once.
 func (c *Context) FreshAll(ids ...spirv.ID) bool {
 	seen := make(map[spirv.ID]bool, len(ids))
 	for _, id := range ids {
-		if seen[id] || !c.IsFreshID(id) {
+		if id == 0 || seen[id] {
 			return false
 		}
 		seen[id] = true
 	}
+	defined := c.DefinedIDs()
+	for _, id := range ids {
+		if defined[id] {
+			return false
+		}
+	}
 	return true
+}
+
+// DefinedIDs returns the set of every id the module currently defines:
+// instruction results and block labels — exactly the ids IsFreshID rejects.
+// Preconditions that validate many ids at once (AddFunction checks every id
+// of an encoded function body) build this set in one module walk instead of
+// paying a full scan per id.
+func (c *Context) DefinedIDs() map[spirv.ID]bool {
+	defined := make(map[spirv.ID]bool, c.Mod.InstructionCount()+16)
+	c.Mod.ForEachInstruction(func(ins *spirv.Instruction) {
+		if ins.Result != 0 {
+			defined[ins.Result] = true
+		}
+	})
+	for _, fn := range c.Mod.Functions {
+		for _, b := range fn.Blocks {
+			defined[b.Label] = true
+		}
+	}
+	return defined
 }
 
 // ClaimID raises the module bound to cover id. Effects call this for every

@@ -99,9 +99,13 @@ func (t *AddFunction) Precondition(c *Context) bool {
 	if len(t.Blocks) == 0 {
 		return false
 	}
+	// One defined-id set for the whole check: an encoded function carries
+	// hundreds of ids, and probing each via IsFreshID/Def would re-walk the
+	// module per id.
+	defined := c.DefinedIDs()
 	internal := make(map[spirv.ID]bool)
 	for _, id := range t.internalIDs() {
-		if internal[id] || !c.IsFreshID(id) {
+		if id == 0 || internal[id] || defined[id] {
 			return false
 		}
 		internal[id] = true
@@ -114,7 +118,7 @@ func (t *AddFunction) Precondition(c *Context) bool {
 			return
 		}
 		ins.Uses(func(id spirv.ID) {
-			if !internal[id] && c.Mod.Def(id) == nil {
+			if !internal[id] && !defined[id] {
 				ok = false
 			}
 		})

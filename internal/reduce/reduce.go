@@ -9,6 +9,7 @@ import (
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/fuzz"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/target"
 )
@@ -115,23 +116,37 @@ func Reduce(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, 
 // sequence and variant — are bitwise-identical to serial Reduce for every
 // worker count. interesting must be safe for concurrent calls when
 // workers > 1 (tests built by the *On constructors over a runner.Engine are).
+//
+// Replays run through a private prefix-snapshot cache (internal/replay) with
+// the default byte budget; use ReduceParallelReplay to share one engine — and
+// its statistics — across reductions.
 func ReduceParallel(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness, workers int) *Result {
+	return ReduceParallelReplay(original, in, ts, interesting, workers, replay.NewEngine(replay.DefaultBudget))
+}
+
+// ReduceParallelReplay is ReduceParallel with replays routed through reng's
+// prefix-snapshot cache (nil or zero-budget disables caching: every query
+// replays from scratch). Snapshots are shared across the speculative workers
+// of one ddmin wave and across reductions sharing the engine; caching changes
+// replay cost only, never replay results, so kept indices stay
+// bitwise-identical to serial fresh-replay reduction.
+func ReduceParallelReplay(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness, workers int, reng *replay.Engine) *Result {
+	sess := reng.NewSession(original, in, ts)
 	test := func(keep []int) bool {
-		ctx, _ := fuzz.ReplaySubsequenceContext(original, in, ts, keep)
+		ctx, _ := sess.Replay(keep)
 		return interesting(ctx.Mod, ctx.Inputs)
 	}
 	kept, st := core.ReduceParallel(len(ts), test, workers)
-	seq := make([]fuzz.Transformation, len(kept))
-	for i, k := range kept {
-		seq[i] = ts[k]
-	}
 	queries := st.Queries
-	seq, extra := shrinkAddFunctions(original, in, seq, interesting)
-	queries += extra
-	ctx, _ := fuzz.ReplayContext(original, in, seq)
+	queries += shrinkAddFunctions(sess, kept, interesting)
+	// The minimized keep-set was already replayed by the last successful
+	// query (and the shrink probes recorded its prefix snapshots), so this
+	// final replay is served from the cache instead of re-applying the whole
+	// sequence.
+	ctx, _ := sess.Replay(kept)
 	return &Result{
 		Kept:     kept,
-		Sequence: seq,
+		Sequence: sess.Sequence(kept),
 		Variant:  ctx.Mod,
 		Inputs:   ctx.Inputs,
 		Delta:    ctx.Mod.InstructionCount() - original.InstructionCount(),
@@ -144,15 +159,22 @@ func ReduceParallel(original *spirv.Module, in interp.Inputs, ts []fuzz.Transfor
 // AddFunction is the one transformation that could not be split into smaller
 // transformations. For each remaining AddFunction, try deleting body
 // instructions whose results nothing in the encoded function uses.
-func shrinkAddFunctions(original *spirv.Module, in interp.Inputs, seq []fuzz.Transformation, interesting Interestingness) ([]fuzz.Transformation, int) {
+//
+// Each probe overrides the AddFunction's slot in the replay session rather
+// than copying the whole candidate sequence: the prefix before the slot is
+// served from the snapshot cache and only the AddFunction and its suffix are
+// re-applied. Accepted shrinks are committed into the session, which keeps
+// prefix snapshots below the slot valid.
+//
+// Slots are processed in descending order: a probe re-applies every kept
+// transformation after its slot, so shrinking the later AddFunctions first
+// means earlier slots' probes replay already-shrunk (cheaper) versions of
+// them instead of the full originals.
+func shrinkAddFunctions(sess *replay.Session, kept []int, interesting Interestingness) int {
 	queries := 0
-	test := func(candidate []fuzz.Transformation) bool {
-		queries++
-		ctx, _ := fuzz.ReplayContext(original, in, candidate)
-		return interesting(ctx.Mod, ctx.Inputs)
-	}
-	for i, t := range seq {
-		af, ok := t.(*fuzz.AddFunction)
+	for ki := len(kept) - 1; ki >= 0; ki-- {
+		slot := kept[ki]
+		af, ok := sess.At(slot).(*fuzz.AddFunction)
 		if !ok {
 			continue
 		}
@@ -161,16 +183,16 @@ func shrinkAddFunctions(original *spirv.Module, in interp.Inputs, seq []fuzz.Tra
 			if !changed {
 				break
 			}
-			candidate := append([]fuzz.Transformation{}, seq...)
-			candidate[i] = shrunk
-			if !test(candidate) {
+			ctx, _ := sess.ReplayOverride(kept, slot, shrunk)
+			queries++
+			if !interesting(ctx.Mod, ctx.Inputs) {
 				break
 			}
 			af = shrunk
-			seq = candidate
+			sess.Commit(slot, shrunk)
 		}
 	}
-	return seq, queries
+	return queries
 }
 
 // dropOneDeadInstr returns a copy of af with one unused-result body
@@ -215,4 +237,9 @@ func dropOneDeadInstr(af *fuzz.AddFunction) (*fuzz.AddFunction, bool) {
 		}
 	}
 	return af, false
+}
+
+// ShrinkAddFunctionsForTest exposes shrinkAddFunctions to benchmarks.
+func ShrinkAddFunctionsForTest(sess *replay.Session, kept []int, interesting Interestingness) int {
+	return shrinkAddFunctions(sess, kept, interesting)
 }

@@ -1,12 +1,17 @@
 package reduce_test
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/interp"
 	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/replay"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/spirv/validate"
 	"spirvfuzz/internal/target"
@@ -160,5 +165,60 @@ func TestForOutcomeDispatch(t *testing.T) {
 	}
 	if got := reduce.ForOutcome(sw, m, in, "some crash"); got == nil {
 		t.Fatal("nil crash test")
+	}
+}
+
+// TestReduceReplayDeterministicGrid reduces a real crash outcome across every
+// combination of worker count and replay-cache budget and requires the kept
+// indices to be bitwise-identical to the serial fresh-replay baseline
+// (workers=1, caching disabled). The prefix cache must change replay cost
+// only, never results.
+func TestReduceReplayDeterministicGrid(t *testing.T) {
+	res, err := harness.CampaignEngine(runner.New(4), harness.ToolSpirvFuzz, 40, 2,
+		corpus.References(), target.All(), corpus.Donors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcome *harness.Outcome
+	for _, o := range res.BugOutcomes {
+		if o.Signature != target.MiscompilationSignature && len(o.Transformations) > 4 {
+			outcome = o
+			break
+		}
+	}
+	if outcome == nil {
+		t.Fatal("no crash outcome with a nontrivial sequence")
+	}
+	tg := target.ByName(outcome.Target)
+
+	baselineEng := runner.New(1)
+	interesting := reduce.ForOutcomeOn(baselineEng, tg, outcome.Original, outcome.Inputs, outcome.Signature)
+	baseline := reduce.ReduceParallelReplay(outcome.Original, outcome.Inputs,
+		outcome.Transformations, interesting, 1, replay.NewEngine(0))
+
+	for _, workers := range []int{1, 4, 16} {
+		for _, budget := range []int64{0, 32 << 10, replay.DefaultBudget} {
+			e := runner.New(workers)
+			it := reduce.ForOutcomeOn(e, tg, outcome.Original, outcome.Inputs, outcome.Signature)
+			reng := replay.NewEngine(budget)
+			r := reduce.ReduceParallelReplay(outcome.Original, outcome.Inputs,
+				outcome.Transformations, it, workers, reng)
+			if !reflect.DeepEqual(r.Kept, baseline.Kept) {
+				t.Fatalf("workers=%d budget=%d: kept %v, baseline %v", workers, budget, r.Kept, baseline.Kept)
+			}
+			if !bytes.Equal(r.Variant.EncodeBytes(), baseline.Variant.EncodeBytes()) {
+				t.Fatalf("workers=%d budget=%d: reduced variant diverged from baseline", workers, budget)
+			}
+			if r.Delta != baseline.Delta || len(r.Sequence) != len(baseline.Sequence) {
+				t.Fatalf("workers=%d budget=%d: result metadata diverged", workers, budget)
+			}
+			st := reng.Stats()
+			if budget == 0 && st.Snapshots != 0 {
+				t.Fatalf("disabled cache recorded %d snapshots", st.Snapshots)
+			}
+			if budget == replay.DefaultBudget && st.Hits == 0 {
+				t.Fatal("default-budget reduction never hit the prefix cache")
+			}
+		}
 	}
 }

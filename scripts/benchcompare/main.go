@@ -1,0 +1,94 @@
+// Command benchcompare guards benchmark regressions: it compares a current
+// benchmark-metrics JSON (as produced by scripts/bench2json.awk) against a
+// committed baseline and exits nonzero if any tracked metric falls below the
+// allowed fraction of its baseline value.
+//
+// Usage:
+//
+//	go test -short -run '^$' -bench . -benchtime=1x ./... \
+//	    | awk -f scripts/bench2json.awk > /tmp/bench.json
+//	go run ./scripts/benchcompare -baseline BENCH_pr2.json -current /tmp/bench.json
+//
+// By default every benchmark that reports a "speedup" metric is checked —
+// today the reduction benchmarks (BenchmarkRunnerParallelReduce and
+// BenchmarkReplayPrefixCache), automatically covering future ones. The
+// tolerance absorbs machine noise; a genuine regression (for example the
+// replay cache silently disabled, dropping speedup to ~1.0) fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type metrics map[string]map[string]float64
+
+func load(path string) (metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_pr2.json", "committed baseline metrics JSON")
+	currentPath := flag.String("current", "", "current metrics JSON (required)")
+	metric := flag.String("metric", "speedup", "metric to guard across benchmarks")
+	tolerance := flag.Float64("tolerance", 0.75, "minimum allowed current/baseline ratio")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name, ms := range baseline {
+		if _, ok := ms[*metric]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: baseline %s has no %q metrics\n", *baselinePath, *metric)
+		os.Exit(2)
+	}
+
+	failed := false
+	tol := *tolerance
+	for _, name := range names {
+		base := baseline[name][*metric]
+		cur, ok := current[name][*metric]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %s: %s missing from current run (baseline %.3f)\n", name, *metric, base)
+			failed = true
+		case base > 0 && cur < base*tol:
+			fmt.Printf("FAIL %s: %s %.3f < %.2f x baseline %.3f\n", name, *metric, cur, tol, base)
+			failed = true
+		default:
+			fmt.Printf("ok   %s: %s %.3f (baseline %.3f)\n", name, *metric, cur, base)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
