@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench baseline bench-compare
+.PHONY: ci fmt vet build test test-daemon bench baseline bench-compare
 
 # Everything CI runs, in order; fails fast.
-ci: fmt vet build test bench
+ci: fmt vet build test test-daemon bench
+
+# The daemon's durability layers get a dedicated race pass on top of the
+# repo-wide one: -shuffle varies the journal/queue interleavings between
+# runs, which is where torn-tail and drain races would hide.
+test-daemon:
+	$(GO) vet ./...
+	$(GO) test -race -shuffle=on ./internal/service/... ./internal/store/...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,13 +37,14 @@ baseline:
 		| awk -f scripts/bench2json.awk > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
-# Run the reduction benchmarks and fail if any speedup metric (parallel
-# reduction over serial; prefix-snapshot replay over fresh replay) regresses
-# below 0.75x its value in the committed BENCH_pr2.json trajectory point —
-# loose enough for machine noise, tight enough to catch a disabled cache
-# (speedup ~1.0).
+# Run the reduction/resume benchmarks and fail if any speedup metric
+# (parallel reduction over serial; prefix-snapshot replay over fresh replay;
+# journal resume over a fresh campaign) regresses below 0.75x its value in
+# the committed BENCH_pr3.json trajectory point — loose enough for machine
+# noise, tight enough to catch a disabled cache or a resume that silently
+# re-runs journaled work (speedup ~1.0).
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay' -benchtime=1x . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume' -benchtime=1x . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr2.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr3.json \
 		-current /tmp/bench-current.json

@@ -10,7 +10,10 @@
 package spirvfuzz_test
 
 import (
+	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -28,8 +31,10 @@ import (
 	"spirvfuzz/internal/reduce"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/service"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/spirv/validate"
+	"spirvfuzz/internal/store"
 	"spirvfuzz/internal/target"
 	"spirvfuzz/internal/testmod"
 )
@@ -781,6 +786,156 @@ func BenchmarkReplayPrefixCache(b *testing.B) {
 	b.ReportMetric(meanReq, "mean-requested")
 	b.ReportMetric(100*hitRate, "prefix-hit-%")
 	b.ReportMetric(float64(len(sc.ts)), "seq-len")
+}
+
+// benchWaitCampaign polls a service until the campaign leaves the running
+// states (the in-process analogue of `spirvd client submit -wait`).
+func benchWaitCampaign(b *testing.B, svc *service.Service, id string) service.CampaignStatus {
+	b.Helper()
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		st, ok := svc.Campaign(id)
+		if !ok {
+			b.Fatalf("campaign %s disappeared", id)
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			if st.State != service.StateDone {
+				b.Fatalf("campaign %s failed: %s", id, st.Error)
+			}
+			return st
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("campaign %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// BenchmarkServiceResumeCampaign measures the checkpoint/resume overhead of
+// the spirvd pipeline against the cost of a fresh campaign. Three legs over
+// one store: (1) fresh — full fuzz + classify + reduce + bucket; (2) journal
+// resume — the bucket checkpoint is deleted, so a restarted service must
+// re-drive the pipeline, but every fuzz and reduce step is journaled and
+// skipped, leaving only the deterministic bucket rebuild; (3) checkpoint
+// resume — the restarted service serves the bucket set straight from the
+// checkpoint without submitting a single job. Shape targets: both resume
+// legs reproduce the fresh buckets exactly, and the guarded speedup
+// (fresh / journal resume) is far above 1.
+func BenchmarkServiceResumeCampaign(b *testing.B) {
+	spec := service.CampaignSpec{Tests: 20}
+	if testing.Short() {
+		spec.Tests = 12
+	}
+	var speedup, journalMS, ckptMS float64
+	for i := 0; i < b.N; i++ {
+		var freshBest, journalBest, ckptBest time.Duration
+		for rep := 0; rep < 3; rep++ { // best-of-three against CPU-contention spikes
+			freshTime, journalTime, ckptTime := resumeLegs(b, spec)
+			if rep == 0 || freshTime < freshBest {
+				freshBest = freshTime
+			}
+			if rep == 0 || journalTime < journalBest {
+				journalBest = journalTime
+			}
+			if rep == 0 || ckptTime < ckptBest {
+				ckptBest = ckptTime
+			}
+		}
+		speedup = freshBest.Seconds() / journalBest.Seconds()
+		journalMS = float64(journalBest.Microseconds()) / 1000
+		ckptMS = float64(ckptBest.Microseconds()) / 1000
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(journalMS, "journal-resume-ms")
+	b.ReportMetric(ckptMS, "ckpt-resume-ms")
+}
+
+// resumeLegs drives one fresh campaign and the two resume paths over a
+// single throwaway store, returning the wall time of each leg.
+func resumeLegs(b *testing.B, spec service.CampaignSpec) (fresh, journal, ckpt time.Duration) {
+	b.Helper()
+	dir := b.TempDir()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc1, err := service.New(st1, service.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	created, err := svc1.CreateCampaign(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWaitCampaign(b, svc1, created.ID)
+	fresh = time.Since(start)
+	freshBuckets, err := svc1.Buckets(created.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc1.Close(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	// Journal-resume leg: without the checkpoint the campaign reverts to
+	// pending and the pipeline re-runs with every journaled step skipped.
+	ckptFile := filepath.Join(dir, "checkpoints", "buckets-"+created.ID+".json")
+	if err := os.Remove(ckptFile); err != nil {
+		b.Fatal(err)
+	}
+	st2, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start = time.Now()
+	svc2, err := service.New(st2, service.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resumed := benchWaitCampaign(b, svc2, created.ID)
+	journal = time.Since(start)
+	if resumed.SkippedTests != spec.Tests {
+		b.Fatalf("journal resume re-ran tests: %+v", resumed)
+	}
+	resumedBuckets, err := svc2.Buckets(created.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(freshBuckets, resumedBuckets) {
+		b.Fatalf("journal resume diverged:\n%+v\nvs fresh\n%+v", resumedBuckets, freshBuckets)
+	}
+	if err := svc2.Close(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	// Checkpoint-resume leg: the rebuild above rewrote the checkpoint, so
+	// a restart serves the buckets with zero jobs submitted.
+	st3, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start = time.Now()
+	svc3, err := service.New(st3, service.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckptBuckets, err := svc3.Buckets(created.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckpt = time.Since(start)
+	if !reflect.DeepEqual(freshBuckets, ckptBuckets) {
+		b.Fatalf("checkpoint resume diverged:\n%+v\nvs fresh\n%+v", ckptBuckets, freshBuckets)
+	}
+	if m := svc3.Metrics(); m.JobsSubmitted != 0 {
+		b.Fatalf("checkpoint resume submitted jobs: %+v", m)
+	}
+	if err := svc3.Close(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return fresh, journal, ckpt
 }
 
 // --- substrate performance benchmarks ---------------------------------------

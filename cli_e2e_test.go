@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spirvfuzz/internal/service"
 )
 
 var cliTools = []string{
@@ -138,6 +140,19 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("dedup output: %s", out)
 	}
 
+	// 6b. Machine-readable mode: -json emits the bucket-set shape spirvd
+	// serves, with the case file's content hash as the report address.
+	out = run(t, tool("spirv-dedup"), 0, "-dir", caseDir, "-json")
+	var set service.BucketSet
+	if err := json.Unmarshal([]byte(out), &set); err != nil {
+		t.Fatalf("dedup -json: %v\n%s", err, out)
+	}
+	if len(set.Buckets) != 1 || set.Buckets[0].Case != "case1.json" ||
+		set.Buckets[0].Signature != sig || len(set.Buckets[0].Types) == 0 ||
+		set.Buckets[0].SequenceLen == 0 || len(set.Buckets[0].ReportHash) != 64 {
+		t.Fatalf("dedup -json buckets: %s", out)
+	}
+
 	// 7. gfauto quick sanity (list modes only; campaigns are benchmarked
 	// elsewhere).
 	out = run(t, tool("gfauto"), 0, "-list-targets")
@@ -147,6 +162,30 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = run(t, tool("gfauto"), 0, "-list-references")
 	if !strings.Contains(out, "diamond2") {
 		t.Fatal("gfauto -list-references incomplete")
+	}
+
+	// 8. gfauto -json: per-tool campaign summaries in the spirvd status
+	// shape, and nothing else on stdout.
+	out = run(t, tool("gfauto"), 0, "-json", "-tests", "25")
+	var summaries []service.CampaignStatus
+	if err := json.Unmarshal([]byte(out), &summaries); err != nil {
+		t.Fatalf("gfauto -json: %v\n%s", err, out)
+	}
+	if len(summaries) != 3 {
+		t.Fatalf("gfauto -json: %d summaries, want 3\n%s", len(summaries), out)
+	}
+	tools := map[string]bool{}
+	for _, st := range summaries {
+		tools[st.ID] = true
+		if st.State != service.StateDone || st.TestsDone != 25 || st.Spec.Tests != 25 {
+			t.Fatalf("gfauto -json summary: %+v", st)
+		}
+		if len(st.Spec.Targets) == 0 {
+			t.Fatalf("gfauto -json summary missing targets: %+v", st)
+		}
+	}
+	if !tools["spirv-fuzz"] || !tools["spirv-fuzz-simple"] || !tools["glsl-fuzz"] {
+		t.Fatalf("gfauto -json tools: %v", tools)
 	}
 }
 

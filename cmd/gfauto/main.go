@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,10 @@ import (
 
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/experiments"
+	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/target"
 )
 
 func main() {
@@ -35,6 +39,7 @@ func main() {
 	table4 := flag.Bool("table4", false, "regenerate Table 4 (deduplication)")
 	exportReports := flag.String("export-reports", "", "reduce and export a bug-report bundle per distinct signature (Section 5 mode)")
 	all := flag.Bool("all", false, "regenerate everything")
+	asJSON := flag.Bool("json", false, "emit per-tool campaign summaries as JSON (the shape spirvd serves) instead of tables")
 	flag.Parse()
 
 	if *listTargets {
@@ -54,14 +59,16 @@ func main() {
 	if *all {
 		*table3, *venn, *rq2, *table4 = true, true, true, true
 	}
-	if !*table3 && !*venn && !*rq2 && !*table4 && *exportReports == "" {
-		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-all or -list-targets")
+	if !*table3 && !*venn && !*rq2 && !*table4 && *exportReports == "" && !*asJSON {
+		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-all/-json or -list-targets")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	start := time.Now()
-	fmt.Printf("gfauto: running 3 campaigns of %d tests each over 9 targets...\n", *tests)
+	if !*asJSON {
+		fmt.Printf("gfauto: running 3 campaigns of %d tests each over 9 targets...\n", *tests)
+	}
 	replayCfg := *replayMB
 	if replayCfg == 0 {
 		replayCfg = -1 // the config's "disabled" convention
@@ -71,9 +78,17 @@ func main() {
 		Workers: *workers, ReplayCacheMB: replayCfg,
 	})
 	fatal(err)
-	st := c.Engine.Stats()
-	fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n\n",
-		time.Since(start).Round(time.Millisecond), st.Workers, st.Misses, 100*st.HitRate())
+	if !*asJSON {
+		st := c.Engine.Stats()
+		fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n\n",
+			time.Since(start).Round(time.Millisecond), st.Workers, st.Misses, 100*st.HitRate())
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(campaignSummaries(c), "", "  ")
+		fatal(err)
+		fmt.Println(string(out))
+	}
 
 	if *table3 {
 		fmt.Println(experiments.RenderTable3(experiments.Table3(c)))
@@ -97,6 +112,41 @@ func main() {
 			rst.Queries, 100*rst.HitRate(), rst.MeanSuffix(), rst.MeanRequested(),
 			100*rst.SavedFraction(), rst.Snapshots, float64(rst.Bytes)/(1<<20), rst.Evictions)
 	}
+}
+
+// campaignSummaries renders the three experiment campaigns in the shape the
+// spirvd daemon serves (service.CampaignStatus), one entry per tool
+// configuration, so scripted consumers can treat one-shot gfauto runs and
+// daemon campaigns uniformly.
+func campaignSummaries(c *experiments.Campaigns) []service.CampaignStatus {
+	var targets []string
+	for _, tg := range target.All() {
+		targets = append(targets, tg.Name)
+	}
+	seedBases := map[harness.Tool]int64{
+		harness.ToolSpirvFuzzSimple: 1 << 32,
+		harness.ToolGlslFuzz:        2 << 32,
+	}
+	var out []service.CampaignStatus
+	for _, res := range []*harness.CampaignResult{c.Fuzz, c.Simple, c.Glsl} {
+		if res == nil {
+			continue
+		}
+		out = append(out, service.CampaignStatus{
+			ID:    string(res.Tool),
+			State: service.StateDone,
+			Spec: service.CampaignSpec{
+				Tool:            string(res.Tool),
+				Tests:           res.Tests,
+				SeedBase:        seedBases[res.Tool],
+				Targets:         targets,
+				CapPerSignature: c.Config.CapPerSignature,
+			},
+			TestsDone: res.Tests,
+			Bugs:      len(res.BugOutcomes),
+		})
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -24,6 +24,8 @@ import (
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/dedup"
 	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/store"
 )
 
 type caseFile struct {
@@ -34,6 +36,7 @@ type caseFile struct {
 func main() {
 	dir := flag.String("dir", "", "directory of reduced test-case JSON files")
 	showTypes := flag.Bool("types", false, "print each recommendation's transformation-type set")
+	asJSON := flag.Bool("json", false, "emit the recommendations as a JSON bucket set (the shape spirvd serves)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "spirv-dedup: -dir is required")
@@ -43,6 +46,9 @@ func main() {
 	entries, err := os.ReadDir(*dir)
 	fatal(err)
 	var cases []dedup.Case
+	// Content addresses of the case files, keyed by case name; with -json
+	// they are reported as report hashes, matching spirvd's blob addressing.
+	hashes := map[string]string{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
@@ -54,14 +60,31 @@ func main() {
 		seq, err := fuzz.UnmarshalSequence(cf.Transformations)
 		fatal(err)
 		cases = append(cases, dedup.Case{Name: e.Name(), Sequence: seq, Signature: cf.Signature})
+		hashes[e.Name()] = store.HashBytes(data)
 	}
 	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
 	if len(cases) == 0 {
 		fatal(fmt.Errorf("no .json test cases in %s", *dir))
 	}
 	recommended := dedup.Recommend(cases)
-	fmt.Printf("spirv-dedup: %d test cases -> %d recommended for investigation\n", len(cases), len(recommended))
 	ignore := fuzz.SupportingTypes()
+	if *asJSON {
+		set := service.BucketSet{Campaign: filepath.Base(*dir), Buckets: []service.Bucket{}}
+		for _, c := range recommended {
+			set.Buckets = append(set.Buckets, service.Bucket{
+				Case:        c.Name,
+				Signature:   c.Signature,
+				Types:       core.SortedTypes(core.TypeSet(c.Sequence, ignore)),
+				SequenceLen: len(c.Sequence),
+				ReportHash:  hashes[c.Name],
+			})
+		}
+		out, err := json.MarshalIndent(set, "", "  ")
+		fatal(err)
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("spirv-dedup: %d test cases -> %d recommended for investigation\n", len(cases), len(recommended))
 	for _, c := range recommended {
 		fmt.Printf("  %s\n", c.Name)
 		if *showTypes {

@@ -1,0 +1,176 @@
+// spirvd is the long-running campaign daemon: it owns the full pipeline of
+// the paper — fuzz → run → reduce → dedup — as a durable job system
+// (internal/service) over a content-addressed store with a write-ahead
+// journal (internal/store), and serves campaign state over HTTP/JSON.
+//
+//	spirvd -store /var/lib/spirvd -addr 127.0.0.1:8741
+//
+//	POST /campaigns        submit a campaign spec, returns its status
+//	GET  /campaigns        list campaign statuses
+//	GET  /campaigns/{id}   one campaign's status
+//	GET  /buckets          recommended bug reports of finished campaigns
+//	GET  /reports/{hash}   one reduced bug report (spirv-dedup-compatible)
+//	GET  /metrics          runner/replay/store/job counters
+//
+// Every pipeline step is journaled, so a daemon killed at any point — even
+// SIGKILL mid-reduction — resumes from the store on restart and finishes
+// with buckets bitwise-identical to an uninterrupted run. SIGTERM/SIGINT
+// trigger a graceful drain: in-flight jobs finish, pending ones are left to
+// the journal.
+//
+// The "client" subcommand (spirvd client <verb>) is a thin JSON client for
+// scripting and the end-to-end tests; see client.go.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/store"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "client" {
+		clientMain(os.Args[2:])
+		return
+	}
+	serverMain(os.Args[1:])
+}
+
+func serverMain(args []string) {
+	fs := flag.NewFlagSet("spirvd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	storeDir := fs.String("store", "", "store directory (required); created if missing")
+	workers := fs.Int("workers", 0, "worker-pool size; 0 means GOMAXPROCS (results are identical for any value)")
+	replayMB := fs.Int("replay-cache-mb", 64, "prefix-snapshot replay cache budget for reductions, in MiB")
+	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for test harnesses)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+	fs.Parse(args)
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "spirvd: -store is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	st, err := store.Open(*storeDir)
+	fatal(err)
+	svc, err := service.New(st, service.Options{
+		Workers:      *workers,
+		ReplayBudget: int64(*replayMB) << 20,
+	})
+	fatal(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
+	if *portFile != "" {
+		// Atomic write so a watcher never reads a half-written address.
+		tmp := *portFile + ".tmp"
+		fatal(os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644))
+		fatal(os.Rename(tmp, *portFile))
+	}
+	log.Printf("spirvd: listening on %s, store %s", ln.Addr(), *storeDir)
+
+	srv := &http.Server{Handler: newMux(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("spirvd: %v", err)
+		}
+	}()
+
+	<-ctx.Done()
+	stop()
+	log.Printf("spirvd: draining (in-flight jobs finish, pending resume from the journal)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Shutdown(drainCtx)
+	if err := svc.Close(drainCtx); err != nil {
+		log.Printf("spirvd: forced drain: %v", err)
+	}
+	log.Printf("spirvd: bye")
+}
+
+// newMux wires the HTTP API. All payloads are JSON; errors are
+// {"error": "..."} with a matching status code.
+func newMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec service.CampaignSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, err := svc.CreateCampaign(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, status)
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Campaigns())
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := svc.Campaign(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /buckets", func(w http.ResponseWriter, r *http.Request) {
+		sets, err := svc.Buckets(r.URL.Query().Get("campaign"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if sets == nil {
+			sets = []service.BucketSet{}
+		}
+		writeJSON(w, http.StatusOK, sets)
+	})
+	mux.HandleFunc("GET /reports/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := svc.ReportBlob(r.PathValue("hash"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirvd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -53,6 +54,18 @@ func Reduce(n int, test Interestingness) ([]int, ReduceStats) {
 // in scan order is skipped without a query, since its result would be
 // discarded either way.
 func ReduceParallel(n int, test Interestingness, workers int) ([]int, ReduceStats) {
+	keep, stats, _ := ReduceParallelCtx(context.Background(), n, test, workers)
+	return keep, stats
+}
+
+// ReduceParallelCtx is ReduceParallel with cancellation: once ctx is done,
+// no further interestingness query is issued — speculative wave goroutines
+// that have not started skip their query — and the reduction returns the
+// keep-set as reduced so far together with ctx.Err(). A partial keep-set is
+// still a valid (merely non-minimal) interesting sequence, so callers may
+// either discard it or report it as a best-effort reduction. With a
+// never-canceled ctx the result is bitwise-identical to ReduceParallel.
+func ReduceParallelCtx(ctx context.Context, n int, test Interestingness, workers int) ([]int, ReduceStats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -62,7 +75,11 @@ func ReduceParallel(n int, test Interestingness, workers int) ([]int, ReduceStat
 		keep[i] = i
 	}
 	if n == 0 {
-		return keep, stats
+		return keep, stats, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		stats.Final = len(keep)
+		return keep, stats, err
 	}
 	stats.Queries++
 	if !test(keep) {
@@ -80,10 +97,14 @@ func ReduceParallel(n int, test Interestingness, workers int) ([]int, ReduceStat
 			// upper bound of the next chunk to consider, in the coordinates
 			// of the current keep slice.
 			for end := len(keep); end > 0; {
+				if err := ctx.Err(); err != nil {
+					stats.Final = len(keep)
+					return keep, stats, err
+				}
 				ends := waveEnds(end, c, workers)
 				cands := make([][]int, len(ends))
 				okay := make([]bool, len(ends))
-				queries := runWave(keep, ends, c, test, cands, okay)
+				queries := runWave(ctx, keep, ends, c, test, cands, okay)
 				committed := -1
 				for i, ok := range okay {
 					if ok {
@@ -108,7 +129,7 @@ func ReduceParallel(n int, test Interestingness, workers int) ([]int, ReduceStat
 		}
 	}
 	stats.Final = len(keep)
-	return keep, stats
+	return keep, stats, ctx.Err()
 }
 
 // waveEnds lists the exclusive upper bounds of the next chunks in scan order
@@ -138,8 +159,9 @@ func chunkStart(end, c int) int {
 // and skip it. Positions before the eventual commit are never skipped — a
 // skip requires a strictly earlier success, and the commit is the earliest —
 // so the candidates that decide the outcome are always fully evaluated,
-// exactly as in serial Reduce.
-func runWave(keep []int, ends []int, c int, test Interestingness, cands [][]int, okay []bool) int {
+// exactly as in serial Reduce. A done ctx likewise skips queries that have
+// not started (the caller returns ctx.Err() right after the wave).
+func runWave(ctx context.Context, keep []int, ends []int, c int, test Interestingness, cands [][]int, okay []bool) int {
 	eval := func(i int) {
 		end := ends[i]
 		start := chunkStart(end, c)
@@ -150,6 +172,9 @@ func runWave(keep []int, ends []int, c int, test Interestingness, cands [][]int,
 		okay[i] = test(candidate)
 	}
 	if len(ends) == 1 {
+		if ctx.Err() != nil {
+			return 0
+		}
 		eval(0)
 		return 1
 	}
@@ -163,6 +188,9 @@ func runWave(keep []int, ends []int, c int, test Interestingness, cands [][]int,
 			defer wg.Done()
 			if firstOK.Load() < int64(i) {
 				return // superseded: an earlier candidate already succeeded
+			}
+			if ctx.Err() != nil {
+				return // canceled before the query started
 			}
 			queries.Add(1)
 			eval(i)

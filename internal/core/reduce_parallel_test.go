@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -199,4 +201,55 @@ func initial(n int) []int {
 		keep[i] = i
 	}
 	return keep
+}
+
+// TestReduceParallelCtxCancellation: a canceled context stops the reduction
+// between waves, the returned keep-set is still interesting (best-effort,
+// not 1-minimal), and a background context reproduces ReduceParallel
+// bitwise.
+func TestReduceParallelCtxCancellation(t *testing.T) {
+	needed := []int{2, 17, 40, 77}
+	test := func(keep []int) bool { return containsAll(keep, needed) }
+
+	// Uncanceled: identical to the ctx-less API.
+	want, wantSt := ReduceParallel(100, test, 3)
+	got, gotSt, err := ReduceParallelCtx(context.Background(), 100, test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query counts are timing-dependent with workers > 1 (speculative skip
+	// races); the kept indices are the determinism contract.
+	if !reflect.DeepEqual(want, got) || gotSt.Final != wantSt.Final {
+		t.Fatalf("ctx variant diverged: %v vs %v", got, want)
+	}
+
+	// Cancel after a fixed query budget: the reduction must stop issuing
+	// queries almost immediately and return a still-interesting keep-set.
+	ctx, cancel := context.WithCancel(context.Background())
+	var queries atomic.Int64
+	budget := int64(wantSt.Queries / 3)
+	kept, st, err := ReduceParallelCtx(ctx, 100, func(keep []int) bool {
+		if queries.Add(1) == budget {
+			cancel()
+		}
+		return containsAll(keep, needed)
+	}, 3)
+	if err == nil {
+		t.Fatal("cancellation not reported")
+	}
+	if !containsAll(kept, needed) {
+		t.Fatalf("best-effort keep-set %v lost needed indices", kept)
+	}
+	// At most one in-flight wave (workers queries) may land after cancel.
+	if int64(st.Queries) > budget+3 {
+		t.Fatalf("%d queries issued for a budget of %d", st.Queries, budget)
+	}
+
+	// Canceled before the start: full keep-set, error, no queries.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	kept, st, err = ReduceParallelCtx(pre, 10, func(keep []int) bool { return true }, 2)
+	if err == nil || len(kept) != 10 || st.Queries != 0 {
+		t.Fatalf("pre-canceled: kept=%v queries=%d err=%v", kept, st.Queries, err)
+	}
 }

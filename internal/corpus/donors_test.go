@@ -1,0 +1,104 @@
+package corpus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+)
+
+// TestDonorsDeterministic: the donor corpus is built procedurally and must
+// be bitwise-identical on every call — donor bytes feed AddFunction, so any
+// drift would silently break seed-reproducibility of whole campaigns.
+func TestDonorsDeterministic(t *testing.T) {
+	a := corpus.Donors()
+	b := corpus.Donors()
+	if len(a) != 43 || len(b) != 43 {
+		t.Fatalf("donor count %d / %d, want 43 (Section 4.1)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatalf("donor %d shared between calls; mutation by one caller would corrupt the other", i)
+		}
+		if !bytes.Equal(a[i].EncodeBytes(), b[i].EncodeBytes()) {
+			t.Fatalf("donor %d differs between calls", i)
+		}
+		if a[i].InstructionCount() == 0 || len(a[i].Functions) == 0 {
+			t.Fatalf("donor %d has no donatable function", i)
+		}
+	}
+}
+
+// TestFuzzWithDonorsSeedReproducible: a fixed seed with the donor corpus
+// yields identical sequences and variant bytes across independent runs —
+// the property the spirvd journal relies on to resume campaigns.
+func TestFuzzWithDonorsSeedReproducible(t *testing.T) {
+	item := corpus.References()[3]
+	opts := fuzz.Options{
+		Seed:                  99,
+		Donors:                corpus.Donors(),
+		EnableRecommendations: true,
+		MinPasses:             5,
+		MaxPasses:             14,
+	}
+	r1, err := fuzz.Fuzz(item.Mod, item.Inputs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Donors = corpus.Donors() // fresh donor slice, same content
+	r2, err := fuzz.Fuzz(item.Mod, item.Inputs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := fuzz.MarshalSequence(r1.Transformations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fuzz.MarshalSequence(r2.Transformations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("sequences differ under a fixed seed")
+	}
+	if !bytes.Equal(r1.Variant.EncodeBytes(), r2.Variant.EncodeBytes()) {
+		t.Fatal("variants differ under a fixed seed")
+	}
+}
+
+// TestFuzzWithoutDonors: an empty donor corpus is not an error — the fuzzer
+// simply never applies AddFunction (it has nothing to donate), and the
+// variant still renders like the reference on non-bug targets.
+func TestFuzzWithoutDonors(t *testing.T) {
+	item := corpus.References()[0]
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:      seed,
+			Donors:    nil,
+			MinPasses: 5,
+			MaxPasses: 14,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, tr := range res.Transformations {
+			if tr.Type() == fuzz.TypeAddFunction {
+				t.Fatalf("seed %d: AddFunction applied with no donors", seed)
+			}
+		}
+		// Semantics preserved: the variant renders the reference image.
+		want, err := interp.Render(item.Mod, item.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Render(res.Variant, res.Inputs)
+		if err != nil {
+			t.Fatalf("seed %d: variant render: %v", seed, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("seed %d: donor-free variant changed the image", seed)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"spirvfuzz/internal/corpus"
@@ -57,11 +58,26 @@ func (o *Outcome) Bug() bool { return o.Signature != "" }
 // same (reference, target) pair for every test that drew that reference —
 // are answered from the engine's cache after the first.
 func classify(eng *runner.Engine, tg *target.Target, original, variant *spirv.Module, origIn, varIn interp.Inputs) (string, error) {
-	origImg, origCrash := eng.Run(tg, original, origIn)
+	return ClassifyCtx(context.Background(), eng, tg, original, variant, origIn, varIn)
+}
+
+// ClassifyCtx compares the behaviour of an original and a variant on a
+// target per Figure 1 / Theorem 2.6 and returns the bug signature, or "".
+// It is the classification primitive behind campaigns, exported for the
+// spirvd job pipeline; a canceled ctx aborts between (not within) the two
+// target runs and returns ctx.Err().
+func ClassifyCtx(ctx context.Context, eng *runner.Engine, tg *target.Target, original, variant *spirv.Module, origIn, varIn interp.Inputs) (string, error) {
+	origImg, origCrash, err := eng.RunCtx(ctx, tg, original, origIn)
+	if err != nil {
+		return "", err
+	}
 	if origCrash != nil {
 		return "", fmt.Errorf("harness: original crashes on %s: %s", tg.Name, origCrash.Signature)
 	}
-	varImg, varCrash := eng.Run(tg, variant, varIn)
+	varImg, varCrash, err := eng.RunCtx(ctx, tg, variant, varIn)
+	if err != nil {
+		return "", err
+	}
 	if varCrash != nil {
 		return varCrash.Signature, nil
 	}
@@ -155,6 +171,13 @@ func Campaign(tool Tool, tests, groups int, refs []corpus.Item, targets []*targe
 // serial path for any worker count — tests are merged in index order and
 // target execution is deterministic.
 func CampaignEngine(eng *runner.Engine, tool Tool, tests, groups int, refs []corpus.Item, targets []*target.Target, donors []*spirv.Module) (*CampaignResult, error) {
+	return CampaignEngineCtx(context.Background(), eng, tool, tests, groups, refs, targets, donors)
+}
+
+// CampaignEngineCtx is CampaignEngine with cancellation: a done ctx stops
+// dispatching tests onto the worker pool and returns ctx.Err() once in-
+// flight tests finish, rather than draining the whole campaign.
+func CampaignEngineCtx(ctx context.Context, eng *runner.Engine, tool Tool, tests, groups int, refs []corpus.Item, targets []*target.Target, donors []*spirv.Module) (*CampaignResult, error) {
 	if groups <= 0 {
 		groups = 1
 	}
@@ -185,7 +208,7 @@ func CampaignEngine(eng *runner.Engine, tool Tool, tests, groups int, refs []cor
 	// worker pool, then merge in index order so results stay deterministic.
 	perTest := make([][]*Outcome, tests)
 	errs := make([]error, tests)
-	eng.Do(tests, func(i int) {
+	doErr := eng.DoCtx(ctx, tests, func(i int) {
 		item := refs[i%len(refs)]
 		seed := seedBase + int64(i)
 		// Generate once, classify against every target (the variant
@@ -221,6 +244,9 @@ func CampaignEngine(eng *runner.Engine, tool Tool, tests, groups int, refs []cor
 			}
 		}
 	})
+	if doErr != nil {
+		return nil, doErr
+	}
 	for i := 0; i < tests; i++ {
 		if errs[i] != nil {
 			return nil, errs[i]

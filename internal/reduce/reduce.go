@@ -6,6 +6,8 @@
 package reduce
 
 import (
+	"context"
+
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/fuzz"
 	"spirvfuzz/internal/interp"
@@ -131,27 +133,43 @@ func ReduceParallel(original *spirv.Module, in interp.Inputs, ts []fuzz.Transfor
 // replay cost only, never replay results, so kept indices stay
 // bitwise-identical to serial fresh-replay reduction.
 func ReduceParallelReplay(original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness, workers int, reng *replay.Engine) *Result {
+	res, _ := ReduceParallelReplayCtx(context.Background(), original, in, ts, interesting, workers, reng)
+	return res
+}
+
+// ReduceParallelReplayCtx is ReduceParallelReplay with cancellation: a done
+// ctx aborts the ddmin waves and the shrink probes promptly (in-flight
+// interestingness queries finish; no new ones start) and returns ctx.Err()
+// alongside a best-effort Result — the sequence as minimized so far, which
+// is still interesting, merely not 1-minimal. Callers that need all-or-
+// nothing semantics (the spirvd job pipeline) discard the Result on error;
+// interactive callers (spirv-reduce under Ctrl-C) may keep it.
+func ReduceParallelReplayCtx(ctx context.Context, original *spirv.Module, in interp.Inputs, ts []fuzz.Transformation, interesting Interestingness, workers int, reng *replay.Engine) (*Result, error) {
 	sess := reng.NewSession(original, in, ts)
 	test := func(keep []int) bool {
-		ctx, _ := sess.Replay(keep)
-		return interesting(ctx.Mod, ctx.Inputs)
+		c, _ := sess.Replay(keep)
+		return interesting(c.Mod, c.Inputs)
 	}
-	kept, st := core.ReduceParallel(len(ts), test, workers)
+	kept, st, err := core.ReduceParallelCtx(ctx, len(ts), test, workers)
 	queries := st.Queries
-	queries += shrinkAddFunctions(sess, kept, interesting)
+	if err == nil {
+		var shrinkQueries int
+		shrinkQueries, err = shrinkAddFunctions(ctx, sess, kept, interesting)
+		queries += shrinkQueries
+	}
 	// The minimized keep-set was already replayed by the last successful
 	// query (and the shrink probes recorded its prefix snapshots), so this
 	// final replay is served from the cache instead of re-applying the whole
 	// sequence.
-	ctx, _ := sess.Replay(kept)
+	c, _ := sess.Replay(kept)
 	return &Result{
 		Kept:     kept,
 		Sequence: sess.Sequence(kept),
-		Variant:  ctx.Mod,
-		Inputs:   ctx.Inputs,
-		Delta:    ctx.Mod.InstructionCount() - original.InstructionCount(),
+		Variant:  c.Mod,
+		Inputs:   c.Inputs,
+		Delta:    c.Mod.InstructionCount() - original.InstructionCount(),
 		Queries:  queries,
-	}
+	}, err
 }
 
 // shrinkAddFunctions is the spirv-reduce post-pass (Section 3.4): donated
@@ -170,7 +188,7 @@ func ReduceParallelReplay(original *spirv.Module, in interp.Inputs, ts []fuzz.Tr
 // transformation after its slot, so shrinking the later AddFunctions first
 // means earlier slots' probes replay already-shrunk (cheaper) versions of
 // them instead of the full originals.
-func shrinkAddFunctions(sess *replay.Session, kept []int, interesting Interestingness) int {
+func shrinkAddFunctions(ctx context.Context, sess *replay.Session, kept []int, interesting Interestingness) (int, error) {
 	queries := 0
 	for ki := len(kept) - 1; ki >= 0; ki-- {
 		slot := kept[ki]
@@ -179,20 +197,23 @@ func shrinkAddFunctions(sess *replay.Session, kept []int, interesting Interestin
 			continue
 		}
 		for {
+			if err := ctx.Err(); err != nil {
+				return queries, err
+			}
 			shrunk, changed := dropOneDeadInstr(af)
 			if !changed {
 				break
 			}
-			ctx, _ := sess.ReplayOverride(kept, slot, shrunk)
+			c, _ := sess.ReplayOverride(kept, slot, shrunk)
 			queries++
-			if !interesting(ctx.Mod, ctx.Inputs) {
+			if !interesting(c.Mod, c.Inputs) {
 				break
 			}
 			af = shrunk
 			sess.Commit(slot, shrunk)
 		}
 	}
-	return queries
+	return queries, nil
 }
 
 // dropOneDeadInstr returns a copy of af with one unused-result body
@@ -241,5 +262,6 @@ func dropOneDeadInstr(af *fuzz.AddFunction) (*fuzz.AddFunction, bool) {
 
 // ShrinkAddFunctionsForTest exposes shrinkAddFunctions to benchmarks.
 func ShrinkAddFunctionsForTest(sess *replay.Session, kept []int, interesting Interestingness) int {
-	return shrinkAddFunctions(sess, kept, interesting)
+	queries, _ := shrinkAddFunctions(context.Background(), sess, kept, interesting)
+	return queries
 }

@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"runtime"
 	"sync"
@@ -52,11 +53,14 @@ type key struct {
 // entry is one cache slot. done is closed once the payload is populated, so
 // concurrent requests for an in-flight key wait instead of re-executing.
 // Result entries carry img/crash; render entries carry img/renderErr.
+// canceled marks an entry whose executor was canceled before running — it
+// has been removed from the map and waiters must retry the lookup.
 type entry struct {
 	done      chan struct{}
 	img       *interp.Image
 	crash     *target.Crash
 	renderErr string
+	canceled  bool
 }
 
 type shard struct {
@@ -155,36 +159,72 @@ func (e *Engine) Workers() int { return e.workers }
 // render, so a variant classified against all nine targets is typically
 // rendered once, not six times.
 func (e *Engine) Run(tg *target.Target, m *spirv.Module, in interp.Inputs) (*interp.Image, *target.Crash) {
+	img, crash, _ := e.RunCtx(context.Background(), tg, m, in)
+	return img, crash
+}
+
+// RunCtx is Run with cancellation: a canceled ctx aborts promptly — before
+// executing, while queued for a worker slot, or while waiting on another
+// goroutine's in-flight execution — returning ctx.Err(). Cancellation never
+// poisons the cache: an aborted executor withdraws its in-flight entry so
+// concurrent waiters retry, and an execution that already started runs to
+// completion (target runs are short) and caches normally.
+func (e *Engine) RunCtx(ctx context.Context, tg *target.Target, m *spirv.Module, in interp.Inputs) (*interp.Image, *target.Crash, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if e.maxPerShard == 0 {
 		e.misses.Add(1)
-		e.sem <- struct{}{}
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
 		img, crash := tg.Run(m, in)
 		<-e.sem
-		return img, crash
+		return img, crash, nil
 	}
 	k := e.keyFor(tg, m, in)
 	s := &e.shards[k.mod[0]&(shardCount-1)]
 
-	s.mu.Lock()
-	if ent, ok := s.m[k]; ok {
+	for {
+		s.mu.Lock()
+		if ent, ok := s.m[k]; ok {
+			s.mu.Unlock()
+			e.hits.Add(1)
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+			if ent.canceled {
+				continue // executor withdrew before running; retry the lookup
+			}
+			return ent.img, ent.crash, nil
+		}
+		ent := &entry{done: make(chan struct{})}
+		if len(s.m) >= e.maxPerShard {
+			e.evictOneLocked(s)
+		}
+		s.m[k] = ent
 		s.mu.Unlock()
-		e.hits.Add(1)
-		<-ent.done
-		return ent.img, ent.crash
-	}
-	ent := &entry{done: make(chan struct{})}
-	if len(s.m) >= e.maxPerShard {
-		e.evictOneLocked(s)
-	}
-	s.m[k] = ent
-	s.mu.Unlock()
 
-	e.misses.Add(1)
-	e.sem <- struct{}{}
-	ent.img, ent.crash = e.runUncached(tg, m, k.inputs, in)
-	<-e.sem
-	close(ent.done)
-	return ent.img, ent.crash
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.mu.Lock()
+			delete(s.m, k)
+			s.mu.Unlock()
+			ent.canceled = true
+			close(ent.done)
+			return nil, nil, ctx.Err()
+		}
+		e.misses.Add(1)
+		ent.img, ent.crash = e.runUncached(tg, m, k.inputs, in)
+		<-e.sem
+		close(ent.done)
+		return ent.img, ent.crash, nil
+	}
 }
 
 // runUncached mirrors target.Run — compile, then render for render-capable
@@ -283,8 +323,17 @@ func (e *Engine) Stats() Stats {
 // finished. Iterations are distributed dynamically, so uneven work does not
 // idle workers. f must be safe for concurrent invocation.
 func (e *Engine) Do(n int, f func(i int)) {
+	e.DoCtx(context.Background(), n, f)
+}
+
+// DoCtx is Do with cancellation: once ctx is done, no further iteration is
+// dispatched and DoCtx returns ctx.Err() after in-flight iterations finish —
+// the pool aborts promptly instead of draining the remaining n iterations.
+// Iterations that were dispatched before cancellation run to completion; f
+// that wants intra-iteration promptness should consult ctx itself.
+func (e *Engine) DoCtx(ctx context.Context, n int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := e.workers
 	if w > n {
@@ -292,9 +341,12 @@ func (e *Engine) Do(n int, f func(i int)) {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -302,7 +354,7 @@ func (e *Engine) Do(n int, f func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
@@ -312,6 +364,7 @@ func (e *Engine) Do(n int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // keyFor builds the content-addressed cache key.

@@ -1,9 +1,11 @@
 package runner_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"spirvfuzz/internal/corpus"
@@ -254,5 +256,64 @@ func TestDoCoversAllIndices(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRunCtxCancellation covers the engine's cancellation contract: a
+// canceled context aborts before executing, aborts a waiter on someone
+// else's in-flight execution, and never poisons the cache for later
+// callers with live contexts.
+func TestRunCtxCancellation(t *testing.T) {
+	tg := target.ByName("Mesa")
+	m := testmod.Diamond()
+	in := interp.Inputs{}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	eng := runner.New(1)
+	if _, _, err := eng.RunCtx(canceled, tg, m, in); err == nil {
+		t.Fatal("RunCtx with canceled ctx did not error")
+	}
+	if st := eng.Stats(); st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("canceled RunCtx touched the engine: %+v", st)
+	}
+
+	// A later caller with a live context must execute normally — the
+	// canceled attempt must not have left a poisoned in-flight entry.
+	img, crash, err := eng.RunCtx(context.Background(), tg, m, in)
+	if err != nil || crash != nil || img == nil {
+		t.Fatalf("post-cancel run: img=%v crash=%v err=%v", img, crash, err)
+	}
+
+	// Caching disabled (pre-engine baseline path) honours cancellation too.
+	raw := runner.New(1)
+	raw.SetCacheCap(0)
+	if _, _, err := raw.RunCtx(canceled, tg, m, in); err == nil {
+		t.Fatal("uncached RunCtx with canceled ctx did not error")
+	}
+}
+
+// TestDoCtxStopsDispatch checks that cancellation stops dispatching new
+// iterations promptly instead of draining all n.
+func TestDoCtxStopsDispatch(t *testing.T) {
+	eng := runner.New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := eng.DoCtx(ctx, 10000, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("DoCtx did not report cancellation")
+	}
+	// In-flight iterations (at most one per worker) may still finish after
+	// cancel; everything else must be skipped.
+	if n := ran.Load(); n > 8+4 {
+		t.Fatalf("DoCtx dispatched %d iterations after cancellation", n)
+	}
+	if err := eng.DoCtx(context.Background(), 100, func(i int) {}); err != nil {
+		t.Fatalf("DoCtx without cancellation: %v", err)
 	}
 }

@@ -1,0 +1,408 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spirvfuzz/internal/replay"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/store"
+)
+
+// Journal record types. The journal is the single source of truth for what
+// completed; everything else (status counters, buckets) is derived.
+const (
+	recCampaignCreated = "campaign_created" // data: CampaignSpec (normalized)
+	recTestDone        = "test_done"        // data: testDoneRec
+	recReduced         = "reduced"          // data: reducedRec
+	recCampaignDone    = "campaign_done"    // data: campaignDoneRec
+	recCampaignFailed  = "campaign_failed"  // data: campaignFailedRec
+)
+
+// BugRef is one (test, target) bug finding as journaled in a testDoneRec.
+// The sequence and variant are referenced by blob hash, so the record is
+// small and the artifacts deduplicate across re-runs.
+type BugRef struct {
+	Target      string `json:"target"`
+	Signature   string `json:"signature"`
+	Reference   string `json:"reference"`
+	Seed        int64  `json:"seed"`
+	SeqHash     string `json:"seq_hash"`
+	VariantHash string `json:"variant_hash"`
+}
+
+// testDoneRec journals one generated-and-classified test (possibly bug-free).
+type testDoneRec struct {
+	Index int      `json:"index"`
+	Bugs  []BugRef `json:"bugs,omitempty"`
+}
+
+// reducedRec journals one completed reduction. Types is the residual
+// type set after ignoring supporting types, so bucket construction on resume
+// needs no blob reads.
+type reducedRec struct {
+	Case       string   `json:"case"`
+	Target     string   `json:"target"`
+	Signature  string   `json:"signature"`
+	ReportHash string   `json:"report_hash"`
+	Types      []string `json:"types"`
+	KeptLen    int      `json:"kept_len"`
+	Delta      int      `json:"delta"`
+	Queries    int      `json:"queries"`
+}
+
+type campaignDoneRec struct {
+	Buckets int `json:"buckets"`
+}
+
+type campaignFailedRec struct {
+	Error string `json:"error"`
+}
+
+// campaign is the in-memory state of one campaign, derived from the journal.
+type campaign struct {
+	id   string
+	spec CampaignSpec
+
+	mu        sync.Mutex
+	state     string
+	testsDone map[int][]BugRef      // index -> journaled bug refs
+	reduced   map[string]reducedRec // case name -> journaled reduction
+	buckets   []Bucket
+	errMsg    string
+	// reduceTotal is set once the reduce stage selects its cases.
+	reduceTotal       int
+	skippedTests      int
+	skippedReductions int
+}
+
+func newCampaign(id string, spec CampaignSpec) *campaign {
+	return &campaign{
+		id:        id,
+		spec:      spec,
+		state:     StatePending,
+		testsDone: make(map[int][]BugRef),
+		reduced:   make(map[string]reducedRec),
+	}
+}
+
+func (c *campaign) setState(state string) {
+	c.mu.Lock()
+	c.state = state
+	c.mu.Unlock()
+}
+
+func (c *campaign) status() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CampaignStatus{
+		ID:                c.id,
+		State:             c.state,
+		Spec:              c.spec,
+		TestsDone:         len(c.testsDone),
+		ReduceTotal:       c.reduceTotal,
+		Reduced:           len(c.reduced),
+		Buckets:           len(c.buckets),
+		SkippedTests:      c.skippedTests,
+		SkippedReductions: c.skippedReductions,
+		Error:             c.errMsg,
+	}
+	for _, bugs := range c.testsDone {
+		st.Bugs += len(bugs)
+	}
+	return st
+}
+
+// Options configures a Service.
+type Options struct {
+	// Workers sizes the runner engine's pool and the job queue; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// ReplayBudget bounds the replay snapshot cache; <= 0 selects the
+	// replay.DefaultBudget.
+	ReplayBudget int64
+}
+
+// Service owns the campaign pipeline: a job queue over the shared execution
+// engine, with all durable state in the store. It is safe for concurrent use.
+type Service struct {
+	st    *store.Store
+	eng   *runner.Engine
+	reng  *replay.Engine
+	queue *Queue
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string
+	nextID    int
+
+	pipelines sync.WaitGroup
+	skipped   atomic.Uint64 // journal-satisfied steps (tests + reductions)
+}
+
+// New builds a service over an open store, replays the journal to recover
+// campaign state, and resumes every unfinished campaign. The caller keeps
+// ownership of the store until Close, which closes it.
+func New(st *store.Store, opts Options) (*Service, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	workers := opts.Workers
+	budget := opts.ReplayBudget
+	if budget <= 0 {
+		budget = replay.DefaultBudget
+	}
+	eng := runner.New(workers)
+	s := &Service{
+		st:        st,
+		eng:       eng,
+		reng:      replay.NewEngine(budget),
+		queue:     NewQueue(ctx, eng.Workers()),
+		ctx:       ctx,
+		cancel:    cancel,
+		campaigns: make(map[string]*campaign),
+		nextID:    1,
+	}
+	if err := s.recover(); err != nil {
+		cancel()
+		s.queue.Drain(context.Background())
+		return nil, err
+	}
+	// Resume unfinished campaigns in creation order: their journaled steps
+	// are skipped, the remainder recomputed (deterministically, so buckets
+	// end up identical to an uninterrupted run).
+	for _, id := range s.order {
+		c := s.campaigns[id]
+		c.mu.Lock()
+		resume := c.state == StatePending
+		c.mu.Unlock()
+		if resume {
+			s.start(c)
+		}
+	}
+	return s, nil
+}
+
+// recover rebuilds campaign state from the journal.
+func (s *Service) recover() error {
+	err := s.st.Journal().Replay(func(r store.Record) error {
+		c := s.campaigns[r.Campaign]
+		if c == nil && r.Type != recCampaignCreated {
+			return fmt.Errorf("service: journal references unknown campaign %q", r.Campaign)
+		}
+		switch r.Type {
+		case recCampaignCreated:
+			if c != nil {
+				return fmt.Errorf("service: campaign %q created twice", r.Campaign)
+			}
+			var spec CampaignSpec
+			if err := json.Unmarshal(r.Data, &spec); err != nil {
+				return fmt.Errorf("service: campaign %q spec: %w", r.Campaign, err)
+			}
+			c = newCampaign(r.Campaign, spec)
+			s.campaigns[r.Campaign] = c
+			s.order = append(s.order, r.Campaign)
+		case recTestDone:
+			var rec testDoneRec
+			if err := json.Unmarshal(r.Data, &rec); err != nil {
+				return err
+			}
+			c.testsDone[rec.Index] = rec.Bugs
+		case recReduced:
+			var rec reducedRec
+			if err := json.Unmarshal(r.Data, &rec); err != nil {
+				return err
+			}
+			c.reduced[rec.Case] = rec
+		case recCampaignDone:
+			// The bucket checkpoint is saved before campaign_done is
+			// journaled; if it is nonetheless missing the campaign resumes
+			// and rebuilds it from the reduced records.
+			var set BucketSet
+			ok, err := s.st.LoadCheckpoint(bucketCheckpoint(r.Campaign), &set)
+			if err != nil || !ok {
+				c.state = StatePending
+				break
+			}
+			c.buckets = set.Buckets
+			c.state = StateDone
+		case recCampaignFailed:
+			var rec campaignFailedRec
+			if err := json.Unmarshal(r.Data, &rec); err != nil {
+				return err
+			}
+			c.state = StateFailed
+			c.errMsg = rec.Error
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Seed the ID counter past every recovered campaign.
+	for _, id := range s.order {
+		var n int
+		if _, scanErr := fmt.Sscanf(id, "c%d", &n); scanErr == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	return nil
+}
+
+func bucketCheckpoint(campaignID string) string { return "buckets-" + campaignID }
+
+// CreateCampaign validates and journals a new campaign and starts its
+// pipeline. The returned status is the initial snapshot.
+func (s *Service) CreateCampaign(spec CampaignSpec) (CampaignStatus, error) {
+	if err := spec.Normalize(); err != nil {
+		return CampaignStatus{}, err
+	}
+	s.mu.Lock()
+	if err := s.ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return CampaignStatus{}, fmt.Errorf("service: shutting down: %w", err)
+	}
+	id := fmt.Sprintf("c%03d", s.nextID)
+	s.nextID++
+	c := newCampaign(id, spec)
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	if _, err := s.st.Journal().Append(id, recCampaignCreated, spec); err != nil {
+		return CampaignStatus{}, err
+	}
+	if err := s.st.Journal().Sync(); err != nil {
+		return CampaignStatus{}, err
+	}
+	s.start(c)
+	return c.status(), nil
+}
+
+// start launches the pipeline goroutine for a campaign.
+func (s *Service) start(c *campaign) {
+	s.pipelines.Add(1)
+	go func() {
+		defer s.pipelines.Done()
+		err := s.runCampaign(s.ctx, c)
+		switch {
+		case err == nil:
+			// runCampaign journaled campaign_done and set the state.
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, ErrDrained), errors.Is(err, ErrQueueClosed):
+			// Interrupted, not broken: leave the journal as-is so a restarted
+			// daemon resumes from the completed steps.
+		default:
+			c.mu.Lock()
+			c.state = StateFailed
+			c.errMsg = err.Error()
+			c.mu.Unlock()
+			// Best-effort: a failure to journal the failure leaves the
+			// campaign resumable, which is the safer outcome.
+			s.st.Journal().Append(c.id, recCampaignFailed, campaignFailedRec{Error: err.Error()})
+		}
+	}()
+}
+
+// Campaign returns the status of one campaign.
+func (s *Service) Campaign(id string) (CampaignStatus, bool) {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return CampaignStatus{}, false
+	}
+	return c.status(), true
+}
+
+// Campaigns returns all campaign statuses in creation order.
+func (s *Service) Campaigns() []CampaignStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.Campaign(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Buckets returns the recommended reports of every finished campaign, in
+// creation order. With a non-empty id it returns just that campaign's set
+// (empty until the campaign is done).
+func (s *Service) Buckets(id string) ([]BucketSet, error) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	if id != "" {
+		s.mu.Lock()
+		c := s.campaigns[id]
+		s.mu.Unlock()
+		if c == nil {
+			return nil, fmt.Errorf("service: no campaign %q", id)
+		}
+		ids = []string{id}
+	}
+	var out []BucketSet
+	for _, cid := range ids {
+		s.mu.Lock()
+		c := s.campaigns[cid]
+		s.mu.Unlock()
+		c.mu.Lock()
+		set := BucketSet{Campaign: cid, Buckets: append([]Bucket(nil), c.buckets...)}
+		c.mu.Unlock()
+		if id != "" || len(set.Buckets) > 0 {
+			out = append(out, set)
+		}
+	}
+	return out, nil
+}
+
+// ReportBlob returns the raw reduced-report blob stored under hash.
+func (s *Service) ReportBlob(hash string) ([]byte, error) {
+	return s.st.GetBlob(hash)
+}
+
+// Metrics returns the daemon-wide counter snapshot.
+func (s *Service) Metrics() Metrics {
+	qs := s.queue.Stats()
+	m := Metrics{
+		JobsSubmitted: qs.Submitted,
+		JobsCompleted: qs.Completed,
+		JobsFailed:    qs.Failed,
+		JobsRetried:   qs.Retries,
+		JobsDropped:   qs.Dropped,
+		JobsSkipped:   s.skipped.Load(),
+		Runner:        s.eng.Stats(),
+		Replay:        s.reng.Stats(),
+		Store:         s.st.Stats(),
+	}
+	for _, st := range s.Campaigns() {
+		m.Campaigns++
+		if st.State == StateDone {
+			m.CampaignsDone++
+		}
+	}
+	return m
+}
+
+// Close drains the service: job intake stops, pending jobs are dropped
+// (their steps are journal-resumable), in-flight jobs finish — or are
+// canceled when ctx expires — pipelines exit, and the store is synced and
+// closed. Returns ctx.Err() if the drain was forced.
+func (s *Service) Close(ctx context.Context) error {
+	forced := s.queue.Drain(ctx)
+	s.cancel()
+	s.pipelines.Wait()
+	s.st.Journal().Sync()
+	if err := s.st.Close(); err != nil && forced == nil {
+		forced = err
+	}
+	return forced
+}

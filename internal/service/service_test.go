@@ -1,0 +1,314 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/store"
+	"spirvfuzz/internal/target"
+)
+
+func TestSpecNormalize(t *testing.T) {
+	sp := CampaignSpec{Tests: 10}
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Tool != "spirv-fuzz" || sp.CapPerSignature != 2 || len(sp.Targets) != len(target.All()) {
+		t.Fatalf("defaults not resolved: %+v", sp)
+	}
+	simple := CampaignSpec{Tests: 5, Tool: "spirv-fuzz-simple"}
+	if err := simple.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if simple.SeedBase != 1<<32 {
+		t.Fatalf("simple seed base = %d", simple.SeedBase)
+	}
+	for _, bad := range []CampaignSpec{
+		{Tests: 0},
+		{Tests: 5, Tool: "glsl-fuzz"},
+		{Tests: 5, Targets: []string{"NoSuchGPU"}},
+		{Tests: 5, Targets: []string{"Mesa", "Mesa"}},
+		{Tests: 5, ReduceSlowdownMS: -1},
+	} {
+		if err := bad.Normalize(); err == nil {
+			t.Fatalf("spec %+v normalized without error", bad)
+		}
+	}
+}
+
+// waitCampaign polls until the campaign reaches a terminal state.
+func waitCampaign(t *testing.T, s *Service, id string, timeout time.Duration) CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := s.Campaign(id)
+		if !ok {
+			t.Fatalf("campaign %s disappeared", id)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s after %v: %+v", id, st.State, timeout, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCampaignPipeline runs one campaign end to end in process and checks
+// the shape of everything the daemon would serve: status, buckets,
+// per-target type disjointness, and spirv-dedup-compatible report blobs.
+func TestCampaignPipeline(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	status, err := s.CreateCampaign(CampaignSpec{Tests: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status = waitCampaign(t, s, status.ID, 2*time.Minute)
+	if status.State != StateDone {
+		t.Fatalf("campaign failed: %+v", status)
+	}
+	if status.TestsDone != 25 || status.Bugs == 0 || status.Reduced == 0 || status.Buckets == 0 {
+		t.Fatalf("empty campaign: %+v", status)
+	}
+	if status.Reduced != status.ReduceTotal {
+		t.Fatalf("reduced %d of %d", status.Reduced, status.ReduceTotal)
+	}
+
+	sets, err := s.Buckets(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || len(sets[0].Buckets) != status.Buckets {
+		t.Fatalf("bucket sets %+v vs status %+v", sets, status)
+	}
+	// Figure 6 invariant: within one target, recommended reports share no
+	// transformation type.
+	perTarget := map[string]map[string]bool{}
+	for _, b := range sets[0].Buckets {
+		if len(b.Types) == 0 || b.ReportHash == "" || b.SequenceLen == 0 {
+			t.Fatalf("malformed bucket %+v", b)
+		}
+		seen := perTarget[b.Target]
+		if seen == nil {
+			seen = map[string]bool{}
+			perTarget[b.Target] = seen
+		}
+		for _, ty := range b.Types {
+			if seen[ty] {
+				t.Fatalf("target %s: type %s appears in two buckets", b.Target, ty)
+			}
+			seen[ty] = true
+		}
+		// The report blob must be consumable by spirv-dedup: a JSON object
+		// with "signature" and a parseable "transformations" sequence.
+		blob, err := s.ReportBlob(b.ReportHash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report struct {
+			Signature       string          `json:"signature"`
+			Transformations json.RawMessage `json:"transformations"`
+		}
+		if err := json.Unmarshal(blob, &report); err != nil {
+			t.Fatal(err)
+		}
+		if report.Signature != b.Signature {
+			t.Fatalf("report signature %q, bucket %q", report.Signature, b.Signature)
+		}
+		seq, err := fuzz.UnmarshalSequence(report.Transformations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != b.SequenceLen {
+			t.Fatalf("report sequence length %d, bucket %d", len(seq), b.SequenceLen)
+		}
+	}
+
+	m := s.Metrics()
+	if m.Campaigns != 1 || m.CampaignsDone != 1 || m.JobsCompleted == 0 || m.JobsFailed != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.Runner.Hits == 0 || m.Store.JournalRecords == 0 {
+		t.Fatalf("subsystem counters missing: %+v", m)
+	}
+}
+
+// TestServiceResumeBitwiseIdentical is the determinism contract of the
+// daemon (in-process variant of the spirvd kill/restart e2e test): a
+// campaign interrupted mid-reduction by a forced drain and resumed by a new
+// service over the same store produces a bucket set bitwise-identical to an
+// uninterrupted run, with journal-satisfied steps counted as skipped.
+func TestServiceResumeBitwiseIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second pipeline test")
+	}
+	spec := CampaignSpec{Tests: 20, ReduceSlowdownMS: 10}
+
+	// Uninterrupted baseline (slowdown kept identical: it never changes
+	// results, only timing, but keeping the spec equal removes all doubt).
+	baseStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(baseStore, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStatus, err := base.CreateCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStatus = waitCampaign(t, base, baseStatus.ID, 2*time.Minute)
+	if baseStatus.State != StateDone || baseStatus.Reduced == 0 {
+		t.Fatalf("baseline campaign: %+v", baseStatus)
+	}
+	baseSets, err := base.Buckets(baseStatus.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Close(context.Background())
+
+	// Interrupted run: force-drain the service mid-reduction...
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(st1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s1.CreateCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		cur, _ := s1.Campaign(status.ID)
+		if cur.Reduced >= 1 || cur.State == StateDone {
+			if cur.State == StateDone {
+				t.Log("campaign finished before the interruption landed; resume still exercises full skip")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never started reducing: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	cancel()
+	s1.Close(expired) // forced drain: in-flight jobs are canceled, unjournaled
+
+	// ...and resume it with a fresh service over the same store.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	resumed := waitCampaign(t, s2, status.ID, 2*time.Minute)
+	if resumed.State != StateDone {
+		t.Fatalf("resumed campaign: %+v", resumed)
+	}
+	if resumed.SkippedTests == 0 {
+		t.Fatalf("resume re-ran every test: %+v", resumed)
+	}
+	if m := s2.Metrics(); m.JobsSkipped == 0 {
+		t.Fatalf("metrics show no checkpoint reuse: %+v", m)
+	}
+
+	resumedSets, err := s2.Buckets(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, _ := json.Marshal(baseSets)
+	resumedJSON, _ := json.Marshal(resumedSets)
+	if string(baseJSON) != string(resumedJSON) {
+		t.Fatalf("buckets diverged after resume:\n%s\nvs uninterrupted\n%s", resumedJSON, baseJSON)
+	}
+	if !reflect.DeepEqual(resumed.Spec, baseStatus.Spec) {
+		t.Fatalf("journaled spec drifted: %+v vs %+v", resumed.Spec, baseStatus.Spec)
+	}
+}
+
+// TestServiceRecoversDoneCampaign: a service restarted after a campaign
+// finished serves its buckets from the checkpoint without re-running
+// anything.
+func TestServiceRecoversDoneCampaign(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(st1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s1.CreateCampaign(CampaignSpec{Tests: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status = waitCampaign(t, s1, status.ID, 2*time.Minute)
+	if status.State != StateDone {
+		t.Fatalf("campaign: %+v", status)
+	}
+	before, err := s1.Buckets(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close(context.Background())
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	got, ok := s2.Campaign(status.ID)
+	if !ok || got.State != StateDone || got.Buckets != status.Buckets {
+		t.Fatalf("recovered campaign: %+v (want %+v)", got, status)
+	}
+	after, err := s2.Buckets(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("buckets changed across restart:\n%+v\nvs\n%+v", after, before)
+	}
+	// Nothing re-ran: the new service submitted no jobs for the campaign.
+	if m := s2.Metrics(); m.JobsSubmitted != 0 {
+		t.Fatalf("restart re-submitted %d jobs", m.JobsSubmitted)
+	}
+	// New campaigns still work after recovery.
+	st3, err := s2.CreateCampaign(CampaignSpec{Tests: 4, Targets: []string{"Mesa", "SwiftShader"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ID == status.ID {
+		t.Fatalf("ID counter not advanced past recovered campaigns: %s", st3.ID)
+	}
+	if fin := waitCampaign(t, s2, st3.ID, 2*time.Minute); fin.State != StateDone {
+		t.Fatalf("post-recovery campaign: %+v", fin)
+	}
+}

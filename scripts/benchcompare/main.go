@@ -7,13 +7,15 @@
 //
 //	go test -short -run '^$' -bench . -benchtime=1x ./... \
 //	    | awk -f scripts/bench2json.awk > /tmp/bench.json
-//	go run ./scripts/benchcompare -baseline BENCH_pr2.json -current /tmp/bench.json
+//	go run ./scripts/benchcompare -baseline BENCH_pr3.json -current /tmp/bench.json
 //
 // By default every benchmark that reports a "speedup" metric is checked —
 // today the reduction benchmarks (BenchmarkRunnerParallelReduce and
-// BenchmarkReplayPrefixCache), automatically covering future ones. The
+// BenchmarkReplayPrefixCache) and the daemon-resume benchmark
+// (BenchmarkServiceResumeCampaign), automatically covering future ones. The
 // tolerance absorbs machine noise; a genuine regression (for example the
-// replay cache silently disabled, dropping speedup to ~1.0) fails loudly.
+// replay cache silently disabled, or a resume that re-runs journaled work,
+// dropping speedup to ~1.0) fails loudly.
 package main
 
 import (
@@ -39,7 +41,7 @@ func load(path string) (metrics, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr2.json", "committed baseline metrics JSON")
+	baselinePath := flag.String("baseline", "BENCH_pr3.json", "committed baseline metrics JSON")
 	currentPath := flag.String("current", "", "current metrics JSON (required)")
 	metric := flag.String("metric", "speedup", "metric to guard across benchmarks")
 	tolerance := flag.Float64("tolerance", 0.75, "minimum allowed current/baseline ratio")

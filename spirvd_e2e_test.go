@@ -1,0 +1,197 @@
+// End-to-end test of the spirvd daemon: the durability contract is that a
+// daemon killed without warning (SIGKILL, no drain) mid-campaign resumes
+// from its store on restart and finishes with buckets bitwise-identical to
+// an uninterrupted run, re-using journaled steps instead of re-running them.
+package spirvfuzz_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"spirvfuzz/internal/service"
+)
+
+// buildSpirvd compiles the daemon binary once per test run.
+func buildSpirvd(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "spirvd")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/spirvd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches spirvd over storeDir and returns the process and its
+// bound address (discovered via -portfile).
+func startDaemon(t *testing.T, bin, storeDir string) (*exec.Cmd, string) {
+	t.Helper()
+	portFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin, "-store", storeDir, "-addr", "127.0.0.1:0", "-portfile", portFile)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		data, err := os.ReadFile(portFile)
+		if err == nil && len(data) > 0 {
+			return cmd, string(data)
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("daemon never wrote its portfile")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// client runs a spirvd client verb and returns stdout.
+func client(t *testing.T, bin, addr string, args ...string) []byte {
+	t.Helper()
+	full := append([]string{"client", args[0], "-addr", addr}, args[1:]...)
+	out, err := exec.Command(bin, full...).Output()
+	if err != nil {
+		stderr := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			stderr = string(ee.Stderr)
+		}
+		t.Fatalf("spirvd %v: %v\n%s", full, err, stderr)
+	}
+	return out
+}
+
+func campaignStatus(t *testing.T, bin, addr, id string) service.CampaignStatus {
+	t.Helper()
+	var st service.CampaignStatus
+	if err := json.Unmarshal(client(t, bin, addr, "status", id), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, bin, addr, id string, timeout time.Duration) service.CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := campaignStatus(t, bin, addr, id)
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s: %+v", id, st.State, st)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+var specArgs = []string{"-tests", "20", "-reduce-slowdown-ms", "25"}
+
+func TestSpirvdKillResumeBitwiseIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon end-to-end skipped in -short mode")
+	}
+	bin := buildSpirvd(t)
+
+	// Uninterrupted reference run.
+	refCmd, refAddr := startDaemon(t, bin, filepath.Join(t.TempDir(), "store-ref"))
+	defer refCmd.Process.Kill()
+	var refStatus service.CampaignStatus
+	submitOut := client(t, bin, refAddr, append([]string{"submit", "-wait"}, specArgs...)...)
+	if err := json.Unmarshal(submitOut, &refStatus); err != nil {
+		t.Fatal(err)
+	}
+	if refStatus.State != service.StateDone || refStatus.Buckets == 0 || refStatus.Reduced < 2 {
+		t.Fatalf("reference campaign too small to interrupt meaningfully: %+v", refStatus)
+	}
+	refBuckets := client(t, bin, refAddr, "buckets", "-campaign", refStatus.ID)
+	// Graceful shutdown path: SIGTERM drains and exits cleanly.
+	refCmd.Process.Signal(syscall.SIGTERM)
+	if err := refCmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM shutdown: %v", err)
+	}
+
+	// Interrupted run over its own store: same spec, killed mid-reduction.
+	storeDir := filepath.Join(t.TempDir(), "store-victim")
+	victim, addr := startDaemon(t, bin, storeDir)
+	var status service.CampaignStatus
+	if err := json.Unmarshal(client(t, bin, addr, append([]string{"submit"}, specArgs...)...), &status); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := campaignStatus(t, bin, addr, status.ID)
+		if st.Reduced >= 1 && st.State == service.StateReducing {
+			break
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			t.Fatalf("campaign finished before the kill landed (raise -reduce-slowdown-ms): %+v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never reached mid-reduction: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// SIGKILL: no drain, no journal sync, possibly a torn trailing record.
+	victim.Process.Kill()
+	victim.Wait()
+
+	// Restart over the same store; the campaign resumes and finishes.
+	revived, addr2 := startDaemon(t, bin, storeDir)
+	defer func() {
+		revived.Process.Signal(syscall.SIGTERM)
+		revived.Wait()
+	}()
+	resumed := waitDone(t, bin, addr2, status.ID, 3*time.Minute)
+	if resumed.State != service.StateDone {
+		t.Fatalf("resumed campaign: %+v", resumed)
+	}
+	if resumed.SkippedTests == 0 || resumed.SkippedReductions == 0 {
+		t.Fatalf("resume re-ran journaled steps: %+v", resumed)
+	}
+
+	// The resumed bucket set must be bitwise-identical to the reference.
+	resumedBuckets := client(t, bin, addr2, "buckets", "-campaign", status.ID)
+	if string(resumedBuckets) != string(refBuckets) {
+		t.Fatalf("buckets diverged after kill+resume:\n%s\nvs uninterrupted\n%s", resumedBuckets, refBuckets)
+	}
+
+	// Metrics must show journaled steps skipped (checkpoint reuse) on the
+	// revived daemon.
+	var metrics service.Metrics
+	if err := json.Unmarshal(client(t, bin, addr2, "metrics"), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.JobsSkipped == 0 {
+		t.Fatalf("revived daemon reports no skipped jobs: %+v", metrics)
+	}
+	if metrics.CampaignsDone != 1 {
+		t.Fatalf("metrics %+v", metrics)
+	}
+
+	// A bucket's report blob is served and is spirv-dedup-compatible.
+	var sets []service.BucketSet
+	if err := json.Unmarshal(resumedBuckets, &sets); err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || len(sets[0].Buckets) == 0 {
+		t.Fatalf("bucket sets: %+v", sets)
+	}
+	report := client(t, bin, addr2, "report", sets[0].Buckets[0].ReportHash)
+	var rep struct {
+		Signature       string          `json:"signature"`
+		Transformations json.RawMessage `json:"transformations"`
+	}
+	if err := json.Unmarshal(report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Signature != sets[0].Buckets[0].Signature || len(rep.Transformations) == 0 {
+		t.Fatalf("report blob malformed: %s", report)
+	}
+}
