@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-daemon bench baseline bench-compare
+.PHONY: ci fmt vet build test test-daemon bench baseline bench-compare profile
 
 # Everything CI runs, in order; fails fast.
 ci: fmt vet build test test-daemon bench
@@ -37,14 +37,29 @@ baseline:
 		| awk -f scripts/bench2json.awk > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
-# Run the reduction/resume benchmarks and fail if any speedup metric
+# Run the reduction/resume/batching benchmarks and fail if any speedup metric
 # (parallel reduction over serial; prefix-snapshot replay over fresh replay;
-# journal resume over a fresh campaign) regresses below 0.75x its value in
-# the committed BENCH_pr3.json trajectory point — loose enough for machine
-# noise, tight enough to catch a disabled cache or a resume that silently
-# re-runs journaled work (speedup ~1.0).
+# journal resume over a fresh campaign; batched RunAll over a per-target
+# compile loop) regresses below 0.75x its value in the committed
+# BENCH_pr4.json trajectory point — loose enough for machine noise, tight
+# enough to catch a disabled cache, a resume that silently re-runs journaled
+# work, or compile sharing gone (speedup ~1.0). A second pass guards absolute
+# parallel-reduction time: ns/op must not blow past 1.5x the recorded value.
+# The ratio metrics are the tight guards (they cancel machine speed); the
+# absolute bound is a backstop against wholesale slowdowns that leave the
+# internal ratios intact.
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume' -benchtime=1x . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll' -benchtime=1x . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr3.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr4.json \
 		-current /tmp/bench-current.json
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr4.json \
+		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
+		-only BenchmarkRunnerParallelReduce
+
+# CPU-profile the parallel-reduction campaign benchmark and print the top-10
+# functions by flat time — the quick answer to "where do campaign cycles go".
+profile:
+	$(GO) test -short -run '^$$' -bench 'RunnerParallelReduce' -benchtime=1x \
+		-cpuprofile /tmp/spirvfuzz-cpu.pprof -o /tmp/spirvfuzz-bench.test .
+	$(GO) tool pprof -top -nodecount=10 /tmp/spirvfuzz-bench.test /tmp/spirvfuzz-cpu.pprof

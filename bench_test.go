@@ -499,6 +499,125 @@ func BenchmarkRunnerParallelReduce(b *testing.B) {
 	b.ReportMetric(float64(reductions), "reductions")
 }
 
+// BenchmarkEngineRunAll measures the cross-target compile-sharing win on the
+// paper's 9-target fan-out: classify a batch of fuzzed variants against every
+// target, batched (RunAllCtx: module and inputs hashed once per batch, one
+// shared compile per distinct mutation class, one render per distinct
+// compiled module) versus the monolithic per-target loop (compile sharing
+// disabled, every target compiles for itself). Both legs run on identical
+// worker pools and must produce bitwise-identical crash signatures and
+// images; the wall-clock ratio and the shared-compile rate are reported.
+func BenchmarkEngineRunAll(b *testing.B) {
+	refs := corpus.References()
+	donors := corpus.Donors()
+	targets := target.All()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+
+	type variant struct {
+		mod *spirv.Module
+		in  interp.Inputs
+	}
+	type obs struct {
+		Sig, Img string
+	}
+	nVariants := 96
+	if testing.Short() {
+		nVariants = 60
+	}
+	variants := make([]variant, nVariants)
+	for i := range variants {
+		item := refs[i%len(refs)]
+		// Campaign-sized pass budgets produce realistic variant sizes, where
+		// the compile (clone + mutate + 8-pass pipeline) is the dominant
+		// per-target cost the batch amortizes.
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:                  int64(5000 + i),
+			Donors:                donors,
+			EnableRecommendations: true,
+			MinPasses:             12,
+			MaxPasses:             20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := res.Inputs
+		in.W, in.H = 4, 4 // the bench grid of the Figure 3 walkthrough
+		variants[i] = variant{mod: res.Variant, in: in}
+	}
+
+	// Execution only is timed; images are hashed for the bitwise comparison
+	// after the clock stops.
+	leg := func(eng *runner.Engine, batched bool) (time.Duration, [][]obs) {
+		raw := make([][]runner.TargetResult, len(variants))
+		start := time.Now()
+		eng.Do(len(variants), func(i int) {
+			if batched {
+				all, err := eng.RunAllCtx(context.Background(), targets, variants[i].mod, variants[i].in)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				raw[i] = all
+			} else {
+				row := make([]runner.TargetResult, len(targets))
+				for j, tg := range targets {
+					row[j].Img, row[j].Crash = eng.Run(tg, variants[i].mod, variants[i].in)
+				}
+				raw[i] = row
+			}
+		})
+		elapsed := time.Since(start)
+		out := make([][]obs, len(raw))
+		for i, row := range raw {
+			out[i] = make([]obs, len(row))
+			for j, r := range row {
+				if r.Crash != nil {
+					out[i][j].Sig = r.Crash.Signature
+				}
+				if r.Img != nil {
+					out[i][j].Img = r.Img.Hash()
+				}
+			}
+		}
+		return elapsed, out
+	}
+
+	var speedup, sharedPct float64
+	for i := 0; i < b.N; i++ {
+		// Best of three runs per leg against CPU-contention spikes; fresh
+		// engines per repetition so no cache state leaks between legs.
+		var loopTime, batchTime time.Duration
+		for rep := 0; rep < 3; rep++ {
+			loopEng := runner.New(workers)
+			loopEng.SetCompileSharing(false)
+			lt, lres := leg(loopEng, false)
+
+			batchEng := runner.New(workers)
+			bt, bres := leg(batchEng, true)
+
+			if !reflect.DeepEqual(lres, bres) {
+				b.Fatalf("batched results diverged from per-target loop")
+			}
+			if rep == 0 || lt < loopTime {
+				loopTime = lt
+			}
+			if rep == 0 || bt < batchTime {
+				batchTime = bt
+			}
+			st := batchEng.Stats()
+			sharedPct = 100 * float64(st.CompileHits) / float64(st.CompileHits+st.CompileMisses)
+		}
+		speedup = loopTime.Seconds() / batchTime.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(sharedPct, "shared-compile-%")
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(len(variants)), "variants")
+}
+
 // --- incremental-replay benchmark scenario ----------------------------------
 
 // replayScenario is a deterministic reduction workload shaped like a real

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/service"
 )
 
@@ -165,12 +166,16 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 
 	// 8. gfauto -json: per-tool campaign summaries in the spirvd status
-	// shape, and nothing else on stdout.
+	// shape plus the execution-engine counters, and nothing else on stdout.
 	out = run(t, tool("gfauto"), 0, "-json", "-tests", "25")
-	var summaries []service.CampaignStatus
-	if err := json.Unmarshal([]byte(out), &summaries); err != nil {
+	var report struct {
+		Campaigns []service.CampaignStatus `json:"campaigns"`
+		Runner    runner.Stats             `json:"runner"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
 		t.Fatalf("gfauto -json: %v\n%s", err, out)
 	}
+	summaries := report.Campaigns
 	if len(summaries) != 3 {
 		t.Fatalf("gfauto -json: %d summaries, want 3\n%s", len(summaries), out)
 	}
@@ -186,6 +191,20 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if !tools["spirv-fuzz"] || !tools["spirv-fuzz-simple"] || !tools["glsl-fuzz"] {
 		t.Fatalf("gfauto -json tools: %v", tools)
+	}
+	// The runner block must show the compile-sharing and per-pass optimizer
+	// counters: three campaigns over nine targets share compiles constantly,
+	// and every compile runs the standard pass pipeline.
+	if report.Runner.CompileMisses == 0 || report.Runner.CompileHits == 0 {
+		t.Fatalf("gfauto -json runner: no compile sharing recorded: %+v", report.Runner)
+	}
+	if len(report.Runner.OptPasses) == 0 {
+		t.Fatalf("gfauto -json runner: no per-pass optimizer stats: %+v", report.Runner)
+	}
+	for _, p := range report.Runner.OptPasses {
+		if p.Name == "" || p.Runs == 0 || p.Nanos <= 0 {
+			t.Fatalf("gfauto -json runner: degenerate pass stat %+v", p)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"spirvfuzz/internal/experiments"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/service"
 	"spirvfuzz/internal/target"
 )
@@ -80,12 +81,22 @@ func main() {
 	fatal(err)
 	if !*asJSON {
 		st := c.Engine.Stats()
-		fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n\n",
+		fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n",
 			time.Since(start).Round(time.Millisecond), st.Workers, st.Misses, 100*st.HitRate())
+		fmt.Printf("gfauto: shared compiles: %d compiled, %d shared (%.0f%% of compile lookups)\n",
+			st.CompileMisses, st.CompileHits, 100*ratio(st.CompileHits, st.CompileHits+st.CompileMisses))
+		for _, p := range st.OptPasses {
+			fmt.Printf("gfauto: opt pass %-18s %7d runs  %7d changed  %8v\n",
+				p.Name, p.Runs, p.Changed, time.Duration(p.Nanos).Round(time.Millisecond))
+		}
+		fmt.Println()
 	}
 
 	if *asJSON {
-		out, err := json.MarshalIndent(campaignSummaries(c), "", "  ")
+		out, err := json.MarshalIndent(struct {
+			Campaigns []service.CampaignStatus `json:"campaigns"`
+			Runner    runner.Stats             `json:"runner"`
+		}{campaignSummaries(c), c.Engine.Stats()}, "", "  ")
 		fatal(err)
 		fmt.Println(string(out))
 	}
@@ -147,6 +158,14 @@ func campaignSummaries(c *experiments.Campaigns) []service.CampaignStatus {
 		})
 	}
 	return out
+}
+
+// ratio is a/b guarding the empty case.
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }
 
 func fatal(err error) {

@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +57,7 @@ func serverMain(args []string) {
 	replayMB := fs.Int("replay-cache-mb", 64, "prefix-snapshot replay cache budget for reductions, in MiB")
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for test harnesses)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	fs.Parse(args)
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "spirvd: -store is required")
@@ -80,6 +82,21 @@ func serverMain(args []string) {
 		fatal(os.Rename(tmp, *portFile))
 	}
 	log.Printf("spirvd: listening on %s, store %s", ln.Addr(), *storeDir)
+
+	if *pprofAddr != "" {
+		// The import of net/http/pprof registers its handlers on
+		// http.DefaultServeMux; serve that mux on its own listener so
+		// profiling never shares a port with the JSON API. Listen before
+		// logging so ":0" reports the bound port, not the requested one.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		fatal(err)
+		log.Printf("spirvd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("spirvd: pprof: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Handler: newMux(svc)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -78,13 +78,46 @@ func ClassifyCtx(ctx context.Context, eng *runner.Engine, tg *target.Target, ori
 	if err != nil {
 		return "", err
 	}
+	return decide(tg, origImg, varImg, varCrash), nil
+}
+
+// decide turns one target's original/variant observations into a signature.
+func decide(tg *target.Target, origImg, varImg *interp.Image, varCrash *target.Crash) string {
 	if varCrash != nil {
-		return varCrash.Signature, nil
+		return varCrash.Signature
 	}
 	if tg.CanRender && varImg != nil && origImg != nil && !varImg.Equal(origImg) {
-		return target.MiscompilationSignature, nil
+		return target.MiscompilationSignature
 	}
-	return "", nil
+	return ""
+}
+
+// ClassifyAllCtx classifies one original/variant pair against every target
+// in one batch: the original runs through eng.RunAllCtx, then the variant,
+// so the engine hashes each module once and compiles and renders each
+// distinct compiled-module class once for the whole target set. The returned
+// signatures are indexed like targets and bitwise identical to calling
+// ClassifyCtx once per target. An original that crashes is an error, as in
+// ClassifyCtx, reporting the first crashing target in target order.
+func ClassifyAllCtx(ctx context.Context, eng *runner.Engine, targets []*target.Target, original, variant *spirv.Module, origIn, varIn interp.Inputs) ([]string, error) {
+	orig, err := eng.RunAllCtx(ctx, targets, original, origIn)
+	if err != nil {
+		return nil, err
+	}
+	for i, tg := range targets {
+		if orig[i].Crash != nil {
+			return nil, fmt.Errorf("harness: original crashes on %s: %s", tg.Name, orig[i].Crash.Signature)
+		}
+	}
+	vars, err := eng.RunAllCtx(ctx, targets, variant, varIn)
+	if err != nil {
+		return nil, err
+	}
+	sigs := make([]string, len(targets))
+	for i, tg := range targets {
+		sigs[i] = decide(tg, orig[i].Img, vars[i].Img, vars[i].Crash)
+	}
+	return sigs, nil
 }
 
 // RunOne generates one test with the given tool and seed from the reference
@@ -95,9 +128,25 @@ func RunOne(tool Tool, item corpus.Item, seed int64, tg *target.Target, donors [
 
 // RunOneEngine is RunOne with target executions routed through eng.
 func RunOneEngine(eng *runner.Engine, tool Tool, item corpus.Item, seed int64, tg *target.Target, donors []*spirv.Module) (*Outcome, error) {
+	out, err := generate(tool, item, seed, donors)
+	if err != nil {
+		return nil, err
+	}
+	out.Target = tg.Name
+	sig, err := classify(eng, tg, item.Mod, out.Variant, item.Inputs, out.VariantInputs)
+	if err != nil {
+		return nil, err
+	}
+	out.Signature = sig
+	return out, nil
+}
+
+// generate runs the tool once and returns the unclassified outcome (Target
+// and Signature unset): the variant does not depend on the target, so one
+// generation serves a whole multi-target classification.
+func generate(tool Tool, item corpus.Item, seed int64, donors []*spirv.Module) (*Outcome, error) {
 	out := &Outcome{
 		Tool:      tool,
-		Target:    tg.Name,
 		Reference: item.Name,
 		Seed:      seed,
 		Original:  item.Mod,
@@ -130,11 +179,6 @@ func RunOneEngine(eng *runner.Engine, tool Tool, item corpus.Item, seed int64, t
 	default:
 		return nil, fmt.Errorf("harness: unknown tool %q", tool)
 	}
-	sig, err := classify(eng, tg, item.Mod, out.Variant, item.Inputs, out.VariantInputs)
-	if err != nil {
-		return nil, err
-	}
-	out.Signature = sig
 	return out, nil
 }
 
@@ -211,37 +255,31 @@ func CampaignEngineCtx(ctx context.Context, eng *runner.Engine, tool Tool, tests
 	doErr := eng.DoCtx(ctx, tests, func(i int) {
 		item := refs[i%len(refs)]
 		seed := seedBase + int64(i)
-		// Generate once, classify against every target (the variant
-		// does not depend on the target).
-		var generated *Outcome
-		for _, tg := range targets {
-			var o *Outcome
-			var err error
-			if generated == nil {
-				o, err = RunOneEngine(eng, tool, item, seed, tg, donors)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				generated = o
-			} else {
-				o = &Outcome{
-					Tool: tool, Target: tg.Name, Reference: item.Name, Seed: seed,
-					Original: generated.Original, Variant: generated.Variant,
-					Inputs: generated.Inputs, VariantInputs: generated.VariantInputs,
-					Transformations: generated.Transformations,
-					Instances:       generated.Instances,
-				}
-				sig, err := classify(eng, tg, o.Original, o.Variant, o.Inputs, o.VariantInputs)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				o.Signature = sig
+		// Generate once, classify against every target in one batch (the
+		// variant does not depend on the target, and the batch compiles
+		// and renders each distinct compiled module once).
+		gen, err := generate(tool, item, seed, donors)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sigs, err := ClassifyAllCtx(ctx, eng, targets, gen.Original, gen.Variant, gen.Inputs, gen.VariantInputs)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		for j, tg := range targets {
+			if sigs[j] == "" {
+				continue
 			}
-			if o.Bug() {
-				perTest[i] = append(perTest[i], o)
-			}
+			perTest[i] = append(perTest[i], &Outcome{
+				Tool: tool, Target: tg.Name, Reference: item.Name, Seed: seed,
+				Original: gen.Original, Variant: gen.Variant,
+				Inputs: gen.Inputs, VariantInputs: gen.VariantInputs,
+				Transformations: gen.Transformations,
+				Instances:       gen.Instances,
+				Signature:       sigs[j],
+			})
 		}
 	})
 	if doErr != nil {

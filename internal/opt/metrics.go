@@ -1,0 +1,80 @@
+package opt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PassStat is a cumulative, process-wide counter row for one optimizer pass:
+// how often Pipeline ran it, how often it reported a change, and its total
+// wall time. Pipeline is a free function called from every simulated target,
+// so the counters are global rather than per-engine; runner.Stats attaches a
+// snapshot, which surfaces them in gfauto -json and spirvd /metrics.
+type PassStat struct {
+	Name    string `json:"name"`
+	Runs    uint64 `json:"runs"`
+	Changed uint64 `json:"changed"`
+	Nanos   int64  `json:"nanos"`
+}
+
+// passCounters is the live atomic backing of one PassStat.
+type passCounters struct {
+	runs    atomic.Uint64
+	changed atomic.Uint64
+	nanos   atomic.Int64
+}
+
+var (
+	passMu    sync.Mutex
+	passStats = map[string]*passCounters{}
+)
+
+// countersFor returns the counter row for a pass name, creating it on first
+// use. Registration takes the lock; the per-run hot path below reuses the
+// pointer it returns.
+func countersFor(name string) *passCounters {
+	passMu.Lock()
+	defer passMu.Unlock()
+	c, ok := passStats[name]
+	if !ok {
+		c = &passCounters{}
+		passStats[name] = c
+	}
+	return c
+}
+
+func observePass(c *passCounters, changed bool, d time.Duration) {
+	c.runs.Add(1)
+	if changed {
+		c.changed.Add(1)
+	}
+	c.nanos.Add(int64(d))
+}
+
+// PassStats returns a snapshot of every pass Pipeline has run since process
+// start (or the last ResetPassStats), sorted by pass name for deterministic
+// output.
+func PassStats() []PassStat {
+	passMu.Lock()
+	defer passMu.Unlock()
+	out := make([]PassStat, 0, len(passStats))
+	for name, c := range passStats {
+		out = append(out, PassStat{
+			Name:    name,
+			Runs:    c.runs.Load(),
+			Changed: c.changed.Load(),
+			Nanos:   c.nanos.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetPassStats zeroes the per-pass counters (test isolation).
+func ResetPassStats() {
+	passMu.Lock()
+	defer passMu.Unlock()
+	passStats = map[string]*passCounters{}
+}

@@ -7,6 +7,7 @@ package opt
 
 import (
 	"fmt"
+	"time"
 
 	"spirvfuzz/internal/spirv"
 )
@@ -19,23 +20,45 @@ type Pass struct {
 	Run  func(m *spirv.Module) (bool, error)
 }
 
-// Pipeline runs passes in order until a fixpoint or maxRounds, mimicking a
-// -O pass schedule. It returns the first crash error encountered.
+// Pipeline runs passes cyclically until a fixpoint or maxRounds full rounds,
+// mimicking a -O pass schedule. It returns the first crash error encountered.
+//
+// The loop stops as soon as len(passes) consecutive pass runs report no
+// change: at that point every pass has run on the current module and left it
+// alone, so the module is a fixpoint and any further run is provably a no-op
+// (passes are deterministic). This produces modules bitwise-identical to the
+// naive round loop while skipping the full no-op round that loop would run
+// after converging mid-round with maxRounds headroom left.
+//
+// Pipeline invalidates m's cached fingerprint on entry and exit: passes
+// rewrite the IR in place without going through Module mutator methods.
 func Pipeline(m *spirv.Module, passes []Pass, maxRounds int) error {
 	if maxRounds <= 0 {
 		maxRounds = 4
 	}
-	for round := 0; round < maxRounds; round++ {
-		changed := false
-		for _, p := range passes {
-			ch, err := p.Run(m)
-			if err != nil {
-				return fmt.Errorf("%s: %w", p.Name, err)
-			}
-			changed = changed || ch
+	if len(passes) == 0 {
+		return nil
+	}
+	m.InvalidateFingerprint()
+	defer m.InvalidateFingerprint()
+	counters := make([]*passCounters, len(passes))
+	for i, p := range passes {
+		counters[i] = countersFor(p.Name)
+	}
+	clean := 0
+	for run := 0; run < maxRounds*len(passes) && clean < len(passes); run++ {
+		i := run % len(passes)
+		p := passes[i]
+		start := time.Now()
+		ch, err := p.Run(m)
+		observePass(counters[i], ch, time.Since(start))
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		if !changed {
-			return nil
+		if ch {
+			clean = 0
+		} else {
+			clean++
 		}
 	}
 	return nil

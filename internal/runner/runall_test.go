@@ -1,0 +1,185 @@
+package runner_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+	"spirvfuzz/internal/testmod"
+)
+
+// fuzzedVariant is one generated test case for the batching property tests.
+type fuzzedVariant struct {
+	mod *spirv.Module
+	in  interp.Inputs
+}
+
+// fuzzVariants generates n variants from the reference corpus, spanning
+// clean modules, crashing shapes and miscompiling shapes across the targets.
+func fuzzVariants(t *testing.T, n int) []fuzzedVariant {
+	t.Helper()
+	refs := corpus.References()
+	donors := corpus.Donors()
+	out := make([]fuzzedVariant, 0, n)
+	for i := 0; i < n; i++ {
+		item := refs[i%len(refs)]
+		res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+			Seed:                  int64(7000 + i),
+			Donors:                donors,
+			EnableRecommendations: true,
+			MinPasses:             3,
+			MaxPasses:             10,
+		})
+		if err != nil {
+			t.Fatalf("fuzz %d: %v", i, err)
+		}
+		out = append(out, fuzzedVariant{mod: res.Variant, in: res.Inputs})
+	}
+	return out
+}
+
+// TestRunAllMatchesPerTarget is the batching property test: for fuzzed
+// variants, RunAllCtx over all nine targets must byte-equal the per-target
+// RunCtx results of an engine with compile sharing disabled (the monolithic
+// pre-phase-split path), at 1 and 4 workers. Crashes are compared by
+// signature, images by content.
+func TestRunAllMatchesPerTarget(t *testing.T) {
+	targets := target.All()
+	variants := fuzzVariants(t, 50)
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 4} {
+		batched := runner.New(workers)
+		unbatched := runner.New(workers)
+		unbatched.SetCompileSharing(false)
+		for vi, v := range variants {
+			all, err := batched.RunAllCtx(ctx, targets, v.mod, v.in)
+			if err != nil {
+				t.Fatalf("workers=%d variant=%d: RunAllCtx: %v", workers, vi, err)
+			}
+			if len(all) != len(targets) {
+				t.Fatalf("workers=%d variant=%d: %d results for %d targets", workers, vi, len(all), len(targets))
+			}
+			for ti, tg := range targets {
+				img, crash, err := unbatched.RunCtx(ctx, tg, v.mod, v.in)
+				if err != nil {
+					t.Fatalf("workers=%d variant=%d %s: RunCtx: %v", workers, vi, tg.Name, err)
+				}
+				got := all[ti]
+				switch {
+				case (crash == nil) != (got.Crash == nil):
+					t.Fatalf("workers=%d variant=%d %s: crash mismatch: %v vs %v", workers, vi, tg.Name, crash, got.Crash)
+				case crash != nil && crash.Signature != got.Crash.Signature:
+					t.Fatalf("workers=%d variant=%d %s: signature %q vs %q", workers, vi, tg.Name, crash.Signature, got.Crash.Signature)
+				case (img == nil) != (got.Img == nil):
+					t.Fatalf("workers=%d variant=%d %s: image presence mismatch", workers, vi, tg.Name)
+				case img != nil && !img.Equal(got.Img):
+					t.Fatalf("workers=%d variant=%d %s: images differ", workers, vi, tg.Name)
+				}
+			}
+		}
+		bst, ust := batched.Stats(), unbatched.Stats()
+		if bst.CompileHits == 0 {
+			t.Fatalf("workers=%d: batched engine never shared a compile: %+v", workers, bst)
+		}
+		if ust.CompileHits != 0 || ust.CompileMisses != 0 {
+			t.Fatalf("workers=%d: sharing-disabled engine touched the compile layer: %+v", workers, ust)
+		}
+	}
+}
+
+// TestRunAllMatchesDirectRun spot-checks RunAllCtx against raw tg.Run — the
+// uncached, unshared ground truth — so the whole engine stack, not just the
+// sharing toggle, is anchored to target semantics.
+func TestRunAllMatchesDirectRun(t *testing.T) {
+	targets := target.All()
+	variants := fuzzVariants(t, 10)
+	eng := runner.New(4)
+	for vi, v := range variants {
+		all, err := eng.RunAllCtx(context.Background(), targets, v.mod, v.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti, tg := range targets {
+			img, crash := tg.Run(v.mod, v.in)
+			got := all[ti]
+			switch {
+			case (crash == nil) != (got.Crash == nil):
+				t.Fatalf("variant=%d %s: crash mismatch: %v vs %v", vi, tg.Name, crash, got.Crash)
+			case crash != nil && crash.Signature != got.Crash.Signature:
+				t.Fatalf("variant=%d %s: signature %q vs %q", vi, tg.Name, crash.Signature, got.Crash.Signature)
+			case (img == nil) != (got.Img == nil):
+				t.Fatalf("variant=%d %s: image presence mismatch", vi, tg.Name)
+			case img != nil && !img.Equal(got.Img):
+				t.Fatalf("variant=%d %s: images differ", vi, tg.Name)
+			}
+		}
+	}
+}
+
+// TestRunAllHammer drives RunAllCtx from many goroutines over a small cache
+// so the shared-compile layer's insertion, in-flight waiting and eviction
+// interleave; run with -race. Every call's results are checked against a
+// precomputed reference.
+func TestRunAllHammer(t *testing.T) {
+	eng := runner.New(8)
+	eng.SetCacheCap(32) // force constant eviction in every layer
+	targets := target.All()
+
+	var mods []*spirv.Module
+	for i := 0; i < 8; i++ {
+		m := testmod.Diamond()
+		m.EnsureConstantWord(m.EnsureTypeInt(32, true), uint32(2000+i))
+		mods = append(mods, m)
+	}
+	want := make([]*interp.Image, len(mods))
+	for i, m := range mods {
+		var err error
+		want[i], err = interp.Render(m, interp.Inputs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				mi := (g*5 + i) % len(mods)
+				all, err := eng.RunAllCtx(context.Background(), targets, mods[mi], interp.Inputs{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for ti, tg := range targets {
+					if all[ti].Crash != nil {
+						errCh <- fmt.Errorf("%s crashed on clean module: %v", tg.Name, all[ti].Crash)
+						return
+					}
+					if tg.CanRender && !all[ti].Img.Equal(want[mi]) {
+						errCh <- fmt.Errorf("%s returned a wrong image under contention", tg.Name)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CompileHits == 0 || st.CompileMisses == 0 {
+		t.Fatalf("hammer did not exercise the compile cache: %+v", st)
+	}
+}

@@ -1,32 +1,42 @@
 // Package runner is the concurrent execution engine behind campaigns and
-// reduction. It provides two things the rest of the repo composes:
+// reduction. It provides three things the rest of the repo composes:
 //
 //   - a worker pool, sized by GOMAXPROCS unless overridden, that bounds how
 //     many simulated-compiler invocations run at once no matter how many
-//     goroutines fan work out; and
+//     goroutines fan work out;
 //
-//   - a sharded, content-addressed result cache keyed by (target name, module
-//     binary hash, inputs hash). Delta debugging probes many overlapping
-//     subsets of one transformation sequence and re-probes them after every
-//     successful removal, and campaigns run the same original module once per
-//     generated test; both collapse to a single target execution per distinct
-//     (target, module, inputs) triple.
+//   - a sharded, content-addressed cache with three layers: whole results
+//     keyed by (target name, module fingerprint, inputs), compiled modules
+//     keyed by (module fingerprint, mutation fingerprint), and renders keyed
+//     by (compiled module fingerprint, inputs). Delta debugging probes many
+//     overlapping subsets of one transformation sequence and re-probes them
+//     after every successful removal, and campaigns run the same original
+//     module once per generated test; both collapse to a single execution per
+//     distinct key; and
+//
+//   - a batched multi-target entry point, RunAllCtx, that fans one module
+//     across many targets with the module and inputs hashed once and the
+//     phase-split target API (CheckCrashes / Mutations / SharedCompile) used
+//     so that all targets whose injected mutations agree — commonly the empty
+//     set, shared by all nine — compile and render the module exactly once.
 //
 // Target execution is deterministic, so cached results are exact and the
 // engine never changes observable behaviour — only how often the simulated
 // compilers actually run. Cache entries are deduplicated in flight: when two
-// goroutines ask for the same triple concurrently, one executes and the other
+// goroutines ask for the same key concurrently, one executes and the other
 // waits for its result.
 package runner
 
 import (
 	"context"
 	"crypto/sha256"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/opt"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/target"
 )
@@ -36,18 +46,30 @@ const (
 	shardCount = 16
 	// defaultCacheCap bounds total cached results across all shards.
 	defaultCacheCap = 1 << 14
+	// maxUniformMemo bounds the uniforms-hash memo (entries pin their maps).
+	maxUniformMemo = 4096
 )
 
 // key identifies one target execution by content, not identity: two
 // structurally identical modules (e.g. the same ddmin candidate reached via
 // different removal orders) hash to the same key. For the render layer the
-// target field is empty — rendering depends only on the compiled module and
-// the inputs, so targets whose simulated defects leave a module untouched
-// share one render.
+// target field is empty and mod holds the compiled module's fingerprint —
+// rendering depends only on the compiled module and the inputs, so targets
+// that compile a module identically share one render.
 type key struct {
 	target string
 	mod    [sha256.Size]byte
-	inputs [sha256.Size]byte
+	w, h   int
+	uni    [sha256.Size]byte
+}
+
+// ckey identifies one compile: module content plus which miscompiling
+// rewrites the target applies to it (target.MutationFingerprint). Targets
+// with equal mutation fingerprints share the clone + mutate + optimize work;
+// the common fingerprint is "" (no injected mutation fires).
+type ckey struct {
+	mod [sha256.Size]byte
+	mut string
 }
 
 // entry is one cache slot. done is closed once the payload is populated, so
@@ -63,9 +85,24 @@ type entry struct {
 	canceled  bool
 }
 
+// centry is one compile-cache slot: the shared compiled module, its cached
+// fingerprint (the render-layer key, so renders never re-encode the module),
+// or the pipeline error text, which each target wraps in its own signature.
+type centry struct {
+	done     chan struct{}
+	compiled *spirv.Module
+	fp       [sha256.Size]byte
+	errMsg   string
+}
+
 type shard struct {
 	mu sync.Mutex
 	m  map[key]*entry
+}
+
+type cshard struct {
+	mu sync.Mutex
+	m  map[ckey]*centry
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -73,23 +110,38 @@ type Stats struct {
 	// Result layer: full (target, module, inputs) executions.
 	Hits   uint64 // Run calls answered from the cache (incl. in-flight waits)
 	Misses uint64 // Run calls that executed the target toolchain
+	// Compile layer: (module, mutation fingerprint) clone+mutate+optimize
+	// runs, consulted on result-layer misses and shared across targets.
+	CompileHits   uint64
+	CompileMisses uint64
 	// Render layer: (compiled module, inputs) interpreter runs, consulted on
 	// result-layer misses and shared across targets.
 	RenderHits   uint64
 	RenderMisses uint64
 	Evictions    uint64 // cache entries discarded to stay under the cap
-	Entries      int    // entries currently cached (both layers)
+	Entries      int    // entries currently cached (all layers)
 	Workers      int    // worker-pool size
+	// OptPasses is the process-wide per-pass optimizer profile (runs,
+	// changed, wall time) accumulated by opt.Pipeline.
+	OptPasses []opt.PassStat
 }
 
 // HitRate returns the fraction of cache lookups served without executing
-// anything, across both layers; 0 before any Run call.
+// anything, across all layers; 0 before any Run call.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses + s.RenderHits + s.RenderMisses
+	total := s.Hits + s.Misses + s.CompileHits + s.CompileMisses + s.RenderHits + s.RenderMisses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.RenderHits) / float64(total)
+	return float64(s.Hits+s.CompileHits+s.RenderHits) / float64(total)
+}
+
+// uniEntry memoizes the hash of one uniforms map. The map itself is retained
+// so its address (the memo key) cannot be reused by a different map while the
+// entry is alive.
+type uniEntry struct {
+	ref  map[string]interp.Value
+	hash [sha256.Size]byte
 }
 
 // Engine is a memoizing, concurrency-bounded executor of target runs. It is
@@ -98,14 +150,21 @@ type Engine struct {
 	workers     int
 	sem         chan struct{}
 	maxPerShard int
-	shards      [shardCount]shard // result layer: (target, module, inputs)
-	renders     [shardCount]shard // render layer: ("", compiled module, inputs)
+	sharing     bool
+	shards      [shardCount]shard  // result layer: (target, module, inputs)
+	compiles    [shardCount]cshard // compile layer: (module, mutations)
+	renders     [shardCount]shard  // render layer: ("", compiled module, inputs)
 
-	hits         atomic.Uint64
-	misses       atomic.Uint64
-	renderHits   atomic.Uint64
-	renderMisses atomic.Uint64
-	evictions    atomic.Uint64
+	uniMu   sync.Mutex
+	uniMemo map[uintptr]uniEntry
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	compileHits   atomic.Uint64
+	compileMisses atomic.Uint64
+	renderHits    atomic.Uint64
+	renderMisses  atomic.Uint64
+	evictions     atomic.Uint64
 }
 
 // New returns an engine whose worker pool admits workers concurrent target
@@ -118,9 +177,12 @@ func New(workers int) *Engine {
 		workers:     workers,
 		sem:         make(chan struct{}, workers),
 		maxPerShard: defaultCacheCap / shardCount,
+		sharing:     true,
+		uniMemo:     make(map[uintptr]uniEntry),
 	}
 	for i := range e.shards {
 		e.shards[i].m = make(map[key]*entry)
+		e.compiles[i].m = make(map[ckey]*centry)
 		e.renders[i].m = make(map[key]*entry)
 	}
 	return e
@@ -142,6 +204,14 @@ func (e *Engine) SetCacheCap(total int) {
 	e.maxPerShard = per
 }
 
+// SetCompileSharing toggles the phase-split execute path. Sharing is on by
+// default; turning it off restores the monolithic per-target path — every
+// result-layer miss runs target.Compile itself, module and inputs hashes are
+// recomputed per call, and the compile layer is bypassed — which exists as
+// the benchmark baseline for the sharing win. Results are bitwise identical
+// either way. Not safe to call concurrently with Run.
+func (e *Engine) SetCompileSharing(on bool) { e.sharing = on }
+
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
@@ -150,14 +220,15 @@ func (e *Engine) Workers() int { return e.workers }
 // treated as immutable (images and crashes are never mutated anywhere in the
 // repo).
 //
-// Two cache layers serve a lookup. The result layer is keyed by (target,
+// Three cache layers serve a lookup. The result layer is keyed by (target,
 // module, inputs) and memoizes whole executions. On a result-layer miss the
-// module is compiled — cheap next to rendering — and the interpreter run is
-// served from the render layer, keyed by the compiled module's content:
-// targets whose injected defects leave a module untouched (most modules, for
-// most targets) compile to bit-identical optimized modules and share one
-// render, so a variant classified against all nine targets is typically
-// rendered once, not six times.
+// target is phase-split: its crash predicates run directly (a pure scan, no
+// clone), the clone + mutate + optimize tail is served from the compile
+// layer keyed by (module, mutation fingerprint) — so targets whose injected
+// defects agree on a module, most targets for most modules, compile it once
+// — and the interpreter run is served from the render layer, keyed by the
+// compiled module's content. A variant classified against all nine targets
+// is typically compiled once and rendered once, not nine and six times.
 func (e *Engine) Run(tg *target.Target, m *spirv.Module, in interp.Inputs) (*interp.Image, *target.Crash) {
 	img, crash, _ := e.RunCtx(context.Background(), tg, m, in)
 	return img, crash
@@ -184,9 +255,71 @@ func (e *Engine) RunCtx(ctx context.Context, tg *target.Target, m *spirv.Module,
 		<-e.sem
 		return img, crash, nil
 	}
-	k := e.keyFor(tg, m, in)
-	s := &e.shards[k.mod[0]&(shardCount-1)]
+	return e.runKeyed(ctx, tg, m, in, e.keyFor(tg, m, in))
+}
 
+// TargetResult is one target's slot in a RunAllCtx batch: the rendered image
+// (nil for offline targets and crashes) and the crash, exactly as the
+// corresponding RunCtx call would return them.
+type TargetResult struct {
+	Img   *interp.Image
+	Crash *target.Crash
+}
+
+// RunAll is RunAllCtx without cancellation.
+func (e *Engine) RunAll(targets []*target.Target, m *spirv.Module, in interp.Inputs) []TargetResult {
+	out, _ := e.RunAllCtx(context.Background(), targets, m, in)
+	return out
+}
+
+// RunAllCtx executes m on every target in one batch and returns the results
+// indexed like targets. The module fingerprint and inputs hash are computed
+// once for the whole batch, crash checks fan out on the worker pool, each
+// distinct (module, mutation fingerprint) class is compiled once, and each
+// distinct compiled module is rendered once per inputs. Per-slot results are
+// bitwise identical to calling RunCtx once per target, at any worker count.
+// A canceled ctx returns (nil, ctx.Err()).
+func (e *Engine) RunAllCtx(ctx context.Context, targets []*target.Target, m *spirv.Module, in interp.Inputs) ([]TargetResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]TargetResult, len(targets))
+	var run func(i int) error
+	if e.maxPerShard == 0 || !e.sharing {
+		// Degraded modes keep per-call hashing; RunCtx handles both.
+		run = func(i int) error {
+			img, crash, err := e.RunCtx(ctx, targets[i], m, in)
+			out[i] = TargetResult{Img: img, Crash: crash}
+			return err
+		}
+	} else {
+		base := key{mod: m.Fingerprint(), w: in.W, h: in.H, uni: e.uniformsHash(in.Uniforms)}
+		run = func(i int) error {
+			k := base
+			k.target = targets[i].Name
+			img, crash, err := e.runKeyed(ctx, targets[i], m, in, k)
+			out[i] = TargetResult{Img: img, Crash: crash}
+			return err
+		}
+	}
+	if len(targets) == 1 {
+		// Skip the pool for the degenerate batch (reduction's per-target
+		// interestingness queries).
+		if err := run(0); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := e.DoCtx(ctx, len(targets), func(i int) { _ = run(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runKeyed is the common result-layer protocol behind RunCtx and RunAllCtx:
+// look up k, wait on an in-flight executor, or execute and cache.
+func (e *Engine) runKeyed(ctx context.Context, tg *target.Target, m *spirv.Module, in interp.Inputs, k key) (*interp.Image, *target.Crash, error) {
+	s := &e.shards[k.mod[0]&(shardCount-1)]
 	for {
 		s.mu.Lock()
 		if ent, ok := s.m[k]; ok {
@@ -220,34 +353,89 @@ func (e *Engine) RunCtx(ctx context.Context, tg *target.Target, m *spirv.Module,
 			return nil, nil, ctx.Err()
 		}
 		e.misses.Add(1)
-		ent.img, ent.crash = e.runUncached(tg, m, k.inputs, in)
+		ent.img, ent.crash = e.runUncached(tg, m, in, k)
 		<-e.sem
 		close(ent.done)
 		return ent.img, ent.crash, nil
 	}
 }
 
-// runUncached mirrors target.Run — compile, then render for render-capable
-// targets — with the render memoized by compiled-module content.
-func (e *Engine) runUncached(tg *target.Target, m *spirv.Module, inHash [sha256.Size]byte, in interp.Inputs) (*interp.Image, *target.Crash) {
-	compiled, crash := tg.Compile(m)
-	if crash != nil {
-		return nil, crash
+// runUncached executes the toolchain for a result-layer miss. With sharing
+// on it mirrors target.Run phase by phase — crash predicates directly, the
+// compile tail through the compile cache, the render through the render
+// cache keyed by the compiled module's fingerprint. With sharing off it is
+// the monolithic baseline: tg.Compile plus a render memoized on a fresh
+// hash of the compiled module's encoding.
+func (e *Engine) runUncached(tg *target.Target, m *spirv.Module, in interp.Inputs, k key) (*interp.Image, *target.Crash) {
+	var compiled *spirv.Module
+	rk := key{w: k.w, h: k.h, uni: k.uni}
+	if e.sharing {
+		if crash := tg.CheckCrashes(m); crash != nil {
+			return nil, crash
+		}
+		var errMsg string
+		compiled, rk.mod, errMsg = e.compile(m, k.mod, tg.Mutations(m))
+		if errMsg != "" {
+			return nil, &target.Crash{Signature: tg.Name + ": internal compiler error: " + errMsg}
+		}
+	} else {
+		var crash *target.Crash
+		compiled, crash = tg.Compile(m)
+		if crash != nil {
+			return nil, crash
+		}
+		rk.mod = sha256.Sum256(compiled.EncodeBytes())
 	}
 	if !tg.CanRender {
 		return nil, nil
 	}
-	img, errMsg := e.render(compiled, inHash, in)
+	img, errMsg := e.render(compiled, rk, in)
 	if errMsg != "" {
 		return nil, &target.Crash{Signature: tg.Name + ": device fault: " + errMsg}
 	}
 	return img, nil
 }
 
-// render executes the reference interpreter, memoized on (compiled module
-// bytes, inputs). The error message is cached as text so each target can
-// prefix its own name, exactly as target.Run does.
-func (e *Engine) render(compiled *spirv.Module, inHash [sha256.Size]byte, in interp.Inputs) (*interp.Image, string) {
+// compile serves the clone + mutate + optimize tail from the compile cache,
+// keyed by (module fingerprint, mutation fingerprint). It returns the shared
+// compiled module (treat as immutable), its fingerprint (the render-layer
+// key), and the pipeline error text, exactly one of module/error set.
+// Executors hold a worker slot already, so waiters block without a ctx: the
+// peer they wait on is running, not queued.
+func (e *Engine) compile(m *spirv.Module, modHash [sha256.Size]byte, muts []target.Mutation) (*spirv.Module, [sha256.Size]byte, string) {
+	ck := ckey{mod: modHash, mut: target.FingerprintMutations(muts)}
+	s := &e.compiles[ck.mod[0]&(shardCount-1)]
+
+	s.mu.Lock()
+	if ent, ok := s.m[ck]; ok {
+		s.mu.Unlock()
+		e.compileHits.Add(1)
+		<-ent.done
+		return ent.compiled, ent.fp, ent.errMsg
+	}
+	ent := &centry{done: make(chan struct{})}
+	if len(s.m) >= e.maxPerShard {
+		e.evictCompileLocked(s)
+	}
+	s.m[ck] = ent
+	s.mu.Unlock()
+
+	e.compileMisses.Add(1)
+	compiled, err := target.SharedCompile(m, muts)
+	if err != nil {
+		ent.errMsg = err.Error()
+	} else {
+		ent.compiled = compiled
+		ent.fp = compiled.Fingerprint()
+	}
+	close(ent.done)
+	return ent.compiled, ent.fp, ent.errMsg
+}
+
+// render executes the reference interpreter, memoized on rk (compiled module
+// fingerprint plus inputs). The error message is cached as text so each
+// target can prefix its own name, exactly as target.Run does.
+func (e *Engine) render(compiled *spirv.Module, rk key, in interp.Inputs) (*interp.Image, string) {
 	if e.maxPerShard == 0 { // caching disabled; Run bypasses us, but stay safe
 		e.renderMisses.Add(1)
 		img, err := interp.Render(compiled, in)
@@ -256,11 +444,10 @@ func (e *Engine) render(compiled *spirv.Module, inHash [sha256.Size]byte, in int
 		}
 		return img, ""
 	}
-	k := key{mod: sha256.Sum256(compiled.EncodeBytes()), inputs: inHash}
-	s := &e.renders[k.mod[0]&(shardCount-1)]
+	s := &e.renders[rk.mod[0]&(shardCount-1)]
 
 	s.mu.Lock()
-	if ent, ok := s.m[k]; ok {
+	if ent, ok := s.m[rk]; ok {
 		s.mu.Unlock()
 		e.renderHits.Add(1)
 		<-ent.done
@@ -270,7 +457,7 @@ func (e *Engine) render(compiled *spirv.Module, inHash [sha256.Size]byte, in int
 	if len(s.m) >= e.maxPerShard {
 		e.evictOneLocked(s)
 	}
-	s.m[k] = ent
+	s.m[rk] = ent
 	s.mu.Unlock()
 
 	e.renderMisses.Add(1)
@@ -299,15 +486,31 @@ func (e *Engine) evictOneLocked(s *shard) {
 	}
 }
 
+// evictCompileLocked is evictOneLocked for the compile layer.
+func (e *Engine) evictCompileLocked(s *cshard) {
+	for k, ent := range s.m {
+		select {
+		case <-ent.done:
+			delete(s.m, k)
+			e.evictions.Add(1)
+			return
+		default:
+		}
+	}
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Hits:         e.hits.Load(),
-		Misses:       e.misses.Load(),
-		RenderHits:   e.renderHits.Load(),
-		RenderMisses: e.renderMisses.Load(),
-		Evictions:    e.evictions.Load(),
-		Workers:      e.workers,
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		CompileHits:   e.compileHits.Load(),
+		CompileMisses: e.compileMisses.Load(),
+		RenderHits:    e.renderHits.Load(),
+		RenderMisses:  e.renderMisses.Load(),
+		Evictions:     e.evictions.Load(),
+		Workers:       e.workers,
+		OptPasses:     opt.PassStats(),
 	}
 	for i := range e.shards {
 		for _, s := range []*shard{&e.shards[i], &e.renders[i]} {
@@ -315,6 +518,10 @@ func (e *Engine) Stats() Stats {
 			st.Entries += len(s.m)
 			s.mu.Unlock()
 		}
+		cs := &e.compiles[i]
+		cs.mu.Lock()
+		st.Entries += len(cs.m)
+		cs.mu.Unlock()
 	}
 	return st
 }
@@ -367,14 +574,52 @@ func (e *Engine) DoCtx(ctx context.Context, n int, f func(i int)) error {
 	return ctx.Err()
 }
 
-// keyFor builds the content-addressed cache key.
+// keyFor builds the content-addressed cache key. With sharing on, the module
+// hash is the memoized fingerprint and the inputs hash is the memoized
+// uniforms hash (width and height travel as explicit key fields); with
+// sharing off, both are recomputed from a fresh encoding on every call — the
+// pre-phase-split behaviour the benchmarks baseline against.
 func (e *Engine) keyFor(tg *target.Target, m *spirv.Module, in interp.Inputs) key {
+	if e.sharing {
+		return key{target: tg.Name, mod: m.Fingerprint(), w: in.W, h: in.H, uni: e.uniformsHash(in.Uniforms)}
+	}
 	k := key{target: tg.Name, mod: sha256.Sum256(m.EncodeBytes())}
 	// EncodeInputs is deterministic (encoding/json sorts map keys). Inputs
 	// that fail to encode share a sentinel hash; they would fail identically
 	// inside the interpreter anyway.
 	if data, err := interp.EncodeInputs(in); err == nil {
-		k.inputs = sha256.Sum256(data)
+		k.uni = sha256.Sum256(data)
 	}
 	return k
+}
+
+// uniformsHash returns the hash of a uniforms map, memoized by the map's
+// address: campaigns and reductions query thousands of runs against a
+// handful of long-lived input maps, so the JSON encoding runs once per map
+// instead of once per call. Entries retain the map they hashed, so an
+// address cannot be recycled by a different live map; callers must not
+// mutate a uniforms map after its first engine run (nothing in the repo
+// does — inputs are cloned before fuzzing mutates them). Uniforms that fail
+// to encode share a zero sentinel distinct from every real hash.
+func (e *Engine) uniformsHash(u map[string]interp.Value) [sha256.Size]byte {
+	p := reflect.ValueOf(u).Pointer()
+	e.uniMu.Lock()
+	if ent, ok := e.uniMemo[p]; ok {
+		e.uniMu.Unlock()
+		return ent.hash
+	}
+	e.uniMu.Unlock()
+
+	var h [sha256.Size]byte
+	if data, err := interp.EncodeInputs(interp.Inputs{Uniforms: u}); err == nil {
+		h = sha256.Sum256(data)
+	}
+
+	e.uniMu.Lock()
+	if len(e.uniMemo) >= maxUniformMemo {
+		e.uniMemo = make(map[uintptr]uniEntry) // rare; drop pins and restart
+	}
+	e.uniMemo[p] = uniEntry{ref: u, hash: h}
+	e.uniMu.Unlock()
+	return h
 }

@@ -29,8 +29,8 @@ func TestRunMemoizes(t *testing.T) {
 		t.Fatalf("clean module crashed: %v", crash1)
 	}
 	st := eng.Stats()
-	// One result entry plus one render entry.
-	if st.Hits != 0 || st.Misses != 1 || st.RenderMisses != 1 || st.Entries != 2 {
+	// One result entry, one compile entry, one render entry.
+	if st.Hits != 0 || st.Misses != 1 || st.CompileMisses != 1 || st.RenderMisses != 1 || st.Entries != 3 {
 		t.Fatalf("after first run: %+v", st)
 	}
 
@@ -45,26 +45,27 @@ func TestRunMemoizes(t *testing.T) {
 	}
 
 	// A different target is a distinct result key, but neither Mesa's nor
-	// Pixel-5's defects touch the diamond module, so the identical compiled
-	// modules share one render across the two targets.
+	// Pixel-5's defects touch the diamond module, so the two targets share
+	// one compile (mutation fingerprint "") and therefore one render.
 	img3, _ := eng.Run(target.ByName("Pixel-5"), m, in)
 	st = eng.Stats()
-	if st.Misses != 2 || st.RenderHits != 1 || st.RenderMisses != 1 {
-		t.Fatalf("cross-target render was not shared: %+v", st)
+	if st.Misses != 2 || st.CompileHits != 1 || st.CompileMisses != 1 || st.RenderHits != 1 || st.RenderMisses != 1 {
+		t.Fatalf("cross-target compile/render was not shared: %+v", st)
 	}
 	if img3 != img1 {
 		t.Fatal("shared render returned a different image")
 	}
 
-	// Different inputs are distinct keys in both layers.
+	// Different inputs are distinct result and render keys, but the compiled
+	// module does not depend on the inputs, so the compile layer hits.
 	eng.Run(tg, m, interp.Inputs{W: 3, H: 3})
 	st = eng.Stats()
-	if st.Misses != 3 || st.RenderMisses != 2 {
+	if st.Misses != 3 || st.CompileHits != 2 || st.RenderMisses != 2 {
 		t.Fatalf("distinct keys collided: %+v", st)
 	}
-	// Combined rate: (1 result hit + 1 render hit) of (4+3 lookups).
-	if got := st.HitRate(); got != 2.0/7.0 {
-		t.Fatalf("hit rate %v, want 2/7", got)
+	// Combined rate: (1 result + 2 compile + 1 render hit) of (4+3+3 lookups).
+	if got := st.HitRate(); got != 4.0/10.0 {
+		t.Fatalf("hit rate %v, want 4/10", got)
 	}
 	if st.Workers != 2 {
 		t.Fatalf("workers %d, want 2", st.Workers)

@@ -157,11 +157,12 @@ func (s *Service) fuzzTest(ctx context.Context, c *campaign, targets []*target.T
 	}
 	var bugs []BugRef
 	var seqHash, variantHash string
-	for _, tg := range targets {
-		sig, err := harness.ClassifyCtx(ctx, s.eng, tg, item.Mod, res.Variant, item.Inputs, res.Inputs)
-		if err != nil {
-			return err
-		}
+	sigs, err := harness.ClassifyAllCtx(ctx, s.eng, targets, item.Mod, res.Variant, item.Inputs, res.Inputs)
+	if err != nil {
+		return err
+	}
+	for ti, tg := range targets {
+		sig := sigs[ti]
 		if sig == "" {
 			continue
 		}

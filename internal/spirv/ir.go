@@ -1,8 +1,10 @@
 package spirv
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // ID is a SPIR-V result id. Id 0 is invalid and doubles as "absent".
@@ -396,6 +398,11 @@ type Module struct {
 	Decorations  []*Instruction // OpDecorate / OpMemberDecorate
 	TypesGlobals []*Instruction // types, constants, global variables, in order
 	Functions    []*Function
+
+	// fp caches the SHA-256 of the canonical encoding (Fingerprint). Module
+	// mutator methods clear it; Clone deliberately does not copy it, so a
+	// clone always recomputes from its own content. See fingerprint.go.
+	fp atomic.Pointer[[sha256.Size]byte]
 }
 
 // SPIR-V binary constants.
@@ -421,6 +428,7 @@ func NewModule() *Module {
 func (m *Module) FreshID() ID {
 	id := m.Bound
 	m.Bound++
+	m.InvalidateFingerprint()
 	return id
 }
 
@@ -428,6 +436,7 @@ func (m *Module) FreshID() ID {
 func (m *Module) ReserveIDs(n int) ID {
 	id := m.Bound
 	m.Bound += ID(n)
+	m.InvalidateFingerprint()
 	return id
 }
 

@@ -278,14 +278,21 @@ func intCompare(op spirv.Opcode) bool {
 	return false
 }
 
-// mutateHoistedLoopBound is the Mesa miscompilation of Figure 8a: when a
+// The mutate defects below are implemented as a single scan with an apply
+// switch: scanX(m, false) reports whether the rewrite would change m without
+// touching it, and scanX(m, true) performs it. Sharing one walk makes the
+// fires/apply pair coherent by construction — the phase-split compile path
+// (Target.Mutations + SharedCompile) depends on the predicate and the
+// rewrite never diverging.
+
+// scanHoistedLoopBound is the Mesa miscompilation of Figure 8a: when a
 // loop-header body instruction is an integer comparison between a ϕ of that
 // same header and a constant bound (the shape PropagateInstructionUp
 // produces by hoisting the exit check into the header), the simulated
 // loop-invariant hoisting pass decrements the bound by one, skipping the
 // final loop iteration. Reference loop headers keep their exit checks in a
 // separate block, so the rewrite never applies to originals.
-func mutateHoistedLoopBound(m *spirv.Module) bool {
+func scanHoistedLoopBound(m *spirv.Module, apply bool) bool {
 	changed := false
 	for _, f := range m.Functions {
 		for _, b := range f.Blocks {
@@ -307,9 +314,12 @@ func mutateHoistedLoopBound(m *spirv.Module) bool {
 				}
 				switch {
 				case headerPhis[ins.IDOperand(0)]:
-					changed = decrementConstOperand(m, ins, 1) || changed
+					changed = decrementConstOperand(m, ins, 1, apply) || changed
 				case headerPhis[ins.IDOperand(1)]:
-					changed = decrementConstOperand(m, ins, 0) || changed
+					changed = decrementConstOperand(m, ins, 0, apply) || changed
+				}
+				if changed && !apply {
+					return true // predicate mode: first match decides
 				}
 			}
 		}
@@ -319,23 +329,26 @@ func mutateHoistedLoopBound(m *spirv.Module) bool {
 
 // decrementConstOperand replaces the integer constant at operand index i
 // with a constant one less, when the operand is a plain single-word
-// OpConstant of integer type.
-func decrementConstOperand(m *spirv.Module, ins *spirv.Instruction, i int) bool {
+// OpConstant of integer type. With apply false it only reports whether the
+// replacement would happen.
+func decrementConstOperand(m *spirv.Module, ins *spirv.Instruction, i int, apply bool) bool {
 	def := m.Def(ins.IDOperand(i))
 	if def == nil || def.Op != spirv.OpConstant || len(def.Operands) != 1 || !m.IsIntType(def.Type) {
 		return false
 	}
-	ins.Operands[i] = uint32(m.EnsureConstantWord(def.Type, def.Operands[0]-1))
+	if apply {
+		ins.Operands[i] = uint32(m.EnsureConstantWord(def.Type, def.Operands[0]-1))
+	}
 	return true
 }
 
-// mutateLayoutKill is the Pixel driver miscompilation of Figure 8b: when a
+// scanLayoutKill is the Pixel driver miscompilation of Figure 8b: when a
 // dynamically-conditioned branch in the entry function has its false arm
 // laid out before its true arm (the MoveBlockDown shape — natural layout
 // always places the then-arm first), the simulated backend's block-layout
 // pass drops the displaced arm's fragments by routing the true edge to a
 // discard. Only the first violating branch is rewritten.
-func mutateLayoutKill(m *spirv.Module) bool {
+func scanLayoutKill(m *spirv.Module, apply bool) bool {
 	f := m.EntryPointFunction()
 	if f == nil {
 		return false
@@ -357,9 +370,11 @@ func mutateLayoutKill(m *spirv.Module) bool {
 		if !tOK || !fOK || tArm == fArm || fi >= ti {
 			continue
 		}
-		kill := &spirv.Block{Label: m.FreshID(), Term: spirv.NewInstr(spirv.OpKill, 0, 0)}
-		f.Blocks = append(f.Blocks, kill)
-		b.Term.Operands[1] = uint32(kill.Label)
+		if apply {
+			kill := &spirv.Block{Label: m.FreshID(), Term: spirv.NewInstr(spirv.OpKill, 0, 0)}
+			f.Blocks = append(f.Blocks, kill)
+			b.Term.Operands[1] = uint32(kill.Label)
+		}
 		return true
 	}
 	return false

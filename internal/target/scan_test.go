@@ -1,0 +1,111 @@
+package target
+
+import (
+	"bytes"
+	"testing"
+
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/testmod"
+)
+
+// scanShapes returns modules spanning both sides of every mutate defect:
+// the full testmod set (no defect fires), the hoisted-loop-bound shape
+// (Mesa's mutation fires) and the swapped-diamond shape (the Pixel
+// mutation fires).
+func scanShapes() map[string]*spirv.Module {
+	shapes := map[string]*spirv.Module{}
+	for name, m := range testmod.All() {
+		shapes[name] = m
+	}
+
+	hoisted := testmod.Loop()
+	fn := hoisted.EntryPointFunction()
+	header, check := fn.Blocks[1], fn.Blocks[2]
+	cmp := check.Body[0]
+	check.Body = nil
+	header.Body = append(header.Body, cmp)
+	freshPhi := spirv.NewInstr(spirv.OpPhi, cmp.Type, hoisted.FreshID(),
+		uint32(cmp.Result), uint32(header.Label))
+	check.Phis = append(check.Phis, freshPhi)
+	check.Term.Operands[0] = uint32(freshPhi.Result)
+	shapes["hoisted-loop-bound"] = hoisted
+
+	swapped := testmod.Diamond()
+	sfn := swapped.EntryPointFunction()
+	sfn.Blocks[1], sfn.Blocks[2] = sfn.Blocks[2], sfn.Blocks[1]
+	shapes["swapped-diamond"] = swapped
+
+	return shapes
+}
+
+// TestScanPredicateMatchesApply pins the coherence the compile-sharing
+// contract rests on: for every mutate defect of every target, scan(m, false)
+// must report true exactly when scan(clone, true) changes the module's
+// encoding — the fingerprint of firing mutations then fully determines the
+// compiled output — and the predicate mode must never mutate.
+func TestScanPredicateMatchesApply(t *testing.T) {
+	fired := 0
+	for name, m := range scanShapes() {
+		before := m.EncodeBytes()
+		for _, tg := range registry {
+			for i := range tg.mutations {
+				d := &tg.mutations[i]
+				predicts := d.scan(m, false)
+				if after := m.EncodeBytes(); !bytes.Equal(before, after) {
+					t.Fatalf("%s/%s on %s: predicate scan mutated the module", tg.Name, d.name, name)
+				}
+				c := m.Clone()
+				reported := d.scan(c, true)
+				changed := !bytes.Equal(before, c.EncodeBytes())
+				if predicts != changed {
+					t.Errorf("%s/%s on %s: scan(false)=%v but apply changed=%v", tg.Name, d.name, name, predicts, changed)
+				}
+				if reported != changed {
+					t.Errorf("%s/%s on %s: apply reported %v but changed=%v", tg.Name, d.name, name, reported, changed)
+				}
+				if changed {
+					fired++
+				}
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no mutation fired on any shape; the coherence check is vacuous")
+	}
+}
+
+// TestSharedCompileSharesAcrossTargets pins the sharing equivalence at the
+// target layer: targets whose mutation fingerprints agree on a module must
+// produce bitwise-identical compiled modules through SharedCompile, and
+// SharedCompile must equal what Target.Compile produces.
+func TestSharedCompileSharesAcrossTargets(t *testing.T) {
+	for name, m := range scanShapes() {
+		byFP := map[string][]byte{}
+		for _, tg := range registry {
+			if tg.CheckCrashes(m) != nil {
+				continue
+			}
+			muts := tg.Mutations(m)
+			fp := FingerprintMutations(muts)
+			shared, err := SharedCompile(m, muts)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", tg.Name, name, err)
+			}
+			direct, crash := tg.Compile(m)
+			if crash != nil {
+				t.Fatalf("%s on %s: Compile crashed after CheckCrashes passed: %v", tg.Name, name, crash)
+			}
+			enc := shared.EncodeBytes()
+			if !bytes.Equal(enc, direct.EncodeBytes()) {
+				t.Fatalf("%s on %s: SharedCompile differs from Compile", tg.Name, name)
+			}
+			if prev, ok := byFP[fp]; ok {
+				if !bytes.Equal(prev, enc) {
+					t.Fatalf("%s on %s: fingerprint %q compiled differently across targets", tg.Name, name, fp)
+				}
+			} else {
+				byFP[fp] = enc
+			}
+		}
+	}
+}

@@ -42,13 +42,27 @@ type crashDefect struct {
 	fires func(m *spirv.Module) bool
 }
 
-// mutateDefect is an injected compiler bug that silently miscompiles: it
-// rewrites the cloned module in a semantics-changing way and compilation
-// continues normally.
+// mutateDefect is an injected compiler bug that silently miscompiles. It is
+// one scan function with an apply switch: scan(m, false) reports whether the
+// rewrite would change m (pure predicate, no clone), scan(m, true) performs
+// the semantics-changing rewrite in place. One implementation serving both
+// modes keeps the predicate and the rewrite coherent, which the compile-
+// sharing contract below depends on.
 type mutateDefect struct {
-	name  string
-	apply func(m *spirv.Module) bool
+	name string
+	scan func(m *spirv.Module, apply bool) bool
 }
+
+// Mutation is one miscompiling rewrite a target will apply to a module,
+// as selected by Target.Mutations. It is opaque outside the package; the
+// execution engine treats a mutation list plus its fingerprint as the key
+// that decides which targets may share a compile.
+type Mutation struct {
+	d *mutateDefect
+}
+
+// Name returns the defect's name, the unit of the mutation fingerprint.
+func (mu Mutation) Name() string { return mu.d.name }
 
 // Target is one simulated toolchain from Table 2.
 type Target struct {
@@ -61,24 +75,84 @@ type Target struct {
 	mutations []mutateDefect
 }
 
-// Compile clones m and pushes the clone through the simulated toolchain:
-// injected crash defects first (deterministic order, first trigger wins),
-// then miscompiling rewrites, then the shared optimization pipeline. It
-// returns the compiled module, or a Crash if the toolchain failed.
-func (t *Target) Compile(m *spirv.Module) (*spirv.Module, *Crash) {
+// CheckCrashes scans m against the target's injected crash defects — a pure
+// predicate walk, no clone, no optimization — and returns the first firing
+// defect's Crash (deterministic order, first trigger wins), or nil.
+func (t *Target) CheckCrashes(m *spirv.Module) *Crash {
 	for _, d := range t.crashes {
 		if d.fires(m) {
-			return nil, &Crash{Signature: t.Name + ": " + d.sig}
+			return &Crash{Signature: t.Name + ": " + d.sig}
 		}
 	}
+	return nil
+}
+
+// Mutations returns the target's miscompiling rewrites that fire on m, in
+// application order. Predicates are evaluated against the unmutated input
+// module; every current target carries at most one mutation, so the firing
+// set fully determines the rewrite sequence.
+func (t *Target) Mutations(m *spirv.Module) []Mutation {
+	var out []Mutation
+	for i := range t.mutations {
+		if t.mutations[i].scan(m, false) {
+			out = append(out, Mutation{d: &t.mutations[i]})
+		}
+	}
+	return out
+}
+
+// MutationFingerprint canonically encodes which of the target's mutate
+// defects fire on m: defect names in application order, newline-joined. Two
+// targets with equal fingerprints for a module produce bitwise-identical
+// compiled modules from SharedCompile, so they may share one compile; the
+// common fingerprint is "" (no mutation fires), which all nine targets share
+// on defect-free modules.
+func (t *Target) MutationFingerprint(m *spirv.Module) string {
+	return FingerprintMutations(t.Mutations(m))
+}
+
+// FingerprintMutations is MutationFingerprint over an already-selected
+// mutation list.
+func FingerprintMutations(muts []Mutation) string {
+	if len(muts) == 0 {
+		return ""
+	}
+	fp := muts[0].d.name
+	for _, mu := range muts[1:] {
+		fp += "\n" + mu.d.name
+	}
+	return fp
+}
+
+// SharedCompile is the target-independent tail of the toolchain: clone m,
+// apply the given miscompiling rewrites in order, and run the shared
+// optimization pipeline. A pipeline failure is returned as an error with no
+// target prefix — callers wrap it in their own Crash signature. Because the
+// only target-specific compile step is the mutation set, any two targets
+// whose mutation fingerprints match share one SharedCompile result.
+func SharedCompile(m *spirv.Module, muts []Mutation) (*spirv.Module, error) {
 	c := m.Clone()
-	for _, d := range t.mutations {
-		d.apply(c)
+	for _, mu := range muts {
+		mu.d.scan(c, true)
 	}
 	if err := opt.Pipeline(c, opt.Standard(), 0); err != nil {
-		return nil, &Crash{Signature: t.Name + ": internal compiler error: " + err.Error()}
+		return nil, err
 	}
 	return c, nil
+}
+
+// Compile pushes m through the simulated toolchain: injected crash defects
+// first, then the shared clone + mutate + optimize tail. It returns the
+// compiled module, or a Crash if the toolchain failed.
+func (t *Target) Compile(m *spirv.Module) (*spirv.Module, *Crash) {
+	if crash := t.CheckCrashes(m); crash != nil {
+		return nil, crash
+	}
+	compiled, err := SharedCompile(m, t.Mutations(m))
+	if err != nil {
+		return nil, &Crash{Signature: t.Name + ": internal compiler error: " + err.Error()}
+	}
+	return compiled, nil
 }
 
 // Run compiles m and, for render-capable targets, executes the compiled
@@ -99,8 +173,9 @@ func (t *Target) Run(m *spirv.Module, in interp.Inputs) (*interp.Image, *Crash) 
 	return img, nil
 }
 
-// registry holds the targets in Table 2 order.
-var registry = buildRegistry()
+// registry holds the targets in Table 2 order; byName indexes them for the
+// lookups every campaign spec, CLI flag and journal record resolves through.
+var registry, byName = buildRegistry()
 
 // All returns the targets in Table 2 order. The returned slice is fresh but
 // the targets themselves are shared; they are immutable after init.
@@ -112,16 +187,11 @@ func All() []*Target {
 
 // ByName returns the target with the given name, or nil.
 func ByName(name string) *Target {
-	for _, t := range registry {
-		if t.Name == name {
-			return t
-		}
-	}
-	return nil
+	return byName[name]
 }
 
-func buildRegistry() []*Target {
-	return []*Target{
+func buildRegistry() ([]*Target, map[string]*Target) {
+	all := []*Target{
 		{
 			Name: "AMD-LLPC", Version: "llpc 8.0-dev", GPUType: "Radeon RX 5700 XT", CanRender: false,
 			crashes: []crashDefect{
@@ -134,7 +204,7 @@ func buildRegistry() []*Target {
 		{
 			Name: "Mesa", Version: "20.1.0", GPUType: "Intel HD 630", CanRender: true,
 			mutations: []mutateDefect{
-				{"hoisted loop-bound off-by-one", mutateHoistedLoopBound},
+				{"hoisted loop-bound off-by-one", scanHoistedLoopBound},
 			},
 		},
 		{
@@ -143,7 +213,7 @@ func buildRegistry() []*Target {
 				{"NIR validation failed: vec lowering assert on OpVectorShuffle", hasVectorShuffle},
 			},
 			mutations: []mutateDefect{
-				{"hoisted loop-bound off-by-one", mutateHoistedLoopBound},
+				{"hoisted loop-bound off-by-one", scanHoistedLoopBound},
 			},
 		},
 		{
@@ -158,7 +228,7 @@ func buildRegistry() []*Target {
 				{"compiler hang: store/discard combination in eliminated region", hasDeadStoreAndKill},
 			},
 			mutations: []mutateDefect{
-				{"block-layout fragment drop", mutateLayoutKill},
+				{"block-layout fragment drop", scanLayoutKill},
 			},
 		},
 		{
@@ -168,7 +238,7 @@ func buildRegistry() []*Target {
 				{"shader compiler assert: discard in statically-taken branch", hasKillBehindConstantBranch},
 			},
 			mutations: []mutateDefect{
-				{"block-layout fragment drop", mutateLayoutKill},
+				{"block-layout fragment drop", scanLayoutKill},
 			},
 		},
 		{
@@ -192,4 +262,9 @@ func buildRegistry() []*Target {
 			},
 		},
 	}
+	index := make(map[string]*Target, len(all))
+	for _, t := range all {
+		index[t.Name] = t
+	}
+	return all, index
 }

@@ -7,15 +7,24 @@
 //
 //	go test -short -run '^$' -bench . -benchtime=1x ./... \
 //	    | awk -f scripts/bench2json.awk > /tmp/bench.json
-//	go run ./scripts/benchcompare -baseline BENCH_pr3.json -current /tmp/bench.json
+//	go run ./scripts/benchcompare -baseline BENCH_pr4.json -current /tmp/bench.json
 //
 // By default every benchmark that reports a "speedup" metric is checked —
 // today the reduction benchmarks (BenchmarkRunnerParallelReduce and
-// BenchmarkReplayPrefixCache) and the daemon-resume benchmark
+// BenchmarkReplayPrefixCache), the batched multi-target benchmark
+// (BenchmarkEngineRunAll) and the daemon-resume benchmark
 // (BenchmarkServiceResumeCampaign), automatically covering future ones. The
 // tolerance absorbs machine noise; a genuine regression (for example the
-// replay cache silently disabled, or a resume that re-runs journaled work,
-// dropping speedup to ~1.0) fails loudly.
+// replay cache silently disabled, a resume that re-runs journaled work, or
+// compile sharing gone, dropping speedup to ~1.0) fails loudly.
+//
+// -mode selects the guard direction: "min" (the default) requires
+// current >= baseline*tolerance and suits bigger-is-better ratios like
+// speedup; "max" requires current <= baseline*tolerance and suits
+// smaller-is-better absolutes like ns/op. -only restricts the check to a
+// comma-separated benchmark list — absolute times are machine-dependent, so
+// they are guarded per-benchmark with generous tolerances rather than
+// wholesale.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type metrics map[string]map[string]float64
@@ -41,11 +51,17 @@ func load(path string) (metrics, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr3.json", "committed baseline metrics JSON")
+	baselinePath := flag.String("baseline", "BENCH_pr4.json", "committed baseline metrics JSON")
 	currentPath := flag.String("current", "", "current metrics JSON (required)")
 	metric := flag.String("metric", "speedup", "metric to guard across benchmarks")
-	tolerance := flag.Float64("tolerance", 0.75, "minimum allowed current/baseline ratio")
+	tolerance := flag.Float64("tolerance", 0.75, "allowed current/baseline ratio bound (minimum in -mode min, maximum in -mode max)")
+	mode := flag.String("mode", "min", `guard direction: "min" (current must stay above baseline*tolerance) or "max" (below)`)
+	only := flag.String("only", "", "comma-separated benchmark names to check (default: all with the metric)")
 	flag.Parse()
+	if *mode != "min" && *mode != "max" {
+		fmt.Fprintf(os.Stderr, "benchcompare: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -current is required")
 		os.Exit(2)
@@ -62,9 +78,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	keep := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name != "" {
+			keep[name] = true
+		}
+	}
 	var names []string
 	for name, ms := range baseline {
-		if _, ok := ms[*metric]; ok {
+		if _, ok := ms[*metric]; ok && (len(keep) == 0 || keep[name]) {
 			names = append(names, name)
 		}
 	}
@@ -83,8 +105,11 @@ func main() {
 		case !ok:
 			fmt.Printf("FAIL %s: %s missing from current run (baseline %.3f)\n", name, *metric, base)
 			failed = true
-		case base > 0 && cur < base*tol:
+		case *mode == "min" && base > 0 && cur < base*tol:
 			fmt.Printf("FAIL %s: %s %.3f < %.2f x baseline %.3f\n", name, *metric, cur, tol, base)
+			failed = true
+		case *mode == "max" && base > 0 && cur > base*tol:
+			fmt.Printf("FAIL %s: %s %.3f > %.2f x baseline %.3f\n", name, *metric, cur, tol, base)
 			failed = true
 		default:
 			fmt.Printf("ok   %s: %s %.3f (baseline %.3f)\n", name, *metric, cur, base)

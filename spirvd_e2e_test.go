@@ -174,6 +174,15 @@ func TestSpirvdKillResumeBitwiseIdentical(t *testing.T) {
 	if metrics.CampaignsDone != 1 {
 		t.Fatalf("metrics %+v", metrics)
 	}
+	// The embedded runner stats must surface the phase-split counters: the
+	// revived daemon ran at least the resumed tail of the campaign, so it
+	// compiled modules and profiled optimizer passes.
+	if metrics.Runner.CompileMisses == 0 {
+		t.Fatalf("metrics report no compiles: %+v", metrics.Runner)
+	}
+	if len(metrics.Runner.OptPasses) == 0 {
+		t.Fatalf("metrics report no per-pass optimizer stats: %+v", metrics.Runner)
+	}
 
 	// A bucket's report blob is served and is spirv-dedup-compatible.
 	var sets []service.BucketSet
