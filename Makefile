@@ -37,23 +37,24 @@ baseline:
 		| awk -f scripts/bench2json.awk > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
-# Run the reduction/resume/batching benchmarks and fail if any speedup metric
-# (parallel reduction over serial; prefix-snapshot replay over fresh replay;
-# journal resume over a fresh campaign; batched RunAll over a per-target
-# compile loop) regresses below 0.75x its value in the committed
-# BENCH_pr4.json trajectory point — loose enough for machine noise, tight
-# enough to catch a disabled cache, a resume that silently re-runs journaled
-# work, or compile sharing gone (speedup ~1.0). A second pass guards absolute
-# parallel-reduction time: ns/op must not blow past 1.5x the recorded value.
-# The ratio metrics are the tight guards (they cancel machine speed); the
-# absolute bound is a backstop against wholesale slowdowns that leave the
-# internal ratios intact.
+# Run the reduction/resume/batching/interpreter benchmarks and fail if any
+# speedup metric (parallel reduction over serial; prefix-snapshot replay over
+# fresh replay; journal resume over a fresh campaign; batched RunAll over a
+# per-target compile loop; the register VM over the tree-walker) regresses
+# below 0.75x its value in the committed BENCH_pr5.json trajectory point —
+# loose enough for machine noise, tight enough to catch a disabled cache, a
+# resume that silently re-runs journaled work, compile sharing gone, or the
+# VM degenerating to tree-walker speed (speedup ~1.0). A second pass guards
+# absolute parallel-reduction time: ns/op must not blow past 1.5x the
+# recorded value. The ratio metrics are the tight guards (they cancel machine
+# speed); the absolute bound is a backstop against wholesale slowdowns that
+# leave the internal ratios intact.
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll' -benchtime=1x . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM' -benchtime=1x . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr4.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr5.json \
 		-current /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr4.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr5.json \
 		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
 		-only BenchmarkRunnerParallelReduce
 

@@ -41,7 +41,9 @@ func main() {
 	exportReports := flag.String("export-reports", "", "reduce and export a bug-report bundle per distinct signature (Section 5 mode)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit per-tool campaign summaries as JSON (the shape spirvd serves) instead of tables")
+	interpEngine := flag.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
 	flag.Parse()
+	fatal(setInterpEngine(*interpEngine))
 
 	if *listTargets {
 		fmt.Print(experiments.Table2())
@@ -85,6 +87,11 @@ func main() {
 			time.Since(start).Round(time.Millisecond), st.Workers, st.Misses, 100*st.HitRate())
 		fmt.Printf("gfauto: shared compiles: %d compiled, %d shared (%.0f%% of compile lookups)\n",
 			st.CompileMisses, st.CompileHits, 100*ratio(st.CompileHits, st.CompileHits+st.CompileMisses))
+		if st.PlanHits+st.PlanMisses > 0 {
+			fmt.Printf("gfauto: interp plans: %d compiled in %v, %d shared (%.0f%% of plan lookups)\n",
+				st.PlanMisses, time.Duration(st.PlanCompileNanos).Round(time.Millisecond),
+				st.PlanHits, 100*ratio(st.PlanHits, st.PlanHits+st.PlanMisses))
+		}
 		for _, p := range st.OptPasses {
 			fmt.Printf("gfauto: opt pass %-18s %7d runs  %7d changed  %8v\n",
 				p.Name, p.Runs, p.Changed, time.Duration(p.Nanos).Round(time.Millisecond))
@@ -166,6 +173,20 @@ func ratio(a, b uint64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+// setInterpEngine applies the -interp flag to the process-wide interpreter
+// engine selection.
+func setInterpEngine(name string) error {
+	switch name {
+	case "vm":
+		interp.SetTreeWalker(false)
+	case "tree":
+		interp.SetTreeWalker(true)
+	default:
+		return fmt.Errorf("unknown -interp engine %q (want vm or tree)", name)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -25,7 +25,16 @@ func main() {
 	ascii := flag.Bool("ascii", true, "print the image as ASCII art")
 	compare := flag.String("compare", "", "second module: render both and exit 4 if the images differ (regression test)")
 	workers := flag.Int("workers", 0, "execution-engine worker pool size; 0 means GOMAXPROCS")
+	interpEngine := flag.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
 	flag.Parse()
+	switch *interpEngine {
+	case "vm":
+		interp.SetTreeWalker(false)
+	case "tree":
+		interp.SetTreeWalker(true)
+	default:
+		fatal(fmt.Errorf("unknown -interp engine %q (want vm or tree)", *interpEngine))
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "spirv-run: -in is required")
 		os.Exit(2)

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"spirvfuzz/internal/interp"
 	"spirvfuzz/internal/service"
 	"spirvfuzz/internal/store"
 )
@@ -58,7 +59,17 @@ func serverMain(args []string) {
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for test harnesses)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+	interpEngine := fs.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
 	fs.Parse(args)
+	switch *interpEngine {
+	case "vm":
+		interp.SetTreeWalker(false)
+	case "tree":
+		interp.SetTreeWalker(true)
+	default:
+		fmt.Fprintf(os.Stderr, "spirvd: unknown -interp engine %q (want vm or tree)\n", *interpEngine)
+		os.Exit(2)
+	}
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "spirvd: -store is required")
 		fs.Usage()

@@ -153,7 +153,11 @@ type frame struct {
 }
 
 func (mc *machine) get(fr *frame, id spirv.ID) (Value, error) {
-	if v, ok := fr.vals[id]; ok {
+	// An unset value in the frame (e.g. the result of a call to a function
+	// that returned no value) reads through to the module-level environment,
+	// exactly like an id the frame never saw. The VM mirrors this: an unset
+	// slot falls back to its fixed-pool binding or faults.
+	if v, ok := fr.vals[id]; ok && v.Kind != KindUnset {
 		return v, nil
 	}
 	if v, ok := mc.consts[id]; ok {
@@ -223,6 +227,9 @@ func (mc *machine) callFunction(fn *spirv.Function, args []Value) (Value, error)
 			}
 		}
 		term := cur.Term
+		if term == nil {
+			return Value{}, faultf("block %%%d has no valid terminator", cur.Label)
+		}
 		var next spirv.ID
 		switch term.Op {
 		case spirv.OpBranch:
@@ -244,6 +251,9 @@ func (mc *machine) callFunction(fn *spirv.Function, args []Value) (Value, error)
 			sel, err := mc.get(fr, term.IDOperand(0))
 			if err != nil {
 				return Value{}, err
+			}
+			if sel.Kind != KindInt {
+				return Value{}, faultf("switch on non-integer selector in block %%%d", cur.Label)
 			}
 			next = term.IDOperand(1)
 			for i := 2; i+1 < len(term.Operands); i += 2 {

@@ -6,6 +6,174 @@ import (
 	"spirvfuzz/internal/spirv"
 )
 
+// The scalar semantics of the lanewise binary opcodes live in primitive
+// tables, one per operand class. binOps below is derived from them, and the
+// plan compiler reads them directly to bake closure-free fast paths into
+// compiled programs — both engines therefore share one definition of every
+// arithmetic rule and cannot drift.
+
+// binIntPrims: integer ops on raw bits, signedness per opcode.
+var binIntPrims = map[spirv.Opcode]func(a, b uint32) uint32{
+	spirv.OpIAdd: func(a, b uint32) uint32 { return a + b },
+	spirv.OpISub: func(a, b uint32) uint32 { return a - b },
+	spirv.OpIMul: func(a, b uint32) uint32 { return a * b },
+	spirv.OpUDiv: func(a, b uint32) uint32 {
+		if b == 0 {
+			return 0 // division by zero is defined as zero in this dialect
+		}
+		return a / b
+	},
+	spirv.OpSDiv: func(a, b uint32) uint32 {
+		if b == 0 {
+			return 0
+		}
+		sa, sb := int32(a), int32(b)
+		if sa == math.MinInt32 && sb == -1 {
+			return a // wraps, defined
+		}
+		return uint32(sa / sb)
+	},
+	spirv.OpUMod: func(a, b uint32) uint32 {
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	},
+	spirv.OpSRem: func(a, b uint32) uint32 {
+		if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	},
+	spirv.OpSMod: func(a, b uint32) uint32 {
+		if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
+			return 0
+		}
+		r := int32(a) % int32(b)
+		if r != 0 && (r < 0) != (int32(b) < 0) {
+			r += int32(b)
+		}
+		return uint32(r)
+	},
+	spirv.OpBitwiseOr:  func(a, b uint32) uint32 { return a | b },
+	spirv.OpBitwiseXor: func(a, b uint32) uint32 { return a ^ b },
+	spirv.OpBitwiseAnd: func(a, b uint32) uint32 { return a & b },
+}
+
+// binFloatPrims: float arithmetic; x/0 is IEEE ±Inf, defined.
+var binFloatPrims = map[spirv.Opcode]func(a, b float32) float32{
+	spirv.OpFAdd: func(a, b float32) float32 { return a + b },
+	spirv.OpFSub: func(a, b float32) float32 { return a - b },
+	spirv.OpFMul: func(a, b float32) float32 { return a * b },
+	spirv.OpFDiv: func(a, b float32) float32 { return a / b },
+	spirv.OpFMod: func(a, b float32) float32 {
+		r := float32(math.Mod(float64(a), float64(b)))
+		if r != 0 && (r < 0) != (b < 0) {
+			r += b
+		}
+		return r
+	},
+}
+
+var binBoolPrims = map[spirv.Opcode]func(a, b bool) bool{
+	spirv.OpLogicalOr:  func(a, b bool) bool { return a || b },
+	spirv.OpLogicalAnd: func(a, b bool) bool { return a && b },
+}
+
+var binIntCmpPrims = map[spirv.Opcode]func(a, b uint32) bool{
+	spirv.OpIEqual:            func(a, b uint32) bool { return a == b },
+	spirv.OpINotEqual:         func(a, b uint32) bool { return a != b },
+	spirv.OpSGreaterThan:      func(a, b uint32) bool { return int32(a) > int32(b) },
+	spirv.OpSGreaterThanEqual: func(a, b uint32) bool { return int32(a) >= int32(b) },
+	spirv.OpSLessThan:         func(a, b uint32) bool { return int32(a) < int32(b) },
+	spirv.OpSLessThanEqual:    func(a, b uint32) bool { return int32(a) <= int32(b) },
+}
+
+var binFloatCmpPrims = map[spirv.Opcode]func(a, b float32) bool{
+	spirv.OpFOrdEqual:            func(a, b float32) bool { return a == b },
+	spirv.OpFOrdNotEqual:         func(a, b float32) bool { return a != b && a == a && b == b },
+	spirv.OpFOrdLessThan:         func(a, b float32) bool { return a < b },
+	spirv.OpFOrdGreaterThan:      func(a, b float32) bool { return a > b },
+	spirv.OpFOrdLessThanEqual:    func(a, b float32) bool { return a <= b },
+	spirv.OpFOrdGreaterThanEqual: func(a, b float32) bool { return a >= b },
+}
+
+// binOps maps each lanewise binary opcode to its boxed scalar semantics,
+// assembled from the primitive tables above.
+var binOps = func() map[spirv.Opcode]func(a, b Value) (Value, error) {
+	t := make(map[spirv.Opcode]func(a, b Value) (Value, error))
+	for op, f := range binIntPrims {
+		t[op] = intOp(f)
+	}
+	for op, f := range binFloatPrims {
+		t[op] = floatOp(f)
+	}
+	for op, f := range binBoolPrims {
+		t[op] = boolOp(f)
+	}
+	for op, f := range binIntCmpPrims {
+		t[op] = intCmp(f)
+	}
+	for op, f := range binFloatCmpPrims {
+		t[op] = floatCmp(f)
+	}
+	return t
+}()
+
+// unOps is the lanewise unary companion of binOps, likewise shared between
+// both engines.
+var unOps = map[spirv.Opcode]func(a Value) (Value, error){
+	spirv.OpSNegate: intOp1(func(a uint32) uint32 { return -a }),
+	spirv.OpNot:     intOp1(func(a uint32) uint32 { return ^a }),
+	spirv.OpFNegate: floatOp1(func(a float32) float32 { return -a }),
+	spirv.OpLogicalNot: func(a Value) (Value, error) {
+		if a.Kind != KindBool {
+			return Value{}, faultf("LogicalNot of non-boolean")
+		}
+		return BoolVal(!a.B), nil
+	},
+	spirv.OpConvertFToS: func(a Value) (Value, error) {
+		if a.Kind != KindFloat {
+			return Value{}, faultf("ConvertFToS of non-float")
+		}
+		f := float64(a.F)
+		switch {
+		case math.IsNaN(f):
+			return IntVal(0), nil
+		case f > math.MaxInt32:
+			return IntVal(math.MaxInt32), nil
+		case f < math.MinInt32:
+			return IntVal(math.MinInt32), nil
+		}
+		return IntVal(int32(f)), nil
+	},
+	spirv.OpConvertSToF: func(a Value) (Value, error) {
+		if a.Kind != KindInt {
+			return Value{}, faultf("ConvertSToF of non-int")
+		}
+		return FloatVal(float32(int32(a.Bits))), nil
+	},
+}
+
+// bitcastFn builds the lanewise reinterpret function for OpBitcast to result
+// type t. The direction depends only on the static type, so the plan
+// compiler bakes the returned closure into the instruction stream.
+func bitcastFn(m *spirv.Module, t spirv.ID) func(Value) (Value, error) {
+	toFloat := m.IsFloatType(t)
+	if elem, _, ok := m.VectorInfo(t); ok {
+		toFloat = m.IsFloatType(elem)
+	}
+	return func(x Value) (Value, error) {
+		switch {
+		case x.Kind == KindFloat && !toFloat:
+			return UintVal(math.Float32bits(x.F)), nil
+		case x.Kind == KindInt && toFloat:
+			return FloatVal(math.Float32frombits(x.Bits)), nil
+		}
+		return x, nil
+	}
+}
+
 // evalInstr executes one non-ϕ, non-terminator instruction.
 func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 	get := func(i int) (Value, error) { return mc.get(fr, ins.IDOperand(i)) }
@@ -40,123 +208,14 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		return nil
 	}
 
+	if f, ok := binOps[ins.Op]; ok {
+		return bin(f)
+	}
+	if f, ok := unOps[ins.Op]; ok {
+		return un(f)
+	}
+
 	switch ins.Op {
-	case spirv.OpIAdd:
-		return bin(intOp(func(a, b uint32) uint32 { return a + b }))
-	case spirv.OpISub:
-		return bin(intOp(func(a, b uint32) uint32 { return a - b }))
-	case spirv.OpIMul:
-		return bin(intOp(func(a, b uint32) uint32 { return a * b }))
-	case spirv.OpUDiv:
-		return bin(intOp(func(a, b uint32) uint32 {
-			if b == 0 {
-				return 0 // division by zero is defined as zero in this dialect
-			}
-			return a / b
-		}))
-	case spirv.OpSDiv:
-		return bin(intOp(func(a, b uint32) uint32 {
-			if b == 0 {
-				return 0
-			}
-			sa, sb := int32(a), int32(b)
-			if sa == math.MinInt32 && sb == -1 {
-				return a // wraps, defined
-			}
-			return uint32(sa / sb)
-		}))
-	case spirv.OpUMod:
-		return bin(intOp(func(a, b uint32) uint32 {
-			if b == 0 {
-				return 0
-			}
-			return a % b
-		}))
-	case spirv.OpSRem:
-		return bin(intOp(func(a, b uint32) uint32 {
-			if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
-				return 0
-			}
-			return uint32(int32(a) % int32(b))
-		}))
-	case spirv.OpSMod:
-		return bin(intOp(func(a, b uint32) uint32 {
-			if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
-				return 0
-			}
-			r := int32(a) % int32(b)
-			if r != 0 && (r < 0) != (int32(b) < 0) {
-				r += int32(b)
-			}
-			return uint32(r)
-		}))
-	case spirv.OpBitwiseOr:
-		return bin(intOp(func(a, b uint32) uint32 { return a | b }))
-	case spirv.OpBitwiseXor:
-		return bin(intOp(func(a, b uint32) uint32 { return a ^ b }))
-	case spirv.OpBitwiseAnd:
-		return bin(intOp(func(a, b uint32) uint32 { return a & b }))
-	case spirv.OpSNegate:
-		return un(intOp1(func(a uint32) uint32 { return -a }))
-	case spirv.OpNot:
-		return un(intOp1(func(a uint32) uint32 { return ^a }))
-
-	case spirv.OpFAdd:
-		return bin(floatOp(func(a, b float32) float32 { return a + b }))
-	case spirv.OpFSub:
-		return bin(floatOp(func(a, b float32) float32 { return a - b }))
-	case spirv.OpFMul:
-		return bin(floatOp(func(a, b float32) float32 { return a * b }))
-	case spirv.OpFDiv:
-		return bin(floatOp(func(a, b float32) float32 { return a / b })) // IEEE: x/0 = ±Inf, defined
-	case spirv.OpFMod:
-		return bin(floatOp(func(a, b float32) float32 {
-			r := float32(math.Mod(float64(a), float64(b)))
-			if r != 0 && (r < 0) != (b < 0) {
-				r += b
-			}
-			return r
-		}))
-	case spirv.OpFNegate:
-		return un(floatOp1(func(a float32) float32 { return -a }))
-
-	case spirv.OpLogicalOr:
-		return bin(boolOp(func(a, b bool) bool { return a || b }))
-	case spirv.OpLogicalAnd:
-		return bin(boolOp(func(a, b bool) bool { return a && b }))
-	case spirv.OpLogicalNot:
-		return un(func(a Value) (Value, error) {
-			if a.Kind != KindBool {
-				return Value{}, faultf("LogicalNot of non-boolean")
-			}
-			return BoolVal(!a.B), nil
-		})
-
-	case spirv.OpIEqual:
-		return bin(intCmp(func(a, b uint32) bool { return a == b }))
-	case spirv.OpINotEqual:
-		return bin(intCmp(func(a, b uint32) bool { return a != b }))
-	case spirv.OpSGreaterThan:
-		return bin(intCmp(func(a, b uint32) bool { return int32(a) > int32(b) }))
-	case spirv.OpSGreaterThanEqual:
-		return bin(intCmp(func(a, b uint32) bool { return int32(a) >= int32(b) }))
-	case spirv.OpSLessThan:
-		return bin(intCmp(func(a, b uint32) bool { return int32(a) < int32(b) }))
-	case spirv.OpSLessThanEqual:
-		return bin(intCmp(func(a, b uint32) bool { return int32(a) <= int32(b) }))
-	case spirv.OpFOrdEqual:
-		return bin(floatCmp(func(a, b float32) bool { return a == b }))
-	case spirv.OpFOrdNotEqual:
-		return bin(floatCmp(func(a, b float32) bool { return a != b && a == a && b == b }))
-	case spirv.OpFOrdLessThan:
-		return bin(floatCmp(func(a, b float32) bool { return a < b }))
-	case spirv.OpFOrdGreaterThan:
-		return bin(floatCmp(func(a, b float32) bool { return a > b }))
-	case spirv.OpFOrdLessThanEqual:
-		return bin(floatCmp(func(a, b float32) bool { return a <= b }))
-	case spirv.OpFOrdGreaterThanEqual:
-		return bin(floatCmp(func(a, b float32) bool { return a >= b }))
-
 	case spirv.OpSelect:
 		c, err := get(0)
 		if err != nil {
@@ -170,74 +229,15 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		if c.Kind == KindBool {
-			if c.B {
-				set(a)
-			} else {
-				set(b)
-			}
-			return nil
-		}
-		if c.Kind == KindComposite && len(c.Elems) == len(a.Elems) {
-			elems := make([]Value, len(c.Elems))
-			for i := range c.Elems {
-				if c.Elems[i].B {
-					elems[i] = a.Elems[i]
-				} else {
-					elems[i] = b.Elems[i]
-				}
-			}
-			set(Composite(elems...))
-			return nil
-		}
-		return faultf("OpSelect with malformed condition")
-
-	case spirv.OpConvertFToS:
-		return un(func(a Value) (Value, error) {
-			if a.Kind != KindFloat {
-				return Value{}, faultf("ConvertFToS of non-float")
-			}
-			f := float64(a.F)
-			switch {
-			case math.IsNaN(f):
-				return IntVal(0), nil
-			case f > math.MaxInt32:
-				return IntVal(math.MaxInt32), nil
-			case f < math.MinInt32:
-				return IntVal(math.MinInt32), nil
-			}
-			return IntVal(int32(f)), nil
-		})
-	case spirv.OpConvertSToF:
-		return un(func(a Value) (Value, error) {
-			if a.Kind != KindInt {
-				return Value{}, faultf("ConvertSToF of non-int")
-			}
-			return FloatVal(float32(int32(a.Bits))), nil
-		})
-	case spirv.OpBitcast:
-		a, err := get(0)
-		if err != nil {
-			return err
-		}
-		toFloat := mc.m.IsFloatType(ins.Type)
-		if elem, _, ok := mc.m.VectorInfo(ins.Type); ok {
-			toFloat = mc.m.IsFloatType(elem)
-		}
-		v, err := mapLanes1(a, func(x Value) (Value, error) {
-			switch {
-			case x.Kind == KindFloat && !toFloat:
-				return UintVal(math.Float32bits(x.F)), nil
-			case x.Kind == KindInt && toFloat:
-				return FloatVal(math.Float32frombits(x.Bits)), nil
-			}
-			return x, nil
-		})
+		v, err := selectValue(c, a, b)
 		if err != nil {
 			return err
 		}
 		set(v)
 		return nil
+
+	case spirv.OpBitcast:
+		return un(bitcastFn(mc.m, ins.Type))
 
 	case spirv.OpVectorTimesScalar:
 		vec, err := get(0)
@@ -248,11 +248,7 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		elems := make([]Value, len(vec.Elems))
-		for i, e := range vec.Elems {
-			elems[i] = FloatVal(e.F * s.F)
-		}
-		set(Composite(elems...))
+		set(vectorTimesScalar(vec, s))
 		return nil
 
 	case spirv.OpMatrixTimesVector:
@@ -264,19 +260,11 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		if len(mat.Elems) == 0 || len(vec.Elems) != len(mat.Elems) {
-			return faultf("MatrixTimesVector shape mismatch")
+		v, err := matrixTimesVector(mat, vec)
+		if err != nil {
+			return err
 		}
-		rows := len(mat.Elems[0].Elems)
-		elems := make([]Value, rows)
-		for r := 0; r < rows; r++ {
-			var sum float32
-			for c := range mat.Elems {
-				sum += mat.Elems[c].Elems[r].F * vec.Elems[c].F
-			}
-			elems[r] = FloatVal(sum)
-		}
-		set(Composite(elems...))
+		set(v)
 		return nil
 
 	case spirv.OpDot:
@@ -288,11 +276,7 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		var sum float32
-		for i := range a.Elems {
-			sum += a.Elems[i].F * b.Elems[i].F
-		}
-		set(FloatVal(sum))
+		set(dot(a, b))
 		return nil
 
 	case spirv.OpCompositeConstruct:
@@ -312,11 +296,9 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		for _, idx := range ins.Operands[1:] {
-			if v.Kind != KindComposite || int(idx) >= len(v.Elems) {
-				return faultf("CompositeExtract index %d out of range", idx)
-			}
-			v = v.Elems[idx]
+		v, err = compositeExtract(v, ins.Operands[1:])
+		if err != nil {
+			return err
 		}
 		set(v)
 		return nil
@@ -330,16 +312,11 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		result := base.Clone()
-		target := &result
-		for _, idx := range ins.Operands[2:] {
-			if target.Kind != KindComposite || int(idx) >= len(target.Elems) {
-				return faultf("CompositeInsert index %d out of range", idx)
-			}
-			target = &target.Elems[idx]
+		v, err := compositeInsert(obj, base, ins.Operands[2:])
+		if err != nil {
+			return err
 		}
-		*target = obj.Clone()
-		set(result)
+		set(v)
 		return nil
 
 	case spirv.OpVectorShuffle:
@@ -351,15 +328,11 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		if err != nil {
 			return err
 		}
-		pool := append(append([]Value(nil), a.Elems...), b.Elems...)
-		elems := make([]Value, 0, len(ins.Operands)-2)
-		for _, idx := range ins.Operands[2:] {
-			if int(idx) >= len(pool) {
-				return faultf("VectorShuffle component %d out of range", idx)
-			}
-			elems = append(elems, pool[idx])
+		v, err := vectorShuffle(a, b, ins.Operands[2:])
+		if err != nil {
+			return err
 		}
-		set(Composite(elems...))
+		set(v)
 		return nil
 
 	case spirv.OpCopyObject, spirv.OpUndef:
@@ -473,6 +446,96 @@ func (mc *machine) evalInstr(fr *frame, ins *spirv.Instruction) error {
 		return nil
 	}
 	return faultf("unsupported instruction %s", ins.Op)
+}
+
+// --- op semantics shared by both engines ---
+
+func selectValue(c, a, b Value) (Value, error) {
+	if c.Kind == KindBool {
+		if c.B {
+			return a, nil
+		}
+		return b, nil
+	}
+	if c.Kind == KindComposite && len(c.Elems) == len(a.Elems) {
+		elems := make([]Value, len(c.Elems))
+		for i := range c.Elems {
+			if c.Elems[i].B {
+				elems[i] = a.Elems[i]
+			} else {
+				elems[i] = b.Elems[i]
+			}
+		}
+		return Composite(elems...), nil
+	}
+	return Value{}, faultf("OpSelect with malformed condition")
+}
+
+func vectorTimesScalar(vec, s Value) Value {
+	elems := make([]Value, len(vec.Elems))
+	for i, e := range vec.Elems {
+		elems[i] = FloatVal(e.F * s.F)
+	}
+	return Composite(elems...)
+}
+
+func matrixTimesVector(mat, vec Value) (Value, error) {
+	if len(mat.Elems) == 0 || len(vec.Elems) != len(mat.Elems) {
+		return Value{}, faultf("MatrixTimesVector shape mismatch")
+	}
+	rows := len(mat.Elems[0].Elems)
+	elems := make([]Value, rows)
+	for r := 0; r < rows; r++ {
+		var sum float32
+		for c := range mat.Elems {
+			sum += mat.Elems[c].Elems[r].F * vec.Elems[c].F
+		}
+		elems[r] = FloatVal(sum)
+	}
+	return Composite(elems...), nil
+}
+
+func dot(a, b Value) Value {
+	var sum float32
+	for i := range a.Elems {
+		sum += a.Elems[i].F * b.Elems[i].F
+	}
+	return FloatVal(sum)
+}
+
+func compositeExtract(v Value, path []uint32) (Value, error) {
+	for _, idx := range path {
+		if v.Kind != KindComposite || int(idx) >= len(v.Elems) {
+			return Value{}, faultf("CompositeExtract index %d out of range", idx)
+		}
+		v = v.Elems[idx]
+	}
+	return v, nil
+}
+
+func compositeInsert(obj, base Value, path []uint32) (Value, error) {
+	result := base.Clone()
+	target := &result
+	for _, idx := range path {
+		if target.Kind != KindComposite || int(idx) >= len(target.Elems) {
+			return Value{}, faultf("CompositeInsert index %d out of range", idx)
+		}
+		target = &target.Elems[idx]
+	}
+	*target = obj.Clone()
+	return result, nil
+}
+
+func vectorShuffle(a, b Value, sel []uint32) (Value, error) {
+	pool := append(append([]Value(nil), a.Elems...), b.Elems...)
+	elems := make([]Value, 0, len(sel))
+	for _, idx := range sel {
+		if int(idx) >= len(pool) {
+			return Value{}, faultf("VectorShuffle component %d out of range", idx)
+		}
+		elems = append(elems, pool[idx])
+	}
+	return Composite(elems...), nil
 }
 
 // --- lanewise helpers ---

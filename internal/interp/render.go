@@ -1,9 +1,11 @@
 package interp
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 
 	"spirvfuzz/internal/spirv"
 )
@@ -26,15 +28,7 @@ func (img *Image) At(x, y int) [4]uint8 {
 
 // Equal reports whether two images are identical.
 func (img *Image) Equal(other *Image) bool {
-	if img.W != other.W || img.H != other.H || len(img.Pix) != len(other.Pix) {
-		return false
-	}
-	for i := range img.Pix {
-		if img.Pix[i] != other.Pix[i] {
-			return false
-		}
-	}
-	return true
+	return img.W == other.W && img.H == other.H && bytes.Equal(img.Pix, other.Pix)
 }
 
 // DiffCount returns the number of differing pixels (for diagnostics).
@@ -82,18 +76,45 @@ func (img *Image) ASCII() string {
 	return string(out)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
+// treeMode selects the tree-walking reference evaluator for Render instead
+// of the compiled register VM. Process-wide and atomic so CLIs can flip it
+// once before spinning up worker pools.
+var treeMode atomic.Bool
+
+// SetTreeWalker selects the execution engine used by Render: the
+// tree-walking reference evaluator (true) or the compiled register VM
+// (false, the default).
+func SetTreeWalker(on bool) { treeMode.Store(on) }
+
+// TreeWalker reports whether Render currently uses the tree-walking
+// reference evaluator.
+func TreeWalker() bool { return treeMode.Load() }
 
 // Render executes the module's entry point for every pixel of the grid and
 // returns the resulting image. Any invocation fault aborts the render with
 // that fault — the analogue of a crash or device loss. OpKill discards the
 // fragment, leaving a fully transparent pixel.
+//
+// By default the module is lowered once by Compile and executed by the
+// register VM; SetTreeWalker(true) switches to the tree-walking reference
+// evaluator. The two engines implement identical semantics — images are
+// byte-equal and faults carry identical messages (pinned by the
+// differential tests).
 func Render(m *spirv.Module, in Inputs) (*Image, error) {
+	if TreeWalker() {
+		return RenderTree(m, in)
+	}
+	p, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return p.Render(in)
+}
+
+// RenderTree is the tree-walking reference implementation of Render: it
+// re-walks the instruction operands of the module for every pixel. It is
+// the executable specification the VM is differentially tested against.
+func RenderTree(m *spirv.Module, in Inputs) (*Image, error) {
 	w, h := in.W, in.H
 	if w == 0 {
 		w = DefaultGrid
@@ -130,6 +151,12 @@ func Render(m *spirv.Module, in Inputs) (*Image, error) {
 	if colorVar == 0 {
 		return nil, faultf("module has no Output variable")
 	}
+	// The output zero depends only on the module, not the pixel: build it
+	// once and clone per invocation.
+	colorZero, err := ZeroValue(m, mustPointee(m, colorVar))
+	if err != nil {
+		return nil, err
+	}
 	img := &Image{W: w, H: h, Pix: make([]uint8, 4*w*h)}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -138,11 +165,7 @@ func Render(m *spirv.Module, in Inputs) (*Image, error) {
 				cy := (float32(y) + 0.5) / float32(h)
 				mc.globals[coordVar].V = Vec2(cx, cy)
 			}
-			zero, err := ZeroValue(m, mustPointee(m, colorVar))
-			if err != nil {
-				return nil, err
-			}
-			mc.globals[colorVar].V = zero
+			mc.globals[colorVar].V = colorZero.Clone()
 			mc.steps = 0
 			_, err = mc.callFunction(entry, nil)
 			p := 4 * (y*w + x)

@@ -23,10 +23,13 @@ import (
 // Kind discriminates runtime values.
 type Kind int
 
-// Value kinds.
+// Value kinds. The zero Kind is KindUnset, so a zero Value means "no value
+// written yet": VM frames detect reads of never-written slots with a plain
+// kind check, and a frame reset is a single clear() over the slot slice.
 const (
-	KindBool Kind = iota
-	KindInt       // 32-bit integer, signedness from the static type
+	KindUnset Kind = iota
+	KindBool
+	KindInt // 32-bit integer, signedness from the static type
 	KindFloat
 	KindComposite
 	KindPointer

@@ -5,10 +5,11 @@
 //     many simulated-compiler invocations run at once no matter how many
 //     goroutines fan work out;
 //
-//   - a sharded, content-addressed cache with three layers: whole results
+//   - a sharded, content-addressed cache with four layers: whole results
 //     keyed by (target name, module fingerprint, inputs), compiled modules
-//     keyed by (module fingerprint, mutation fingerprint), and renders keyed
-//     by (compiled module fingerprint, inputs). Delta debugging probes many
+//     keyed by (module fingerprint, mutation fingerprint), register-VM plans
+//     keyed by the compiled module's fingerprint, and renders keyed by
+//     (compiled module fingerprint, inputs). Delta debugging probes many
 //     overlapping subsets of one transformation sequence and re-probes them
 //     after every successful removal, and campaigns run the same original
 //     module once per generated test; both collapse to a single execution per
@@ -30,10 +31,12 @@ package runner
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spirvfuzz/internal/interp"
 	"spirvfuzz/internal/opt"
@@ -48,6 +51,10 @@ const (
 	defaultCacheCap = 1 << 14
 	// maxUniformMemo bounds the uniforms-hash memo (entries pin their maps).
 	maxUniformMemo = 4096
+	// parallelRenderMinPixels gates row-parallel rendering: grids below it
+	// render serially even when SetRenderWorkers enabled parallelism, because
+	// goroutine fan-out costs more than the render itself on small grids.
+	parallelRenderMinPixels = 4096
 )
 
 // key identifies one target execution by content, not identity: two
@@ -105,6 +112,20 @@ type cshard struct {
 	m  map[ckey]*centry
 }
 
+// pentry is one plan-cache slot: the compiled module lowered to a register
+// Program, or the lowering error text. Programs are immutable and shared by
+// every render of the same compiled module.
+type pentry struct {
+	done   chan struct{}
+	prog   *interp.Program
+	errMsg string
+}
+
+type pshard struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*pentry
+}
+
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
 	// Result layer: full (target, module, inputs) executions.
@@ -118,9 +139,16 @@ type Stats struct {
 	// result-layer misses and shared across targets.
 	RenderHits   uint64
 	RenderMisses uint64
-	Evictions    uint64 // cache entries discarded to stay under the cap
-	Entries      int    // entries currently cached (all layers)
-	Workers      int    // worker-pool size
+	// Plan layer: compiled modules lowered once to register-VM Programs,
+	// keyed by the compiled module's fingerprint and consulted on
+	// render-layer misses — ddmin replays and cross-target shared compiles
+	// reuse one lowering per distinct compiled module.
+	PlanHits         uint64
+	PlanMisses       uint64
+	PlanCompileNanos int64  // total wall time spent lowering modules to plans
+	Evictions        uint64 // cache entries discarded to stay under the cap
+	Entries          int    // entries currently cached (all layers)
+	Workers          int    // worker-pool size
 	// OptPasses is the process-wide per-pass optimizer profile (runs,
 	// changed, wall time) accumulated by opt.Pipeline.
 	OptPasses []opt.PassStat
@@ -129,11 +157,12 @@ type Stats struct {
 // HitRate returns the fraction of cache lookups served without executing
 // anything, across all layers; 0 before any Run call.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses + s.CompileHits + s.CompileMisses + s.RenderHits + s.RenderMisses
+	total := s.Hits + s.Misses + s.CompileHits + s.CompileMisses +
+		s.RenderHits + s.RenderMisses + s.PlanHits + s.PlanMisses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.CompileHits+s.RenderHits) / float64(total)
+	return float64(s.Hits+s.CompileHits+s.RenderHits+s.PlanHits) / float64(total)
 }
 
 // uniEntry memoizes the hash of one uniforms map. The map itself is retained
@@ -147,13 +176,15 @@ type uniEntry struct {
 // Engine is a memoizing, concurrency-bounded executor of target runs. It is
 // safe for concurrent use; the zero value is not valid — use New.
 type Engine struct {
-	workers     int
-	sem         chan struct{}
-	maxPerShard int
-	sharing     bool
-	shards      [shardCount]shard  // result layer: (target, module, inputs)
-	compiles    [shardCount]cshard // compile layer: (module, mutations)
-	renders     [shardCount]shard  // render layer: ("", compiled module, inputs)
+	workers       int
+	sem           chan struct{}
+	maxPerShard   int
+	sharing       bool
+	renderWorkers int
+	shards        [shardCount]shard  // result layer: (target, module, inputs)
+	compiles      [shardCount]cshard // compile layer: (module, mutations)
+	plans         [shardCount]pshard // plan layer: compiled module -> Program
+	renders       [shardCount]shard  // render layer: ("", compiled module, inputs)
 
 	uniMu   sync.Mutex
 	uniMemo map[uintptr]uniEntry
@@ -164,6 +195,9 @@ type Engine struct {
 	compileMisses atomic.Uint64
 	renderHits    atomic.Uint64
 	renderMisses  atomic.Uint64
+	planHits      atomic.Uint64
+	planMisses    atomic.Uint64
+	planNanos     atomic.Int64
 	evictions     atomic.Uint64
 }
 
@@ -183,10 +217,19 @@ func New(workers int) *Engine {
 	for i := range e.shards {
 		e.shards[i].m = make(map[key]*entry)
 		e.compiles[i].m = make(map[ckey]*centry)
+		e.plans[i].m = make(map[[sha256.Size]byte]*pentry)
 		e.renders[i].m = make(map[key]*entry)
 	}
 	return e
 }
+
+// SetRenderWorkers sets the row-parallelism used for render-layer misses on
+// grids of at least parallelRenderMinPixels pixels; n <= 1 keeps renders
+// serial (the default — campaign grids are small, and the engine already
+// parallelises across runs, so intra-render parallelism only pays off for
+// large single renders). Output is byte-identical at any setting. Not safe
+// to call concurrently with Run.
+func (e *Engine) SetRenderWorkers(n int) { e.renderWorkers = n }
 
 // SetCacheCap rebounds the total number of cached results; 0 disables
 // caching entirely (every Run executes the full toolchain — the pre-engine
@@ -461,7 +504,7 @@ func (e *Engine) render(compiled *spirv.Module, rk key, in interp.Inputs) (*inte
 	s.mu.Unlock()
 
 	e.renderMisses.Add(1)
-	img, err := interp.Render(compiled, in)
+	img, err := e.renderCompiled(compiled, rk, in)
 	if err != nil {
 		ent.renderErr = err.Error()
 	} else {
@@ -469,6 +512,70 @@ func (e *Engine) render(compiled *spirv.Module, rk key, in interp.Inputs) (*inte
 	}
 	close(ent.done)
 	return ent.img, ent.renderErr
+}
+
+// renderCompiled executes the interpreter for a render-layer miss: the
+// compiled module's register-VM plan comes from the plan cache (keyed by
+// rk.mod, the compiled module's fingerprint) and runs row-parallel when
+// SetRenderWorkers enabled it and the grid is large enough. When the
+// tree-walker flag is set the plan layer is bypassed and the reference
+// evaluator runs instead — same images, same faults, no lowering.
+func (e *Engine) renderCompiled(compiled *spirv.Module, rk key, in interp.Inputs) (*interp.Image, error) {
+	if interp.TreeWalker() {
+		return interp.RenderTree(compiled, in)
+	}
+	prog, errMsg := e.plan(compiled, rk.mod)
+	if errMsg != "" {
+		return nil, errors.New(errMsg)
+	}
+	w, h := rk.w, rk.h
+	if w == 0 {
+		w = interp.DefaultGrid
+	}
+	if h == 0 {
+		h = interp.DefaultGrid
+	}
+	workers := 1
+	if e.renderWorkers > 1 && w*h >= parallelRenderMinPixels {
+		workers = e.renderWorkers
+	}
+	return prog.RenderParallel(in, workers)
+}
+
+// plan serves module→Program lowering from the plan cache, keyed by the
+// compiled module's fingerprint — the same identity the render layer keys
+// on, so ddmin replays and cross-target shared compiles that converge on
+// one compiled module lower it exactly once. Exactly one of prog/errMsg is
+// set; lowering errors are precisely the errors RenderTree would report
+// before its first pixel, cached as text like render errors.
+func (e *Engine) plan(compiled *spirv.Module, fp [sha256.Size]byte) (*interp.Program, string) {
+	s := &e.plans[fp[0]&(shardCount-1)]
+
+	s.mu.Lock()
+	if ent, ok := s.m[fp]; ok {
+		s.mu.Unlock()
+		e.planHits.Add(1)
+		<-ent.done
+		return ent.prog, ent.errMsg
+	}
+	ent := &pentry{done: make(chan struct{})}
+	if len(s.m) >= e.maxPerShard {
+		e.evictPlanLocked(s)
+	}
+	s.m[fp] = ent
+	s.mu.Unlock()
+
+	e.planMisses.Add(1)
+	start := time.Now()
+	prog, err := interp.Compile(compiled)
+	e.planNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		ent.errMsg = err.Error()
+	} else {
+		ent.prog = prog
+	}
+	close(ent.done)
+	return ent.prog, ent.errMsg
 }
 
 // evictOneLocked discards one completed entry from s (any one: target runs
@@ -499,18 +606,34 @@ func (e *Engine) evictCompileLocked(s *cshard) {
 	}
 }
 
+// evictPlanLocked is evictOneLocked for the plan layer.
+func (e *Engine) evictPlanLocked(s *pshard) {
+	for k, ent := range s.m {
+		select {
+		case <-ent.done:
+			delete(s.m, k)
+			e.evictions.Add(1)
+			return
+		default:
+		}
+	}
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Hits:          e.hits.Load(),
-		Misses:        e.misses.Load(),
-		CompileHits:   e.compileHits.Load(),
-		CompileMisses: e.compileMisses.Load(),
-		RenderHits:    e.renderHits.Load(),
-		RenderMisses:  e.renderMisses.Load(),
-		Evictions:     e.evictions.Load(),
-		Workers:       e.workers,
-		OptPasses:     opt.PassStats(),
+		Hits:             e.hits.Load(),
+		Misses:           e.misses.Load(),
+		CompileHits:      e.compileHits.Load(),
+		CompileMisses:    e.compileMisses.Load(),
+		RenderHits:       e.renderHits.Load(),
+		RenderMisses:     e.renderMisses.Load(),
+		PlanHits:         e.planHits.Load(),
+		PlanMisses:       e.planMisses.Load(),
+		PlanCompileNanos: e.planNanos.Load(),
+		Evictions:        e.evictions.Load(),
+		Workers:          e.workers,
+		OptPasses:        opt.PassStats(),
 	}
 	for i := range e.shards {
 		for _, s := range []*shard{&e.shards[i], &e.renders[i]} {
@@ -522,6 +645,10 @@ func (e *Engine) Stats() Stats {
 		cs.mu.Lock()
 		st.Entries += len(cs.m)
 		cs.mu.Unlock()
+		ps := &e.plans[i]
+		ps.mu.Lock()
+		st.Entries += len(ps.m)
+		ps.mu.Unlock()
 	}
 	return st
 }

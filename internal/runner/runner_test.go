@@ -29,8 +29,8 @@ func TestRunMemoizes(t *testing.T) {
 		t.Fatalf("clean module crashed: %v", crash1)
 	}
 	st := eng.Stats()
-	// One result entry, one compile entry, one render entry.
-	if st.Hits != 0 || st.Misses != 1 || st.CompileMisses != 1 || st.RenderMisses != 1 || st.Entries != 3 {
+	// One result entry, one compile entry, one plan entry, one render entry.
+	if st.Hits != 0 || st.Misses != 1 || st.CompileMisses != 1 || st.PlanMisses != 1 || st.RenderMisses != 1 || st.Entries != 4 {
 		t.Fatalf("after first run: %+v", st)
 	}
 
@@ -46,10 +46,11 @@ func TestRunMemoizes(t *testing.T) {
 
 	// A different target is a distinct result key, but neither Mesa's nor
 	// Pixel-5's defects touch the diamond module, so the two targets share
-	// one compile (mutation fingerprint "") and therefore one render.
+	// one compile (mutation fingerprint "") and therefore one plan and one
+	// render.
 	img3, _ := eng.Run(target.ByName("Pixel-5"), m, in)
 	st = eng.Stats()
-	if st.Misses != 2 || st.CompileHits != 1 || st.CompileMisses != 1 || st.RenderHits != 1 || st.RenderMisses != 1 {
+	if st.Misses != 2 || st.CompileHits != 1 || st.CompileMisses != 1 || st.RenderHits != 1 || st.RenderMisses != 1 || st.PlanMisses != 1 {
 		t.Fatalf("cross-target compile/render was not shared: %+v", st)
 	}
 	if img3 != img1 {
@@ -63,12 +64,61 @@ func TestRunMemoizes(t *testing.T) {
 	if st.Misses != 3 || st.CompileHits != 2 || st.RenderMisses != 2 {
 		t.Fatalf("distinct keys collided: %+v", st)
 	}
-	// Combined rate: (1 result + 2 compile + 1 render hit) of (4+3+3 lookups).
-	if got := st.HitRate(); got != 4.0/10.0 {
-		t.Fatalf("hit rate %v, want 4/10", got)
+	// The second render is of the same compiled module, so its plan is
+	// served from the plan cache.
+	if st.PlanHits != 1 || st.PlanMisses != 1 {
+		t.Fatalf("second render did not reuse the plan: %+v", st)
+	}
+	// Combined rate: (1 result + 2 compile + 1 plan + 1 render hit) of
+	// (4+3+2+3 lookups).
+	if got := st.HitRate(); got != 5.0/12.0 {
+		t.Fatalf("hit rate %v, want 5/12", got)
 	}
 	if st.Workers != 2 {
 		t.Fatalf("workers %d, want 2", st.Workers)
+	}
+}
+
+// TestRenderWorkersIdentical pins the engine's row-parallel render path:
+// images must be byte-identical at any worker count, and identical to the
+// tree-walking reference engine.
+func TestRenderWorkersIdentical(t *testing.T) {
+	tg := target.ByName("Mesa")
+	m := testmod.Diamond()
+	// Large enough to clear the parallel-render pixel threshold.
+	in := interp.Inputs{W: 80, H: 80}
+
+	serial := runner.New(1)
+	base, crash := serial.Run(tg, m, in)
+	if crash != nil {
+		t.Fatalf("serial run crashed: %v", crash)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		eng := runner.New(1)
+		eng.SetRenderWorkers(workers)
+		img, crash := eng.Run(tg, m, in)
+		if crash != nil {
+			t.Fatalf("workers=%d: crashed: %v", workers, crash)
+		}
+		if !base.Equal(img) {
+			t.Fatalf("workers=%d: image differs from serial render", workers)
+		}
+	}
+
+	// The tree-walking engine must agree too, and must not touch the plan
+	// cache at all.
+	interp.SetTreeWalker(true)
+	defer interp.SetTreeWalker(false)
+	eng := runner.New(1)
+	img, crash := eng.Run(tg, m, in)
+	if crash != nil {
+		t.Fatalf("tree-mode run crashed: %v", crash)
+	}
+	if !base.Equal(img) {
+		t.Fatal("tree-walker image differs from VM render")
+	}
+	if st := eng.Stats(); st.PlanHits+st.PlanMisses != 0 {
+		t.Fatalf("tree mode consulted the plan cache: %+v", st)
 	}
 }
 
