@@ -26,37 +26,45 @@ test:
 	$(GO) test -race ./...
 
 # One pass over every benchmark as a smoke test; the table/figure benches
-# assert the paper's comparative shape even at -short scale.
+# assert the paper's comparative shape even at -short scale. -benchmem
+# records allocs/op and B/op so allocation regressions are visible in the
+# same trajectory JSONs as the timing ratios.
 bench:
-	$(GO) test -short -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) test -short -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # Regenerate BENCH_baseline.json from a fresh -short benchmark pass so perf
 # regressions can be diffed against a committed reference.
 baseline:
-	$(GO) test -short -run '^$$' -bench . -benchtime=1x ./... \
+	$(GO) test -short -run '^$$' -bench . -benchtime=1x -benchmem ./... \
 		| awk -f scripts/bench2json.awk > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
 # Run the reduction/resume/batching/interpreter benchmarks and fail if any
 # speedup metric (parallel reduction over serial; prefix-snapshot replay over
 # fresh replay; journal resume over a fresh campaign; batched RunAll over a
-# per-target compile loop; the register VM over the tree-walker) regresses
-# below 0.75x its value in the committed BENCH_pr5.json trajectory point —
-# loose enough for machine noise, tight enough to catch a disabled cache, a
-# resume that silently re-runs journaled work, compile sharing gone, or the
-# VM degenerating to tree-walker speed (speedup ~1.0). A second pass guards
-# absolute parallel-reduction time: ns/op must not blow past 1.5x the
-# recorded value. The ratio metrics are the tight guards (they cancel machine
-# speed); the absolute bound is a backstop against wholesale slowdowns that
-# leave the internal ratios intact.
+# per-target compile loop; the register VM over the tree-walker; lane-mode
+# rendering over the scalar VM) regresses below 0.75x its value in the
+# committed BENCH_pr6.json trajectory point — loose enough for machine
+# noise, tight enough to catch a disabled cache, a resume that silently
+# re-runs journaled work, compile sharing gone, the VM degenerating to
+# tree-walker speed, or lane mode losing its amortization (speedup ~1.0). A
+# second pass guards absolute parallel-reduction time: ns/op must not blow
+# past 1.5x the recorded value. A third guards lane-render allocations:
+# allocs/op above 1.5x baseline means the lane buffer reuse across tiles
+# broke. The ratio metrics are the tight guards (they cancel machine speed);
+# the absolute bounds are backstops against wholesale regressions that leave
+# the internal ratios intact.
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM' -benchtime=1x . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM' -benchtime=1x -benchmem . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr5.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr6.json \
 		-current /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr5.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr6.json \
 		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
 		-only BenchmarkRunnerParallelReduce
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr6.json \
+		-current /tmp/bench-current.json -metric allocs/op -mode max -tolerance 1.5 \
+		-only BenchmarkInterpVMLanes/uniform/l8
 
 # CPU-profile the parallel-reduction campaign benchmark and print the top-10
 # functions by flat time — the quick answer to "where do campaign cycles go".

@@ -42,8 +42,10 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit per-tool campaign summaries as JSON (the shape spirvd serves) instead of tables")
 	interpEngine := flag.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
+	lanes := flag.Int("lanes", 0, "render this many pixels per VM instruction, warp-style, with scalar fallback for divergent lanes (0 = scalar; results are identical; max 16)")
 	flag.Parse()
 	fatal(setInterpEngine(*interpEngine))
+	interp.SetLanes(*lanes)
 
 	if *listTargets {
 		fmt.Print(experiments.Table2())
@@ -95,6 +97,11 @@ func main() {
 		for _, p := range st.OptPasses {
 			fmt.Printf("gfauto: opt pass %-18s %7d runs  %7d changed  %8v\n",
 				p.Name, p.Runs, p.Changed, time.Duration(p.Nanos).Round(time.Millisecond))
+		}
+		if st.LaneGroups > 0 {
+			fmt.Printf("gfauto: lane groups: %d launched, %d divergences, %d pixels retired to the scalar VM (%.1f%%)\n",
+				st.LaneGroups, st.LaneDivergences, st.ScalarFallbacks,
+				100*ratio(st.ScalarFallbacks, st.LaneGroups*uint64(interp.Lanes())))
 		}
 		fmt.Println()
 	}

@@ -60,6 +60,7 @@ func serverMain(args []string) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	interpEngine := fs.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
+	lanes := fs.Int("lanes", 0, "render this many pixels per VM instruction, warp-style, with scalar fallback for divergent lanes (0 = scalar; results are identical; max 16)")
 	fs.Parse(args)
 	switch *interpEngine {
 	case "vm":
@@ -70,6 +71,7 @@ func serverMain(args []string) {
 		fmt.Fprintf(os.Stderr, "spirvd: unknown -interp engine %q (want vm or tree)\n", *interpEngine)
 		os.Exit(2)
 	}
+	interp.SetLanes(*lanes)
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "spirvd: -store is required")
 		fs.Usage()

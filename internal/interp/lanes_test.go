@@ -1,0 +1,174 @@
+package interp_test
+
+// Targeted lane-VM tests: divergence accounting, the scalar-fallback
+// contract, the SetLanes process-wide dispatch, and a worker hammer meant to
+// run under -race. The bitwise differential property itself lives in
+// vm_diff_test.go, which sweeps every module corpus over lanes 1/4/8/16.
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/testmod"
+)
+
+// TestLaneUniformNoFallback pins the uniform fast path: a shader whose
+// control flow is identical for every pixel must never diverge and never
+// retire a lane — the whole image renders in lane groups.
+func TestLaneUniformNoFallback(t *testing.T) {
+	prog, err := interp.Compile(testmod.LoopAccum(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.Inputs{W: 16, H: 16}
+	ref, err := interp.RenderTree(testmod.LoopAccum(16), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, stats, err := prog.RenderParallelLanes(in, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Equal(img) {
+		t.Fatal("lane image differs from tree reference")
+	}
+	if want := uint64(16 * 16 / 8); stats.Groups != want {
+		t.Fatalf("Groups = %d, want %d", stats.Groups, want)
+	}
+	if stats.Divergences != 0 || stats.Fallbacks != 0 {
+		t.Fatalf("uniform shader diverged: %+v", stats)
+	}
+}
+
+// TestLaneDivergenceForcesFallback pins the other extreme: a shader that
+// branches on pixel-column parity makes every multi-lane group diverge, so
+// the minority lanes of every group must retire to the scalar VM — and the
+// image must still be bitwise-identical to the reference.
+func TestLaneDivergenceForcesFallback(t *testing.T) {
+	m := testmod.ParityStripes(16)
+	prog, err := interp.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.Inputs{W: 16, H: 16}
+	ref, err := interp.RenderTree(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{2, 4, 8, 16} {
+		img, stats, err := prog.RenderParallelLanes(in, 1, lanes)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		if !ref.Equal(img) {
+			t.Fatalf("lanes=%d: image differs from tree reference", lanes)
+		}
+		groups := uint64(16 * 16 / lanes)
+		if stats.Groups != groups {
+			t.Fatalf("lanes=%d: Groups = %d, want %d", lanes, stats.Groups, groups)
+		}
+		// Every group splits half/half on the parity branch, so every group
+		// diverges exactly once and retires half its lanes.
+		if stats.Divergences != groups {
+			t.Fatalf("lanes=%d: Divergences = %d, want %d", lanes, stats.Divergences, groups)
+		}
+		if want := groups * uint64(lanes) / 2; stats.Fallbacks != want {
+			t.Fatalf("lanes=%d: Fallbacks = %d, want %d", lanes, stats.Fallbacks, want)
+		}
+	}
+}
+
+// TestLaneSetLanesDispatch pins the process-wide switch: with SetLanes
+// active, plain RenderParallel must route through the lane VM (observable
+// via the process totals) and still produce the scalar image.
+func TestLaneSetLanesDispatch(t *testing.T) {
+	prog, err := interp.Compile(testmod.Diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.Inputs{W: 8, H: 8}
+	ref, err := prog.RenderParallel(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := interp.LaneTotals()
+	interp.SetLanes(8)
+	defer interp.SetLanes(0)
+	img, err := prog.RenderParallel(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Equal(img) {
+		t.Fatal("lane-dispatched render differs from scalar render")
+	}
+	if after := interp.LaneTotals(); after.Groups <= before.Groups {
+		t.Fatalf("LaneTotals.Groups did not advance: before %d, after %d", before.Groups, after.Groups)
+	}
+}
+
+// TestLaneClamp pins the SetLanes bounds: negative values clear lane mode
+// and oversized values clamp to MaxLanes.
+func TestLaneClamp(t *testing.T) {
+	interp.SetLanes(-3)
+	if got := interp.Lanes(); got != 0 {
+		t.Fatalf("Lanes() after SetLanes(-3) = %d, want 0", got)
+	}
+	interp.SetLanes(1000)
+	if got := interp.Lanes(); got != interp.MaxLanes {
+		t.Fatalf("Lanes() after SetLanes(1000) = %d, want %d", got, interp.MaxLanes)
+	}
+	interp.SetLanes(0)
+}
+
+// TestLaneHammerWorkers cross-checks lane renders against the scalar VM over
+// the corpus references at aggressive worker counts; under `go test -race`
+// this doubles as the data-race hammer for the per-band lane machines and
+// the shared stats counters.
+func TestLaneHammerWorkers(t *testing.T) {
+	mods := []struct {
+		name string
+		in   interp.Inputs
+		prog *interp.Program
+	}{}
+	for _, item := range corpus.References() {
+		prog, err := interp.Compile(item.Mod)
+		if err != nil {
+			t.Fatalf("%s: %v", item.Name, err)
+		}
+		mods = append(mods, struct {
+			name string
+			in   interp.Inputs
+			prog *interp.Program
+		}{item.Name, item.Inputs, prog})
+	}
+	// The high-divergence module rides along to hammer the fallback path.
+	stripes := testmod.ParityStripes(16)
+	sprog, err := interp.Compile(stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods = append(mods, struct {
+		name string
+		in   interp.Inputs
+		prog *interp.Program
+	}{"stripes", interp.Inputs{W: 16, H: 16}, sprog})
+
+	for _, mod := range mods {
+		ref, err := mod.prog.RenderParallel(mod.in, 1)
+		if err != nil {
+			t.Fatalf("%s: scalar render: %v", mod.name, err)
+		}
+		for _, workers := range []int{1, 2, 16, 64} {
+			for _, lanes := range []int{4, 16} {
+				img, _, err := mod.prog.RenderParallelLanes(mod.in, workers, lanes)
+				if err != nil {
+					t.Fatalf("%s lanes=%d workers=%d: %v", mod.name, lanes, workers, err)
+				}
+				if !ref.Equal(img) {
+					t.Fatalf("%s lanes=%d workers=%d: image differs from scalar render", mod.name, lanes, workers)
+				}
+			}
+		}
+	}
+}

@@ -90,6 +90,78 @@ func SetTreeWalker(on bool) { treeMode.Store(on) }
 // reference evaluator.
 func TreeWalker() bool { return treeMode.Load() }
 
+// laneCount selects warp-style lane execution for compiled renders: groups
+// of laneCount pixels advance through one decoded instruction stream
+// together, with divergent or faulting lanes retired to the scalar VM.
+// Process-wide and atomic, like treeMode, so CLIs flip it once up front.
+var laneCount atomic.Int32
+
+// MaxLanes is the widest supported lane group. Wider requests are clamped;
+// the divergence mask is a uint32, so the architectural ceiling is 32.
+const MaxLanes = 16
+
+// SetLanes sets the lane-group width used by compiled renders. n <= 1
+// selects the plain scalar VM (the default); 2..MaxLanes selects lane mode;
+// larger values clamp to MaxLanes. The tree-walker engine is unaffected.
+func SetLanes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > MaxLanes {
+		n = MaxLanes
+	}
+	laneCount.Store(int32(n))
+}
+
+// Lanes returns the lane-group width selected by SetLanes (0 or 1 = scalar).
+func Lanes() int { return int(laneCount.Load()) }
+
+// LaneStats counts lane-execution events for one render: groups launched,
+// control-flow divergences observed (a group whose lanes disagreed on a
+// branch or switch edge), and pixels retired to the scalar VM.
+type LaneStats struct {
+	Groups      uint64
+	Divergences uint64
+	Fallbacks   uint64
+}
+
+func (s *LaneStats) add(o LaneStats) {
+	s.Groups += o.Groups
+	s.Divergences += o.Divergences
+	s.Fallbacks += o.Fallbacks
+}
+
+// Process-wide lane counters, mirroring the runner's OptPasses precedent:
+// every lane render accumulates into these so long-lived processes (spirvd,
+// gfauto) can report lane behavior without threading stats through every
+// call site.
+var (
+	laneGroupsTotal      atomic.Uint64
+	laneDivergencesTotal atomic.Uint64
+	laneFallbacksTotal   atomic.Uint64
+)
+
+func addLaneTotals(s LaneStats) {
+	if s.Groups != 0 {
+		laneGroupsTotal.Add(s.Groups)
+	}
+	if s.Divergences != 0 {
+		laneDivergencesTotal.Add(s.Divergences)
+	}
+	if s.Fallbacks != 0 {
+		laneFallbacksTotal.Add(s.Fallbacks)
+	}
+}
+
+// LaneTotals returns the process-wide accumulated lane statistics.
+func LaneTotals() LaneStats {
+	return LaneStats{
+		Groups:      laneGroupsTotal.Load(),
+		Divergences: laneDivergencesTotal.Load(),
+		Fallbacks:   laneFallbacksTotal.Load(),
+	}
+}
+
 // Render executes the module's entry point for every pixel of the grid and
 // returns the resulting image. Any invocation fault aborts the render with
 // that fault — the analogue of a crash or device loss. OpKill discards the
@@ -97,9 +169,10 @@ func TreeWalker() bool { return treeMode.Load() }
 //
 // By default the module is lowered once by Compile and executed by the
 // register VM; SetTreeWalker(true) switches to the tree-walking reference
-// evaluator. The two engines implement identical semantics — images are
-// byte-equal and faults carry identical messages (pinned by the
-// differential tests).
+// evaluator, and SetLanes(n) makes the compiled path execute n pixels per
+// instruction with scalar fallback. All engines implement identical
+// semantics — images are byte-equal and faults carry identical messages
+// (pinned by the differential tests).
 func Render(m *spirv.Module, in Inputs) (*Image, error) {
 	if TreeWalker() {
 		return RenderTree(m, in)

@@ -7,56 +7,64 @@ import "sync"
 // pointers) and a per-function frame arena — so concurrent renders use one
 // machine per goroutine over the same shared Program.
 type vmachine struct {
-	p         *Program
-	fixed     []Value
-	cells     []Cell
-	arena     [][][]Value // per function: stack of reusable frames
-	scratch   []Value     // ϕ parallel-move staging
-	argbuf    []Value     // call-argument staging
-	earena    []Value     // bump arena for frame-bound composite elements
-	eoff      int
+	p     *Program
+	fixed []Value
+	cells []Cell
+	arena [][][]Value // per function: stack of reusable frames
+	valArena
+	scratch   []Value // ϕ parallel-move staging
+	argbuf    []Value // call-argument staging
 	steps     int
 	callDepth int
+}
+
+// valArena is the bump arena for frame-bound composite elements, shared by
+// the scalar vmachine and the laneVM so both engines evaluate composites
+// through the same allocation and semantic paths.
+type valArena struct {
+	earena []Value // bump arena for frame-bound composite elements
+	eoff   int
 }
 
 // allocElems bump-allocates n element slots from the per-pixel arena. Values
 // backed by the arena may only be stored in frame slots: frames die when the
 // invocation returns, and everything that outlives the pixel (memory cells)
-// is written through Clone, which copies to the heap. renderRows resets the
-// arena between pixels, so steady-state rendering allocates nothing.
-func (vm *vmachine) allocElems(n int) []Value {
-	if vm.eoff+n > len(vm.earena) {
+// is written through Clone, which copies to the heap. renderPixel (and the
+// lane renderer, per group) resets the arena, so steady-state rendering
+// allocates nothing.
+func (ar *valArena) allocElems(n int) []Value {
+	if ar.eoff+n > len(ar.earena) {
 		// A new chunk; the old one stays alive while frame values reference
 		// it and is collected afterwards.
-		vm.earena = make([]Value, max(4096, n))
-		vm.eoff = 0
+		ar.earena = make([]Value, max(4096, n))
+		ar.eoff = 0
 	}
-	s := vm.earena[vm.eoff : vm.eoff+n : vm.eoff+n]
-	vm.eoff += n
+	s := ar.earena[ar.eoff : ar.eoff+n : ar.eoff+n]
+	ar.eoff += n
 	return s
 }
 
 // arenaClone is Value.Clone with element storage from the arena; the result
 // is frame-bound only.
-func (vm *vmachine) arenaClone(v Value) Value {
+func (ar *valArena) arenaClone(v Value) Value {
 	if v.Kind != KindComposite {
 		return v
 	}
 	c := v
-	c.Elems = vm.allocElems(len(v.Elems))
+	c.Elems = ar.allocElems(len(v.Elems))
 	for i, e := range v.Elems {
-		c.Elems[i] = vm.arenaClone(e)
+		c.Elems[i] = ar.arenaClone(e)
 	}
 	return c
 }
 
 // lanes2 is mapLanes2 with arena-backed element storage.
-func (vm *vmachine) lanes2(a, b Value, f func(x, y Value) (Value, error)) (Value, error) {
+func (ar *valArena) lanes2(a, b Value, f func(x, y Value) (Value, error)) (Value, error) {
 	if a.Kind == KindComposite && b.Kind == KindComposite {
 		if len(a.Elems) != len(b.Elems) {
 			return Value{}, faultf("lane count mismatch")
 		}
-		elems := vm.allocElems(len(a.Elems))
+		elems := ar.allocElems(len(a.Elems))
 		for i := range a.Elems {
 			v, err := f(a.Elems[i], b.Elems[i])
 			if err != nil {
@@ -76,18 +84,18 @@ func (vm *vmachine) lanes2(a, b Value, f func(x, y Value) (Value, error)) (Value
 // scalar/vector mixes) falls back to the boxed semantic function, which is
 // where the canonical fault messages live. The primitives are pure, so a
 // partially-computed fast path can safely be recomputed by the fallback.
-func (vm *vmachine) evalBin(ins *pinstr, a, b Value) (Value, error) {
+func (ar *valArena) evalBin(ins *pinstr, a, b Value) (Value, error) {
 	switch ins.fclass {
 	case fcFloat:
 		if a.Kind == KindFloat && b.Kind == KindFloat {
 			return FloatVal(ins.binF(a.F, b.F)), nil
 		}
 		if a.Kind == KindComposite && b.Kind == KindComposite && len(a.Elems) == len(b.Elems) {
-			elems := vm.allocElems(len(a.Elems))
+			elems := ar.allocElems(len(a.Elems))
 			for i := range a.Elems {
 				x, y := &a.Elems[i], &b.Elems[i]
 				if x.Kind != KindFloat || y.Kind != KindFloat {
-					return vm.lanes2(a, b, ins.bin)
+					return ar.lanes2(a, b, ins.bin)
 				}
 				elems[i] = Value{Kind: KindFloat, F: ins.binF(x.F, y.F)}
 			}
@@ -98,11 +106,11 @@ func (vm *vmachine) evalBin(ins *pinstr, a, b Value) (Value, error) {
 			return UintVal(ins.binI(a.Bits, b.Bits)), nil
 		}
 		if a.Kind == KindComposite && b.Kind == KindComposite && len(a.Elems) == len(b.Elems) {
-			elems := vm.allocElems(len(a.Elems))
+			elems := ar.allocElems(len(a.Elems))
 			for i := range a.Elems {
 				x, y := &a.Elems[i], &b.Elems[i]
 				if x.Kind != KindInt || y.Kind != KindInt {
-					return vm.lanes2(a, b, ins.bin)
+					return ar.lanes2(a, b, ins.bin)
 				}
 				elems[i] = Value{Kind: KindInt, Bits: ins.binI(x.Bits, y.Bits)}
 			}
@@ -117,13 +125,13 @@ func (vm *vmachine) evalBin(ins *pinstr, a, b Value) (Value, error) {
 			return BoolVal(ins.cmpI(a.Bits, b.Bits)), nil
 		}
 	}
-	return vm.lanes2(a, b, ins.bin)
+	return ar.lanes2(a, b, ins.bin)
 }
 
 // lanes1 is mapLanes1 with arena-backed element storage.
-func (vm *vmachine) lanes1(a Value, f func(x Value) (Value, error)) (Value, error) {
+func (ar *valArena) lanes1(a Value, f func(x Value) (Value, error)) (Value, error) {
 	if a.Kind == KindComposite {
-		elems := vm.allocElems(len(a.Elems))
+		elems := ar.allocElems(len(a.Elems))
 		for i := range a.Elems {
 			v, err := f(a.Elems[i])
 			if err != nil {
@@ -136,25 +144,34 @@ func (vm *vmachine) lanes1(a Value, f func(x Value) (Value, error)) (Value, erro
 	return f(a)
 }
 
-func (p *Program) newVM(in Inputs) *vmachine {
-	vm := &vmachine{p: p}
-	vm.cells = make([]Cell, len(p.globals))
+// newState builds one pixel-stream's worth of mutable module state: global
+// cells cloned from their initializers (with uniforms applied) and a fixed
+// pool whose global entries point at those cells. The scalar machine owns one
+// such state; the lane VM owns one per lane.
+func (p *Program) newState(in Inputs) ([]Cell, []Value) {
+	cells := make([]Cell, len(p.globals))
 	for i, g := range p.globals {
-		vm.cells[i].V = g.init.Clone()
+		cells[i].V = g.init.Clone()
 	}
-	vm.fixed = make([]Value, len(p.fixedProto))
-	copy(vm.fixed, p.fixedProto)
+	fixed := make([]Value, len(p.fixedProto))
+	copy(fixed, p.fixedProto)
 	for i, g := range p.fixedGlobal {
 		if g >= 0 {
-			vm.fixed[i] = Value{Kind: KindPointer, Ptr: &Pointer{Cell: &vm.cells[g]}}
+			fixed[i] = Value{Kind: KindPointer, Ptr: &Pointer{Cell: &cells[g]}}
 		}
 	}
-	vm.arena = make([][][]Value, len(p.funcs))
 	for _, u := range p.uniforms {
 		if v, ok := in.Uniforms[u.name]; ok {
-			vm.cells[u.global].V = v.Clone()
+			cells[u.global].V = v.Clone()
 		}
 	}
+	return cells, fixed
+}
+
+func (p *Program) newVM(in Inputs) *vmachine {
+	vm := &vmachine{p: p}
+	vm.cells, vm.fixed = p.newState(in)
+	vm.arena = make([][][]Value, len(p.funcs))
 	return vm
 }
 
@@ -670,8 +687,18 @@ func (p *Program) Render(in Inputs) (*Image, error) {
 // contiguous row bands, one VM instance per goroutine writing a disjoint
 // Pix range. Output is byte-identical to the serial render for any worker
 // count; when the module faults, the fault of the scan-order-first pixel is
-// reported, matching what a serial render returns.
+// reported, matching what a serial render returns. When lane mode is enabled
+// via SetLanes, rendering goes through the lane VM (with per-lane scalar
+// fallback) instead — the output contract is identical.
 func (p *Program) RenderParallel(in Inputs, workers int) (*Image, error) {
+	if n := Lanes(); n > 1 {
+		img, _, err := p.RenderParallelLanes(in, workers, n)
+		return img, err
+	}
+	return p.renderParallelScalar(in, workers)
+}
+
+func (p *Program) renderParallelScalar(in Inputs, workers int) (*Image, error) {
 	w, h := in.W, in.H
 	if w == 0 {
 		w = DefaultGrid
@@ -721,41 +748,58 @@ func (p *Program) RenderParallel(in Inputs, workers int) (*Image, error) {
 // scan-order index of the faulting pixel so parallel renders can report the
 // first fault a serial scan would hit.
 func (p *Program) renderRows(vm *vmachine, img *Image, y0, y1 int) (int, error) {
-	w, h := img.W, img.H
+	w := img.W
 	for y := y0; y < y1; y++ {
 		for x := 0; x < w; x++ {
-			if p.coord >= 0 {
-				cx := (float32(x) + 0.5) / float32(w)
-				cy := (float32(y) + 0.5) / float32(h)
-				vm.setCoord(cx, cy)
-			}
-			vm.resetColor()
-			vm.steps = 0
-			vm.eoff = 0 // recycle the element arena: frame values are dead
-			_, err := vm.call(p.entry, nil)
-			pi := 4 * (y*w + x)
-			if err == errKill {
-				// Discarded fragment: transparent black.
-				img.Pix[pi], img.Pix[pi+1], img.Pix[pi+2], img.Pix[pi+3] = 0, 0, 0, 0
-				continue
-			}
-			if err != nil {
-				return y*w + x, err
-			}
-			out := vm.cells[p.color].V
-			var rgba [4]float32
-			switch out.Kind {
-			case KindComposite:
-				for i := 0; i < 4 && i < len(out.Elems); i++ {
-					rgba[i] = out.Elems[i].F
-				}
-			case KindFloat:
-				rgba[0] = out.F
-			}
-			for i := 0; i < 4; i++ {
-				img.Pix[pi+i] = quantize(rgba[i])
+			if pix, err := p.renderPixel(vm, img, x, y); err != nil {
+				return pix, err
 			}
 		}
 	}
 	return 0, nil
+}
+
+// renderPixel runs one full pixel on the scalar machine and writes its
+// quantized color (or transparent black for a discarded fragment) into img.
+// It is the unit of work shared by the scalar row renderer and the lane
+// renderer's per-lane fallback. On a fault it returns the pixel's scan-order
+// index and the error.
+func (p *Program) renderPixel(vm *vmachine, img *Image, x, y int) (int, error) {
+	w, h := img.W, img.H
+	if p.coord >= 0 {
+		cx := (float32(x) + 0.5) / float32(w)
+		cy := (float32(y) + 0.5) / float32(h)
+		vm.setCoord(cx, cy)
+	}
+	vm.resetColor()
+	vm.steps = 0
+	vm.eoff = 0 // recycle the element arena: frame values are dead
+	_, err := vm.call(p.entry, nil)
+	pi := 4 * (y*w + x)
+	if err == errKill {
+		// Discarded fragment: transparent black.
+		img.Pix[pi], img.Pix[pi+1], img.Pix[pi+2], img.Pix[pi+3] = 0, 0, 0, 0
+		return 0, nil
+	}
+	if err != nil {
+		return y*w + x, err
+	}
+	writePixel(img.Pix[pi:pi+4:pi+4], vm.cells[p.color].V)
+	return 0, nil
+}
+
+// writePixel quantizes an output color value into four Pix bytes.
+func writePixel(dst []uint8, out Value) {
+	var rgba [4]float32
+	switch out.Kind {
+	case KindComposite:
+		for i := 0; i < 4 && i < len(out.Elems); i++ {
+			rgba[i] = out.Elems[i].F
+		}
+	case KindFloat:
+		rgba[0] = out.F
+	}
+	for i := 0; i < 4; i++ {
+		dst[i] = quantize(rgba[i])
+	}
 }

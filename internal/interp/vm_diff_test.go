@@ -8,6 +8,7 @@ package interp_test
 // semantics" contract Render relies on.
 
 import (
+	"fmt"
 	"testing"
 
 	"spirvfuzz/internal/corpus"
@@ -18,8 +19,13 @@ import (
 	"spirvfuzz/internal/testmod"
 )
 
-// assertEnginesAgree renders m under the tree walker and under the VM at 1
-// and 4 workers, requiring bitwise-equal images and string-equal faults.
+// laneWidths are the lane-group widths every differential test sweeps; 1 is
+// the degenerate group (pure lane machinery, no sharing), 16 is MaxLanes.
+var laneWidths = []int{1, 4, 8, 16}
+
+// assertEnginesAgree renders m under the tree walker, under the scalar VM at
+// 1 and 4 workers, and under the lane VM at every lane width × worker count,
+// requiring bitwise-equal images and string-equal faults throughout.
 func assertEnginesAgree(t *testing.T, name string, m *spirv.Module, in interp.Inputs) {
 	t.Helper()
 	treeImg, treeErr := interp.RenderTree(m, in)
@@ -35,20 +41,28 @@ func assertEnginesAgree(t *testing.T, name string, m *spirv.Module, in interp.In
 		}
 		return
 	}
-	for _, workers := range []int{1, 4} {
-		vmImg, vmErr := prog.RenderParallel(in, workers)
+	check := func(engine string, vmImg *interp.Image, vmErr error) {
+		t.Helper()
 		switch {
 		case treeErr == nil && vmErr == nil:
 			if !treeImg.Equal(vmImg) {
-				t.Fatalf("%s: images differ at %d workers (%d pixels)\ntree:\n%svm:\n%s",
-					name, workers, treeImg.DiffCount(vmImg), treeImg.ASCII(), vmImg.ASCII())
+				t.Fatalf("%s: images differ under %s (%d pixels)\ntree:\n%svm:\n%s",
+					name, engine, treeImg.DiffCount(vmImg), treeImg.ASCII(), vmImg.ASCII())
 			}
 		case treeErr != nil && vmErr != nil:
 			if treeErr.Error() != vmErr.Error() {
-				t.Fatalf("%s: fault mismatch at %d workers: tree %q, vm %q", name, workers, treeErr, vmErr)
+				t.Fatalf("%s: fault mismatch under %s: tree %q, vm %q", name, engine, treeErr, vmErr)
 			}
 		default:
-			t.Fatalf("%s: outcome mismatch at %d workers: tree err %v, vm err %v", name, workers, treeErr, vmErr)
+			t.Fatalf("%s: outcome mismatch under %s: tree err %v, vm err %v", name, engine, treeErr, vmErr)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		vmImg, vmErr := prog.RenderParallel(in, workers)
+		check(fmt.Sprintf("vm/workers=%d", workers), vmImg, vmErr)
+		for _, lanes := range laneWidths {
+			laneImg, _, laneErr := prog.RenderParallelLanes(in, workers, lanes)
+			check(fmt.Sprintf("lanes=%d/workers=%d", lanes, workers), laneImg, laneErr)
 		}
 	}
 }
@@ -254,6 +268,15 @@ func TestVMDiffKillParallel(t *testing.T) {
 		if !ref.Equal(img) {
 			t.Fatalf("workers=%d: image differs from tree reference", workers)
 		}
+		for _, lanes := range laneWidths {
+			img, _, err := prog.RenderParallelLanes(in, workers, lanes)
+			if err != nil {
+				t.Fatalf("lanes=%d workers=%d: %v", lanes, workers, err)
+			}
+			if !ref.Equal(img) {
+				t.Fatalf("lanes=%d workers=%d: image differs from tree reference", lanes, workers)
+			}
+		}
 	}
 }
 
@@ -296,6 +319,12 @@ func TestVMDiffFirstFaultWins(t *testing.T) {
 		_, vmErr := prog.RenderParallel(in, workers)
 		if vmErr == nil || vmErr.Error() != treeErr.Error() {
 			t.Fatalf("workers=%d: fault %v, want %v", workers, vmErr, treeErr)
+		}
+		for _, lanes := range laneWidths {
+			_, _, laneErr := prog.RenderParallelLanes(in, workers, lanes)
+			if laneErr == nil || laneErr.Error() != treeErr.Error() {
+				t.Fatalf("lanes=%d workers=%d: fault %v, want %v", lanes, workers, laneErr, treeErr)
+			}
 		}
 	}
 }

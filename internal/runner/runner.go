@@ -152,6 +152,12 @@ type Stats struct {
 	// OptPasses is the process-wide per-pass optimizer profile (runs,
 	// changed, wall time) accumulated by opt.Pipeline.
 	OptPasses []opt.PassStat
+	// Lane-execution counters, process-wide like OptPasses: lane groups
+	// launched, control-flow divergences, and pixels retired to the scalar
+	// VM. All zero unless interp.SetLanes enabled warp-style rendering.
+	LaneGroups      uint64
+	LaneDivergences uint64
+	ScalarFallbacks uint64
 }
 
 // HitRate returns the fraction of cache lookups served without executing
@@ -635,6 +641,8 @@ func (e *Engine) Stats() Stats {
 		Workers:          e.workers,
 		OptPasses:        opt.PassStats(),
 	}
+	lt := interp.LaneTotals()
+	st.LaneGroups, st.LaneDivergences, st.ScalarFallbacks = lt.Groups, lt.Divergences, lt.Fallbacks
 	for i := range e.shards {
 		for _, s := range []*shard{&e.shards[i], &e.renders[i]} {
 			s.mu.Lock()

@@ -223,6 +223,125 @@ func LocalVars() *spirv.Module {
 	return m
 }
 
+// ParityStripes returns a shader that branches on the parity of the pixel
+// column: even columns go white, odd columns dark. Rendered on a w-wide
+// grid, adjacent pixels always take opposite branch edges, so every lane
+// group wider than one pixel diverges at the conditional — the worst case
+// for warp-style lane execution and the canonical forced-scalar-fallback
+// module in the lane differential tests.
+//
+// coord.x for column x is (x+0.5)/w, so coord.x*w = x+0.5 and ConvertFToS
+// truncates it to exactly x.
+func ParityStripes(w int32) *spirv.Module {
+	b := spirv.NewBuilder()
+	s := b.BeginFragmentShell()
+	m := b.Mod
+	wf := m.EnsureConstantFloat(float32(w))
+	oneI := m.EnsureConstantInt(1)
+	zeroI := m.EnsureConstantInt(0)
+	one := m.EnsureConstantFloat(1)
+	dark := m.EnsureConstantFloat(0.2)
+
+	c := b.Emit(spirv.OpLoad, s.Vec2, s.Coord)
+	x := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(c), 0)
+	xs := b.Emit(spirv.OpFMul, s.Float, x, wf)
+	xi := b.Emit(spirv.OpConvertFToS, s.Int, xs)
+	parity := b.Emit(spirv.OpBitwiseAnd, s.Int, xi, oneI)
+	cond := b.Emit(spirv.OpIEqual, s.Bool, parity, zeroI)
+	even, odd, merge := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.SelectionMerge(merge)
+	b.BranchCond(cond, even, odd)
+
+	b.Begin(even)
+	v1 := b.Emit(spirv.OpCopyObject, s.Float, one)
+	b.Branch(merge)
+
+	b.Begin(odd)
+	v2 := b.Emit(spirv.OpCopyObject, s.Float, dark)
+	b.Branch(merge)
+
+	b.Begin(merge)
+	r := b.Phi(s.Float, v1, even, v2, odd)
+	col := b.Emit(spirv.OpCompositeConstruct, s.Vec4, r, r, r, one)
+	b.Store(s.Color, col)
+	b.FinishFragmentShell(s)
+	return m
+}
+
+// LoopAccum returns a shader that runs a counted loop of n iterations
+// accumulating coordinate-dependent float arithmetic:
+//
+//	a₀ = x;  aᵢ₊₁ = aᵢ·0.9 + x·y
+//
+// and writes the accumulator to the red/green channels. The iteration count
+// is the same for every pixel, so control flow is perfectly uniform across
+// a lane group while the per-lane float values differ — the divergence-light,
+// dispatch-heavy shape that lane execution accelerates most.
+func LoopAccum(n int32) *spirv.Module {
+	b := spirv.NewBuilder()
+	s := b.BeginFragmentShell()
+	m := b.Mod
+	zero := m.EnsureConstantInt(0)
+	oneI := m.EnsureConstantInt(1)
+	limit := m.EnsureConstantInt(n)
+	decay := m.EnsureConstantFloat(0.9)
+	hund := m.EnsureConstantFloat(0.01)
+	oneF := m.EnsureConstantFloat(1)
+
+	c := b.Emit(spirv.OpLoad, s.Vec2, s.Coord)
+	x := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(c), 0)
+	y := b.EmitWords(spirv.OpCompositeExtract, s.Float, uint32(c), 1)
+	xy := b.Emit(spirv.OpFMul, s.Float, x, y)
+
+	header, check, body, cont, merge := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	entry := b.Fn.Blocks[0].Label
+	b.Branch(header)
+
+	b.Begin(header)
+	iPhi := m.FreshID()
+	aPhi := m.FreshID()
+	iNext := m.FreshID()
+	aNext := m.FreshID()
+	b.Blk.Phis = append(b.Blk.Phis,
+		spirv.NewInstr(spirv.OpPhi, s.Int, iPhi, uint32(zero), uint32(entry), uint32(iNext), uint32(cont)),
+		spirv.NewInstr(spirv.OpPhi, s.Float, aPhi, uint32(x), uint32(entry), uint32(aNext), uint32(cont)),
+	)
+	b.LoopMerge(merge, cont)
+	b.Branch(check)
+
+	b.Begin(check)
+	cd := b.Emit(spirv.OpSLessThan, s.Bool, iPhi, limit)
+	b.BranchCond(cd, body, merge)
+
+	b.Begin(body)
+	// f(a) = 0.9a - 0.0081a^2 + xy: a contraction on the coord domain, so
+	// the accumulator stays bounded for any n — no Inf/NaN to mask float
+	// non-associativity in differential runs. Five float ops per iteration
+	// keep the loop arithmetic-dominated, like real shader inner loops.
+	scaled := m.FreshID()
+	sq := m.FreshID()
+	damp := m.FreshID()
+	mix := m.FreshID()
+	b.Blk.Body = append(b.Blk.Body,
+		spirv.NewInstr(spirv.OpFMul, s.Float, scaled, uint32(aPhi), uint32(decay)),
+		spirv.NewInstr(spirv.OpFMul, s.Float, sq, uint32(scaled), uint32(scaled)),
+		spirv.NewInstr(spirv.OpFMul, s.Float, damp, uint32(sq), uint32(hund)),
+		spirv.NewInstr(spirv.OpFAdd, s.Float, mix, uint32(scaled), uint32(xy)),
+		spirv.NewInstr(spirv.OpFSub, s.Float, aNext, uint32(mix), uint32(damp)),
+	)
+	b.Branch(cont)
+
+	b.Begin(cont)
+	b.Blk.Body = append(b.Blk.Body, spirv.NewInstr(spirv.OpIAdd, s.Int, iNext, uint32(iPhi), uint32(oneI)))
+	b.Branch(header)
+
+	b.Begin(merge)
+	col := b.Emit(spirv.OpCompositeConstruct, s.Vec4, aPhi, aPhi, y, oneF)
+	b.Store(s.Color, col)
+	b.FinishFragmentShell(s)
+	return m
+}
+
 // All returns every canonical module with a name, for table-driven tests.
 func All() map[string]*spirv.Module {
 	return map[string]*spirv.Module{
@@ -232,5 +351,7 @@ func All() map[string]*spirv.Module {
 		"matrix":    Matrix(),
 		"killhalf":  KillHalf(),
 		"localvars": LocalVars(),
+		"stripes":   ParityStripes(8),
+		"loopaccum": LoopAccum(16),
 	}
 }

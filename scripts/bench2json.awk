@@ -1,6 +1,9 @@
 # Convert `go test -bench` output to a JSON object mapping benchmark name to
 # its metrics, e.g. {"BenchmarkRunnerParallelReduce": {"ns/op": ..., ...}}.
-# Usage: go test -short -run '^$' -bench . -benchtime=1x ./... | awk -f scripts/bench2json.awk
+# Every value/unit pair on a benchmark line is recorded generically, so with
+# -benchmem the allocation metrics ("B/op", "allocs/op") land in the JSON
+# alongside ns/op and the custom ReportMetric ratios ("speedup" etc).
+# Usage: go test -short -run '^$' -bench . -benchtime=1x -benchmem ./... | awk -f scripts/bench2json.awk
 BEGIN { print "{"; n = 0 }
 /^Benchmark/ {
     name = $1
