@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-daemon bench baseline bench-compare profile
+.PHONY: ci fmt vet build test test-daemon test-cluster bench baseline bench-compare profile
 
 # Everything CI runs, in order; fails fast.
-ci: fmt vet build test test-daemon bench
+ci: fmt vet build test test-daemon test-cluster bench
 
 # The daemon's durability layers get a dedicated race pass on top of the
 # repo-wide one: -shuffle varies the journal/queue interleavings between
@@ -11,6 +11,14 @@ ci: fmt vet build test test-daemon bench
 test-daemon:
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./internal/service/... ./internal/store/...
+
+# The distributed layer gets the same treatment, plus the real-process
+# cluster e2e: a coordinator with worker processes (one SIGKILLed and
+# replaced mid-campaign) must merge to buckets bitwise-identical to a
+# standalone daemon's.
+test-cluster:
+	$(GO) test -race -shuffle=on ./internal/cluster/...
+	$(GO) test -count=1 -run 'TestSpirvdCluster|TestSpirvdCoordinatorLocalNodes' .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -44,7 +52,7 @@ baseline:
 # fresh replay; journal resume over a fresh campaign; batched RunAll over a
 # per-target compile loop; the register VM over the tree-walker; lane-mode
 # rendering over the scalar VM) regresses below 0.75x its value in the
-# committed BENCH_pr6.json trajectory point — loose enough for machine
+# committed BENCH_pr7.json trajectory point — loose enough for machine
 # noise, tight enough to catch a disabled cache, a resume that silently
 # re-runs journaled work, compile sharing gone, the VM degenerating to
 # tree-walker speed, or lane mode losing its amortization (speedup ~1.0). A
@@ -55,16 +63,19 @@ baseline:
 # the absolute bounds are backstops against wholesale regressions that leave
 # the internal ratios intact.
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM' -benchtime=1x -benchmem . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM|Cluster' -benchtime=1x -benchmem . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr6.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
 		-current /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr6.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
 		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
 		-only BenchmarkRunnerParallelReduce
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr6.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
 		-current /tmp/bench-current.json -metric allocs/op -mode max -tolerance 1.5 \
 		-only BenchmarkInterpVMLanes/uniform/l8
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
+		-current /tmp/bench-current.json -metric dedup-frac -mode min -tolerance 0.95 \
+		-only BenchmarkClusterCampaign
 
 # CPU-profile the parallel-reduction campaign benchmark and print the top-10
 # functions by flat time — the quick answer to "where do campaign cycles go".

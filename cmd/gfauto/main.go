@@ -42,10 +42,10 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit per-tool campaign summaries as JSON (the shape spirvd serves) instead of tables")
 	interpEngine := flag.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
-	lanes := flag.Int("lanes", 0, "render this many pixels per VM instruction, warp-style, with scalar fallback for divergent lanes (0 = scalar; results are identical; max 16)")
+	lanes := flag.String("lanes", "0", `pixels per VM instruction, warp-style: a lane count (0 = scalar, max 16) or "auto" to probe each render (results are identical either way)`)
 	flag.Parse()
 	fatal(setInterpEngine(*interpEngine))
-	interp.SetLanes(*lanes)
+	fatal(interp.SetLanesFlag(*lanes))
 
 	if *listTargets {
 		fmt.Print(experiments.Table2())
@@ -102,6 +102,10 @@ func main() {
 			fmt.Printf("gfauto: lane groups: %d launched, %d divergences, %d pixels retired to the scalar VM (%.1f%%)\n",
 				st.LaneGroups, st.LaneDivergences, st.ScalarFallbacks,
 				100*ratio(st.ScalarFallbacks, st.LaneGroups*uint64(interp.Lanes())))
+		}
+		if scalar, eight, sixteen := interp.AutoLanePicks(); interp.LanesAuto() && scalar+eight+sixteen > 0 {
+			fmt.Printf("gfauto: auto lanes: %d renders probed to scalar, %d to 8-lane, %d to 16-lane\n",
+				scalar, eight, sixteen)
 		}
 		fmt.Println()
 	}

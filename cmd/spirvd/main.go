@@ -18,6 +18,18 @@
 // trigger a graceful drain: in-flight jobs finish, pending ones are left to
 // the journal.
 //
+// -role selects the deployment shape (internal/cluster):
+//
+//	standalone   (default) the single-process daemon described above
+//	coordinator  serve the same campaign API, but shard campaigns into
+//	             jobs executed by worker nodes; -nodes N additionally
+//	             spawns N in-process workers for a single-machine cluster
+//	worker       join the coordinator at -join, pull shards, sync blobs
+//
+// A coordinator serves the identical campaign endpoints, so the client
+// subcommand and test harnesses work unchanged against either role, and
+// sharded campaigns produce buckets bitwise-identical to standalone runs.
+//
 // The "client" subcommand (spirvd client <verb>) is a thin JSON client for
 // scripting and the end-to-end tests; see client.go.
 package main
@@ -34,9 +46,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
+	"spirvfuzz/internal/cluster"
 	"spirvfuzz/internal/interp"
 	"spirvfuzz/internal/service"
 	"spirvfuzz/internal/store"
@@ -52,7 +67,8 @@ func main() {
 
 func serverMain(args []string) {
 	fs := flag.NewFlagSet("spirvd", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	role := fs.String("role", "standalone", "deployment role: standalone, coordinator, or worker")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port); unused by -role worker")
 	storeDir := fs.String("store", "", "store directory (required); created if missing")
 	workers := fs.Int("workers", 0, "worker-pool size; 0 means GOMAXPROCS (results are identical for any value)")
 	replayMB := fs.Int("replay-cache-mb", 64, "prefix-snapshot replay cache budget for reductions, in MiB")
@@ -60,7 +76,13 @@ func serverMain(args []string) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	interpEngine := fs.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
-	lanes := fs.Int("lanes", 0, "render this many pixels per VM instruction, warp-style, with scalar fallback for divergent lanes (0 = scalar; results are identical; max 16)")
+	lanes := fs.String("lanes", "0", `pixels per VM instruction, warp-style: a lane count (0 = scalar, max 16) or "auto" to probe each render (results are identical either way)`)
+	join := fs.String("join", "", "coordinator URL to join (required for -role worker)")
+	node := fs.String("node", "", "worker node name (default host-pid)")
+	nodes := fs.Int("nodes", 0, "coordinator only: spawn this many in-process worker nodes")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "coordinator only: shard lease before an unreported shard is re-queued")
+	shardTests := fs.Int("shard-tests", 4, "coordinator only: tests per fuzz shard")
+	shardCases := fs.Int("shard-cases", 2, "coordinator only: cases per reduce shard")
 	fs.Parse(args)
 	switch *interpEngine {
 	case "vm":
@@ -71,20 +93,54 @@ func serverMain(args []string) {
 		fmt.Fprintf(os.Stderr, "spirvd: unknown -interp engine %q (want vm or tree)\n", *interpEngine)
 		os.Exit(2)
 	}
-	interp.SetLanes(*lanes)
+	if err := interp.SetLanesFlag(*lanes); err != nil {
+		fmt.Fprintf(os.Stderr, "spirvd: %v\n", err)
+		os.Exit(2)
+	}
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "spirvd: -store is required")
 		fs.Usage()
 		os.Exit(2)
 	}
 
+	if *role == "worker" {
+		workerMain(workerConfig{
+			join: *join, node: *node, storeDir: *storeDir,
+			workers: *workers, replayMB: *replayMB,
+		})
+		return
+	}
+
 	st, err := store.Open(*storeDir)
 	fatal(err)
-	svc, err := service.New(st, service.Options{
-		Workers:      *workers,
-		ReplayBudget: int64(*replayMB) << 20,
-	})
-	fatal(err)
+	var handler http.Handler
+	var shutdown func(context.Context)
+	switch *role {
+	case "standalone":
+		svc, err := service.New(st, service.Options{
+			Workers:      *workers,
+			ReplayBudget: int64(*replayMB) << 20,
+		})
+		fatal(err)
+		handler = newMux(svc)
+		shutdown = func(ctx context.Context) {
+			if err := svc.Close(ctx); err != nil {
+				log.Printf("spirvd: forced drain: %v", err)
+			}
+		}
+	case "coordinator":
+		co, err := cluster.NewCoordinator(st, cluster.Options{
+			ShardTests: *shardTests,
+			ShardCases: *shardCases,
+			LeaseTTL:   *leaseTTL,
+		})
+		fatal(err)
+		handler = co.Mux()
+		shutdown = func(context.Context) { co.Close() }
+	default:
+		fmt.Fprintf(os.Stderr, "spirvd: unknown -role %q (want standalone, coordinator, or worker)\n", *role)
+		os.Exit(2)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	fatal(err)
@@ -94,7 +150,7 @@ func serverMain(args []string) {
 		fatal(os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644))
 		fatal(os.Rename(tmp, *portFile))
 	}
-	log.Printf("spirvd: listening on %s, store %s", ln.Addr(), *storeDir)
+	log.Printf("spirvd: %s listening on %s, store %s", *role, ln.Addr(), *storeDir)
 
 	if *pprofAddr != "" {
 		// The import of net/http/pprof registers its handlers on
@@ -111,7 +167,7 @@ func serverMain(args []string) {
 		}()
 	}
 
-	srv := &http.Server{Handler: newMux(svc)}
+	srv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -120,16 +176,80 @@ func serverMain(args []string) {
 		}
 	}()
 
+	// -nodes N turns a coordinator into a self-contained single-machine
+	// cluster: N in-process worker nodes join over loopback HTTP, each with
+	// its own store under <store>/nodes/. They are real protocol clients;
+	// only the network is loopback.
+	var localWorkers sync.WaitGroup
+	if *role == "coordinator" && *nodes > 0 {
+		for i := 1; i <= *nodes; i++ {
+			name := fmt.Sprintf("local%d", i)
+			w, err := cluster.NewWorker(cluster.WorkerOptions{
+				Node:         name,
+				Coordinator:  "http://" + ln.Addr().String(),
+				StoreDir:     filepath.Join(*storeDir, "nodes", name),
+				Workers:      *workers,
+				ReplayBudget: int64(*replayMB) << 20,
+			})
+			fatal(err)
+			localWorkers.Add(1)
+			go func() {
+				defer localWorkers.Done()
+				w.Run(ctx)
+				w.Close()
+			}()
+		}
+		log.Printf("spirvd: spawned %d in-process worker nodes", *nodes)
+	}
+
 	<-ctx.Done()
 	stop()
 	log.Printf("spirvd: draining (in-flight jobs finish, pending resume from the journal)")
+	localWorkers.Wait()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	srv.Shutdown(drainCtx)
-	if err := svc.Close(drainCtx); err != nil {
-		log.Printf("spirvd: forced drain: %v", err)
-	}
+	shutdown(drainCtx)
 	log.Printf("spirvd: bye")
+}
+
+type workerConfig struct {
+	join     string
+	node     string
+	storeDir string
+	workers  int
+	replayMB int
+}
+
+// workerMain runs the worker role: no listener, just a loop pulling shards
+// from the coordinator until signaled. A SIGKILLed worker needs no cleanup —
+// its leases expire on the coordinator and the shards are re-dispatched.
+func workerMain(cfg workerConfig) {
+	if cfg.join == "" {
+		fmt.Fprintln(os.Stderr, "spirvd: -role worker requires -join")
+		os.Exit(2)
+	}
+	if cfg.node == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.node = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		Node:         cfg.node,
+		Coordinator:  cfg.join,
+		StoreDir:     cfg.storeDir,
+		Workers:      cfg.workers,
+		ReplayBudget: int64(cfg.replayMB) << 20,
+	})
+	fatal(err)
+	defer w.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("spirvd: worker %s joining %s, store %s", cfg.node, cfg.join, cfg.storeDir)
+	w.Run(ctx)
+	log.Printf("spirvd: worker %s bye", cfg.node)
 }
 
 // newMux wires the HTTP API. All payloads are JSON; errors are

@@ -1,0 +1,211 @@
+// Package cluster distributes spirvd campaigns across worker nodes: a
+// coordinator shards each campaign's seed range into jobs, dispatches them
+// over HTTP/JSON to pull-model workers, and merges the returned records into
+// one campaign result.
+//
+// The design leans entirely on two properties the single-node pipeline
+// already has:
+//
+//   - Every pipeline step is deterministic in (spec, step index), and the
+//     coordinator and workers run the *same* step functions
+//     (internal/service.FuzzStep, ReduceStep, SelectReductions,
+//     BuildBuckets). Fuzz shards are contiguous test-index ranges whose
+//     boundaries do not depend on the node count; reduction selection and
+//     bucket deduplication run centrally on the coordinator over the merged
+//     per-test records, in the same canonical order a single node uses. So a
+//     3-node campaign — including one where a worker was SIGKILL'd and its
+//     shards re-dispatched — produces buckets bitwise-identical to a
+//     single-node run.
+//
+//   - Artifacts are content-addressed (internal/store), so blob transfer is
+//     a hash negotiation: each shard carries a (hash, size) manifest of the
+//     blobs it needs, a worker fetches only the ones its local store lacks,
+//     and pushes back only result blobs the coordinator does not already
+//     have. Repeated references — the shared reference corpus, sequences
+//     that reduce on the node that fuzzed them, re-pushed artifacts after a
+//     rejoin — cost nothing on the wire. The dedup fraction (1 −
+//     transferred/referenced bytes) is tracked per shard and reported in
+//     coordinator /metrics.
+//
+// Workers hold no durable campaign state: the coordinator journals every
+// completed shard in its write-ahead journal, re-queues shards whose lease
+// expired (node killed mid-shard), and on restart replays the journal and
+// re-dispatches only the missing shards.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/replay"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/spirv"
+)
+
+// Shard phases, in pipeline order.
+const (
+	PhaseFuzz   = "fuzz"
+	PhaseReduce = "reduce"
+)
+
+// BlobRef names a blob by content hash and size. Manifests of BlobRefs are
+// how shards describe their inputs: the size lets both sides account
+// referenced bytes without transferring anything.
+type BlobRef struct {
+	Hash string `json:"hash"`
+	Size int64  `json:"size"`
+}
+
+// Shard is one dispatchable unit of campaign work. A fuzz shard covers the
+// contiguous test range [Lo, Hi); a reduce shard carries its selected cases
+// explicitly. Both embed the normalized spec and the campaign's corpus
+// manifest (ordered — index i of the manifest is reference i of the
+// campaign), so a worker needs no out-of-band configuration.
+type Shard struct {
+	Campaign string               `json:"campaign"`
+	Phase    string               `json:"phase"`
+	Index    int                  `json:"index"`
+	Spec     service.CampaignSpec `json:"spec"`
+	Lo       int                  `json:"lo,omitempty"`
+	Hi       int                  `json:"hi,omitempty"`
+	Cases    []service.ReduceCase `json:"cases,omitempty"`
+	Corpus   []BlobRef            `json:"corpus"`
+	// Needs lists extra input blobs beyond the corpus (for reduce shards,
+	// the journaled transformation sequences of the cases).
+	Needs []BlobRef `json:"needs,omitempty"`
+}
+
+// Key identifies a shard uniquely within a coordinator.
+func (s *Shard) Key() string {
+	return fmt.Sprintf("%s/%s/%d", s.Campaign, s.Phase, s.Index)
+}
+
+// TestResult is one fuzz-phase step result: test Index was generated and
+// classified, finding Bugs (artifacts pushed to the coordinator by hash).
+type TestResult struct {
+	Index int              `json:"index"`
+	Bugs  []service.BugRef `json:"bugs,omitempty"`
+}
+
+// ShardResult is a worker's report for one executed shard.
+type ShardResult struct {
+	Campaign  string `json:"campaign"`
+	Phase     string `json:"phase"`
+	Index     int    `json:"index"`
+	Node      string `json:"node"`
+	ProcToken string `json:"proc_token"`
+	// Error marks a deterministic shard failure; re-dispatching would fail
+	// identically, so the coordinator fails the campaign.
+	Error   string               `json:"error,omitempty"`
+	Tests   []TestResult         `json:"tests,omitempty"`
+	Reduced []service.ReducedRec `json:"reduced,omitempty"`
+	// Sync is this shard's blob-sync delta (both directions, as accounted by
+	// the worker); Runner and Replay are the node's cumulative engine
+	// snapshots, aggregated coordinator-side with runner.MergeStats so
+	// process-wide counters are never double-counted.
+	Sync   SyncStats    `json:"sync"`
+	Runner runner.Stats `json:"runner"`
+	Replay replay.Stats `json:"replay"`
+}
+
+// SyncStats accounts blob-sync traffic: how many bytes shard manifests
+// referenced versus how many actually crossed the wire. The gap is the
+// content-address dedup the protocol gets for free.
+type SyncStats struct {
+	BlobsReferenced  uint64 `json:"blobs_referenced"`
+	BytesReferenced  uint64 `json:"bytes_referenced"`
+	BlobsTransferred uint64 `json:"blobs_transferred"`
+	BytesTransferred uint64 `json:"bytes_transferred"`
+}
+
+func (s *SyncStats) add(o SyncStats) {
+	s.BlobsReferenced += o.BlobsReferenced
+	s.BytesReferenced += o.BytesReferenced
+	s.BlobsTransferred += o.BlobsTransferred
+	s.BytesTransferred += o.BytesTransferred
+}
+
+// DedupFraction returns the fraction of referenced bytes that did NOT need
+// transferring; 0 before any reference.
+func (s SyncStats) DedupFraction() float64 {
+	if s.BytesReferenced == 0 {
+		return 0
+	}
+	return 1 - float64(s.BytesTransferred)/float64(s.BytesReferenced)
+}
+
+// Wire bodies of the coordinator's cluster endpoints. [][]byte fields
+// marshal as arrays of base64 strings, which is the blob encoding on the
+// wire.
+type (
+	joinRequest struct {
+		Node      string `json:"node"`
+		ProcToken string `json:"proc_token"`
+	}
+	joinResponse struct {
+		OK         bool  `json:"ok"`
+		LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	}
+	nodeRequest struct {
+		Node string `json:"node"`
+	}
+	hasRequest struct {
+		Hashes []string `json:"hashes"`
+	}
+	hasResponse struct {
+		Has []bool `json:"has"`
+	}
+	putRequest struct {
+		Blobs [][]byte `json:"blobs"`
+	}
+	putResponse struct {
+		Hashes []string `json:"hashes"`
+	}
+	fetchRequest struct {
+		Hashes []string `json:"hashes"`
+	}
+	fetchResponse struct {
+		Blobs [][]byte `json:"blobs"`
+	}
+	okResponse struct {
+		OK bool `json:"ok"`
+	}
+)
+
+// corpusBlob is the blob encoding of one reference corpus item: the module
+// in its deterministic SPIR-V binary form and the inputs in their canonical
+// JSON form. Decoding round-trips exactly (both codecs are pinned by tests),
+// so a worker fuzzing from a synced blob draws the same module walk — and
+// therefore the same variants and signatures — as the coordinator would.
+type corpusBlob struct {
+	Name   string          `json:"name"`
+	Module []byte          `json:"module"`
+	Inputs json.RawMessage `json:"inputs"`
+}
+
+func encodeCorpusItem(it corpus.Item) ([]byte, error) {
+	inputs, err := interp.EncodeInputs(it.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode corpus item %s: %w", it.Name, err)
+	}
+	return json.Marshal(corpusBlob{Name: it.Name, Module: it.Mod.EncodeBytes(), Inputs: inputs})
+}
+
+func decodeCorpusItem(data []byte) (corpus.Item, error) {
+	var cb corpusBlob
+	if err := json.Unmarshal(data, &cb); err != nil {
+		return corpus.Item{}, fmt.Errorf("cluster: corpus blob: %w", err)
+	}
+	mod, err := spirv.DecodeBytes(cb.Module)
+	if err != nil {
+		return corpus.Item{}, fmt.Errorf("cluster: corpus blob %s: %w", cb.Name, err)
+	}
+	in, err := interp.ParseInputs(cb.Inputs)
+	if err != nil {
+		return corpus.Item{}, fmt.Errorf("cluster: corpus blob %s: %w", cb.Name, err)
+	}
+	return corpus.Item{Name: cb.Name, Mod: mod, Inputs: in}, nil
+}

@@ -1,0 +1,762 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/replay"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/store"
+)
+
+// Coordinator journal record types. Like the single-node service, the
+// journal is the sole source of truth: shard results are journaled before
+// they count, so a coordinator killed at any point replays the journal and
+// re-dispatches exactly the shards that never landed.
+const (
+	recCampaignCreated = "cluster_campaign_created" // data: CampaignSpec (normalized)
+	recShardDone       = "cluster_shard_done"       // data: shardDoneRec
+	recCampaignDone    = "cluster_campaign_done"    // data: campaignDoneRec
+	recCampaignFailed  = "cluster_campaign_failed"  // data: campaignFailedRec
+)
+
+// shardDoneRec journals one merged shard result.
+type shardDoneRec struct {
+	Phase   string               `json:"phase"`
+	Index   int                  `json:"index"`
+	Node    string               `json:"node,omitempty"`
+	Tests   []TestResult         `json:"tests,omitempty"`
+	Reduced []service.ReducedRec `json:"reduced,omitempty"`
+}
+
+type campaignDoneRec struct {
+	Buckets int `json:"buckets"`
+}
+
+type campaignFailedRec struct {
+	Error string `json:"error"`
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// ShardTests is the number of tests per fuzz shard; <= 0 selects 4.
+	// Shard boundaries depend only on this and the spec — never on the node
+	// count — which keeps re-dispatch after a crash deterministic.
+	ShardTests int
+	// ShardCases is the number of reduction cases per reduce shard; <= 0
+	// selects 2.
+	ShardCases int
+	// LeaseTTL is how long a dispatched shard may go without a heartbeat
+	// before it is re-queued for another node; <= 0 selects 5s.
+	LeaseTTL time.Duration
+}
+
+func (o *Options) normalize() {
+	if o.ShardTests <= 0 {
+		o.ShardTests = 4
+	}
+	if o.ShardCases <= 0 {
+		o.ShardCases = 2
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 5 * time.Second
+	}
+}
+
+// clusterCampaign is the coordinator's in-memory state of one campaign,
+// derived from the journal exactly like the single-node service's campaign.
+type clusterCampaign struct {
+	id     string
+	spec   service.CampaignSpec
+	state  string
+	corpus []BlobRef // ordered manifest; index i is reference i
+
+	testsDone map[int][]service.BugRef
+
+	cases    []service.ReduceCase // set when the fuzz phase completes
+	caseNode map[string]string    // case -> node that fuzzed its test (locality hint)
+	reduced  map[string]service.ReducedRec
+
+	buckets []service.Bucket
+	errMsg  string
+
+	skippedTests      int
+	skippedReductions int
+}
+
+func (c *clusterCampaign) fuzzShards(opts Options) int {
+	return (c.spec.Tests + opts.ShardTests - 1) / opts.ShardTests
+}
+
+func (c *clusterCampaign) reduceShards(opts Options) int {
+	return (len(c.cases) + opts.ShardCases - 1) / opts.ShardCases
+}
+
+func (c *clusterCampaign) status() service.CampaignStatus {
+	st := service.CampaignStatus{
+		ID:                c.id,
+		State:             c.state,
+		Spec:              c.spec,
+		TestsDone:         len(c.testsDone),
+		ReduceTotal:       len(c.cases),
+		Reduced:           len(c.reduced),
+		Buckets:           len(c.buckets),
+		SkippedTests:      c.skippedTests,
+		SkippedReductions: c.skippedReductions,
+		Error:             c.errMsg,
+	}
+	for _, bugs := range c.testsDone {
+		st.Bugs += len(bugs)
+	}
+	return st
+}
+
+// shardState is a queued or leased shard.
+type shardState struct {
+	c        *clusterCampaign
+	phase    string
+	index    int
+	locality string    // preferred node, best-effort
+	node     string    // leased to
+	deadline time.Time // lease expiry
+}
+
+func (ss *shardState) key() string {
+	return fmt.Sprintf("%s/%s/%d", ss.c.id, ss.phase, ss.index)
+}
+
+// ClusterStats is the cluster block of coordinator /metrics.
+type ClusterStats struct {
+	Nodes             int       `json:"nodes"`
+	ShardsDispatched  uint64    `json:"shards_dispatched"`
+	ShardsCompleted   uint64    `json:"shards_completed"`
+	ShardsRequeued    uint64    `json:"shards_requeued"`
+	ShardsDuplicate   uint64    `json:"shards_duplicate"`
+	Sync              SyncStats `json:"sync"`
+	BlobDedupFraction float64   `json:"blob_dedup_fraction"`
+}
+
+// Metrics is the coordinator-wide counter snapshot (GET /metrics), shaped
+// like the single-node service's with an extra cluster block. Runner is the
+// MergeStats aggregate of the latest per-node engine snapshots.
+type Metrics struct {
+	Campaigns     int          `json:"campaigns"`
+	CampaignsDone int          `json:"campaigns_done"`
+	JobsSkipped   uint64       `json:"jobs_skipped"`
+	Runner        runner.Stats `json:"runner"`
+	Replay        replay.Stats `json:"replay"`
+	Store         store.Stats  `json:"store"`
+	Cluster       ClusterStats `json:"cluster"`
+}
+
+// nodeState tracks one joined worker.
+type nodeState struct {
+	procToken string
+	lastSeen  time.Time
+	runner    runner.Stats // latest cumulative snapshot
+	replay    replay.Stats
+}
+
+// Coordinator owns the authoritative store and campaign state of a cluster
+// and serves both the campaign API and the worker protocol. It executes
+// nothing itself: all fuzzing and reduction happens on workers; the
+// coordinator shards, dispatches, journals, and merges.
+type Coordinator struct {
+	st   *store.Store
+	opts Options
+
+	mu        sync.Mutex
+	campaigns map[string]*clusterCampaign
+	order     []string
+	nextID    int
+	nodes     map[string]*nodeState
+	queue     []*shardState          // pending, FIFO
+	leased    map[string]*shardState // shard key -> in flight
+
+	shardsDispatched uint64
+	shardsCompleted  uint64
+	shardsRequeued   uint64
+	shardsDuplicate  uint64
+	skipped          uint64
+	sync             SyncStats
+}
+
+// NewCoordinator builds a coordinator over an open store, replays the
+// journal, and re-queues every shard of every unfinished campaign that has
+// no journaled result. The caller keeps ownership of the store until Close.
+func NewCoordinator(st *store.Store, opts Options) (*Coordinator, error) {
+	opts.normalize()
+	co := &Coordinator{
+		st:        st,
+		opts:      opts,
+		campaigns: make(map[string]*clusterCampaign),
+		nextID:    1,
+		nodes:     make(map[string]*nodeState),
+		leased:    make(map[string]*shardState),
+	}
+	if err := co.recover(); err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+// Close syncs the journal. The store itself stays open for the caller.
+func (co *Coordinator) Close() error {
+	return co.st.Journal().Sync()
+}
+
+func newClusterCampaign(id string, spec service.CampaignSpec) *clusterCampaign {
+	return &clusterCampaign{
+		id:        id,
+		spec:      spec,
+		state:     service.StatePending,
+		testsDone: make(map[int][]service.BugRef),
+		caseNode:  make(map[string]string),
+		reduced:   make(map[string]service.ReducedRec),
+	}
+}
+
+// recover rebuilds campaign and shard state from the journal, then
+// re-activates unfinished campaigns: journaled shards are counted as
+// skipped work, the rest re-enters the dispatch queue.
+func (co *Coordinator) recover() error {
+	err := co.st.Journal().Replay(func(r store.Record) error {
+		c := co.campaigns[r.Campaign]
+		if c == nil && r.Type != recCampaignCreated {
+			return fmt.Errorf("cluster: journal references unknown campaign %q", r.Campaign)
+		}
+		switch r.Type {
+		case recCampaignCreated:
+			if c != nil {
+				return fmt.Errorf("cluster: campaign %q created twice", r.Campaign)
+			}
+			var spec service.CampaignSpec
+			if err := json.Unmarshal(r.Data, &spec); err != nil {
+				return fmt.Errorf("cluster: campaign %q spec: %w", r.Campaign, err)
+			}
+			c = newClusterCampaign(r.Campaign, spec)
+			co.campaigns[r.Campaign] = c
+			co.order = append(co.order, r.Campaign)
+		case recShardDone:
+			var rec shardDoneRec
+			if err := json.Unmarshal(r.Data, &rec); err != nil {
+				return err
+			}
+			co.applyShard(c, rec)
+		case recCampaignDone:
+			// The bucket checkpoint is saved before campaign_done is
+			// journaled; if it is nonetheless missing, the campaign stays
+			// pending and the bucket build re-runs from the journaled shards.
+			var set service.BucketSet
+			ok, err := co.st.LoadCheckpoint("buckets-"+r.Campaign, &set)
+			if err != nil || !ok {
+				break
+			}
+			c.buckets = set.Buckets
+			c.state = service.StateDone
+		case recCampaignFailed:
+			var rec campaignFailedRec
+			if err := json.Unmarshal(r.Data, &rec); err != nil {
+				return err
+			}
+			c.state = service.StateFailed
+			c.errMsg = rec.Error
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range co.order {
+		var n int
+		if _, scanErr := fmt.Sscanf(id, "c%d", &n); scanErr == nil && n >= co.nextID {
+			co.nextID = n + 1
+		}
+	}
+	// Re-activate unfinished campaigns. Journal-satisfied steps become skip
+	// counters (the cluster analogue of the service's checkpoint-reuse
+	// metric); everything else re-enters the queue.
+	for _, id := range co.order {
+		c := co.campaigns[id]
+		if c.state != service.StatePending {
+			continue
+		}
+		c.skippedTests = len(c.testsDone)
+		c.skippedReductions = len(c.reduced)
+		co.skipped += uint64(c.skippedTests + c.skippedReductions)
+		if err := co.activate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyShard merges one journaled or freshly-reported shard result into the
+// campaign state. Records are deterministic, so merging a duplicate is
+// idempotent. Caller holds co.mu (or is in single-threaded recovery).
+func (co *Coordinator) applyShard(c *clusterCampaign, rec shardDoneRec) {
+	switch rec.Phase {
+	case PhaseFuzz:
+		for _, tr := range rec.Tests {
+			c.testsDone[tr.Index] = tr.Bugs
+			for _, bug := range tr.Bugs {
+				c.caseNode[service.CaseName(c.id, bug)] = rec.Node
+			}
+		}
+	case PhaseReduce:
+		for _, rr := range rec.Reduced {
+			c.reduced[rr.Case] = rr
+		}
+	}
+}
+
+// fuzzShardDone reports whether every test of fuzz shard i is merged.
+// Completeness is derived from the records rather than tracked by shard
+// index, so a coordinator restarted with a different ShardTests still
+// resumes correctly (it re-shards the remaining tests along new borders).
+func (co *Coordinator) fuzzShardDone(c *clusterCampaign, i int) bool {
+	lo := i * co.opts.ShardTests
+	hi := min(lo+co.opts.ShardTests, c.spec.Tests)
+	for t := lo; t < hi; t++ {
+		if _, ok := c.testsDone[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// reduceShardDone reports whether every case of reduce shard i is merged.
+func (co *Coordinator) reduceShardDone(c *clusterCampaign, i int) bool {
+	for _, rc := range co.shardCases(c, i) {
+		if _, ok := c.reduced[rc.Name]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureCorpus builds (or idempotently rebuilds, after a restart) the
+// campaign's ordered corpus manifest: every reference item encoded and
+// stored as a blob. Encoding is deterministic, so the manifest — and with it
+// every shard payload — is identical across coordinator restarts.
+func (co *Coordinator) ensureCorpus(c *clusterCampaign) error {
+	if c.corpus != nil {
+		return nil
+	}
+	refs := corpus.References()
+	manifest := make([]BlobRef, 0, len(refs))
+	for _, it := range refs {
+		data, err := encodeCorpusItem(it)
+		if err != nil {
+			return err
+		}
+		hash, err := co.st.PutBlob(data)
+		if err != nil {
+			return err
+		}
+		manifest = append(manifest, BlobRef{Hash: hash, Size: int64(len(data))})
+	}
+	c.corpus = manifest
+	return nil
+}
+
+// activate moves a pending campaign to its current phase and enqueues every
+// shard without a journaled result. Caller holds co.mu (or recovery).
+func (co *Coordinator) activate(c *clusterCampaign) error {
+	if err := co.ensureCorpus(c); err != nil {
+		return err
+	}
+	if len(c.testsDone) < c.spec.Tests {
+		c.state = service.StateFuzzing
+		for i := 0; i < c.fuzzShards(co.opts); i++ {
+			if !co.fuzzShardDone(c, i) {
+				co.enqueue(&shardState{c: c, phase: PhaseFuzz, index: i})
+			}
+		}
+		return nil
+	}
+	return co.enterReduce(c)
+}
+
+// enterReduce runs the deterministic selection over the merged fuzz records
+// and enqueues the missing reduce shards; with nothing left to reduce it
+// goes straight to bucketing.
+func (co *Coordinator) enterReduce(c *clusterCampaign) error {
+	c.cases = service.SelectReductions(c.id, c.spec, c.testsDone)
+	if len(c.reduced) >= len(c.cases) {
+		return co.finish(c)
+	}
+	c.state = service.StateReducing
+	for i := 0; i < c.reduceShards(co.opts); i++ {
+		if co.reduceShardDone(c, i) {
+			continue
+		}
+		ss := &shardState{c: c, phase: PhaseReduce, index: i}
+		// Prefer the node that fuzzed the shard's first case: it already
+		// holds the sequence blob, so the sync manifest dedupes fully.
+		if cases := co.shardCases(c, i); len(cases) > 0 {
+			ss.locality = c.caseNode[cases[0].Name]
+		}
+		co.enqueue(ss)
+	}
+	return nil
+}
+
+// finish builds the merged buckets, checkpoints them, and journals
+// completion — the same build the single-node service runs, over records in
+// the same canonical order.
+func (co *Coordinator) finish(c *clusterCampaign) error {
+	c.state = service.StateBucketing
+	buckets, err := service.BuildBuckets(c.id, c.spec, c.cases, c.reduced)
+	if err != nil {
+		return err
+	}
+	set := service.BucketSet{Campaign: c.id, Buckets: buckets}
+	if err := co.st.SaveCheckpoint("buckets-"+c.id, set); err != nil {
+		return err
+	}
+	if _, err := co.st.Journal().Append(c.id, recCampaignDone, campaignDoneRec{Buckets: len(buckets)}); err != nil {
+		return err
+	}
+	if err := co.st.Journal().Sync(); err != nil {
+		return err
+	}
+	c.buckets = buckets
+	c.state = service.StateDone
+	return nil
+}
+
+// fail marks a campaign failed, journals it, and drops its queued shards.
+func (co *Coordinator) fail(c *clusterCampaign, msg string) {
+	c.state = service.StateFailed
+	c.errMsg = msg
+	// Best-effort: an unjournaled failure leaves the campaign resumable,
+	// which is the safer outcome.
+	co.st.Journal().Append(c.id, recCampaignFailed, campaignFailedRec{Error: msg})
+	kept := co.queue[:0]
+	for _, ss := range co.queue {
+		if ss.c != c {
+			kept = append(kept, ss)
+		}
+	}
+	co.queue = kept
+	for k, ss := range co.leased {
+		if ss.c == c {
+			delete(co.leased, k)
+		}
+	}
+}
+
+func (co *Coordinator) enqueue(ss *shardState) {
+	co.queue = append(co.queue, ss)
+}
+
+// shardCases returns the case slice of reduce shard i, cut deterministically
+// from the selection order.
+func (co *Coordinator) shardCases(c *clusterCampaign, i int) []service.ReduceCase {
+	lo := i * co.opts.ShardCases
+	hi := min(lo+co.opts.ShardCases, len(c.cases))
+	if lo >= hi {
+		return nil
+	}
+	return c.cases[lo:hi]
+}
+
+// sweepLeases re-queues every leased shard whose deadline passed — the
+// work-stealing path for killed or wedged nodes. Caller holds co.mu.
+func (co *Coordinator) sweepLeases(now time.Time) {
+	var expired []string
+	for k, ss := range co.leased {
+		if now.After(ss.deadline) {
+			expired = append(expired, k)
+		}
+	}
+	sort.Strings(expired)
+	for _, k := range expired {
+		ss := co.leased[k]
+		delete(co.leased, k)
+		ss.node = ""
+		co.shardsRequeued++
+		co.queue = append(co.queue, ss)
+	}
+}
+
+// Join registers (or refreshes) a worker node.
+func (co *Coordinator) Join(node, procToken string) time.Duration {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ns := co.nodes[node]
+	if ns == nil {
+		ns = &nodeState{}
+		co.nodes[node] = ns
+	}
+	ns.procToken = procToken
+	ns.lastSeen = time.Now()
+	return co.opts.LeaseTTL
+}
+
+// Heartbeat renews the leases held by a node.
+func (co *Coordinator) Heartbeat(node string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := time.Now()
+	if ns := co.nodes[node]; ns != nil {
+		ns.lastSeen = now
+	}
+	for _, ss := range co.leased {
+		if ss.node == node {
+			ss.deadline = now.Add(co.opts.LeaseTTL)
+		}
+	}
+	co.sweepLeases(now)
+}
+
+// Next leases the next pending shard to a node, preferring shards whose
+// locality hint names it. The second return is false when no work is
+// pending (the worker backs off and polls again).
+func (co *Coordinator) Next(node string) (Shard, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := time.Now()
+	if ns := co.nodes[node]; ns != nil {
+		ns.lastSeen = now
+	}
+	co.sweepLeases(now)
+	if len(co.queue) == 0 {
+		return Shard{}, false
+	}
+	pick := 0
+	for i, ss := range co.queue {
+		if ss.locality == node {
+			pick = i
+			break
+		}
+	}
+	ss := co.queue[pick]
+	co.queue = append(co.queue[:pick], co.queue[pick+1:]...)
+	ss.node = node
+	ss.deadline = now.Add(co.opts.LeaseTTL)
+	co.leased[ss.key()] = ss
+	co.shardsDispatched++
+
+	sh := Shard{
+		Campaign: ss.c.id,
+		Phase:    ss.phase,
+		Index:    ss.index,
+		Spec:     ss.c.spec,
+		Corpus:   ss.c.corpus,
+	}
+	switch ss.phase {
+	case PhaseFuzz:
+		sh.Lo = ss.index * co.opts.ShardTests
+		sh.Hi = min(sh.Lo+co.opts.ShardTests, ss.c.spec.Tests)
+	case PhaseReduce:
+		sh.Cases = ss.c.shardCasesCopy(co, ss.index)
+		for _, rc := range sh.Cases {
+			if size, ok := co.st.StatBlob(rc.Bug.SeqHash); ok {
+				sh.Needs = append(sh.Needs, BlobRef{Hash: rc.Bug.SeqHash, Size: size})
+			}
+		}
+	}
+	return sh, true
+}
+
+func (c *clusterCampaign) shardCasesCopy(co *Coordinator, i int) []service.ReduceCase {
+	return append([]service.ReduceCase(nil), co.shardCases(c, i)...)
+}
+
+// Result merges a worker's shard result: journal first, then apply, then
+// advance the campaign phase if the shard completed it. Duplicate results —
+// a slow node finishing a shard that was re-queued and completed elsewhere —
+// are acknowledged and dropped; both executions produced identical records,
+// so either journaling order yields the same campaign.
+func (co *Coordinator) Result(res ShardResult) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := time.Now()
+	if ns := co.nodes[res.Node]; ns != nil {
+		ns.lastSeen = now
+		ns.procToken = res.ProcToken
+		ns.runner = res.Runner
+		ns.replay = res.Replay
+	}
+	co.sync.add(res.Sync)
+	c := co.campaigns[res.Campaign]
+	if c == nil {
+		return fmt.Errorf("cluster: result for unknown campaign %q", res.Campaign)
+	}
+	key := fmt.Sprintf("%s/%s/%d", res.Campaign, res.Phase, res.Index)
+	delete(co.leased, key)
+	done := false
+	switch res.Phase {
+	case PhaseFuzz:
+		done = co.fuzzShardDone(c, res.Index)
+	case PhaseReduce:
+		done = len(c.cases) > 0 && co.reduceShardDone(c, res.Index)
+	default:
+		return fmt.Errorf("cluster: result with unknown phase %q", res.Phase)
+	}
+	if done || c.state == service.StateDone || c.state == service.StateFailed {
+		co.shardsDuplicate++
+		return nil
+	}
+	if res.Error != "" {
+		co.fail(c, fmt.Sprintf("shard %s on %s: %s", key, res.Node, res.Error))
+		return nil
+	}
+	rec := shardDoneRec{Phase: res.Phase, Index: res.Index, Node: res.Node, Tests: res.Tests, Reduced: res.Reduced}
+	if _, err := co.st.Journal().Append(c.id, recShardDone, rec); err != nil {
+		return err
+	}
+	co.applyShard(c, rec)
+	co.shardsCompleted++
+
+	switch res.Phase {
+	case PhaseFuzz:
+		if len(c.testsDone) >= c.spec.Tests {
+			if err := co.enterReduce(c); err != nil {
+				co.fail(c, err.Error())
+			}
+		}
+	case PhaseReduce:
+		if len(c.reduced) >= len(c.cases) {
+			if err := co.finish(c); err != nil {
+				co.fail(c, err.Error())
+			}
+		}
+	}
+	return nil
+}
+
+// CreateCampaign validates, journals, and activates a new campaign. IDs
+// follow the single-node service's scheme (c001, c002, ...), so case names
+// — which embed the campaign ID — match a single-node run of the same spec.
+func (co *Coordinator) CreateCampaign(spec service.CampaignSpec) (service.CampaignStatus, error) {
+	if err := spec.Normalize(); err != nil {
+		return service.CampaignStatus{}, err
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	id := fmt.Sprintf("c%03d", co.nextID)
+	co.nextID++
+	c := newClusterCampaign(id, spec)
+	co.campaigns[id] = c
+	co.order = append(co.order, id)
+	if _, err := co.st.Journal().Append(id, recCampaignCreated, spec); err != nil {
+		return service.CampaignStatus{}, err
+	}
+	if err := co.st.Journal().Sync(); err != nil {
+		return service.CampaignStatus{}, err
+	}
+	if err := co.activate(c); err != nil {
+		return service.CampaignStatus{}, err
+	}
+	return c.status(), nil
+}
+
+// Campaign returns the status of one campaign.
+func (co *Coordinator) Campaign(id string) (service.CampaignStatus, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c := co.campaigns[id]
+	if c == nil {
+		return service.CampaignStatus{}, false
+	}
+	return c.status(), true
+}
+
+// Campaigns returns all campaign statuses in creation order.
+func (co *Coordinator) Campaigns() []service.CampaignStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]service.CampaignStatus, 0, len(co.order))
+	for _, id := range co.order {
+		out = append(out, co.campaigns[id].status())
+	}
+	return out
+}
+
+// Buckets mirrors service.Buckets: the merged recommended reports of every
+// finished campaign, or of one campaign when id is non-empty.
+func (co *Coordinator) Buckets(id string) ([]service.BucketSet, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ids := co.order
+	if id != "" {
+		if co.campaigns[id] == nil {
+			return nil, fmt.Errorf("cluster: no campaign %q", id)
+		}
+		ids = []string{id}
+	}
+	var out []service.BucketSet
+	for _, cid := range ids {
+		c := co.campaigns[cid]
+		set := service.BucketSet{Campaign: cid, Buckets: append([]service.Bucket(nil), c.buckets...)}
+		if id != "" || len(set.Buckets) > 0 {
+			out = append(out, set)
+		}
+	}
+	return out, nil
+}
+
+// ReportBlob returns the raw reduced-report blob stored under hash.
+func (co *Coordinator) ReportBlob(hash string) ([]byte, error) {
+	return co.st.GetBlob(hash)
+}
+
+// Metrics returns the cluster-wide counter snapshot. Engine stats are the
+// latest cumulative snapshot per node, merged with runner.MergeStats grouped
+// by process token — N in-process simulated nodes share their process-wide
+// optimizer/lane profiles, which MergeStats counts once instead of N times.
+func (co *Coordinator) Metrics() Metrics {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	groups := make(map[string][]runner.Stats)
+	var rep replay.Stats
+	names := make([]string, 0, len(co.nodes))
+	for name := range co.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ns := co.nodes[name]
+		groups[ns.procToken] = append(groups[ns.procToken], ns.runner)
+		rep.Queries += ns.replay.Queries
+		rep.Hits += ns.replay.Hits
+		rep.FullHits += ns.replay.FullHits
+		rep.Misses += ns.replay.Misses
+		rep.Applied += ns.replay.Applied
+		rep.Requested += ns.replay.Requested
+		rep.Snapshots += ns.replay.Snapshots
+		rep.Bytes += ns.replay.Bytes
+		rep.Evictions += ns.replay.Evictions
+		rep.Sessions += ns.replay.Sessions
+	}
+	m := Metrics{
+		JobsSkipped: co.skipped,
+		Runner:      runner.MergeStats(groups),
+		Replay:      rep,
+		Store:       co.st.Stats(),
+		Cluster: ClusterStats{
+			Nodes:             len(co.nodes),
+			ShardsDispatched:  co.shardsDispatched,
+			ShardsCompleted:   co.shardsCompleted,
+			ShardsRequeued:    co.shardsRequeued,
+			ShardsDuplicate:   co.shardsDuplicate,
+			Sync:              co.sync,
+			BlobDedupFraction: co.sync.DedupFraction(),
+		},
+	}
+	for _, id := range co.order {
+		m.Campaigns++
+		if co.campaigns[id].state == service.StateDone {
+			m.CampaignsDone++
+		}
+	}
+	return m
+}

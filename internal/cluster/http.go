@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"spirvfuzz/internal/service"
+)
+
+// Mux returns the coordinator's complete HTTP API: the same campaign
+// endpoints spirvd serves in standalone mode (so the spirvd client and the
+// e2e harness work unchanged against a coordinator), plus the worker
+// protocol (/cluster/*) and the blob-sync endpoints (/blobs/*). All
+// payloads are JSON; errors are {"error": "..."} with a matching status.
+func (co *Coordinator) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+
+	// Campaign API, mirroring cmd/spirvd's standalone mux.
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec service.CampaignSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, err := co.CreateCampaign(spec)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusCreated, status)
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		clusterJSON(w, http.StatusOK, co.Campaigns())
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := co.Campaign(r.PathValue("id"))
+		if !ok {
+			clusterError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+			return
+		}
+		clusterJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /buckets", func(w http.ResponseWriter, r *http.Request) {
+		sets, err := co.Buckets(r.URL.Query().Get("campaign"))
+		if err != nil {
+			clusterError(w, http.StatusNotFound, err)
+			return
+		}
+		if sets == nil {
+			sets = []service.BucketSet{}
+		}
+		clusterJSON(w, http.StatusOK, sets)
+	})
+	mux.HandleFunc("GET /reports/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := co.ReportBlob(r.PathValue("hash"))
+		if err != nil {
+			clusterError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		clusterJSON(w, http.StatusOK, co.Metrics())
+	})
+
+	// Worker protocol.
+	mux.HandleFunc("POST /cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var req joinRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("join needs a node name"))
+			return
+		}
+		ttl := co.Join(req.Node, req.ProcToken)
+		clusterJSON(w, http.StatusOK, joinResponse{OK: true, LeaseTTLMS: ttl.Milliseconds()})
+	})
+	mux.HandleFunc("POST /cluster/next", func(w http.ResponseWriter, r *http.Request) {
+		var req nodeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("next needs a node name"))
+			return
+		}
+		sh, ok := co.Next(req.Node)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		clusterJSON(w, http.StatusOK, sh)
+	})
+	mux.HandleFunc("POST /cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req nodeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("heartbeat needs a node name"))
+			return
+		}
+		co.Heartbeat(req.Node)
+		clusterJSON(w, http.StatusOK, okResponse{OK: true})
+	})
+	mux.HandleFunc("POST /cluster/result", func(w http.ResponseWriter, r *http.Request) {
+		var res ShardResult
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := co.Result(res); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, okResponse{OK: true})
+	})
+
+	// Blob-sync protocol against the coordinator's authoritative store.
+	mux.HandleFunc("POST /blobs/has", func(w http.ResponseWriter, r *http.Request) {
+		var req hasRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, hasResponse{Has: co.st.HasBatch(req.Hashes)})
+	})
+	mux.HandleFunc("POST /blobs/put", func(w http.ResponseWriter, r *http.Request) {
+		var req putRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		hashes, err := co.st.PutBatch(req.Blobs)
+		if err != nil {
+			clusterError(w, http.StatusInternalServerError, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, putResponse{Hashes: hashes})
+	})
+	mux.HandleFunc("POST /blobs/fetch", func(w http.ResponseWriter, r *http.Request) {
+		var req fetchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		blobs, err := co.st.GetBatch(req.Hashes)
+		if err != nil {
+			clusterError(w, http.StatusNotFound, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, fetchResponse{Blobs: blobs})
+	})
+	return mux
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	clusterJSON(w, status, map[string]string{"error": err.Error()})
+}

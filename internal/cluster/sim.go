@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+)
+
+// Sim is a simulated in-process cluster: one coordinator served over a real
+// loopback listener plus N worker goroutines, each with its own local store
+// under Dir. It is the substrate of the cluster tests, of
+// BenchmarkClusterCampaign, and of `spirvd -role coordinator -nodes N`.
+// Workers are real protocol clients — everything crosses the HTTP boundary
+// exactly as it would between machines; only the network is loopback.
+type Sim struct {
+	Coordinator *Coordinator
+	URL         string
+
+	dir        string
+	workersPer int
+	srv        *http.Server
+	ln         net.Listener
+
+	mu      sync.Mutex
+	nextID  int
+	cancels map[string]context.CancelFunc
+	wg      sync.WaitGroup
+	workers map[string]*Worker
+}
+
+// StartSim serves co on a loopback listener and spawns n workers against it.
+// dir roots the per-worker stores; workersPer sizes each worker's engine
+// pool (0 = GOMAXPROCS).
+func StartSim(co *Coordinator, n int, dir string, workersPer int) (*Sim, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Coordinator: co,
+		URL:         "http://" + ln.Addr().String(),
+		dir:         dir,
+		workersPer:  workersPer,
+		ln:          ln,
+		srv:         &http.Server{Handler: co.Mux()},
+		cancels:     make(map[string]context.CancelFunc),
+		workers:     make(map[string]*Worker),
+	}
+	go s.srv.Serve(ln)
+	for i := 0; i < n; i++ {
+		if _, err := s.AddWorker(); err != nil {
+			s.Stop()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AddWorker spawns one more worker node and returns its name. Each worker
+// gets a fresh name and store directory, so a worker added after KillWorker
+// models a *new* node rejoining the cluster with a cold blob cache.
+func (s *Sim) AddWorker() (string, error) {
+	s.mu.Lock()
+	s.nextID++
+	name := fmt.Sprintf("sim%d", s.nextID)
+	s.mu.Unlock()
+	w, err := NewWorker(WorkerOptions{
+		Node:        name,
+		Coordinator: s.URL,
+		StoreDir:    filepath.Join(s.dir, "node-"+name),
+		Workers:     s.workersPer,
+	})
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.cancels[name] = cancel
+	s.workers[name] = w
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		w.Run(ctx)
+		w.Close()
+	}()
+	return name, nil
+}
+
+// KillWorker cancels a worker's context mid-whatever-it-was-doing — the
+// in-process stand-in for SIGKILL. The worker reports nothing; its leased
+// shards expire and re-queue on the coordinator.
+func (s *Sim) KillWorker(name string) {
+	s.mu.Lock()
+	cancel := s.cancels[name]
+	delete(s.cancels, name)
+	delete(s.workers, name)
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Stop kills every worker and closes the listener. The coordinator (and its
+// store) stay usable — Stop models the compute layer going away, not the
+// control plane.
+func (s *Sim) Stop() {
+	s.mu.Lock()
+	for name, cancel := range s.cancels {
+		delete(s.cancels, name)
+		delete(s.workers, name)
+		cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.srv.Close()
+	s.ln.Close()
+}

@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/replay"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/store"
+)
+
+// WorkerOptions configures a worker node.
+type WorkerOptions struct {
+	// Node is the worker's cluster-unique name.
+	Node string
+	// Coordinator is the coordinator's base URL (e.g. "http://127.0.0.1:8080").
+	Coordinator string
+	// StoreDir roots the worker's local content-addressed store (its blob
+	// cache; workers keep no journal).
+	StoreDir string
+	// Workers sizes the local runner engine's pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ReplayBudget bounds the replay snapshot cache; <= 0 selects the
+	// replay.DefaultBudget.
+	ReplayBudget int64
+	// Poll is the idle backoff between work requests; <= 0 selects 10ms.
+	Poll time.Duration
+}
+
+// Worker is one pull-model cluster node: it loops requesting shards from the
+// coordinator, syncs the blobs each shard references into its local store
+// (fetching only what it lacks — the hash negotiation), executes the shard
+// on its local runner/replay/plan caches via the shared service step
+// functions, pushes result blobs the coordinator lacks, and reports the
+// merged-ready records. Workers are stateless above their blob cache: kill
+// one at any point and its leased shards re-queue on the coordinator.
+type Worker struct {
+	opts     WorkerOptions
+	st       *store.Store
+	eng      *runner.Engine
+	reng     *replay.Engine
+	hc       *http.Client
+	leaseTTL time.Duration
+
+	// Decoded reference-corpus cache, keyed by the manifest's joined hashes
+	// (content-addressed, so a perfect cache key).
+	refsKey string
+	refs    []corpus.Item
+}
+
+// NewWorker builds a worker over a local store directory.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Node == "" {
+		return nil, fmt.Errorf("cluster: worker needs a node name")
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 10 * time.Millisecond
+	}
+	budget := opts.ReplayBudget
+	if budget <= 0 {
+		budget = replay.DefaultBudget
+	}
+	st, err := store.Open(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		opts:     opts,
+		st:       st,
+		eng:      runner.New(opts.Workers),
+		reng:     replay.NewEngine(budget),
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		leaseTTL: 5 * time.Second,
+	}, nil
+}
+
+// Close releases the worker's local store.
+func (w *Worker) Close() error { return w.st.Close() }
+
+// Run joins the cluster and processes shards until ctx is canceled. Errors
+// talking to the coordinator (down, restarting) are retried with backoff;
+// deterministic shard failures are reported so the coordinator can fail the
+// campaign rather than re-dispatch forever.
+func (w *Worker) Run(ctx context.Context) error {
+	for ctx.Err() == nil {
+		var jr joinResponse
+		err := w.post(ctx, "/cluster/join", joinRequest{Node: w.opts.Node, ProcToken: runner.ProcessToken()}, &jr)
+		if err == nil {
+			if jr.LeaseTTLMS > 0 {
+				w.leaseTTL = time.Duration(jr.LeaseTTLMS) * time.Millisecond
+			}
+			break
+		}
+		if !sleepCtx(ctx, w.opts.Poll) {
+			return ctx.Err()
+		}
+	}
+	for ctx.Err() == nil {
+		var sh Shard
+		ok, err := w.next(ctx, &sh)
+		if err != nil || !ok {
+			if !sleepCtx(ctx, w.opts.Poll) {
+				break
+			}
+			continue
+		}
+		res := w.execute(ctx, &sh)
+		if ctx.Err() != nil {
+			// Killed mid-shard: report nothing; the lease expires and the
+			// coordinator re-queues the shard.
+			break
+		}
+		for ctx.Err() == nil {
+			var ok okResponse
+			if err := w.post(ctx, "/cluster/result", res, &ok); err == nil {
+				break
+			}
+			sleepCtx(ctx, w.opts.Poll)
+		}
+	}
+	return ctx.Err()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// next asks the coordinator for a shard; false means no work is pending.
+func (w *Worker) next(ctx context.Context, sh *Shard) (bool, error) {
+	req, err := json.Marshal(nodeRequest{Node: w.opts.Node})
+	if err != nil {
+		return false, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+"/cluster/next", bytes.NewReader(req))
+	if err != nil {
+		return false, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(httpReq)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return false, fmt.Errorf("cluster: next: %s: %s", resp.Status, body)
+	}
+	return true, json.NewDecoder(resp.Body).Decode(sh)
+}
+
+// post sends a JSON request body and decodes a JSON response into out.
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, msg)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// execute runs one shard and assembles its result. The heartbeat goroutine
+// keeps the lease alive for shards that outlast the TTL (long reductions).
+func (w *Worker) execute(ctx context.Context, sh *Shard) ShardResult {
+	res := ShardResult{
+		Campaign:  sh.Campaign,
+		Phase:     sh.Phase,
+		Index:     sh.Index,
+		Node:      w.opts.Node,
+		ProcToken: runner.ProcessToken(),
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(w.leaseTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				w.post(hbCtx, "/cluster/heartbeat", nodeRequest{Node: w.opts.Node}, nil)
+			}
+		}
+	}()
+	err := w.executeInner(ctx, sh, &res)
+	if err != nil && ctx.Err() == nil {
+		res.Error = err.Error()
+	}
+	res.Runner = w.eng.Stats()
+	res.Replay = w.reng.Stats()
+	return res
+}
+
+func (w *Worker) executeInner(ctx context.Context, sh *Shard, res *ShardResult) error {
+	refs, err := w.ensureRefs(ctx, sh, &res.Sync)
+	if err != nil {
+		return err
+	}
+	env := service.Env{Eng: w.eng, Reng: w.reng, Blobs: w.st}
+	targets, err := service.ResolveTargets(sh.Spec.Targets)
+	if err != nil {
+		return err
+	}
+	switch sh.Phase {
+	case PhaseFuzz:
+		donors := corpus.Donors()
+		var produced []string
+		for i := sh.Lo; i < sh.Hi; i++ {
+			bugs, err := service.FuzzStep(ctx, env, sh.Spec, targets, refs, donors, i)
+			if err != nil {
+				return err
+			}
+			res.Tests = append(res.Tests, TestResult{Index: i, Bugs: bugs})
+			for _, bug := range bugs {
+				produced = append(produced, bug.SeqHash, bug.VariantHash)
+			}
+		}
+		return w.push(ctx, produced, &res.Sync)
+	case PhaseReduce:
+		if err := w.ensureBlobs(ctx, sh.Needs, &res.Sync); err != nil {
+			return err
+		}
+		var produced []string
+		for _, rc := range sh.Cases {
+			rec, err := service.ReduceStep(ctx, env, sh.Campaign, sh.Spec, refs, rc)
+			if err != nil {
+				return err
+			}
+			res.Reduced = append(res.Reduced, rec)
+			produced = append(produced, rec.ReportHash)
+		}
+		return w.push(ctx, produced, &res.Sync)
+	default:
+		return fmt.Errorf("cluster: unknown shard phase %q", sh.Phase)
+	}
+}
+
+// ensureRefs syncs the shard's corpus manifest into the local store and
+// decodes it to reference items, memoizing the decode across shards of the
+// same campaign (the manifest is content-addressed, so the joined hash is a
+// perfect cache key).
+func (w *Worker) ensureRefs(ctx context.Context, sh *Shard, sync *SyncStats) ([]corpus.Item, error) {
+	if err := w.ensureBlobs(ctx, sh.Corpus, sync); err != nil {
+		return nil, err
+	}
+	key := ""
+	for _, ref := range sh.Corpus {
+		key += ref.Hash
+	}
+	if key == w.refsKey {
+		return w.refs, nil
+	}
+	refs := make([]corpus.Item, 0, len(sh.Corpus))
+	for _, ref := range sh.Corpus {
+		data, err := w.st.GetBlob(ref.Hash)
+		if err != nil {
+			return nil, err
+		}
+		it, err := decodeCorpusItem(data)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, it)
+	}
+	w.refsKey, w.refs = key, refs
+	return refs, nil
+}
+
+// ensureBlobs pulls the referenced blobs the local store lacks: every ref
+// counts as referenced bytes, only the locally-missing ones transfer. This
+// is the inbound half of the hash-negotiated sync.
+func (w *Worker) ensureBlobs(ctx context.Context, refs []BlobRef, sync *SyncStats) error {
+	var missing []string
+	for _, ref := range refs {
+		sync.BlobsReferenced++
+		sync.BytesReferenced += uint64(ref.Size)
+		if !w.st.HasBlob(ref.Hash) {
+			missing = append(missing, ref.Hash)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	var fr fetchResponse
+	if err := w.post(ctx, "/blobs/fetch", fetchRequest{Hashes: missing}, &fr); err != nil {
+		return err
+	}
+	if len(fr.Blobs) != len(missing) {
+		return fmt.Errorf("cluster: fetch returned %d blobs for %d hashes", len(fr.Blobs), len(missing))
+	}
+	hashes, err := w.st.PutBatch(fr.Blobs)
+	if err != nil {
+		return err
+	}
+	for i, h := range hashes {
+		if h != missing[i] {
+			return fmt.Errorf("cluster: fetched blob %s hashes to %s", missing[i], h)
+		}
+		sync.BlobsTransferred++
+		sync.BytesTransferred += uint64(len(fr.Blobs[i]))
+	}
+	return nil
+}
+
+// push uploads the produced blobs the coordinator lacks: the outbound half
+// of the sync. Re-executed shards (after a rejoin or a lease steal) re-push
+// nothing — the coordinator already has every hash.
+func (w *Worker) push(ctx context.Context, hashes []string, sync *SyncStats) error {
+	// Dedupe and order the manifest.
+	uniq := map[string]bool{}
+	var manifest []string
+	for _, h := range hashes {
+		if h == "" || uniq[h] {
+			continue
+		}
+		uniq[h] = true
+		manifest = append(manifest, h)
+	}
+	sort.Strings(manifest)
+	if len(manifest) == 0 {
+		return nil
+	}
+	sizes := make([]int64, len(manifest))
+	for i, h := range manifest {
+		size, ok := w.st.StatBlob(h)
+		if !ok {
+			return fmt.Errorf("cluster: produced blob %s missing locally", h)
+		}
+		sizes[i] = size
+		sync.BlobsReferenced++
+		sync.BytesReferenced += uint64(size)
+	}
+	var hr hasResponse
+	if err := w.post(ctx, "/blobs/has", hasRequest{Hashes: manifest}, &hr); err != nil {
+		return err
+	}
+	if len(hr.Has) != len(manifest) {
+		return fmt.Errorf("cluster: has returned %d bits for %d hashes", len(hr.Has), len(manifest))
+	}
+	var blobs [][]byte
+	for i, h := range manifest {
+		if hr.Has[i] {
+			continue
+		}
+		data, err := w.st.GetBlob(h)
+		if err != nil {
+			return err
+		}
+		blobs = append(blobs, data)
+		sync.BlobsTransferred++
+		sync.BytesTransferred += uint64(len(data))
+	}
+	if len(blobs) == 0 {
+		return nil
+	}
+	var pr putResponse
+	return w.post(ctx, "/blobs/put", putRequest{Blobs: blobs}, &pr)
+}

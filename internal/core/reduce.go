@@ -16,10 +16,15 @@ type Interestingness func(keep []int) bool
 
 // ReduceStats records the work performed by a reduction.
 type ReduceStats struct {
-	// Queries is the number of interestingness-test invocations. Parallel
-	// reduction may issue more queries than serial reduction (speculative
-	// chunks evaluated past a successful removal), never fewer.
+	// Queries is the serial-equivalent number of interestingness-test
+	// invocations: the candidates a serial scan would have evaluated. It is
+	// deterministic for a given (n, test) at every worker count, which lets
+	// reports embed it and still hash identically across runs and nodes.
 	Queries int
+	// Speculative counts extra queries the parallel scan actually issued past
+	// a committed removal before noticing it was superseded. Scheduling-
+	// dependent; kept out of Queries so Queries stays deterministic.
+	Speculative int
 	// Initial and Final are the sequence lengths before and after reduction.
 	Initial int
 	Final   int
@@ -104,7 +109,7 @@ func ReduceParallelCtx(ctx context.Context, n int, test Interestingness, workers
 				ends := waveEnds(end, c, workers)
 				cands := make([][]int, len(ends))
 				okay := make([]bool, len(ends))
-				queries := runWave(ctx, keep, ends, c, test, cands, okay)
+				issued := runWave(ctx, keep, ends, c, test, cands, okay)
 				committed := -1
 				for i, ok := range okay {
 					if ok {
@@ -112,7 +117,24 @@ func ReduceParallelCtx(ctx context.Context, n int, test Interestingness, workers
 						break
 					}
 				}
-				stats.Queries += queries
+				// Queries counts the serial-equivalent wave cost: candidates
+				// up to and including the committed success are always fully
+				// evaluated (a skip requires a strictly earlier success), so
+				// this count is deterministic at every worker count and equal
+				// to what serial Reduce would have spent. Queries issued past
+				// the commit depend on goroutine scheduling — a later
+				// candidate may or may not observe the success in time to
+				// skip — so they are tracked separately as Speculative and
+				// must never leak into results that are compared bitwise
+				// across runs or nodes.
+				det := len(ends)
+				if committed >= 0 {
+					det = committed + 1
+				}
+				stats.Queries += det
+				if issued > det {
+					stats.Speculative += issued - det
+				}
 				if committed >= 0 {
 					// Speculative results past the commit were computed
 					// against a sequence the commit just changed; their

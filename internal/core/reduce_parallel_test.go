@@ -171,26 +171,32 @@ func TestReduceParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestReduceParallelQueryOverhead bounds the speculative waste: parallel
-// reduction issues at least the serial query count and at most workers-1
-// extra per committed removal.
+// TestReduceParallelQueryOverhead pins the reported-count determinism and
+// bounds the speculative waste: Queries is exactly the serial count at every
+// worker count (reports embed it, so it must not depend on scheduling), and
+// the scheduling-dependent extras land in Speculative, at most workers-1 per
+// committed removal.
 func TestReduceParallelQueryOverhead(t *testing.T) {
 	n := 32
 	want := []int{3, 17}
 	test := func(keep []int) bool { return containsAll(keep, want) }
 	_, serial := Reduce(n, test)
+	if serial.Speculative != 0 {
+		t.Fatalf("serial reduction reported %d speculative queries", serial.Speculative)
+	}
 	for _, workers := range []int{4, 16} {
 		kept, par := ReduceParallel(n, test, workers)
 		if len(kept) != len(want) {
 			t.Fatalf("workers=%d kept %v", workers, kept)
 		}
-		if par.Queries < serial.Queries {
-			t.Fatalf("workers=%d: parallel %d queries < serial %d", workers, par.Queries, serial.Queries)
+		if par.Queries != serial.Queries {
+			t.Fatalf("workers=%d: parallel reported %d queries, serial %d — report hashes would diverge",
+				workers, par.Queries, serial.Queries)
 		}
 		removals := n - len(want) // upper bound on committed removals
-		if par.Queries > serial.Queries+removals*(workers-1) {
-			t.Fatalf("workers=%d: parallel %d queries exceeds serial %d + bound %d",
-				workers, par.Queries, serial.Queries, removals*(workers-1))
+		if par.Speculative > removals*(workers-1) {
+			t.Fatalf("workers=%d: %d speculative queries exceeds bound %d",
+				workers, par.Speculative, removals*(workers-1))
 		}
 	}
 }

@@ -1321,6 +1321,57 @@ func (lv *laneVM) loadLanePtr(p *Pointer) Value {
 	return lv.arenaClone(*v)
 }
 
+// Adaptive width selection probes the first row at this width; its group
+// count (w/8 groups on the default 64-wide grid) gives the divergence rate
+// enough samples to be meaningful at the cost of 1/h of the render.
+const autoProbeLanes = 8
+
+// autoDivergenceMax is the divergence-plus-fallback rate (events per group)
+// above which lane mode stops paying for itself and the adaptive policy
+// drops to the scalar VM; below it, 8 lanes win, and a perfectly uniform
+// probe (no divergence, no fallback) escalates to the full 16.
+const autoDivergenceMax = 0.25
+
+// pickLanes is the adaptive lane-width policy behind SetLanesAuto: render
+// the first row in lane groups of autoProbeLanes into a throwaway row
+// buffer, then pick the width the observed control-flow behavior earns.
+// Pure policy — every width produces byte-identical images and faults
+// (pinned by the differential suite), so the choice only moves time. A
+// faulting probe picks scalar: the fault is the render's result and the
+// scalar VM reaches it most cheaply. Probe stats stay out of LaneTotals
+// (only RenderParallelLanes accumulates there).
+func (p *Program) pickLanes(in Inputs) int {
+	w, h := in.W, in.H
+	if w == 0 {
+		w = DefaultGrid
+	}
+	if h == 0 {
+		h = DefaultGrid
+	}
+	// Full W/H keep the coordinate math exact; only row 0 is backed.
+	probe := &Image{W: w, H: h, Pix: make([]uint8, 4*w)}
+	lv := p.newLaneVM(in, autoProbeLanes)
+	_, err := p.renderRowsLanes(lv, in, probe, 0, 1)
+	pick := 0
+	switch st := lv.stats; {
+	case err != nil:
+		pick = 0
+	case st.Divergences == 0 && st.Fallbacks == 0:
+		pick = MaxLanes
+	case float64(st.Divergences+st.Fallbacks) <= autoDivergenceMax*float64(st.Groups):
+		pick = autoProbeLanes
+	}
+	switch pick {
+	case 0:
+		autoPickTotals[0].Add(1)
+	case autoProbeLanes:
+		autoPickTotals[1].Add(1)
+	default:
+		autoPickTotals[2].Add(1)
+	}
+	return pick
+}
+
 // RenderParallelLanes renders with up to workers goroutines over disjoint
 // row bands, each executing groups of `lanes` pixels on a laneVM with
 // scalar-VM fallback for divergent or faulting lanes. The output contract is

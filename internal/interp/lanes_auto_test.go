@@ -1,0 +1,114 @@
+package interp
+
+import (
+	"testing"
+
+	"spirvfuzz/internal/testmod"
+)
+
+// compileMod is a test helper around Compile for the canonical modules.
+func compileMod(t *testing.T, name string) *Program {
+	t.Helper()
+	m, ok := testmod.All()[name]
+	if !ok {
+		t.Fatalf("no testmod %q", name)
+	}
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return p
+}
+
+// TestPickLanesPolicy pins the probe policy on the two extreme shapes:
+// uniform control flow earns the widest groups, per-pixel divergence drops
+// to the scalar VM.
+func TestPickLanesPolicy(t *testing.T) {
+	in := Inputs{W: 16, H: 16}
+
+	uniform := compileMod(t, "loopaccum")
+	if n := uniform.pickLanes(in); n != MaxLanes {
+		t.Fatalf("uniform module picked %d lanes, want %d", n, MaxLanes)
+	}
+
+	divergent := compileMod(t, "stripes")
+	if n := divergent.pickLanes(in); n != 0 {
+		t.Fatalf("parity-striped module picked %d lanes, want scalar (0)", n)
+	}
+}
+
+// TestPickLanesCountsPicks checks that every probe decision lands in exactly
+// one AutoLanePicks bucket and that the probe itself stays out of the global
+// lane totals (it renders a throwaway row, not campaign work).
+func TestPickLanesCountsPicks(t *testing.T) {
+	in := Inputs{W: 8, H: 8}
+	p := compileMod(t, "loopaccum")
+
+	lt0 := LaneTotals()
+	s0, e0, w0 := AutoLanePicks()
+	_ = p.pickLanes(in)
+	s1, e1, w1 := AutoLanePicks()
+	if got := (s1 - s0) + (e1 - e0) + (w1 - w0); got != 1 {
+		t.Fatalf("one probe recorded %d picks", got)
+	}
+	if lt1 := LaneTotals(); lt1.Groups != lt0.Groups {
+		t.Fatalf("probe leaked %d groups into LaneTotals", lt1.Groups-lt0.Groups)
+	}
+}
+
+// TestSetLanesFlag covers the shared -lanes flag parser.
+func TestSetLanesFlag(t *testing.T) {
+	defer func() {
+		SetLanesAuto(false)
+		SetLanes(0)
+	}()
+	if err := SetLanesFlag("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if !LanesAuto() {
+		t.Fatal(`SetLanesFlag("auto") did not enable auto mode`)
+	}
+	if err := SetLanesFlag("8"); err != nil {
+		t.Fatal(err)
+	}
+	if LanesAuto() || Lanes() != 8 {
+		t.Fatalf(`SetLanesFlag("8"): auto=%v lanes=%d`, LanesAuto(), Lanes())
+	}
+	if err := SetLanesFlag("0"); err != nil || Lanes() != 0 {
+		t.Fatalf(`SetLanesFlag("0"): err=%v lanes=%d`, err, Lanes())
+	}
+	for _, bad := range []string{"", "-2", "fast", "8x"} {
+		if err := SetLanesFlag(bad); err == nil {
+			t.Fatalf("SetLanesFlag(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAutoLanesDifferential is the pinning suite for the adaptive policy:
+// whatever width the probe picks, the rendered image must be byte-identical
+// to the scalar VM on every canonical module. The policy may only ever trade
+// speed, never pixels.
+func TestAutoLanesDifferential(t *testing.T) {
+	in := Inputs{W: 16, H: 16}
+	for name, m := range testmod.All() {
+		p, err := Compile(m)
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		SetLanesAuto(false)
+		SetLanes(0)
+		want, err := p.RenderParallel(in, 2)
+		if err != nil {
+			t.Fatalf("%s: scalar render: %v", name, err)
+		}
+		SetLanesAuto(true)
+		got, err := p.RenderParallel(in, 2)
+		SetLanesAuto(false)
+		if err != nil {
+			t.Fatalf("%s: auto render: %v", name, err)
+		}
+		if want.W != got.W || want.H != got.H || string(want.Pix) != string(got.Pix) {
+			t.Fatalf("%s: auto-lane image differs from scalar", name)
+		}
+	}
+}

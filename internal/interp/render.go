@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"spirvfuzz/internal/spirv"
@@ -115,6 +116,46 @@ func SetLanes(n int) {
 
 // Lanes returns the lane-group width selected by SetLanes (0 or 1 = scalar).
 func Lanes() int { return int(laneCount.Load()) }
+
+// laneAutoMode selects adaptive lane-width selection: each compiled render
+// probes the first row at 8 lanes and picks scalar, 8, or 16 lanes from the
+// observed divergence rate. Process-wide and atomic, like laneCount.
+var laneAutoMode atomic.Bool
+
+// SetLanesAuto enables or disables adaptive per-render lane-width selection.
+// When enabled it takes precedence over the fixed width set by SetLanes.
+func SetLanesAuto(on bool) { laneAutoMode.Store(on) }
+
+// LanesAuto reports whether adaptive lane-width selection is enabled.
+func LanesAuto() bool { return laneAutoMode.Load() }
+
+// SetLanesFlag configures lane execution from a CLI flag value: "auto"
+// enables adaptive per-render width selection, and a non-negative integer
+// selects a fixed width as SetLanes does ("0" = scalar, the default).
+func SetLanesFlag(v string) error {
+	if v == "auto" {
+		SetLanesAuto(true)
+		SetLanes(0)
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return fmt.Errorf("interp: -lanes must be \"auto\" or a non-negative integer, got %q", v)
+	}
+	SetLanesAuto(false)
+	SetLanes(n)
+	return nil
+}
+
+// Process-wide tallies of adaptive width decisions, indexed scalar/8/16, for
+// observability (gfauto prints them when -lanes auto is active).
+var autoPickTotals [3]atomic.Uint64
+
+// AutoLanePicks returns how many adaptive renders picked the scalar VM, 8
+// lanes, and 16 lanes respectively.
+func AutoLanePicks() (scalar, eight, sixteen uint64) {
+	return autoPickTotals[0].Load(), autoPickTotals[1].Load(), autoPickTotals[2].Load()
+}
 
 // LaneStats counts lane-execution events for one render: groups launched,
 // control-flow divergences observed (a group whose lanes disagreed on a

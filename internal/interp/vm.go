@@ -689,9 +689,16 @@ func (p *Program) Render(in Inputs) (*Image, error) {
 // count; when the module faults, the fault of the scan-order-first pixel is
 // reported, matching what a serial render returns. When lane mode is enabled
 // via SetLanes, rendering goes through the lane VM (with per-lane scalar
-// fallback) instead — the output contract is identical.
+// fallback) instead — the output contract is identical. SetLanesAuto
+// overrides the fixed width with a per-render probe of the first row
+// (pickLanes); since every width is byte-identical, the policy only moves
+// time, never output.
 func (p *Program) RenderParallel(in Inputs, workers int) (*Image, error) {
-	if n := Lanes(); n > 1 {
+	n := Lanes()
+	if LanesAuto() {
+		n = p.pickLanes(in)
+	}
+	if n > 1 {
 		img, _, err := p.RenderParallelLanes(in, workers, n)
 		return img, err
 	}

@@ -2,47 +2,24 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"time"
 
-	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/corpus"
-	"spirvfuzz/internal/fuzz"
-	"spirvfuzz/internal/harness"
-	"spirvfuzz/internal/interp"
-	"spirvfuzz/internal/reduce"
-	"spirvfuzz/internal/spirv"
-	"spirvfuzz/internal/target"
 )
 
-// reduceCase is one bug selected for reduction. Case names embed the seed
-// and target, so they are unique, stable across resumes, and sort the way
-// the selection iterates.
-type reduceCase struct {
-	Name string
-	Bug  BugRef
-}
-
-func caseName(campaignID string, bug BugRef) string {
-	return fmt.Sprintf("%s/seed%d/%s", campaignID, bug.Seed, bug.Target)
-}
-
-// runCampaign drives one campaign through the three pipeline stages. Every
-// stage consults the journal-derived state first and re-runs only what is
-// missing; all recomputation is deterministic, so an interrupted-and-resumed
-// campaign produces buckets bitwise-identical to an uninterrupted one.
+// runCampaign drives one campaign through the three pipeline stages, each
+// delegating to the shared step functions in steps.go. Every stage consults
+// the journal-derived state first and re-runs only what is missing; all
+// recomputation is deterministic, so an interrupted-and-resumed campaign
+// produces buckets bitwise-identical to an uninterrupted one.
 func (s *Service) runCampaign(ctx context.Context, c *campaign) error {
 	refs := corpus.References()
 	donors := corpus.Donors()
-	targets := make([]*target.Target, 0, len(c.spec.Targets))
-	for _, name := range c.spec.Targets {
-		tg := target.ByName(name)
-		if tg == nil {
-			return fmt.Errorf("service: campaign %s: unknown target %q", c.id, name)
-		}
-		targets = append(targets, tg)
+	targets, err := ResolveTargets(c.spec.Targets)
+	if err != nil {
+		return fmt.Errorf("service: campaign %s: %w", c.id, err)
 	}
+	env := Env{Eng: s.eng, Reng: s.reng, Blobs: s.st}
 
 	// Stage 1: generate and classify. Each test is one job; journaled tests
 	// are skipped (the skip counters are what GET /metrics reports as
@@ -64,7 +41,17 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) error {
 		handles = append(handles, s.queue.Submit(Job{
 			Label: fmt.Sprintf("%s/test%d", c.id, i),
 			Fn: func(ctx context.Context) error {
-				return s.fuzzTest(ctx, c, targets, refs, donors, i)
+				bugs, err := FuzzStep(ctx, env, c.spec, targets, refs, donors, i)
+				if err != nil {
+					return err
+				}
+				if _, err := s.st.Journal().Append(c.id, recTestDone, testDoneRec{Index: i, Bugs: bugs}); err != nil {
+					return err
+				}
+				c.mu.Lock()
+				c.testsDone[i] = bugs
+				c.mu.Unlock()
+				return nil
 			},
 		}))
 	}
@@ -75,8 +62,8 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) error {
 	// Stage 2: reduce the selected bugs. Selection is deterministic (test
 	// order, then the spec's target order, capped per (target, signature)),
 	// so the interrupted and fresh runs pick identical cases.
-	cases := c.selectReductions()
 	c.mu.Lock()
+	cases := SelectReductions(c.id, c.spec, c.testsDone)
 	c.reduceTotal = len(cases)
 	c.mu.Unlock()
 	c.setState(StateReducing)
@@ -96,7 +83,17 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) error {
 		handles = append(handles, s.queue.Submit(Job{
 			Label: "reduce/" + rc.Name,
 			Fn: func(ctx context.Context) error {
-				return s.reduceOne(ctx, c, refs, rc)
+				rec, err := ReduceStep(ctx, env, c.id, c.spec, refs, rc)
+				if err != nil {
+					return err
+				}
+				if _, err := s.st.Journal().Append(c.id, recReduced, rec); err != nil {
+					return err
+				}
+				c.mu.Lock()
+				c.reduced[rc.Name] = rec
+				c.mu.Unlock()
+				return nil
 			},
 		}))
 	}
@@ -108,7 +105,9 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) error {
 	// Cheap and fully derived, so it is not a queue job: a crash here simply
 	// re-runs it on resume.
 	c.setState(StateBucketing)
-	buckets, err := c.buildBuckets(cases)
+	c.mu.Lock()
+	buckets, err := BuildBuckets(c.id, c.spec, cases, c.reduced)
+	c.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -138,207 +137,4 @@ func waitAll(ctx context.Context, handles []*Handle) error {
 		}
 	}
 	return nil
-}
-
-// fuzzTest is the stage-1 job: generate test i, classify it against every
-// target, persist the artifacts of any bug, and journal the step.
-func (s *Service) fuzzTest(ctx context.Context, c *campaign, targets []*target.Target, refs []corpus.Item, donors []*spirv.Module, i int) error {
-	item := refs[i%len(refs)]
-	seed := c.spec.SeedBase + int64(i)
-	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
-		Seed:                  seed,
-		Donors:                donors,
-		EnableRecommendations: c.spec.Tool == string(harness.ToolSpirvFuzz),
-		MinPasses:             5,
-		MaxPasses:             14,
-	})
-	if err != nil {
-		return err
-	}
-	var bugs []BugRef
-	var seqHash, variantHash string
-	sigs, err := harness.ClassifyAllCtx(ctx, s.eng, targets, item.Mod, res.Variant, item.Inputs, res.Inputs)
-	if err != nil {
-		return err
-	}
-	for ti, tg := range targets {
-		sig := sigs[ti]
-		if sig == "" {
-			continue
-		}
-		if seqHash == "" {
-			seqData, err := fuzz.MarshalSequence(res.Transformations)
-			if err != nil {
-				return err
-			}
-			if seqHash, err = s.st.PutBlob(seqData); err != nil {
-				return err
-			}
-			if variantHash, err = s.st.PutBlob(res.Variant.EncodeBytes()); err != nil {
-				return err
-			}
-		}
-		bugs = append(bugs, BugRef{
-			Target:      tg.Name,
-			Signature:   sig,
-			Reference:   item.Name,
-			Seed:        seed,
-			SeqHash:     seqHash,
-			VariantHash: variantHash,
-		})
-	}
-	if _, err := s.st.Journal().Append(c.id, recTestDone, testDoneRec{Index: i, Bugs: bugs}); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	c.testsDone[i] = bugs
-	c.mu.Unlock()
-	return nil
-}
-
-// selectReductions picks which journaled bugs to reduce: tests in index
-// order, each test's bugs in the spec's target order (the order fuzzTest
-// recorded them), keeping at most CapPerSignature per (target, signature).
-func (c *campaign) selectReductions() []reduceCase {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	count := map[string]int{}
-	var out []reduceCase
-	for i := 0; i < c.spec.Tests; i++ {
-		for _, bug := range c.testsDone[i] {
-			key := bug.Target + "|" + bug.Signature
-			if count[key] >= c.spec.CapPerSignature {
-				continue
-			}
-			count[key]++
-			out = append(out, reduceCase{Name: caseName(c.id, bug), Bug: bug})
-		}
-	}
-	return out
-}
-
-// reduceOne is the stage-2 job: replay the journaled sequence, delta-debug it
-// against the bug's interestingness test, persist the reduced report, and
-// journal the step.
-func (s *Service) reduceOne(ctx context.Context, c *campaign, refs []corpus.Item, rc reduceCase) error {
-	tg := target.ByName(rc.Bug.Target)
-	if tg == nil {
-		return fmt.Errorf("service: unknown target %q", rc.Bug.Target)
-	}
-	var item *corpus.Item
-	for i := range refs {
-		if refs[i].Name == rc.Bug.Reference {
-			item = &refs[i]
-			break
-		}
-	}
-	if item == nil {
-		return fmt.Errorf("service: unknown reference %q", rc.Bug.Reference)
-	}
-	seqData, err := s.st.GetBlob(rc.Bug.SeqHash)
-	if err != nil {
-		return err
-	}
-	ts, err := fuzz.UnmarshalSequence(seqData)
-	if err != nil {
-		return err
-	}
-	interesting := reduce.ForOutcomeOn(s.eng, tg, item.Mod, item.Inputs, rc.Bug.Signature)
-	if d := time.Duration(c.spec.ReduceSlowdownMS) * time.Millisecond; d > 0 {
-		inner := interesting
-		interesting = func(m *spirv.Module, in interp.Inputs) bool {
-			// Pacing for interruption tests; results are unaffected.
-			select {
-			case <-time.After(d):
-			case <-ctx.Done():
-			}
-			return inner(m, in)
-		}
-	}
-	res, err := reduce.ReduceParallelReplayCtx(ctx, item.Mod, item.Inputs, ts, interesting, s.eng.Workers(), s.reng)
-	if err != nil {
-		// The best-effort partial result is discarded: the journal has no
-		// record, so a resumed daemon re-runs the reduction from scratch and
-		// lands on the canonical 1-minimal sequence.
-		return err
-	}
-	reducedSeq, err := fuzz.MarshalSequence(res.Sequence)
-	if err != nil {
-		return err
-	}
-	report := Report{
-		Case:            rc.Name,
-		Campaign:        c.id,
-		Target:          rc.Bug.Target,
-		Signature:       rc.Bug.Signature,
-		Reference:       rc.Bug.Reference,
-		Seed:            rc.Bug.Seed,
-		Kept:            res.Kept,
-		Delta:           res.Delta,
-		Queries:         res.Queries,
-		Transformations: json.RawMessage(reducedSeq),
-	}
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	reportHash, err := s.st.PutBlob(blob)
-	if err != nil {
-		return err
-	}
-	rec := reducedRec{
-		Case:       rc.Name,
-		Target:     rc.Bug.Target,
-		Signature:  rc.Bug.Signature,
-		ReportHash: reportHash,
-		Types:      core.SortedTypes(core.TypeSet(res.Sequence, fuzz.SupportingTypes())),
-		KeptLen:    len(res.Kept),
-		Delta:      res.Delta,
-		Queries:    res.Queries,
-	}
-	if _, err := s.st.Journal().Append(c.id, recReduced, rec); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	c.reduced[rc.Name] = rec
-	c.mu.Unlock()
-	return nil
-}
-
-// buildBuckets applies the Figure 6 deduplication per target over the
-// reduced cases, in the deterministic selection order.
-func (c *campaign) buildBuckets(cases []reduceCase) ([]Bucket, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	buckets := []Bucket{}
-	for _, tgName := range c.spec.Targets {
-		var tests []core.ReducedTest
-		for _, rc := range cases {
-			if rc.Bug.Target != tgName {
-				continue
-			}
-			rec, ok := c.reduced[rc.Name]
-			if !ok {
-				return nil, fmt.Errorf("service: campaign %s: case %s selected but not reduced", c.id, rc.Name)
-			}
-			types := make(map[string]bool, len(rec.Types))
-			for _, t := range rec.Types {
-				types[t] = true
-			}
-			tests = append(tests, core.ReducedTest{Name: rc.Name, Types: types})
-		}
-		for _, picked := range core.Deduplicate(tests) {
-			rec := c.reduced[picked.Name]
-			buckets = append(buckets, Bucket{
-				Target:      tgName,
-				Case:        picked.Name,
-				Signature:   rec.Signature,
-				Types:       rec.Types,
-				SequenceLen: rec.KeptLen,
-				Delta:       rec.Delta,
-				ReportHash:  rec.ReportHash,
-			})
-		}
-	}
-	return buckets, nil
 }

@@ -41,20 +41,6 @@ type testDoneRec struct {
 	Bugs  []BugRef `json:"bugs,omitempty"`
 }
 
-// reducedRec journals one completed reduction. Types is the residual
-// type set after ignoring supporting types, so bucket construction on resume
-// needs no blob reads.
-type reducedRec struct {
-	Case       string   `json:"case"`
-	Target     string   `json:"target"`
-	Signature  string   `json:"signature"`
-	ReportHash string   `json:"report_hash"`
-	Types      []string `json:"types"`
-	KeptLen    int      `json:"kept_len"`
-	Delta      int      `json:"delta"`
-	Queries    int      `json:"queries"`
-}
-
 type campaignDoneRec struct {
 	Buckets int `json:"buckets"`
 }
@@ -71,7 +57,7 @@ type campaign struct {
 	mu        sync.Mutex
 	state     string
 	testsDone map[int][]BugRef      // index -> journaled bug refs
-	reduced   map[string]reducedRec // case name -> journaled reduction
+	reduced   map[string]ReducedRec // case name -> journaled reduction
 	buckets   []Bucket
 	errMsg    string
 	// reduceTotal is set once the reduce stage selects its cases.
@@ -86,7 +72,7 @@ func newCampaign(id string, spec CampaignSpec) *campaign {
 		spec:      spec,
 		state:     StatePending,
 		testsDone: make(map[int][]BugRef),
-		reduced:   make(map[string]reducedRec),
+		reduced:   make(map[string]ReducedRec),
 	}
 }
 
@@ -214,7 +200,7 @@ func (s *Service) recover() error {
 			}
 			c.testsDone[rec.Index] = rec.Bugs
 		case recReduced:
-			var rec reducedRec
+			var rec ReducedRec
 			if err := json.Unmarshal(r.Data, &rec); err != nil {
 				return err
 			}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"spirvfuzz/internal/core"
+	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/reduce"
+	"spirvfuzz/internal/replay"
+	"spirvfuzz/internal/runner"
+	"spirvfuzz/internal/spirv"
+	"spirvfuzz/internal/target"
+)
+
+// The campaign pipeline is deliberately split into pure, state-free step
+// functions: generate-and-classify one test (FuzzStep), pick which bugs to
+// reduce (SelectReductions), reduce one case (ReduceStep), and deduplicate
+// into buckets (BuildBuckets). The single-node Service and the cluster
+// coordinator/workers (internal/cluster) call the *same* functions, which is
+// what makes distributed merge soundness a property of the code rather than
+// an argument: every step is deterministic in (spec, inputs), selection and
+// bucketing run over journal-shaped data in a canonical order, so any
+// sharding of the steps across nodes reassembles into bitwise-identical
+// buckets.
+
+// BlobStore is the artifact persistence a pipeline step needs: the
+// content-addressed subset of *store.Store. Workers pass their local store;
+// hashes are stable across stores by construction.
+type BlobStore interface {
+	PutBlob(data []byte) (string, error)
+	GetBlob(hash string) ([]byte, error)
+}
+
+// Env bundles the execution machinery behind the pipeline steps.
+type Env struct {
+	Eng   *runner.Engine
+	Reng  *replay.Engine
+	Blobs BlobStore
+}
+
+// ReduceCase is one bug selected for reduction. Case names embed the seed
+// and target, so they are unique, stable across resumes and re-shardings,
+// and sort the way the selection iterates.
+type ReduceCase struct {
+	Name string `json:"name"`
+	Bug  BugRef `json:"bug"`
+}
+
+// ReducedRec is the journal-shaped result of one completed reduction. Types
+// is the residual transformation-type set after ignoring supporting types,
+// so bucket construction needs no blob reads.
+type ReducedRec struct {
+	Case       string   `json:"case"`
+	Target     string   `json:"target"`
+	Signature  string   `json:"signature"`
+	ReportHash string   `json:"report_hash"`
+	Types      []string `json:"types"`
+	KeptLen    int      `json:"kept_len"`
+	Delta      int      `json:"delta"`
+	Queries    int      `json:"queries"`
+}
+
+// CaseName derives the reduction-case name of a bug: campaign, seed, and
+// target, so names are unique, stable across resumes and re-shardings, and
+// sort the way selection iterates.
+func CaseName(campaignID string, bug BugRef) string {
+	return fmt.Sprintf("%s/seed%d/%s", campaignID, bug.Seed, bug.Target)
+}
+
+// ResolveTargets maps spec target names to targets, in spec order.
+func ResolveTargets(names []string) ([]*target.Target, error) {
+	targets := make([]*target.Target, 0, len(names))
+	for _, name := range names {
+		tg := target.ByName(name)
+		if tg == nil {
+			return nil, fmt.Errorf("service: unknown target %q", name)
+		}
+		targets = append(targets, tg)
+	}
+	return targets, nil
+}
+
+// FuzzStep generates test i of a campaign (seed = SeedBase + i over reference
+// i mod len(refs)), classifies the variant against every target, and persists
+// the sequence and variant blobs of any bug. Fully deterministic in
+// (spec, refs, donors, i); the returned BugRefs reference artifacts by
+// content hash, so two nodes running the same step produce identical records.
+func FuzzStep(ctx context.Context, env Env, spec CampaignSpec, targets []*target.Target, refs []corpus.Item, donors []*spirv.Module, i int) ([]BugRef, error) {
+	item := refs[i%len(refs)]
+	seed := spec.SeedBase + int64(i)
+	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{
+		Seed:                  seed,
+		Donors:                donors,
+		EnableRecommendations: spec.Tool == string(harness.ToolSpirvFuzz),
+		MinPasses:             5,
+		MaxPasses:             14,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bugs []BugRef
+	var seqHash, variantHash string
+	sigs, err := harness.ClassifyAllCtx(ctx, env.Eng, targets, item.Mod, res.Variant, item.Inputs, res.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	for ti, tg := range targets {
+		sig := sigs[ti]
+		if sig == "" {
+			continue
+		}
+		if seqHash == "" {
+			seqData, err := fuzz.MarshalSequence(res.Transformations)
+			if err != nil {
+				return nil, err
+			}
+			if seqHash, err = env.Blobs.PutBlob(seqData); err != nil {
+				return nil, err
+			}
+			if variantHash, err = env.Blobs.PutBlob(res.Variant.EncodeBytes()); err != nil {
+				return nil, err
+			}
+		}
+		bugs = append(bugs, BugRef{
+			Target:      tg.Name,
+			Signature:   sig,
+			Reference:   item.Name,
+			Seed:        seed,
+			SeqHash:     seqHash,
+			VariantHash: variantHash,
+		})
+	}
+	return bugs, nil
+}
+
+// SelectReductions picks which recorded bugs to reduce: tests in index
+// order, each test's bugs in the spec's target order (the order FuzzStep
+// recorded them), keeping at most CapPerSignature per (target, signature).
+// Deterministic in its arguments — in particular, independent of how the
+// tests were sharded across nodes.
+func SelectReductions(campaignID string, spec CampaignSpec, testsDone map[int][]BugRef) []ReduceCase {
+	count := map[string]int{}
+	var out []ReduceCase
+	for i := 0; i < spec.Tests; i++ {
+		for _, bug := range testsDone[i] {
+			key := bug.Target + "|" + bug.Signature
+			if count[key] >= spec.CapPerSignature {
+				continue
+			}
+			count[key]++
+			out = append(out, ReduceCase{Name: CaseName(campaignID, bug), Bug: bug})
+		}
+	}
+	return out
+}
+
+// ReduceWaveWidth is the speculative-wave width every reduction runs at.
+// The minimized keep-set is worker-count-independent, but the *query count*
+// is not (discarded speculative queries still count, and the wave width
+// decides how many there are). The report blob records Queries, so the wave
+// width must be a property of the campaign, not of whichever node's engine
+// pool happened to run the shard — otherwise a 2-worker node and a 4-worker
+// node produce different report hashes for the same case and cluster merges
+// stop being bitwise-identical to single-node runs.
+const ReduceWaveWidth = 4
+
+// ReduceStep replays the case's journaled sequence, delta-debugs it against
+// the bug's interestingness test, and persists the reduced report blob.
+// Reduction runs at the pinned ReduceWaveWidth, so the record — including
+// the report hash — is the same on every node.
+func ReduceStep(ctx context.Context, env Env, campaignID string, spec CampaignSpec, refs []corpus.Item, rc ReduceCase) (ReducedRec, error) {
+	tg := target.ByName(rc.Bug.Target)
+	if tg == nil {
+		return ReducedRec{}, fmt.Errorf("service: unknown target %q", rc.Bug.Target)
+	}
+	var item *corpus.Item
+	for i := range refs {
+		if refs[i].Name == rc.Bug.Reference {
+			item = &refs[i]
+			break
+		}
+	}
+	if item == nil {
+		return ReducedRec{}, fmt.Errorf("service: unknown reference %q", rc.Bug.Reference)
+	}
+	seqData, err := env.Blobs.GetBlob(rc.Bug.SeqHash)
+	if err != nil {
+		return ReducedRec{}, err
+	}
+	ts, err := fuzz.UnmarshalSequence(seqData)
+	if err != nil {
+		return ReducedRec{}, err
+	}
+	interesting := reduce.ForOutcomeOn(env.Eng, tg, item.Mod, item.Inputs, rc.Bug.Signature)
+	if d := time.Duration(spec.ReduceSlowdownMS) * time.Millisecond; d > 0 {
+		inner := interesting
+		interesting = func(m *spirv.Module, in interp.Inputs) bool {
+			// Pacing for interruption tests; results are unaffected.
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+			return inner(m, in)
+		}
+	}
+	res, err := reduce.ReduceParallelReplayCtx(ctx, item.Mod, item.Inputs, ts, interesting, ReduceWaveWidth, env.Reng)
+	if err != nil {
+		// The best-effort partial result is discarded: with no record of the
+		// step, a resumed daemon or re-dispatched shard re-runs the reduction
+		// from scratch and lands on the canonical 1-minimal sequence.
+		return ReducedRec{}, err
+	}
+	reducedSeq, err := fuzz.MarshalSequence(res.Sequence)
+	if err != nil {
+		return ReducedRec{}, err
+	}
+	report := Report{
+		Case:            rc.Name,
+		Campaign:        campaignID,
+		Target:          rc.Bug.Target,
+		Signature:       rc.Bug.Signature,
+		Reference:       rc.Bug.Reference,
+		Seed:            rc.Bug.Seed,
+		Kept:            res.Kept,
+		Delta:           res.Delta,
+		Queries:         res.Queries,
+		Transformations: json.RawMessage(reducedSeq),
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return ReducedRec{}, err
+	}
+	reportHash, err := env.Blobs.PutBlob(blob)
+	if err != nil {
+		return ReducedRec{}, err
+	}
+	return ReducedRec{
+		Case:       rc.Name,
+		Target:     rc.Bug.Target,
+		Signature:  rc.Bug.Signature,
+		ReportHash: reportHash,
+		Types:      core.SortedTypes(core.TypeSet(res.Sequence, fuzz.SupportingTypes())),
+		KeptLen:    len(res.Kept),
+		Delta:      res.Delta,
+		Queries:    res.Queries,
+	}, nil
+}
+
+// BuildBuckets applies the Figure 6 deduplication per target over the
+// reduced cases, in the deterministic selection order. Dedup keys (signature
+// + transformation-type set) are content-derived and order-independent, and
+// cases arrive in selection order regardless of which node reduced them, so
+// the merged bucket set of a sharded campaign is bitwise-identical to a
+// single-node run's.
+func BuildBuckets(campaignID string, spec CampaignSpec, cases []ReduceCase, reduced map[string]ReducedRec) ([]Bucket, error) {
+	buckets := []Bucket{}
+	for _, tgName := range spec.Targets {
+		var tests []core.ReducedTest
+		for _, rc := range cases {
+			if rc.Bug.Target != tgName {
+				continue
+			}
+			rec, ok := reduced[rc.Name]
+			if !ok {
+				return nil, fmt.Errorf("service: campaign %s: case %s selected but not reduced", campaignID, rc.Name)
+			}
+			types := make(map[string]bool, len(rec.Types))
+			for _, t := range rec.Types {
+				types[t] = true
+			}
+			tests = append(tests, core.ReducedTest{Name: rc.Name, Types: types})
+		}
+		for _, picked := range core.Deduplicate(tests) {
+			rec := reduced[picked.Name]
+			buckets = append(buckets, Bucket{
+				Target:      tgName,
+				Case:        picked.Name,
+				Signature:   rec.Signature,
+				Types:       rec.Types,
+				SequenceLen: rec.KeptLen,
+				Delta:       rec.Delta,
+				ReportHash:  rec.ReportHash,
+			})
+		}
+	}
+	return buckets, nil
+}

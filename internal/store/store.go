@@ -38,6 +38,12 @@ type Store struct {
 	blobBytes    atomic.Uint64
 	blobDedup    atomic.Uint64
 	checkpoints  atomic.Uint64
+
+	syncHasQueries atomic.Uint64
+	syncBlobsIn    atomic.Uint64
+	syncBytesIn    atomic.Uint64
+	syncBlobsOut   atomic.Uint64
+	syncBytesOut   atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of store counters, following the
@@ -48,6 +54,14 @@ type Stats struct {
 	BlobDedupHits  uint64 `json:"blob_dedup_hits"`
 	JournalRecords uint64 `json:"journal_records"` // records appended this process
 	Checkpoints    uint64 `json:"checkpoints"`     // checkpoint saves this process
+
+	// Blob-sync protocol traffic (HasBatch/PutBatch/GetBatch), the
+	// store-side view of cluster transfers.
+	SyncHasQueries uint64 `json:"sync_has_queries"` // hashes probed via HasBatch
+	SyncBlobsIn    uint64 `json:"sync_blobs_in"`    // blobs received via PutBatch
+	SyncBytesIn    uint64 `json:"sync_bytes_in"`
+	SyncBlobsOut   uint64 `json:"sync_blobs_out"` // blobs served via GetBatch
+	SyncBytesOut   uint64 `json:"sync_bytes_out"`
 }
 
 // Open opens (creating if needed) a store rooted at dir.
@@ -81,6 +95,11 @@ func (s *Store) Stats() Stats {
 		BlobDedupHits:  s.blobDedup.Load(),
 		JournalRecords: s.journal.appended.Load(),
 		Checkpoints:    s.checkpoints.Load(),
+		SyncHasQueries: s.syncHasQueries.Load(),
+		SyncBlobsIn:    s.syncBlobsIn.Load(),
+		SyncBytesIn:    s.syncBytesIn.Load(),
+		SyncBlobsOut:   s.syncBlobsOut.Load(),
+		SyncBytesOut:   s.syncBytesOut.Load(),
 	}
 }
 

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBatchSync covers the blob-sync surface the cluster negotiates over:
+// HasBatch answers membership, PutBatch/GetBatch move blobs in bulk, and
+// the transfer counters account every byte that actually crossed.
+func TestBatchSync(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	blobs := [][]byte{[]byte("alpha"), []byte("beta-beta"), []byte("gamma")}
+	hashes, err := st.PutBatch(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hashes) != len(blobs) {
+		t.Fatalf("PutBatch returned %d hashes for %d blobs", len(hashes), len(blobs))
+	}
+	for i, h := range hashes {
+		want, err := st.PutBlob(blobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != want {
+			t.Fatalf("blob %d: PutBatch hash %s != PutBlob hash %s", i, h, want)
+		}
+	}
+
+	has := st.HasBatch([]string{hashes[0], "0000deadbeef", hashes[2]})
+	if !has[0] || has[1] || !has[2] {
+		t.Fatalf("HasBatch = %v, want [true false true]", has)
+	}
+
+	got, err := st.GetBatch(hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blobs {
+		if !bytes.Equal(got[i], blobs[i]) {
+			t.Fatalf("GetBatch blob %d mismatch", i)
+		}
+	}
+	if _, err := st.GetBatch([]string{"0000deadbeef"}); err == nil {
+		t.Fatal("GetBatch of a missing hash did not error")
+	}
+
+	if size, ok := st.StatBlob(hashes[1]); !ok || size != int64(len(blobs[1])) {
+		t.Fatalf("StatBlob = (%d, %v), want (%d, true)", size, ok, len(blobs[1]))
+	}
+	if _, ok := st.StatBlob("0000deadbeef"); ok {
+		t.Fatal("StatBlob found a missing blob")
+	}
+
+	var total uint64
+	for _, b := range blobs {
+		total += uint64(len(b))
+	}
+	stats := st.Stats()
+	if stats.SyncHasQueries != 3 {
+		t.Fatalf("SyncHasQueries = %d, want 3", stats.SyncHasQueries)
+	}
+	if stats.SyncBlobsIn != 3 || stats.SyncBytesIn != total {
+		t.Fatalf("inbound sync counters = (%d, %d), want (3, %d)", stats.SyncBlobsIn, stats.SyncBytesIn, total)
+	}
+	if stats.SyncBlobsOut != 3 || stats.SyncBytesOut != total {
+		t.Fatalf("outbound sync counters = (%d, %d), want (3, %d)", stats.SyncBlobsOut, stats.SyncBytesOut, total)
+	}
+}
