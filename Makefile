@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-daemon test-cluster bench baseline bench-compare profile
+.PHONY: ci fmt vet build test test-bisect test-daemon test-cluster bench baseline bench-compare profile
 
 # Everything CI runs, in order; fails fast.
-ci: fmt vet build test test-daemon test-cluster bench
+ci: fmt vet build test test-bisect test-daemon test-cluster bench
+
+# The bisection oracle gets its own race pass: the determinism property
+# (FirstBad identical at any worker count, lane width, or cache temperature)
+# plus the torn-journal /bisect resume and the cluster-sharded bisect merge.
+test-bisect:
+	$(GO) test -race -shuffle=on ./internal/bisect/... ./internal/dedup/...
+	$(GO) test -race -count=1 -run 'Bisect|Precheck' ./internal/service/... ./internal/cluster/...
 
 # The daemon's durability layers get a dedicated race pass on top of the
 # repo-wide one: -shuffle varies the journal/queue interleavings between
@@ -52,7 +59,7 @@ baseline:
 # fresh replay; journal resume over a fresh campaign; batched RunAll over a
 # per-target compile loop; the register VM over the tree-walker; lane-mode
 # rendering over the scalar VM) regresses below 0.75x its value in the
-# committed BENCH_pr7.json trajectory point — loose enough for machine
+# committed BENCH_pr8.json trajectory point — loose enough for machine
 # noise, tight enough to catch a disabled cache, a resume that silently
 # re-runs journaled work, compile sharing gone, the VM degenerating to
 # tree-walker speed, or lane mode losing its amortization (speedup ~1.0). A
@@ -61,21 +68,26 @@ baseline:
 # allocs/op above 1.5x baseline means the lane buffer reuse across tiles
 # broke. The ratio metrics are the tight guards (they cancel machine speed);
 # the absolute bounds are backstops against wholesale regressions that leave
-# the internal ratios intact.
+# the internal ratios intact. A final pass guards the bisection oracle's
+# compile-sharing: the cold cache-hit fraction of BenchmarkBisectCampaign
+# falling below 0.95x baseline means probes stopped reusing compile keys.
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM|Cluster' -benchtime=1x -benchmem . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM|Cluster|Bisect' -benchtime=1x -benchmem . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
 		-current /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
 		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
 		-only BenchmarkRunnerParallelReduce
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
 		-current /tmp/bench-current.json -metric allocs/op -mode max -tolerance 1.5 \
 		-only BenchmarkInterpVMLanes/uniform/l8
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr7.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
 		-current /tmp/bench-current.json -metric dedup-frac -mode min -tolerance 0.95 \
 		-only BenchmarkClusterCampaign
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
+		-current /tmp/bench-current.json -metric hit-frac -mode min -tolerance 0.95 \
+		-only BenchmarkBisectCampaign
 
 # CPU-profile the parallel-reduction campaign benchmark and print the top-10
 # functions by flat time — the quick answer to "where do campaign cycles go".

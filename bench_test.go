@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"spirvfuzz/internal/bblang"
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/cluster"
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/corpus"
@@ -1345,6 +1346,106 @@ func BenchmarkInterpVMLanes(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkBisectCampaign measures the second dedup signal end to end: every
+// bug outcome of a fuzzing campaign is bisected against its target's release
+// history, on a cold engine versus the same engine cache-warm. Bisection
+// rides the campaign's compile sharing — a probe either crashes before
+// compiling or hits a (module fingerprint, mutation fingerprint) compile key
+// another release already populated — so even the cold pass must satisfy the
+// almost-for-free claim: cache-hit fraction >= 0.5, far fewer compiles than
+// probes. Verdicts must be identical across both passes; reported metrics:
+// warm-over-cold speedup, the guarded cold hit fraction, probes per case, and
+// the distinct (target, first-bad) bucket count the dedup signal yields.
+func BenchmarkBisectCampaign(b *testing.B) {
+	refs := corpus.References()
+	targets := target.All()
+	donors := corpus.Donors()
+	tests := 40
+	if testing.Short() {
+		tests = 25
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	res, err := harness.CampaignEngine(runner.New(workers), harness.ToolSpirvFuzz, tests, 2, refs, targets, donors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cases []bisect.Case
+	perSig := map[string]int{}
+	for _, o := range res.BugOutcomes {
+		key := o.Target + "|" + o.Signature
+		if perSig[key] >= 2 {
+			continue
+		}
+		perSig[key]++
+		cases = append(cases, bisect.Case{
+			Target:         o.Target,
+			Signature:      o.Signature,
+			Original:       o.Original,
+			OriginalInputs: o.Inputs,
+			Variant:        o.Variant,
+			Inputs:         o.VariantInputs,
+		})
+	}
+	if len(cases) < 5 {
+		b.Fatalf("campaign produced only %d bisectable cases", len(cases))
+	}
+
+	bisectAll := func(be *bisect.Engine) ([]bisect.Result, time.Duration) {
+		out := make([]bisect.Result, len(cases))
+		start := time.Now()
+		for j, c := range cases {
+			r, err := be.Bisect(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[j] = r
+		}
+		return out, time.Since(start)
+	}
+
+	var speedup, coldHit, perCase float64
+	buckets := map[string]bool{}
+	for i := 0; i < b.N; i++ {
+		var coldTime, warmTime time.Duration
+		for rep := 0; rep < 3; rep++ { // best-of-three against CPU-contention spikes
+			be := bisect.New(runner.New(workers))
+			coldRes, ct := bisectAll(be)
+			cold := be.Stats()
+			warmRes, wt := bisectAll(be) // second pass: compile caches warm
+
+			// Result equality across temperatures is the determinism contract:
+			// CacheHits is deliberately self-relative to each bisection, so the
+			// warm pass must reproduce the cold verdicts bitwise.
+			if !reflect.DeepEqual(coldRes, warmRes) {
+				b.Fatalf("warm verdicts diverged from cold:\n%+v\nvs\n%+v", warmRes, coldRes)
+			}
+			if cold.HitFraction() < 0.5 {
+				b.Fatalf("cold cache-hit fraction %.2f, want >= 0.5 (%+v)", cold.HitFraction(), cold)
+			}
+			if rep == 0 || ct < coldTime {
+				coldTime = ct
+			}
+			if rep == 0 || wt < warmTime {
+				warmTime = wt
+			}
+			coldHit = cold.HitFraction()
+			perCase = float64(cold.Queries) / float64(cold.Bisections)
+			for _, r := range coldRes {
+				buckets[r.Target+"@"+r.FirstBad] = true
+			}
+		}
+		speedup = coldTime.Seconds() / warmTime.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(coldHit, "hit-frac")
+	b.ReportMetric(perCase, "probes/case")
+	b.ReportMetric(float64(len(cases)), "cases")
+	b.ReportMetric(float64(len(buckets)), "bisect-buckets")
 }
 
 // clusterCampaignLeg runs one simulated cluster — a coordinator over

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/experiments"
 	"spirvfuzz/internal/harness"
@@ -38,6 +39,7 @@ func main() {
 	venn := flag.Bool("venn", false, "regenerate Figure 7 (complementarity)")
 	rq2 := flag.Bool("rq2", false, "regenerate the RQ2 reduction-quality medians")
 	table4 := flag.Bool("table4", false, "regenerate Table 4 (deduplication)")
+	bisectRQ := flag.Bool("bisect", false, "run the bisection RQ: transform vs bisect vs intersection dedup on the Table 4 corpus")
 	exportReports := flag.String("export-reports", "", "reduce and export a bug-report bundle per distinct signature (Section 5 mode)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit per-tool campaign summaries as JSON (the shape spirvd serves) instead of tables")
@@ -62,10 +64,10 @@ func main() {
 		return
 	}
 	if *all {
-		*table3, *venn, *rq2, *table4 = true, true, true, true
+		*table3, *venn, *rq2, *table4, *bisectRQ = true, true, true, true, true
 	}
-	if !*table3 && !*venn && !*rq2 && !*table4 && *exportReports == "" && !*asJSON {
-		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-all/-json or -list-targets")
+	if !*table3 && !*venn && !*rq2 && !*table4 && !*bisectRQ && *exportReports == "" && !*asJSON {
+		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-bisect/-all/-json or -list-targets")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -110,11 +112,20 @@ func main() {
 		fmt.Println()
 	}
 
+	// The bisection RQ runs before the -json dump so its counters are
+	// included when both flags are set.
+	var bisectRes *experiments.BisectRQResult
+	if *bisectRQ {
+		bisectRes, err = experiments.BisectRQ(c)
+		fatal(err)
+	}
+
 	if *asJSON {
 		out, err := json.MarshalIndent(struct {
 			Campaigns []service.CampaignStatus `json:"campaigns"`
 			Runner    runner.Stats             `json:"runner"`
-		}{campaignSummaries(c), c.Engine.Stats()}, "", "  ")
+			Bisect    bisect.Stats             `json:"bisect"`
+		}{campaignSummaries(c), c.Engine.Stats(), c.BisectStats()}, "", "  ")
 		fatal(err)
 		fmt.Println(string(out))
 	}
@@ -130,6 +141,9 @@ func main() {
 	}
 	if *table4 {
 		fmt.Println(experiments.RenderTable4(experiments.Table4(c)))
+	}
+	if bisectRes != nil {
+		fmt.Println(experiments.RenderBisectRQ(bisectRes))
 	}
 	if *exportReports != "" {
 		rep, err := experiments.ExportWildReports(c, *exportReports)

@@ -8,6 +8,9 @@ package main
 //	spirvd client status  -addr HOST:PORT [ID]
 //	spirvd client buckets -addr HOST:PORT [-campaign ID]
 //	spirvd client report  -addr HOST:PORT HASH
+//	spirvd client bisect  -addr HOST:PORT -campaign ID [-wait]
+//	spirvd client bisect-status -addr HOST:PORT [ID]
+//	spirvd client bisect-result -addr HOST:PORT ID
 //	spirvd client metrics -addr HOST:PORT
 //
 // Every verb prints the server's JSON response verbatim, so output is
@@ -30,7 +33,7 @@ import (
 
 func clientMain(args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "spirvd client: a verb is required: submit, status, buckets, report, metrics")
+		fmt.Fprintln(os.Stderr, "spirvd client: a verb is required: submit, status, buckets, report, bisect, bisect-status, bisect-result, metrics")
 		os.Exit(2)
 	}
 	verb, rest := args[0], args[1:]
@@ -43,13 +46,15 @@ func clientMain(args []string) {
 		targets := fs.String("targets", "", "comma-separated target names (default all)")
 		capPerSig := fs.Int("cap-per-signature", 0, "reductions per (target, signature); 0 means the server default")
 		slowdown := fs.Int("reduce-slowdown-ms", 0, "per-query reduction pacing (test knob)")
+		precheck := fs.Bool("precheck", false, "cross-bucket pre-check: skip reductions an earlier minimized case already covers (serial; single-node daemons only)")
 		wait := fs.Bool("wait", false, "poll until the campaign finishes; exit 1 if it failed")
 		fs.Parse(rest)
 		spec := service.CampaignSpec{
-			Tool:             *tool,
-			Tests:            *tests,
-			CapPerSignature:  *capPerSig,
-			ReduceSlowdownMS: *slowdown,
+			Tool:                *tool,
+			Tests:               *tests,
+			CapPerSignature:     *capPerSig,
+			ReduceSlowdownMS:    *slowdown,
+			CrossBucketPrecheck: *precheck,
 		}
 		if *targets != "" {
 			spec.Targets = strings.Split(*targets, ",")
@@ -96,6 +101,47 @@ func clientMain(args []string) {
 			fatalClient(fmt.Errorf("report needs exactly one blob hash"))
 		}
 		os.Stdout.Write(request(*addr, "GET", "/reports/"+url.PathEscape(fs.Arg(0)), nil))
+	case "bisect":
+		campaign := fs.String("campaign", "", "finished campaign ID to bisect (required)")
+		wait := fs.Bool("wait", false, "poll until the bisection job finishes; exit 1 if it failed")
+		fs.Parse(rest)
+		if *campaign == "" {
+			fatalClient(fmt.Errorf("bisect needs -campaign"))
+		}
+		body, err := json.Marshal(service.BisectSpec{Campaign: *campaign})
+		fatalClient(err)
+		data := request(*addr, "POST", "/bisect", body)
+		var status service.BisectStatus
+		fatalClient(json.Unmarshal(data, &status))
+		if !*wait {
+			os.Stdout.Write(data)
+			return
+		}
+		for {
+			data = request(*addr, "GET", "/bisect/"+status.ID, nil)
+			fatalClient(json.Unmarshal(data, &status))
+			if status.State == service.StateDone || status.State == service.StateFailed {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		os.Stdout.Write(data)
+		if status.State == service.StateFailed {
+			os.Exit(1)
+		}
+	case "bisect-status":
+		fs.Parse(rest)
+		path := "/bisect"
+		if fs.NArg() > 0 {
+			path += "/" + url.PathEscape(fs.Arg(0))
+		}
+		os.Stdout.Write(request(*addr, "GET", path, nil))
+	case "bisect-result":
+		fs.Parse(rest)
+		if fs.NArg() != 1 {
+			fatalClient(fmt.Errorf("bisect-result needs exactly one job ID"))
+		}
+		os.Stdout.Write(request(*addr, "GET", "/bisect/"+url.PathEscape(fs.Arg(0))+"/result", nil))
 	case "metrics":
 		fs.Parse(rest)
 		os.Stdout.Write(request(*addr, "GET", "/metrics", nil))

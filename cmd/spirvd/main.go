@@ -10,7 +10,12 @@
 //	GET  /campaigns/{id}   one campaign's status
 //	GET  /buckets          recommended bug reports of finished campaigns
 //	GET  /reports/{hash}   one reduced bug report (spirv-dedup-compatible)
-//	GET  /metrics          runner/replay/store/job counters
+//	POST /bisect           bisect a finished campaign's reduced cases over
+//	                       their targets' release histories (second signal)
+//	GET  /bisect           list bisection-job statuses
+//	GET  /bisect/{id}      one bisection job's status
+//	GET  /bisect/{id}/result  a finished job's verdicts and signal buckets
+//	GET  /metrics          runner/replay/store/job/bisect counters
 //
 // Every pipeline step is journaled, so a daemon killed at any point — even
 // SIGKILL mid-reduction — resumes from the store on restart and finishes
@@ -290,6 +295,38 @@ func newMux(svc *service.Service) *http.ServeMux {
 			sets = []service.BucketSet{}
 		}
 		writeJSON(w, http.StatusOK, sets)
+	})
+	mux.HandleFunc("POST /bisect", func(w http.ResponseWriter, r *http.Request) {
+		var spec service.BisectSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, err := svc.CreateBisect(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, status)
+	})
+	mux.HandleFunc("GET /bisect", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.BisectJobs())
+	})
+	mux.HandleFunc("GET /bisect/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := svc.BisectJob(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no bisect job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /bisect/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		set, err := svc.BisectResult(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, set)
 	})
 	mux.HandleFunc("GET /reports/{hash}", func(w http.ResponseWriter, r *http.Request) {
 		blob, err := svc.ReportBlob(r.PathValue("hash"))

@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/interp"
 	"spirvfuzz/internal/replay"
@@ -45,10 +46,12 @@ import (
 	"spirvfuzz/internal/spirv"
 )
 
-// Shard phases, in pipeline order.
+// Shard phases, in pipeline order. PhaseBisect shards belong to bisection
+// jobs (one shard per case group), not campaigns.
 const (
 	PhaseFuzz   = "fuzz"
 	PhaseReduce = "reduce"
+	PhaseBisect = "bisect"
 )
 
 // BlobRef names a blob by content hash and size. Manifests of BlobRefs are
@@ -65,6 +68,8 @@ type BlobRef struct {
 // manifest (ordered — index i of the manifest is reference i of the
 // campaign), so a worker needs no out-of-band configuration.
 type Shard struct {
+	// Campaign is the owning job's ID: a campaign ID for fuzz/reduce shards,
+	// a bisection-job ID ("b001", ...) for bisect shards.
 	Campaign string               `json:"campaign"`
 	Phase    string               `json:"phase"`
 	Index    int                  `json:"index"`
@@ -72,9 +77,13 @@ type Shard struct {
 	Lo       int                  `json:"lo,omitempty"`
 	Hi       int                  `json:"hi,omitempty"`
 	Cases    []service.ReduceCase `json:"cases,omitempty"`
-	Corpus   []BlobRef            `json:"corpus"`
-	// Needs lists extra input blobs beyond the corpus (for reduce shards,
-	// the journaled transformation sequences of the cases).
+	// Recs carries a bisect shard's case group: the reduction records whose
+	// report blobs (listed in Needs) the worker replays and bisects.
+	Recs   []service.ReducedRec `json:"recs,omitempty"`
+	Corpus []BlobRef            `json:"corpus"`
+	// Needs lists extra input blobs beyond the corpus (for reduce shards the
+	// journaled transformation sequences, for bisect shards the reduced
+	// report blobs of the cases).
 	Needs []BlobRef `json:"needs,omitempty"`
 }
 
@@ -99,16 +108,18 @@ type ShardResult struct {
 	ProcToken string `json:"proc_token"`
 	// Error marks a deterministic shard failure; re-dispatching would fail
 	// identically, so the coordinator fails the campaign.
-	Error   string               `json:"error,omitempty"`
-	Tests   []TestResult         `json:"tests,omitempty"`
-	Reduced []service.ReducedRec `json:"reduced,omitempty"`
+	Error   string                  `json:"error,omitempty"`
+	Tests   []TestResult            `json:"tests,omitempty"`
+	Reduced []service.ReducedRec    `json:"reduced,omitempty"`
+	Bisects []service.BisectOutcome `json:"bisects,omitempty"`
 	// Sync is this shard's blob-sync delta (both directions, as accounted by
-	// the worker); Runner and Replay are the node's cumulative engine
-	// snapshots, aggregated coordinator-side with runner.MergeStats so
-	// process-wide counters are never double-counted.
+	// the worker); Runner, Replay and Bisect are the node's cumulative engine
+	// snapshots, aggregated coordinator-side (runner.MergeStats for Runner)
+	// so process-wide counters are never double-counted.
 	Sync   SyncStats    `json:"sync"`
 	Runner runner.Stats `json:"runner"`
 	Replay replay.Stats `json:"replay"`
+	Bisect bisect.Stats `json:"bisect"`
 }
 
 // SyncStats accounts blob-sync traffic: how many bytes shard manifests

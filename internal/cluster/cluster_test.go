@@ -431,3 +431,166 @@ func TestCoordinatorKilledMidMerge(t *testing.T) {
 		t.Fatalf("re-merged buckets differ from single-node run:\n got %s\nwant %s", got, want)
 	}
 }
+
+// referenceBisect runs testSpec plus a bisection job once on the single-node
+// service and returns the canonical BisectSet JSON. Shared like
+// referenceBuckets.
+var (
+	refBisectOnce sync.Once
+	refBisect     []byte
+	refBisectErr  error
+)
+
+func referenceBisect(t *testing.T) []byte {
+	t.Helper()
+	refBisectOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cluster-bisect-ref-*")
+		if err != nil {
+			refBisectErr = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir)
+		if err != nil {
+			refBisectErr = err
+			return
+		}
+		svc, err := service.New(st, service.Options{Workers: 4})
+		if err != nil {
+			refBisectErr = err
+			return
+		}
+		defer svc.Close(context.Background())
+		status, err := svc.CreateCampaign(testSpec())
+		if err != nil {
+			refBisectErr = err
+			return
+		}
+		if err := waitDone(func() (service.CampaignStatus, bool) { return svc.Campaign(status.ID) }); err != nil {
+			refBisectErr = err
+			return
+		}
+		job, err := svc.CreateBisect(service.BisectSpec{Campaign: status.ID})
+		if err != nil {
+			refBisectErr = err
+			return
+		}
+		if err := waitBisectDone(func() (service.BisectStatus, bool) { return svc.BisectJob(job.ID) }); err != nil {
+			refBisectErr = err
+			return
+		}
+		set, err := svc.BisectResult(job.ID)
+		if err != nil {
+			refBisectErr = err
+			return
+		}
+		refBisect, refBisectErr = json.Marshal(set)
+	})
+	if refBisectErr != nil {
+		t.Fatalf("single-node reference bisection: %v", refBisectErr)
+	}
+	return refBisect
+}
+
+// waitBisectDone polls a bisect-job status until done (or failed/timed out).
+func waitBisectDone(get func() (service.BisectStatus, bool)) error {
+	deadline := time.Now().Add(180 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := get()
+		if ok {
+			switch st.State {
+			case service.StateDone:
+				return nil
+			case service.StateFailed:
+				return &campaignFailedError{st.Error}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return context.DeadlineExceeded
+}
+
+// TestClusterBisectMatchesSingleNode extends the merge-soundness claim to the
+// second dedup signal: a bisection job sharded one case group at a time over
+// a 3-node cluster converges on a BisectSet bitwise-identical to the
+// single-node service's, and the coordinator surfaces the jobs and probe
+// counters in its metrics.
+func TestClusterBisectMatchesSingleNode(t *testing.T) {
+	want := referenceBisect(t)
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	co, err := NewCoordinator(st, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	sim, err := StartSim(co, 3, t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Stop()
+
+	status, err := co.CreateCampaign(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bisect job cannot target a campaign that is still running.
+	if _, err := co.CreateBisect(service.BisectSpec{Campaign: status.ID}); err == nil {
+		t.Fatal("bisect of a running campaign accepted")
+	}
+	if err := waitDone(func() (service.CampaignStatus, bool) { return co.Campaign(status.ID) }); err != nil {
+		t.Fatal(err)
+	}
+	job, err := co.CreateBisect(service.BisectSpec{Campaign: status.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := waitBisectDone(func() (service.BisectStatus, bool) { return co.BisectJob(job.ID) }); err != nil {
+		t.Fatal(err)
+	}
+	set, err := co.BisectResult(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("3-node bisect set differs from single-node run:\n got %s\nwant %s", got, want)
+	}
+	m := co.Metrics()
+	if m.BisectJobs != 1 || m.BisectJobsDone != 1 {
+		t.Fatalf("bisect job counters: %+v", m)
+	}
+	if m.Bisect.Bisections == 0 || m.Bisect.Queries == 0 {
+		t.Fatalf("no bisection probes recorded: %+v", m.Bisect)
+	}
+	if m.Bisect.HitFraction() < 0.5 {
+		t.Fatalf("cluster bisect cache-hit fraction %.2f, want >= 0.5 (%+v)", m.Bisect.HitFraction(), m.Bisect)
+	}
+}
+
+// TestCoordinatorRejectsPrecheck: the cross-bucket pre-check is serial by
+// design, so the coordinator must refuse it rather than shard it unsoundly.
+func TestCoordinatorRejectsPrecheck(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	co, err := NewCoordinator(st, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	spec := testSpec()
+	spec.CrossBucketPrecheck = true
+	if _, err := co.CreateCampaign(spec); err == nil || !strings.Contains(err.Error(), "not cluster-shardable") {
+		t.Fatalf("precheck campaign accepted by coordinator: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
@@ -23,15 +24,29 @@ const (
 	recShardDone       = "cluster_shard_done"       // data: shardDoneRec
 	recCampaignDone    = "cluster_campaign_done"    // data: campaignDoneRec
 	recCampaignFailed  = "cluster_campaign_failed"  // data: campaignFailedRec
+	// Bisection-job records; journaled — like the job's shard results — under
+	// the job's own ID ("b001", ...).
+	recBisectCreated = "cluster_bisect_created" // data: bisectCreatedRec
+	recBisectDone    = "cluster_bisect_done"    // data: bisectDoneRec
+	recBisectFailed  = "cluster_bisect_failed"  // data: campaignFailedRec
 )
 
 // shardDoneRec journals one merged shard result.
 type shardDoneRec struct {
-	Phase   string               `json:"phase"`
-	Index   int                  `json:"index"`
-	Node    string               `json:"node,omitempty"`
-	Tests   []TestResult         `json:"tests,omitempty"`
-	Reduced []service.ReducedRec `json:"reduced,omitempty"`
+	Phase   string                  `json:"phase"`
+	Index   int                     `json:"index"`
+	Node    string                  `json:"node,omitempty"`
+	Tests   []TestResult            `json:"tests,omitempty"`
+	Reduced []service.ReducedRec    `json:"reduced,omitempty"`
+	Bisects []service.BisectOutcome `json:"bisects,omitempty"`
+}
+
+type bisectCreatedRec struct {
+	Campaign string `json:"campaign"`
+}
+
+type bisectDoneRec struct {
+	BisectBuckets int `json:"bisect_buckets"`
 }
 
 type campaignDoneRec struct {
@@ -97,6 +112,45 @@ func (c *clusterCampaign) reduceShards(opts Options) int {
 	return (len(c.cases) + opts.ShardCases - 1) / opts.ShardCases
 }
 
+// clusterBisect is the coordinator's in-memory state of one bisection job.
+// Its case list is derived from the finished campaign's merged records in
+// the canonical selection order, so sharding is deterministic and the merged
+// result set is bitwise-identical to a single-node run's.
+type clusterBisect struct {
+	id    string
+	camp  *clusterCampaign
+	state string
+
+	recs     []service.ReducedRec // case group source, selection order
+	cases    []service.ReduceCase
+	outcomes map[string]service.BisectOutcome
+	set      *service.BisectSet
+	errMsg   string
+	skipped  int
+}
+
+func (b *clusterBisect) shards(opts Options) int {
+	return (len(b.recs) + opts.ShardCases - 1) / opts.ShardCases
+}
+
+func (b *clusterBisect) status() service.BisectStatus {
+	st := service.BisectStatus{
+		ID:           b.id,
+		Campaign:     b.camp.id,
+		State:        b.state,
+		CasesTotal:   len(b.recs),
+		CasesDone:    len(b.outcomes),
+		SkippedCases: b.skipped,
+		Error:        b.errMsg,
+	}
+	if b.set != nil {
+		// Recovered from the checkpoint without re-listing the cases.
+		st.CasesTotal = len(b.set.Outcomes)
+		st.CasesDone = len(b.set.Outcomes)
+	}
+	return st
+}
+
 func (c *clusterCampaign) status() service.CampaignStatus {
 	st := service.CampaignStatus{
 		ID:                c.id,
@@ -116,9 +170,11 @@ func (c *clusterCampaign) status() service.CampaignStatus {
 	return st
 }
 
-// shardState is a queued or leased shard.
+// shardState is a queued or leased shard. Fuzz/reduce shards belong to a
+// campaign (c); bisect shards to a bisection job (b).
 type shardState struct {
 	c        *clusterCampaign
+	b        *clusterBisect
 	phase    string
 	index    int
 	locality string    // preferred node, best-effort
@@ -126,8 +182,17 @@ type shardState struct {
 	deadline time.Time // lease expiry
 }
 
+// ownerID is the job ID shard keys and wire shards carry: the bisection
+// job's for bisect shards, the campaign's otherwise.
+func (ss *shardState) ownerID() string {
+	if ss.b != nil {
+		return ss.b.id
+	}
+	return ss.c.id
+}
+
 func (ss *shardState) key() string {
-	return fmt.Sprintf("%s/%s/%d", ss.c.id, ss.phase, ss.index)
+	return fmt.Sprintf("%s/%s/%d", ss.ownerID(), ss.phase, ss.index)
 }
 
 // ClusterStats is the cluster block of coordinator /metrics.
@@ -143,15 +208,19 @@ type ClusterStats struct {
 
 // Metrics is the coordinator-wide counter snapshot (GET /metrics), shaped
 // like the single-node service's with an extra cluster block. Runner is the
-// MergeStats aggregate of the latest per-node engine snapshots.
+// MergeStats aggregate of the latest per-node engine snapshots; Bisect is
+// the sum of per-node bisection-engine snapshots.
 type Metrics struct {
-	Campaigns     int          `json:"campaigns"`
-	CampaignsDone int          `json:"campaigns_done"`
-	JobsSkipped   uint64       `json:"jobs_skipped"`
-	Runner        runner.Stats `json:"runner"`
-	Replay        replay.Stats `json:"replay"`
-	Store         store.Stats  `json:"store"`
-	Cluster       ClusterStats `json:"cluster"`
+	Campaigns      int          `json:"campaigns"`
+	CampaignsDone  int          `json:"campaigns_done"`
+	BisectJobs     int          `json:"bisect_jobs"`
+	BisectJobsDone int          `json:"bisect_jobs_done"`
+	JobsSkipped    uint64       `json:"jobs_skipped"`
+	Runner         runner.Stats `json:"runner"`
+	Replay         replay.Stats `json:"replay"`
+	Bisect         bisect.Stats `json:"bisect"`
+	Store          store.Stats  `json:"store"`
+	Cluster        ClusterStats `json:"cluster"`
 }
 
 // nodeState tracks one joined worker.
@@ -160,6 +229,7 @@ type nodeState struct {
 	lastSeen  time.Time
 	runner    runner.Stats // latest cumulative snapshot
 	replay    replay.Stats
+	bisect    bisect.Stats
 }
 
 // Coordinator owns the authoritative store and campaign state of a cluster
@@ -170,13 +240,16 @@ type Coordinator struct {
 	st   *store.Store
 	opts Options
 
-	mu        sync.Mutex
-	campaigns map[string]*clusterCampaign
-	order     []string
-	nextID    int
-	nodes     map[string]*nodeState
-	queue     []*shardState          // pending, FIFO
-	leased    map[string]*shardState // shard key -> in flight
+	mu           sync.Mutex
+	campaigns    map[string]*clusterCampaign
+	order        []string
+	nextID       int
+	bisects      map[string]*clusterBisect
+	bisectOrder  []string
+	nextBisectID int
+	nodes        map[string]*nodeState
+	queue        []*shardState          // pending, FIFO
+	leased       map[string]*shardState // shard key -> in flight
 
 	shardsDispatched uint64
 	shardsCompleted  uint64
@@ -192,12 +265,14 @@ type Coordinator struct {
 func NewCoordinator(st *store.Store, opts Options) (*Coordinator, error) {
 	opts.normalize()
 	co := &Coordinator{
-		st:        st,
-		opts:      opts,
-		campaigns: make(map[string]*clusterCampaign),
-		nextID:    1,
-		nodes:     make(map[string]*nodeState),
-		leased:    make(map[string]*shardState),
+		st:           st,
+		opts:         opts,
+		campaigns:    make(map[string]*clusterCampaign),
+		nextID:       1,
+		bisects:      make(map[string]*clusterBisect),
+		nextBisectID: 1,
+		nodes:        make(map[string]*nodeState),
+		leased:       make(map[string]*shardState),
 	}
 	if err := co.recover(); err != nil {
 		return nil, err
@@ -226,6 +301,22 @@ func newClusterCampaign(id string, spec service.CampaignSpec) *clusterCampaign {
 // skipped work, the rest re-enters the dispatch queue.
 func (co *Coordinator) recover() error {
 	err := co.st.Journal().Replay(func(r store.Record) error {
+		switch r.Type {
+		case recBisectCreated, recBisectDone, recBisectFailed:
+			return co.recoverBisect(r)
+		case recShardDone:
+			// Bisect shard results are journaled under the job's ID.
+			if j := co.bisects[r.Campaign]; j != nil {
+				var rec shardDoneRec
+				if err := json.Unmarshal(r.Data, &rec); err != nil {
+					return err
+				}
+				for _, out := range rec.Bisects {
+					j.outcomes[out.Case] = out
+				}
+				return nil
+			}
+		}
 		c := co.campaigns[r.Campaign]
 		if c == nil && r.Type != recCampaignCreated {
 			return fmt.Errorf("cluster: journal references unknown campaign %q", r.Campaign)
@@ -278,6 +369,12 @@ func (co *Coordinator) recover() error {
 			co.nextID = n + 1
 		}
 	}
+	for _, id := range co.bisectOrder {
+		var n int
+		if _, scanErr := fmt.Sscanf(id, "b%d", &n); scanErr == nil && n >= co.nextBisectID {
+			co.nextBisectID = n + 1
+		}
+	}
 	// Re-activate unfinished campaigns. Journal-satisfied steps become skip
 	// counters (the cluster analogue of the service's checkpoint-reuse
 	// metric); everything else re-enters the queue.
@@ -292,6 +389,64 @@ func (co *Coordinator) recover() error {
 		if err := co.activate(c); err != nil {
 			return err
 		}
+	}
+	// Re-activate unfinished bisect jobs the same way.
+	for _, id := range co.bisectOrder {
+		j := co.bisects[id]
+		if j.state != service.StatePending {
+			continue
+		}
+		j.skipped = len(j.outcomes)
+		co.skipped += uint64(j.skipped)
+		if err := co.activateBisect(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverBisect applies one bisect-job journal record during recovery.
+func (co *Coordinator) recoverBisect(r store.Record) error {
+	j := co.bisects[r.Campaign]
+	if j == nil && r.Type != recBisectCreated {
+		return fmt.Errorf("cluster: journal references unknown bisect job %q", r.Campaign)
+	}
+	switch r.Type {
+	case recBisectCreated:
+		if j != nil {
+			return fmt.Errorf("cluster: bisect job %q created twice", r.Campaign)
+		}
+		var rec bisectCreatedRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("cluster: bisect job %q spec: %w", r.Campaign, err)
+		}
+		camp := co.campaigns[rec.Campaign]
+		if camp == nil {
+			return fmt.Errorf("cluster: bisect job %q references unknown campaign %q", r.Campaign, rec.Campaign)
+		}
+		j = &clusterBisect{
+			id:       r.Campaign,
+			camp:     camp,
+			state:    service.StatePending,
+			outcomes: make(map[string]service.BisectOutcome),
+		}
+		co.bisects[r.Campaign] = j
+		co.bisectOrder = append(co.bisectOrder, r.Campaign)
+	case recBisectDone:
+		var set service.BisectSet
+		ok, err := co.st.LoadCheckpoint("bisect-"+r.Campaign, &set)
+		if err != nil || !ok {
+			break // stays pending; recovery rebuilds from journaled verdicts
+		}
+		j.set = &set
+		j.state = service.StateDone
+	case recBisectFailed:
+		var rec campaignFailedRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return err
+		}
+		j.state = service.StateFailed
+		j.errMsg = rec.Error
 	}
 	return nil
 }
@@ -431,6 +586,115 @@ func (co *Coordinator) finish(c *clusterCampaign) error {
 	return nil
 }
 
+// activateBisect lists the finished campaign's reduced cases in canonical
+// selection order and enqueues every bisect shard (one per case group)
+// without journaled verdicts. Caller holds co.mu (or recovery).
+func (co *Coordinator) activateBisect(j *clusterBisect) error {
+	c := j.camp
+	if len(c.testsDone) < c.spec.Tests {
+		return fmt.Errorf("cluster: bisect job %s: campaign %s has unmerged tests", j.id, c.id)
+	}
+	j.cases = service.SelectReductions(c.id, c.spec, c.testsDone)
+	j.recs = make([]service.ReducedRec, len(j.cases))
+	for i, rc := range j.cases {
+		rec, ok := c.reduced[rc.Name]
+		if !ok {
+			return fmt.Errorf("cluster: bisect job %s: campaign %s case %s not reduced", j.id, c.id, rc.Name)
+		}
+		j.recs[i] = rec
+	}
+	if len(j.outcomes) >= len(j.recs) {
+		return co.finishBisect(j)
+	}
+	j.state = service.StateBisecting
+	for i := 0; i < j.shards(co.opts); i++ {
+		if co.bisectShardDone(j, i) {
+			continue
+		}
+		ss := &shardState{c: c, b: j, phase: PhaseBisect, index: i}
+		// Prefer the node that fuzzed the group's first case: its store
+		// already holds the campaign corpus and likely the report blob.
+		if recs := co.bisectShardRecs(j, i); len(recs) > 0 {
+			ss.locality = c.caseNode[recs[0].Case]
+		}
+		co.enqueue(ss)
+	}
+	return nil
+}
+
+// bisectShardRecs returns the reduction records of bisect shard i, cut
+// deterministically from the selection order.
+func (co *Coordinator) bisectShardRecs(j *clusterBisect, i int) []service.ReducedRec {
+	lo := i * co.opts.ShardCases
+	hi := min(lo+co.opts.ShardCases, len(j.recs))
+	if lo >= hi {
+		return nil
+	}
+	return j.recs[lo:hi]
+}
+
+// bisectShardDone reports whether every case of bisect shard i is merged.
+func (co *Coordinator) bisectShardDone(j *clusterBisect, i int) bool {
+	recs := co.bisectShardRecs(j, i)
+	if len(recs) == 0 {
+		return true
+	}
+	for _, rec := range recs {
+		if _, ok := j.outcomes[rec.Case]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// finishBisect assembles the merged result set, checkpoints it, and journals
+// completion — the same BuildBisectSet the single-node service runs, over
+// records in the same canonical order, so the sharded set is bitwise-
+// identical to a standalone run's. The transform-signal bucket count is
+// rebuilt from the merged records rather than read off the campaign.
+func (co *Coordinator) finishBisect(j *clusterBisect) error {
+	c := j.camp
+	buckets, err := service.BuildBuckets(c.id, c.spec, j.cases, c.reduced)
+	if err != nil {
+		return err
+	}
+	set, err := service.BuildBisectSet(j.id, c.id, j.cases, c.reduced, j.outcomes, len(buckets))
+	if err != nil {
+		return err
+	}
+	if err := co.st.SaveCheckpoint("bisect-"+j.id, set); err != nil {
+		return err
+	}
+	if _, err := co.st.Journal().Append(j.id, recBisectDone, bisectDoneRec{BisectBuckets: set.BisectBuckets}); err != nil {
+		return err
+	}
+	if err := co.st.Journal().Sync(); err != nil {
+		return err
+	}
+	j.set = &set
+	j.state = service.StateDone
+	return nil
+}
+
+// failBisect marks a bisect job failed, journals it, and drops its shards.
+func (co *Coordinator) failBisect(j *clusterBisect, msg string) {
+	j.state = service.StateFailed
+	j.errMsg = msg
+	co.st.Journal().Append(j.id, recBisectFailed, campaignFailedRec{Error: msg})
+	kept := co.queue[:0]
+	for _, ss := range co.queue {
+		if ss.b != j {
+			kept = append(kept, ss)
+		}
+	}
+	co.queue = kept
+	for k, ss := range co.leased {
+		if ss.b == j {
+			delete(co.leased, k)
+		}
+	}
+}
+
 // fail marks a campaign failed, journals it, and drops its queued shards.
 func (co *Coordinator) fail(c *clusterCampaign, msg string) {
 	c.state = service.StateFailed
@@ -545,7 +809,7 @@ func (co *Coordinator) Next(node string) (Shard, bool) {
 	co.shardsDispatched++
 
 	sh := Shard{
-		Campaign: ss.c.id,
+		Campaign: ss.ownerID(),
 		Phase:    ss.phase,
 		Index:    ss.index,
 		Spec:     ss.c.spec,
@@ -560,6 +824,13 @@ func (co *Coordinator) Next(node string) (Shard, bool) {
 		for _, rc := range sh.Cases {
 			if size, ok := co.st.StatBlob(rc.Bug.SeqHash); ok {
 				sh.Needs = append(sh.Needs, BlobRef{Hash: rc.Bug.SeqHash, Size: size})
+			}
+		}
+	case PhaseBisect:
+		sh.Recs = append([]service.ReducedRec(nil), co.bisectShardRecs(ss.b, ss.index)...)
+		for _, rec := range sh.Recs {
+			if size, ok := co.st.StatBlob(rec.ReportHash); ok {
+				sh.Needs = append(sh.Needs, BlobRef{Hash: rec.ReportHash, Size: size})
 			}
 		}
 	}
@@ -584,8 +855,12 @@ func (co *Coordinator) Result(res ShardResult) error {
 		ns.procToken = res.ProcToken
 		ns.runner = res.Runner
 		ns.replay = res.Replay
+		ns.bisect = res.Bisect
 	}
 	co.sync.add(res.Sync)
+	if j := co.bisects[res.Campaign]; j != nil {
+		return co.bisectResult(j, res)
+	}
 	c := co.campaigns[res.Campaign]
 	if c == nil {
 		return fmt.Errorf("cluster: result for unknown campaign %q", res.Campaign)
@@ -633,12 +908,125 @@ func (co *Coordinator) Result(res ShardResult) error {
 	return nil
 }
 
+// bisectResult merges one bisect shard result under the job's ID: journal
+// first, then apply verdicts, then finish the job when every case is merged.
+// Caller holds co.mu.
+func (co *Coordinator) bisectResult(j *clusterBisect, res ShardResult) error {
+	key := fmt.Sprintf("%s/%s/%d", res.Campaign, res.Phase, res.Index)
+	delete(co.leased, key)
+	if res.Phase != PhaseBisect {
+		return fmt.Errorf("cluster: bisect job %s: result with phase %q", j.id, res.Phase)
+	}
+	if co.bisectShardDone(j, res.Index) || j.state == service.StateDone || j.state == service.StateFailed {
+		co.shardsDuplicate++
+		return nil
+	}
+	if res.Error != "" {
+		co.failBisect(j, fmt.Sprintf("shard %s on %s: %s", key, res.Node, res.Error))
+		return nil
+	}
+	rec := shardDoneRec{Phase: res.Phase, Index: res.Index, Node: res.Node, Bisects: res.Bisects}
+	if _, err := co.st.Journal().Append(j.id, recShardDone, rec); err != nil {
+		return err
+	}
+	for _, out := range rec.Bisects {
+		j.outcomes[out.Case] = out
+	}
+	co.shardsCompleted++
+	if len(j.outcomes) >= len(j.recs) {
+		if err := co.finishBisect(j); err != nil {
+			co.failBisect(j, err.Error())
+		}
+	}
+	return nil
+}
+
+// CreateBisect validates, journals, and activates a bisection job over a
+// finished campaign. IDs follow the single-node service's scheme (b001,
+// b002, ...).
+func (co *Coordinator) CreateBisect(spec service.BisectSpec) (service.BisectStatus, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if spec.Campaign == "" {
+		return service.BisectStatus{}, fmt.Errorf("cluster: bisect needs a campaign ID")
+	}
+	c := co.campaigns[spec.Campaign]
+	if c == nil {
+		return service.BisectStatus{}, fmt.Errorf("cluster: no campaign %q", spec.Campaign)
+	}
+	if c.state != service.StateDone {
+		return service.BisectStatus{}, fmt.Errorf("cluster: campaign %s is %s; bisection needs a finished campaign", c.id, c.state)
+	}
+	id := fmt.Sprintf("b%03d", co.nextBisectID)
+	co.nextBisectID++
+	j := &clusterBisect{
+		id:       id,
+		camp:     c,
+		state:    service.StatePending,
+		outcomes: make(map[string]service.BisectOutcome),
+	}
+	co.bisects[id] = j
+	co.bisectOrder = append(co.bisectOrder, id)
+	if _, err := co.st.Journal().Append(id, recBisectCreated, bisectCreatedRec{Campaign: c.id}); err != nil {
+		return service.BisectStatus{}, err
+	}
+	if err := co.st.Journal().Sync(); err != nil {
+		return service.BisectStatus{}, err
+	}
+	if err := co.activateBisect(j); err != nil {
+		return service.BisectStatus{}, err
+	}
+	return j.status(), nil
+}
+
+// BisectJob returns the status of one bisection job.
+func (co *Coordinator) BisectJob(id string) (service.BisectStatus, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	j := co.bisects[id]
+	if j == nil {
+		return service.BisectStatus{}, false
+	}
+	return j.status(), true
+}
+
+// BisectJobs returns all bisection-job statuses in creation order.
+func (co *Coordinator) BisectJobs() []service.BisectStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]service.BisectStatus, 0, len(co.bisectOrder))
+	for _, id := range co.bisectOrder {
+		out = append(out, co.bisects[id].status())
+	}
+	return out
+}
+
+// BisectResult returns the merged result set of a finished bisection job.
+func (co *Coordinator) BisectResult(id string) (service.BisectSet, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	j := co.bisects[id]
+	if j == nil {
+		return service.BisectSet{}, fmt.Errorf("cluster: no bisect job %q", id)
+	}
+	if j.set == nil {
+		return service.BisectSet{}, fmt.Errorf("cluster: bisect job %s is %s, not done", id, j.state)
+	}
+	return *j.set, nil
+}
+
 // CreateCampaign validates, journals, and activates a new campaign. IDs
 // follow the single-node service's scheme (c001, c002, ...), so case names
 // — which embed the campaign ID — match a single-node run of the same spec.
 func (co *Coordinator) CreateCampaign(spec service.CampaignSpec) (service.CampaignStatus, error) {
 	if err := spec.Normalize(); err != nil {
 		return service.CampaignStatus{}, err
+	}
+	if spec.CrossBucketPrecheck {
+		// Each pre-check verdict depends on every minimized variant before it
+		// in selection order — inherently serial, so sharding it would break
+		// the bitwise-identical-merge guarantee.
+		return service.CampaignStatus{}, fmt.Errorf("cluster: cross_bucket_precheck is serial and not cluster-shardable")
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -718,6 +1106,7 @@ func (co *Coordinator) Metrics() Metrics {
 	defer co.mu.Unlock()
 	groups := make(map[string][]runner.Stats)
 	var rep replay.Stats
+	var bis bisect.Stats
 	names := make([]string, 0, len(co.nodes))
 	for name := range co.nodes {
 		names = append(names, name)
@@ -726,6 +1115,7 @@ func (co *Coordinator) Metrics() Metrics {
 	for _, name := range names {
 		ns := co.nodes[name]
 		groups[ns.procToken] = append(groups[ns.procToken], ns.runner)
+		bis.Add(ns.bisect)
 		rep.Queries += ns.replay.Queries
 		rep.Hits += ns.replay.Hits
 		rep.FullHits += ns.replay.FullHits
@@ -741,6 +1131,7 @@ func (co *Coordinator) Metrics() Metrics {
 		JobsSkipped: co.skipped,
 		Runner:      runner.MergeStats(groups),
 		Replay:      rep,
+		Bisect:      bis,
 		Store:       co.st.Stats(),
 		Cluster: ClusterStats{
 			Nodes:             len(co.nodes),
@@ -756,6 +1147,12 @@ func (co *Coordinator) Metrics() Metrics {
 		m.Campaigns++
 		if co.campaigns[id].state == service.StateDone {
 			m.CampaignsDone++
+		}
+	}
+	for _, id := range co.bisectOrder {
+		m.BisectJobs++
+		if co.bisects[id].state == service.StateDone {
+			m.BisectJobsDone++
 		}
 	}
 	return m

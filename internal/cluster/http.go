@@ -61,6 +61,38 @@ func (co *Coordinator) Mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(blob)
 	})
+	mux.HandleFunc("POST /bisect", func(w http.ResponseWriter, r *http.Request) {
+		var spec service.BisectSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, err := co.CreateBisect(spec)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusCreated, status)
+	})
+	mux.HandleFunc("GET /bisect", func(w http.ResponseWriter, r *http.Request) {
+		clusterJSON(w, http.StatusOK, co.BisectJobs())
+	})
+	mux.HandleFunc("GET /bisect/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := co.BisectJob(r.PathValue("id"))
+		if !ok {
+			clusterError(w, http.StatusNotFound, fmt.Errorf("no bisect job %q", r.PathValue("id")))
+			return
+		}
+		clusterJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /bisect/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		set, err := co.BisectResult(r.PathValue("id"))
+		if err != nil {
+			clusterError(w, http.StatusNotFound, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, set)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		clusterJSON(w, http.StatusOK, co.Metrics())
 	})

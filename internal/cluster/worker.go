@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
@@ -47,6 +48,7 @@ type Worker struct {
 	st       *store.Store
 	eng      *runner.Engine
 	reng     *replay.Engine
+	beng     *bisect.Engine
 	hc       *http.Client
 	leaseTTL time.Duration
 
@@ -72,11 +74,13 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := runner.New(opts.Workers)
 	return &Worker{
 		opts:     opts,
 		st:       st,
-		eng:      runner.New(opts.Workers),
+		eng:      eng,
 		reng:     replay.NewEngine(budget),
+		beng:     bisect.New(eng),
 		hc:       &http.Client{Timeout: 30 * time.Second},
 		leaseTTL: 5 * time.Second,
 	}, nil
@@ -220,6 +224,7 @@ func (w *Worker) execute(ctx context.Context, sh *Shard) ShardResult {
 	}
 	res.Runner = w.eng.Stats()
 	res.Replay = w.reng.Stats()
+	res.Bisect = w.beng.Stats()
 	return res
 }
 
@@ -229,12 +234,12 @@ func (w *Worker) executeInner(ctx context.Context, sh *Shard, res *ShardResult) 
 		return err
 	}
 	env := service.Env{Eng: w.eng, Reng: w.reng, Blobs: w.st}
-	targets, err := service.ResolveTargets(sh.Spec.Targets)
-	if err != nil {
-		return err
-	}
 	switch sh.Phase {
 	case PhaseFuzz:
+		targets, err := service.ResolveTargets(sh.Spec.Targets)
+		if err != nil {
+			return err
+		}
 		donors := corpus.Donors()
 		var produced []string
 		for i := sh.Lo; i < sh.Hi; i++ {
@@ -262,6 +267,19 @@ func (w *Worker) executeInner(ctx context.Context, sh *Shard, res *ShardResult) 
 			produced = append(produced, rec.ReportHash)
 		}
 		return w.push(ctx, produced, &res.Sync)
+	case PhaseBisect:
+		if err := w.ensureBlobs(ctx, sh.Needs, &res.Sync); err != nil {
+			return err
+		}
+		for _, rec := range sh.Recs {
+			out, err := service.BisectStep(ctx, env, w.beng, refs, rec)
+			if err != nil {
+				return err
+			}
+			res.Bisects = append(res.Bisects, out)
+		}
+		// Verdicts travel in the result record itself; no blobs to push.
+		return nil
 	default:
 		return fmt.Errorf("cluster: unknown shard phase %q", sh.Phase)
 	}

@@ -10,6 +10,7 @@ package dedup
 import (
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/fuzz"
+	"spirvfuzz/internal/target"
 )
 
 // Case is a reduced test case submitted for deduplication.
@@ -21,6 +22,84 @@ type Case struct {
 	// Signature is the known crash signature, used by experiments as ground
 	// truth to score the heuristic (the algorithm itself never sees it).
 	Signature string
+}
+
+// Key namespaces a signature for map keying: crash signatures and the
+// miscompilation pseudo-signature live in disjoint namespaces, so a future
+// crash whose text happens to match the miscompilation pseudo-signature —
+// or a version-qualified key appended behind either — cannot collide across
+// kinds. All signature-keyed maps in this package and the experiments go
+// through Key rather than comparing raw strings.
+func Key(sig string) string {
+	if sig == target.MiscompilationSignature {
+		return "miscomp:" + sig
+	}
+	return "crash:" + sig
+}
+
+// BisectCase couples a reduced case with its bisection verdict: the first
+// release of Target that exhibits the bug.
+type BisectCase struct {
+	Case
+	Target   string
+	FirstBad string
+}
+
+// BisectKey is the bisection-signal bucket key: target × first-bad release.
+// Two cases with equal keys were (very likely) broken by the same release,
+// the dedup criterion of the bisection paper.
+func BisectKey(targetName, firstBad string) string {
+	return targetName + "@" + firstBad
+}
+
+// RecommendBisect buckets cases by BisectKey and returns one representative
+// per bucket — the first in input order, so the recommendation is
+// deterministic for a canonically ordered case list.
+func RecommendBisect(cases []BisectCase) []BisectCase {
+	seen := map[string]bool{}
+	var out []BisectCase
+	for _, c := range cases {
+		k := BisectKey(c.Target, c.FirstBad)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// RecommendIntersection intersects the two partitions: cases are grouped by
+// bisection bucket, and the transformation-type heuristic (Recommend) runs
+// within each group. A report is filed per (bisect bucket × type bucket)
+// cell, so a report is suppressed only when both signals agree it duplicates
+// an earlier one — stricter than either signal alone, trading report count
+// for precision. Output order is deterministic for a canonically ordered
+// input: buckets in first-appearance order, the type heuristic's preference
+// within each bucket.
+func RecommendIntersection(cases []BisectCase) []BisectCase {
+	groups := map[string][]Case{}
+	var order []string
+	for _, c := range cases {
+		k := BisectKey(c.Target, c.FirstBad)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c.Case)
+	}
+	byName := make(map[string]int, len(cases))
+	for i, c := range cases {
+		if _, dup := byName[c.Name]; !dup {
+			byName[c.Name] = i
+		}
+	}
+	var out []BisectCase
+	for _, k := range order {
+		for _, rec := range Recommend(groups[k]) {
+			out = append(out, cases[byName[rec.Name]])
+		}
+	}
+	return out
 }
 
 // Recommend returns the subset of tests the heuristic suggests reporting:
@@ -55,10 +134,10 @@ func Recommend(cases []Case) []Case {
 func Score(recommended []Case) (distinct, duplicates int) {
 	seen := map[string]bool{}
 	for _, c := range recommended {
-		if seen[c.Signature] {
+		if seen[Key(c.Signature)] {
 			duplicates++
 		} else {
-			seen[c.Signature] = true
+			seen[Key(c.Signature)] = true
 			distinct++
 		}
 	}
@@ -70,7 +149,7 @@ func Score(recommended []Case) (distinct, duplicates int) {
 func SignatureCount(cases []Case) int {
 	seen := map[string]bool{}
 	for _, c := range cases {
-		seen[c.Signature] = true
+		seen[Key(c.Signature)] = true
 	}
 	return len(seen)
 }

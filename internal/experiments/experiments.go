@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/replay"
@@ -69,6 +70,9 @@ type Campaigns struct {
 	// Replay is the shared prefix-snapshot replay engine; reductions across
 	// all experiments share its byte budget and statistics.
 	Replay *replay.Engine
+	// Bisect is the shared bisection engine (lazy; probes route through
+	// Engine so bisections hit the campaign's caches).
+	Bisect *bisect.Engine
 	Fuzz   *harness.CampaignResult // spirv-fuzz
 	Simple *harness.CampaignResult // spirv-fuzz-simple
 	Glsl   *harness.CampaignResult // glsl-fuzz
@@ -90,6 +94,24 @@ func (c *Campaigns) replayEngine() *replay.Engine {
 		c.Replay = replay.NewEngine(c.Config.replayBudget())
 	}
 	return c.Replay
+}
+
+// bisectEngine returns the shared bisection engine, building it over the
+// shared runner engine on first use.
+func (c *Campaigns) bisectEngine() *bisect.Engine {
+	if c.Bisect == nil {
+		c.Bisect = bisect.New(c.engine())
+	}
+	return c.Bisect
+}
+
+// BisectStats reports the bisection counters accumulated so far (zero if no
+// bisection RQ ran); gfauto -json embeds them.
+func (c *Campaigns) BisectStats() bisect.Stats {
+	if c.Bisect == nil {
+		return bisect.Stats{}
+	}
+	return c.Bisect.Stats()
 }
 
 // RunCampaigns executes the three campaigns of Section 4.1. The campaigns are

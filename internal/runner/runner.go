@@ -345,7 +345,7 @@ func (e *Engine) RunAllCtx(ctx context.Context, targets []*target.Target, m *spi
 		base := key{mod: m.Fingerprint(), w: in.W, h: in.H, uni: e.uniformsHash(in.Uniforms)}
 		run = func(i int) error {
 			k := base
-			k.target = targets[i].Name
+			k.target = targetKey(targets[i])
 			img, crash, err := e.runKeyed(ctx, targets[i], m, in, k)
 			out[i] = TargetResult{Img: img, Crash: crash}
 			return err
@@ -709,6 +709,18 @@ func (e *Engine) DoCtx(ctx context.Context, n int, f func(i int)) error {
 	return ctx.Err()
 }
 
+// targetKey names a target in the result-layer cache key. Historical release
+// views share a Name with the canonical target but carry different defect
+// sets, so the key qualifies the name with the version; the latest release is
+// the canonical pointer itself and therefore keys identically whether reached
+// through target.At or the default path. The compile layer is deliberately
+// not version-qualified: a compile is fully determined by (module, mutation
+// fingerprint), so releases with equal firing sets share one compile — the
+// cache win bisection depends on.
+func targetKey(tg *target.Target) string {
+	return tg.Name + "\x00" + tg.Version
+}
+
 // keyFor builds the content-addressed cache key. With sharing on, the module
 // hash is the memoized fingerprint and the inputs hash is the memoized
 // uniforms hash (width and height travel as explicit key fields); with
@@ -716,9 +728,9 @@ func (e *Engine) DoCtx(ctx context.Context, n int, f func(i int)) error {
 // pre-phase-split behaviour the benchmarks baseline against.
 func (e *Engine) keyFor(tg *target.Target, m *spirv.Module, in interp.Inputs) key {
 	if e.sharing {
-		return key{target: tg.Name, mod: m.Fingerprint(), w: in.W, h: in.H, uni: e.uniformsHash(in.Uniforms)}
+		return key{target: targetKey(tg), mod: m.Fingerprint(), w: in.W, h: in.H, uni: e.uniformsHash(in.Uniforms)}
 	}
-	k := key{target: tg.Name, mod: sha256.Sum256(m.EncodeBytes())}
+	k := key{target: targetKey(tg), mod: sha256.Sum256(m.EncodeBytes())}
 	// EncodeInputs is deterministic (encoding/json sorts map keys). Inputs
 	// that fail to encode share a sentinel hash; they would fail identically
 	// inside the interpreter anyway.

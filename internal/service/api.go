@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
@@ -47,14 +48,25 @@ type CampaignSpec struct {
 	// during reduction. A pacing knob for tests that must interrupt a daemon
 	// mid-reduction; it alters timing only, never results. Default 0.
 	ReduceSlowdownMS int `json:"reduce_slowdown_ms,omitempty"`
+	// CrossBucketPrecheck opts the reduce stage into the cross-bucket
+	// pre-check: cases run serially in selection order, and before a case is
+	// reduced, every earlier case's minimized variant is tried against its
+	// interestingness test — a hit means the earlier report already exhibits
+	// this case's (target, signature), so the expensive reduction is skipped
+	// and the case journaled as covered by the earlier one. Serial by design
+	// (each verdict depends on the minimized variants before it), so the
+	// cluster coordinator rejects it. Default false.
+	CrossBucketPrecheck bool `json:"cross_bucket_precheck,omitempty"`
 }
 
-// Campaign states, in pipeline order.
+// Campaign states, in pipeline order. Bisect jobs reuse StatePending,
+// StateDone and StateFailed and add StateBisecting as their running state.
 const (
 	StatePending   = "pending"
 	StateFuzzing   = "fuzzing"
 	StateReducing  = "reducing"
 	StateBucketing = "bucketing"
+	StateBisecting = "bisecting"
 	StateDone      = "done"
 	StateFailed    = "failed"
 )
@@ -122,8 +134,12 @@ type CampaignStatus struct {
 	// SkippedTests and SkippedReductions count pipeline steps that were
 	// satisfied from the journal instead of being re-run — the checkpoint
 	// reuse the resume e2e test asserts on.
-	SkippedTests      int    `json:"skipped_tests"`
-	SkippedReductions int    `json:"skipped_reductions"`
+	SkippedTests      int `json:"skipped_tests"`
+	SkippedReductions int `json:"skipped_reductions"`
+	// CoveredReductions counts reductions the cross-bucket pre-check skipped
+	// because an earlier case's minimized variant already exhibited this
+	// case's (target, signature). Always 0 without CrossBucketPrecheck.
+	CoveredReductions int    `json:"covered_reductions,omitempty"`
 	Error             string `json:"error,omitempty"`
 }
 
@@ -151,6 +167,60 @@ type BucketSet struct {
 	Buckets  []Bucket `json:"buckets"`
 }
 
+// BisectSpec is the user-supplied description of a bisection job
+// (POST /bisect): run the second dedup signal over every reduced case of a
+// finished campaign, binary-searching each case's target release history for
+// the first release that exhibits the bug.
+type BisectSpec struct {
+	// Campaign names the finished campaign whose reduced cases to bisect.
+	Campaign string `json:"campaign"`
+}
+
+// BisectOutcome is one case's bisection verdict as journaled by a
+// case_bisected record. Deterministic in the case alone: FirstBad is
+// identical at any worker count, lane width, or cache temperature, and under
+// cluster sharding.
+type BisectOutcome struct {
+	Case      string `json:"case"`
+	Target    string `json:"target"`
+	Signature string `json:"signature"`
+	FirstBad  string `json:"first_bad"`
+	Queries   int    `json:"queries"`
+	CacheHits int    `json:"cache_hits"`
+}
+
+// BisectStatus is the public snapshot of one bisection job
+// (GET /bisect/{id}).
+type BisectStatus struct {
+	ID       string `json:"id"`
+	Campaign string `json:"campaign"`
+	State    string `json:"state"`
+	// CasesTotal is the number of reduced cases to bisect (0 until the job
+	// lists them); CasesDone counts completed bisections, including ones
+	// satisfied from the journal on resume (SkippedCases of them).
+	CasesTotal   int    `json:"cases_total"`
+	CasesDone    int    `json:"cases_done"`
+	SkippedCases int    `json:"skipped_cases"`
+	Error        string `json:"error,omitempty"`
+}
+
+// BisectSet is a finished bisection job's result (GET /bisect/{id}/result):
+// every outcome in the campaign's canonical case order, plus the bucket
+// counts of the three dedup signals over the same corpus — the daemon-served
+// analogue of the gfauto bisection RQ.
+type BisectSet struct {
+	Job      string          `json:"job"`
+	Campaign string          `json:"campaign"`
+	Outcomes []BisectOutcome `json:"outcomes"`
+	// TransformBuckets is the campaign's Figure 6 bucket count (the first
+	// signal); BisectBuckets counts distinct (target, first-bad release)
+	// pairs; IntersectionBuckets applies the type heuristic within each
+	// bisection bucket, suppressing a report only when both signals agree.
+	TransformBuckets    int `json:"transform_buckets"`
+	BisectBuckets       int `json:"bisect_buckets"`
+	IntersectionBuckets int `json:"intersection_buckets"`
+}
+
 // Report is a reduced bug report as stored in the blob store and served by
 // GET /reports/{hash}. Its JSON embeds the minimized sequence under
 // "transformations" next to "signature", so a saved report is directly
@@ -174,6 +244,11 @@ type Report struct {
 type Metrics struct {
 	Campaigns     int `json:"campaigns"`
 	CampaignsDone int `json:"campaigns_done"`
+	// Bisection-job counters; Bisect holds the probe/compile stats of the
+	// shared bisection engine.
+	BisectJobs     int          `json:"bisect_jobs"`
+	BisectJobsDone int          `json:"bisect_jobs_done"`
+	Bisect         bisect.Stats `json:"bisect"`
 	// Job-queue counters.
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsCompleted uint64 `json:"jobs_completed"`
@@ -183,6 +258,9 @@ type Metrics struct {
 	// JobsSkipped counts pipeline steps satisfied from the journal instead of
 	// re-running — >0 after a resume proves checkpoint reuse.
 	JobsSkipped uint64 `json:"jobs_skipped"`
+	// ReductionsCovered sums CoveredReductions across campaigns: reductions
+	// skipped by the cross-bucket pre-check.
+	ReductionsCovered int `json:"reductions_covered"`
 	// Subsystem counters.
 	Runner runner.Stats `json:"runner"`
 	Replay replay.Stats `json:"replay"`

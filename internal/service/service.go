@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/store"
@@ -21,6 +22,12 @@ const (
 	recReduced         = "reduced"          // data: reducedRec
 	recCampaignDone    = "campaign_done"    // data: campaignDoneRec
 	recCampaignFailed  = "campaign_failed"  // data: campaignFailedRec
+	// Bisection-job records; journaled under the job's own ID ("b001", ...)
+	// in the record's campaign field.
+	recBisectCreated = "bisect_created" // data: bisectCreatedRec
+	recCaseBisected  = "case_bisected"  // data: BisectOutcome
+	recBisectDone    = "bisect_done"    // data: bisectDoneRec
+	recBisectFailed  = "bisect_failed"  // data: campaignFailedRec
 )
 
 // BugRef is one (test, target) bug finding as journaled in a testDoneRec.
@@ -47,6 +54,59 @@ type campaignDoneRec struct {
 
 type campaignFailedRec struct {
 	Error string `json:"error"`
+}
+
+// bisectCreatedRec journals a new bisection job and the campaign it targets.
+type bisectCreatedRec struct {
+	Campaign string `json:"campaign"`
+}
+
+type bisectDoneRec struct {
+	BisectBuckets int `json:"bisect_buckets"`
+}
+
+// bisectJob is the in-memory state of one bisection job, derived from the
+// journal exactly like a campaign.
+type bisectJob struct {
+	id       string
+	campaign string
+
+	mu       sync.Mutex
+	state    string
+	total    int                      // cases to bisect; 0 until the job lists them
+	outcomes map[string]BisectOutcome // case name -> journaled verdict
+	set      *BisectSet               // non-nil once done
+	skipped  int
+	errMsg   string
+}
+
+func newBisectJob(id, campaign string) *bisectJob {
+	return &bisectJob{
+		id:       id,
+		campaign: campaign,
+		state:    StatePending,
+		outcomes: make(map[string]BisectOutcome),
+	}
+}
+
+func (j *bisectJob) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+}
+
+func (j *bisectJob) status() BisectStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return BisectStatus{
+		ID:           j.id,
+		Campaign:     j.campaign,
+		State:        j.state,
+		CasesTotal:   j.total,
+		CasesDone:    len(j.outcomes),
+		SkippedCases: j.skipped,
+		Error:        j.errMsg,
+	}
 }
 
 // campaign is the in-memory state of one campaign, derived from the journal.
@@ -100,6 +160,13 @@ func (c *campaign) status() CampaignStatus {
 	for _, bugs := range c.testsDone {
 		st.Bugs += len(bugs)
 	}
+	// Derived from the records rather than counted, so the number survives a
+	// restart without extra recovery bookkeeping.
+	for _, rec := range c.reduced {
+		if rec.CoveredBy != "" {
+			st.CoveredReductions++
+		}
+	}
 	return st
 }
 
@@ -119,18 +186,22 @@ type Service struct {
 	st    *store.Store
 	eng   *runner.Engine
 	reng  *replay.Engine
+	beng  *bisect.Engine
 	queue *Queue
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	campaigns map[string]*campaign
-	order     []string
-	nextID    int
+	mu           sync.Mutex
+	campaigns    map[string]*campaign
+	order        []string
+	nextID       int
+	bisects      map[string]*bisectJob
+	bisectOrder  []string
+	nextBisectID int
 
 	pipelines sync.WaitGroup
-	skipped   atomic.Uint64 // journal-satisfied steps (tests + reductions)
+	skipped   atomic.Uint64 // journal-satisfied steps (tests + reductions + bisections)
 }
 
 // New builds a service over an open store, replays the journal to recover
@@ -145,14 +216,17 @@ func New(st *store.Store, opts Options) (*Service, error) {
 	}
 	eng := runner.New(workers)
 	s := &Service{
-		st:        st,
-		eng:       eng,
-		reng:      replay.NewEngine(budget),
-		queue:     NewQueue(ctx, eng.Workers()),
-		ctx:       ctx,
-		cancel:    cancel,
-		campaigns: make(map[string]*campaign),
-		nextID:    1,
+		st:           st,
+		eng:          eng,
+		reng:         replay.NewEngine(budget),
+		beng:         bisect.New(eng),
+		queue:        NewQueue(ctx, eng.Workers()),
+		ctx:          ctx,
+		cancel:       cancel,
+		campaigns:    make(map[string]*campaign),
+		nextID:       1,
+		bisects:      make(map[string]*bisectJob),
+		nextBisectID: 1,
 	}
 	if err := s.recover(); err != nil {
 		cancel()
@@ -171,12 +245,27 @@ func New(st *store.Store, opts Options) (*Service, error) {
 			s.start(c)
 		}
 	}
+	// Bisect jobs resume the same way; journaled case verdicts are skipped.
+	for _, id := range s.bisectOrder {
+		j := s.bisects[id]
+		j.mu.Lock()
+		resume := j.state == StatePending
+		j.mu.Unlock()
+		if resume {
+			s.startBisect(j)
+		}
+	}
 	return s, nil
 }
 
-// recover rebuilds campaign state from the journal.
+// recover rebuilds campaign and bisect-job state from the journal.
 func (s *Service) recover() error {
 	err := s.st.Journal().Replay(func(r store.Record) error {
+		switch r.Type {
+		case recBisectCreated, recCaseBisected, recBisectDone, recBisectFailed:
+			// Bisect records are journaled under the job's own ID.
+			return s.recoverBisect(r)
+		}
 		c := s.campaigns[r.Campaign]
 		if c == nil && r.Type != recCampaignCreated {
 			return fmt.Errorf("service: journal references unknown campaign %q", r.Campaign)
@@ -230,17 +319,72 @@ func (s *Service) recover() error {
 	if err != nil {
 		return err
 	}
-	// Seed the ID counter past every recovered campaign.
+	// Seed the ID counters past every recovered campaign and bisect job.
 	for _, id := range s.order {
 		var n int
 		if _, scanErr := fmt.Sscanf(id, "c%d", &n); scanErr == nil && n >= s.nextID {
 			s.nextID = n + 1
 		}
 	}
+	for _, id := range s.bisectOrder {
+		var n int
+		if _, scanErr := fmt.Sscanf(id, "b%d", &n); scanErr == nil && n >= s.nextBisectID {
+			s.nextBisectID = n + 1
+		}
+	}
+	return nil
+}
+
+// recoverBisect applies one bisect-job journal record during recovery.
+func (s *Service) recoverBisect(r store.Record) error {
+	j := s.bisects[r.Campaign]
+	if j == nil && r.Type != recBisectCreated {
+		return fmt.Errorf("service: journal references unknown bisect job %q", r.Campaign)
+	}
+	switch r.Type {
+	case recBisectCreated:
+		if j != nil {
+			return fmt.Errorf("service: bisect job %q created twice", r.Campaign)
+		}
+		var rec bisectCreatedRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("service: bisect job %q spec: %w", r.Campaign, err)
+		}
+		j = newBisectJob(r.Campaign, rec.Campaign)
+		s.bisects[r.Campaign] = j
+		s.bisectOrder = append(s.bisectOrder, r.Campaign)
+	case recCaseBisected:
+		var out BisectOutcome
+		if err := json.Unmarshal(r.Data, &out); err != nil {
+			return err
+		}
+		j.outcomes[out.Case] = out
+	case recBisectDone:
+		// The result checkpoint is saved before bisect_done is journaled; if
+		// it is nonetheless missing the job resumes and rebuilds it from the
+		// journaled verdicts.
+		var set BisectSet
+		ok, err := s.st.LoadCheckpoint(bisectCheckpoint(r.Campaign), &set)
+		if err != nil || !ok {
+			j.state = StatePending
+			break
+		}
+		j.set = &set
+		j.total = len(set.Outcomes)
+		j.state = StateDone
+	case recBisectFailed:
+		var rec campaignFailedRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return err
+		}
+		j.state = StateFailed
+		j.errMsg = rec.Error
+	}
 	return nil
 }
 
 func bucketCheckpoint(campaignID string) string { return "buckets-" + campaignID }
+func bisectCheckpoint(jobID string) string      { return "bisect-" + jobID }
 
 // CreateCampaign validates and journals a new campaign and starts its
 // pipeline. The returned status is the initial snapshot.
@@ -292,6 +436,108 @@ func (s *Service) start(c *campaign) {
 			s.st.Journal().Append(c.id, recCampaignFailed, campaignFailedRec{Error: err.Error()})
 		}
 	}()
+}
+
+// CreateBisect validates and journals a new bisection job over a finished
+// campaign and starts it. The returned status is the initial snapshot.
+func (s *Service) CreateBisect(spec BisectSpec) (BisectStatus, error) {
+	if spec.Campaign == "" {
+		return BisectStatus{}, fmt.Errorf("service: bisect needs a campaign")
+	}
+	s.mu.Lock()
+	if err := s.ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return BisectStatus{}, fmt.Errorf("service: shutting down: %w", err)
+	}
+	c := s.campaigns[spec.Campaign]
+	s.mu.Unlock()
+	if c == nil {
+		return BisectStatus{}, fmt.Errorf("service: no campaign %q", spec.Campaign)
+	}
+	c.mu.Lock()
+	state := c.state
+	c.mu.Unlock()
+	if state != StateDone {
+		return BisectStatus{}, fmt.Errorf("service: campaign %s is %s; bisection needs a finished campaign", spec.Campaign, state)
+	}
+	s.mu.Lock()
+	id := fmt.Sprintf("b%03d", s.nextBisectID)
+	s.nextBisectID++
+	j := newBisectJob(id, spec.Campaign)
+	s.bisects[id] = j
+	s.bisectOrder = append(s.bisectOrder, id)
+	s.mu.Unlock()
+	if _, err := s.st.Journal().Append(id, recBisectCreated, bisectCreatedRec{Campaign: spec.Campaign}); err != nil {
+		return BisectStatus{}, err
+	}
+	if err := s.st.Journal().Sync(); err != nil {
+		return BisectStatus{}, err
+	}
+	s.startBisect(j)
+	return j.status(), nil
+}
+
+// startBisect launches the pipeline goroutine for a bisection job.
+func (s *Service) startBisect(j *bisectJob) {
+	s.pipelines.Add(1)
+	go func() {
+		defer s.pipelines.Done()
+		err := s.runBisect(s.ctx, j)
+		switch {
+		case err == nil:
+			// runBisect journaled bisect_done and set the state.
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, ErrDrained), errors.Is(err, ErrQueueClosed):
+			// Interrupted, not broken: the journaled verdicts resume.
+		default:
+			j.mu.Lock()
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			j.mu.Unlock()
+			s.st.Journal().Append(j.id, recBisectFailed, campaignFailedRec{Error: err.Error()})
+		}
+	}()
+}
+
+// BisectJob returns the status of one bisection job.
+func (s *Service) BisectJob(id string) (BisectStatus, bool) {
+	s.mu.Lock()
+	j := s.bisects[id]
+	s.mu.Unlock()
+	if j == nil {
+		return BisectStatus{}, false
+	}
+	return j.status(), true
+}
+
+// BisectJobs returns all bisection-job statuses in creation order.
+func (s *Service) BisectJobs() []BisectStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.bisectOrder...)
+	s.mu.Unlock()
+	out := make([]BisectStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.BisectJob(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// BisectResult returns a finished bisection job's result set.
+func (s *Service) BisectResult(id string) (BisectSet, error) {
+	s.mu.Lock()
+	j := s.bisects[id]
+	s.mu.Unlock()
+	if j == nil {
+		return BisectSet{}, fmt.Errorf("service: no bisect job %q", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.set == nil {
+		return BisectSet{}, fmt.Errorf("service: bisect job %s is %s, not done", id, j.state)
+	}
+	return *j.set, nil
 }
 
 // Campaign returns the status of one campaign.
@@ -368,11 +614,19 @@ func (s *Service) Metrics() Metrics {
 		Runner:        s.eng.Stats(),
 		Replay:        s.reng.Stats(),
 		Store:         s.st.Stats(),
+		Bisect:        s.beng.Stats(),
 	}
 	for _, st := range s.Campaigns() {
 		m.Campaigns++
 		if st.State == StateDone {
 			m.CampaignsDone++
+		}
+		m.ReductionsCovered += st.CoveredReductions
+	}
+	for _, st := range s.BisectJobs() {
+		m.BisectJobs++
+		if st.State == StateDone {
+			m.BisectJobsDone++
 		}
 	}
 	return m

@@ -3,7 +3,10 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -310,5 +313,224 @@ func TestServiceRecoversDoneCampaign(t *testing.T) {
 	}
 	if fin := waitCampaign(t, s2, st3.ID, 2*time.Minute); fin.State != StateDone {
 		t.Fatalf("post-recovery campaign: %+v", fin)
+	}
+}
+
+// waitBisect polls until the bisection job reaches a terminal state.
+func waitBisect(t *testing.T, s *Service, id string, timeout time.Duration) BisectStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := s.BisectJob(id)
+		if !ok {
+			t.Fatalf("bisect job %s disappeared", id)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bisect job %s stuck in %s after %v: %+v", id, st.State, timeout, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBisectJobResumeTornJournal is the bisection counterpart of the campaign
+// resume contract: a /bisect job SIGKILL'd mid-run — simulated by rewinding
+// the journal to one completed verdict, deleting the result checkpoint, and
+// leaving a torn half-written record at the tail — is auto-resumed by the
+// next service over the same store and produces a result set
+// bitwise-identical to the uninterrupted run, with the journaled verdict
+// skipped rather than recomputed.
+func TestBisectJobResumeTornJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second pipeline test")
+	}
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(st1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s1.CreateCampaign(CampaignSpec{Tests: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status = waitCampaign(t, s1, status.ID, 2*time.Minute)
+	if status.State != StateDone || status.Reduced < 2 {
+		t.Fatalf("campaign: %+v", status)
+	}
+
+	// A bisect job over an unfinished (or unknown) campaign is refused.
+	if _, err := s1.CreateBisect(BisectSpec{Campaign: "c999"}); err == nil {
+		t.Fatal("bisect of unknown campaign accepted")
+	}
+
+	job, err := s1.CreateBisect(BisectSpec{Campaign: status.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitBisect(t, s1, job.ID, 2*time.Minute)
+	if job.State != StateDone || job.CasesDone != status.Reduced {
+		t.Fatalf("bisect job: %+v", job)
+	}
+	base, err := s1.BisectResult(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Outcomes) != status.Reduced || base.TransformBuckets != status.Buckets {
+		t.Fatalf("result set %+v vs campaign %+v", base, status)
+	}
+	// No ordering between the three counts is guaranteed: intersection
+	// refines the bisection partition but drops groups whose reductions kept
+	// no transformations (the type heuristic cannot investigate those).
+	if base.BisectBuckets == 0 || base.IntersectionBuckets == 0 {
+		t.Fatalf("bucket counts: %+v", base)
+	}
+	for _, out := range base.Outcomes {
+		if out.FirstBad == "" || out.Queries == 0 {
+			t.Fatalf("empty verdict %+v", out)
+		}
+	}
+	if m := s1.Metrics(); m.BisectJobs != 1 || m.BisectJobsDone != 1 || m.Bisect.Bisections == 0 {
+		t.Fatalf("bisect metrics: %+v", m)
+	}
+	baseJSON, _ := json.Marshal(base)
+	s1.Close(context.Background())
+
+	// Simulate the SIGKILL: rewind the journal so only the first verdict
+	// survives, drop bisect_done and the checkpoint (journal order guarantees
+	// a crash losing the checkpoint also lost bisect_done or nothing), and
+	// tear the tail mid-record as an interrupted append would.
+	raw, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	verdicts := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Campaign string `json:"campaign"`
+			Type     string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if rec.Campaign == job.ID {
+			switch rec.Type {
+			case recCaseBisected:
+				verdicts++
+				if verdicts > 1 {
+					continue
+				}
+			case recBisectDone:
+				continue
+			}
+		}
+		kept = append(kept, line)
+	}
+	if verdicts < 2 {
+		t.Fatalf("journal has %d verdicts, cannot rewind", verdicts)
+	}
+	torn := `{"seq":999999,"campaign":"` + job.ID + `","type":"case_bisected","data":{"case":"te`
+	kept = append(kept, torn)
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "checkpoints", "bisect-"+job.ID+".json")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next service must recover the job as pending, resume it without
+	// being asked, skip the surviving verdict, and converge on the same set.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	resumed := waitBisect(t, s2, job.ID, 2*time.Minute)
+	if resumed.State != StateDone {
+		t.Fatalf("resumed job: %+v", resumed)
+	}
+	if resumed.SkippedCases != 1 {
+		t.Fatalf("skipped %d verdicts, want the 1 journaled one: %+v", resumed.SkippedCases, resumed)
+	}
+	if m := s2.Metrics(); m.JobsSkipped == 0 {
+		t.Fatalf("metrics show no journal reuse: %+v", m)
+	}
+	got, err := s2.BisectResult(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(baseJSON) {
+		t.Fatalf("bisect set diverged after torn-journal resume:\n%s\nvs uninterrupted\n%s", gotJSON, baseJSON)
+	}
+}
+
+// TestCrossBucketPrecheck: with the pre-check enabled, a campaign whose
+// selection holds several cases of one (target, signature) — guaranteed by
+// the default cap of 2 — skips the later reductions as covered by the
+// earlier minimized case, and the covered records surface in the status and
+// metrics without disturbing the bucket invariants.
+func TestCrossBucketPrecheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second pipeline test")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	status, err := s.CreateCampaign(CampaignSpec{Tests: 25, CrossBucketPrecheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status = waitCampaign(t, s, status.ID, 2*time.Minute)
+	if status.State != StateDone || status.Buckets == 0 {
+		t.Fatalf("campaign: %+v", status)
+	}
+	if status.Reduced != status.ReduceTotal {
+		t.Fatalf("reduced %d of %d", status.Reduced, status.ReduceTotal)
+	}
+	if status.CoveredReductions == 0 {
+		t.Fatalf("pre-check skipped nothing: %+v", status)
+	}
+	if status.CoveredReductions >= status.Reduced {
+		t.Fatalf("every reduction covered: %+v", status)
+	}
+	if m := s.Metrics(); m.ReductionsCovered != status.CoveredReductions {
+		t.Fatalf("metrics %+v vs status %+v", m, status)
+	}
+	// Covered cases reuse their coverer's report, so the Figure 6 invariant
+	// must still hold over the merged buckets.
+	sets, err := s.Buckets(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTarget := map[string]map[string]bool{}
+	for _, b := range sets[0].Buckets {
+		seen := perTarget[b.Target]
+		if seen == nil {
+			seen = map[string]bool{}
+			perTarget[b.Target] = seen
+		}
+		for _, ty := range b.Types {
+			if seen[ty] {
+				t.Fatalf("target %s: type %s appears in two buckets", b.Target, ty)
+			}
+			seen[ty] = true
+		}
 	}
 }

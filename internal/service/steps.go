@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"time"
 
+	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/core"
 	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/dedup"
 	"spirvfuzz/internal/fuzz"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/interp"
@@ -64,6 +66,12 @@ type ReducedRec struct {
 	KeptLen    int      `json:"kept_len"`
 	Delta      int      `json:"delta"`
 	Queries    int      `json:"queries"`
+	// CoveredBy names the earlier case whose minimized variant already
+	// exhibits this case's (target, signature); set only by the cross-bucket
+	// pre-check. A covered record reuses its coverer's report, types, and
+	// sizes, and Queries counts the pre-check probes spent instead of
+	// reduction queries.
+	CoveredBy string `json:"covered_by,omitempty"`
 }
 
 // CaseName derives the reduction-case name of a bug: campaign, seed, and
@@ -71,6 +79,16 @@ type ReducedRec struct {
 // sort the way selection iterates.
 func CaseName(campaignID string, bug BugRef) string {
 	return fmt.Sprintf("%s/seed%d/%s", campaignID, bug.Seed, bug.Target)
+}
+
+// findRef returns the reference-corpus item with the given name.
+func findRef(refs []corpus.Item, name string) (*corpus.Item, error) {
+	for i := range refs {
+		if refs[i].Name == name {
+			return &refs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("service: unknown reference %q", name)
 }
 
 // ResolveTargets maps spec target names to targets, in spec order.
@@ -179,15 +197,9 @@ func ReduceStep(ctx context.Context, env Env, campaignID string, spec CampaignSp
 	if tg == nil {
 		return ReducedRec{}, fmt.Errorf("service: unknown target %q", rc.Bug.Target)
 	}
-	var item *corpus.Item
-	for i := range refs {
-		if refs[i].Name == rc.Bug.Reference {
-			item = &refs[i]
-			break
-		}
-	}
-	if item == nil {
-		return ReducedRec{}, fmt.Errorf("service: unknown reference %q", rc.Bug.Reference)
+	item, err := findRef(refs, rc.Bug.Reference)
+	if err != nil {
+		return ReducedRec{}, err
 	}
 	seqData, err := env.Blobs.GetBlob(rc.Bug.SeqHash)
 	if err != nil {
@@ -250,6 +262,109 @@ func ReduceStep(ctx context.Context, env Env, campaignID string, spec CampaignSp
 		Delta:      res.Delta,
 		Queries:    res.Queries,
 	}, nil
+}
+
+// MinimizedVariant rebuilds the minimized variant of a completed reduction:
+// it loads the case's report blob and replays the minimized sequence in full
+// onto its reference module. The replay engine's prefix snapshots make
+// repeats near-free. Returns the replayed context and the reference item.
+func MinimizedVariant(env Env, refs []corpus.Item, rec ReducedRec) (*fuzz.Context, *corpus.Item, error) {
+	blob, err := env.Blobs.GetBlob(rec.ReportHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, nil, fmt.Errorf("service: report %s: %w", rec.ReportHash, err)
+	}
+	item, err := findRef(refs, rep.Reference)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts, err := fuzz.UnmarshalSequence(rep.Transformations)
+	if err != nil {
+		return nil, nil, err
+	}
+	keep := make([]int, len(ts))
+	for i := range keep {
+		keep[i] = i
+	}
+	fc, _ := env.Reng.NewSession(item.Mod, item.Inputs, ts).Replay(keep)
+	return fc, item, nil
+}
+
+// BisectStep bisects one reduced case: it rebuilds the minimized variant
+// from the case's report blob and binary-searches the target's release
+// history for the first release exhibiting the bug. Deterministic in
+// (rec, refs) — the verdict does not depend on which node runs the step or
+// how warm its caches are — so the journaled outcome of a re-dispatched
+// shard is identical to the original's.
+func BisectStep(ctx context.Context, env Env, beng *bisect.Engine, refs []corpus.Item, rec ReducedRec) (BisectOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return BisectOutcome{}, err
+	}
+	fc, item, err := MinimizedVariant(env, refs, rec)
+	if err != nil {
+		return BisectOutcome{}, err
+	}
+	res, err := beng.Bisect(bisect.Case{
+		Target:         rec.Target,
+		Signature:      rec.Signature,
+		Original:       item.Mod,
+		OriginalInputs: item.Inputs,
+		Variant:        fc.Mod,
+		Inputs:         fc.Inputs,
+	})
+	if err != nil {
+		return BisectOutcome{}, fmt.Errorf("service: bisect %s: %w", rec.Case, err)
+	}
+	return BisectOutcome{
+		Case:      rec.Case,
+		Target:    rec.Target,
+		Signature: rec.Signature,
+		FirstBad:  res.FirstBad,
+		Queries:   res.Queries,
+		CacheHits: res.CacheHits,
+	}, nil
+}
+
+// BuildBisectSet assembles a finished bisection job's result over
+// journal-shaped data: outcomes in the campaign's canonical case order, and
+// the three signals' bucket counts. Like BuildBuckets it is deterministic in
+// its arguments and order-independent in how the outcomes were produced, so
+// a cluster-sharded job merges to the same set a single node computes.
+// transformBuckets is the campaign's own Figure 6 bucket count.
+func BuildBisectSet(jobID string, campaignID string, cases []ReduceCase, reduced map[string]ReducedRec, outcomes map[string]BisectOutcome, transformBuckets int) (BisectSet, error) {
+	set := BisectSet{Job: jobID, Campaign: campaignID, TransformBuckets: transformBuckets}
+	groups := map[string][]core.ReducedTest{}
+	var order []string
+	for _, rc := range cases {
+		out, ok := outcomes[rc.Name]
+		if !ok {
+			return BisectSet{}, fmt.Errorf("service: bisect job %s: case %s selected but not bisected", jobID, rc.Name)
+		}
+		set.Outcomes = append(set.Outcomes, out)
+		rec, ok := reduced[rc.Name]
+		if !ok {
+			return BisectSet{}, fmt.Errorf("service: bisect job %s: case %s has no reduction record", jobID, rc.Name)
+		}
+		k := dedup.BisectKey(out.Target, out.FirstBad)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		types := make(map[string]bool, len(rec.Types))
+		for _, t := range rec.Types {
+			types[t] = true
+		}
+		groups[k] = append(groups[k], core.ReducedTest{Name: rc.Name, Types: types})
+	}
+	set.BisectBuckets = len(order)
+	// The intersection signal: the type heuristic within each bisection
+	// bucket, one report per (bisect bucket × type bucket) cell.
+	for _, k := range order {
+		set.IntersectionBuckets += len(core.Deduplicate(groups[k]))
+	}
+	return set, nil
 }
 
 // BuildBuckets applies the Figure 6 deduplication per target over the
