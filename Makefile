@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-bisect test-daemon test-cluster bench baseline bench-compare profile
+.PHONY: ci fmt vet build test test-bisect test-daemon test-cluster test-memo bench baseline bench-compare profile
 
 # Everything CI runs, in order; fails fast.
-ci: fmt vet build test test-bisect test-daemon test-cluster bench
+ci: fmt vet build test test-bisect test-daemon test-cluster test-memo bench
 
 # The bisection oracle gets its own race pass: the determinism property
 # (FirstBad identical at any worker count, lane width, or cache temperature)
@@ -27,6 +27,15 @@ test-cluster:
 	$(GO) test -race -shuffle=on ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestSpirvdCluster|TestSpirvdCoordinatorLocalNodes' .
 
+# The persistent memo tier gets its own race pass: the segment/index/
+# checkpoint durability suite (with -shuffle varying the spill/evict/
+# compact interleavings), the runner's key-derivation and payload codecs,
+# the service-level memo temperature identity, and the cluster warm-sync
+# handshake.
+test-memo:
+	$(GO) test -race -shuffle=on ./internal/memostore/...
+	$(GO) test -race -count=1 -run 'Memo' ./internal/runner/... ./internal/service/... ./internal/cluster/...
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -43,14 +52,17 @@ test:
 # One pass over every benchmark as a smoke test; the table/figure benches
 # assert the paper's comparative shape even at -short scale. -benchmem
 # records allocs/op and B/op so allocation regressions are visible in the
-# same trajectory JSONs as the timing ratios.
+# same trajectory JSONs as the timing ratios. -p 1 serializes the package
+# binaries: without it, go test builds and runs sibling packages while the
+# root package's benchmarks execute, and the contention skews every
+# cold/warm ratio the guards below care about.
 bench:
-	$(GO) test -short -run '^$$' -bench . -benchtime=1x -benchmem ./...
+	$(GO) test -short -run '^$$' -bench . -benchtime=1x -benchmem -p 1 ./...
 
 # Regenerate BENCH_baseline.json from a fresh -short benchmark pass so perf
 # regressions can be diffed against a committed reference.
 baseline:
-	$(GO) test -short -run '^$$' -bench . -benchtime=1x -benchmem ./... \
+	$(GO) test -short -run '^$$' -bench . -benchtime=1x -benchmem -p 1 ./... \
 		| awk -f scripts/bench2json.awk > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
@@ -58,36 +70,42 @@ baseline:
 # speedup metric (parallel reduction over serial; prefix-snapshot replay over
 # fresh replay; journal resume over a fresh campaign; batched RunAll over a
 # per-target compile loop; the register VM over the tree-walker; lane-mode
-# rendering over the scalar VM) regresses below 0.75x its value in the
-# committed BENCH_pr8.json trajectory point — loose enough for machine
-# noise, tight enough to catch a disabled cache, a resume that silently
-# re-runs journaled work, compile sharing gone, the VM degenerating to
-# tree-walker speed, or lane mode losing its amortization (speedup ~1.0). A
-# second pass guards absolute parallel-reduction time: ns/op must not blow
-# past 1.5x the recorded value. A third guards lane-render allocations:
-# allocs/op above 1.5x baseline means the lane buffer reuse across tiles
-# broke. The ratio metrics are the tight guards (they cancel machine speed);
-# the absolute bounds are backstops against wholesale regressions that leave
-# the internal ratios intact. A final pass guards the bisection oracle's
-# compile-sharing: the cold cache-hit fraction of BenchmarkBisectCampaign
-# falling below 0.95x baseline means probes stopped reusing compile keys.
+# rendering over the scalar VM; a warm memo repeat campaign over cold)
+# regresses below 0.75x its value in the committed BENCH_pr9.json
+# trajectory point — loose enough for machine noise, tight enough to catch
+# a disabled cache, a resume that silently re-runs journaled work, compile
+# sharing gone, the VM degenerating to tree-walker speed, or lane mode
+# losing its amortization (speedup ~1.0). A second pass guards absolute
+# parallel-reduction time: ns/op must not blow past 1.5x the recorded
+# value. A third guards lane-render allocations: allocs/op above 1.5x
+# baseline means the lane buffer reuse across tiles broke. The ratio
+# metrics are the tight guards (they cancel machine speed); the absolute
+# bounds are backstops against wholesale regressions that leave the
+# internal ratios intact. Two final passes guard hit fractions: the cold
+# cache-hit fraction of BenchmarkBisectCampaign falling below 0.95x
+# baseline means bisect probes stopped reusing compile keys, and the
+# warm-hit-frac of BenchmarkMemoWarmCampaign falling below 0.95x means the
+# persistent memo tier stopped serving a warm repeat from disk.
 bench-compare:
-	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM|Cluster|Bisect' -benchtime=1x -benchmem . \
+	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM|Cluster|Bisect|Memo' -benchtime=1x -benchmem . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
 		-current /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
 		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
 		-only BenchmarkRunnerParallelReduce
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
 		-current /tmp/bench-current.json -metric allocs/op -mode max -tolerance 1.5 \
 		-only BenchmarkInterpVMLanes/uniform/l8
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
 		-current /tmp/bench-current.json -metric dedup-frac -mode min -tolerance 0.95 \
 		-only BenchmarkClusterCampaign
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr8.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
 		-current /tmp/bench-current.json -metric hit-frac -mode min -tolerance 0.95 \
 		-only BenchmarkBisectCampaign
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+		-current /tmp/bench-current.json -metric warm-hit-frac -mode min -tolerance 0.95 \
+		-only BenchmarkMemoWarmCampaign
 
 # CPU-profile the parallel-reduction campaign benchmark and print the top-10
 # functions by flat time — the quick answer to "where do campaign cycles go".

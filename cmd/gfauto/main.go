@@ -22,6 +22,7 @@ import (
 	"spirvfuzz/internal/experiments"
 	"spirvfuzz/internal/harness"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/service"
 	"spirvfuzz/internal/target"
@@ -33,6 +34,8 @@ func main() {
 	capPerSig := flag.Int("cap-per-signature", 6, "reductions per bug signature (paper: 100 / 20)")
 	workers := flag.Int("workers", 0, "execution-engine worker pool size; 0 means GOMAXPROCS (results are identical for any value)")
 	replayMB := flag.Int("replay-cache-mb", 64, "prefix-snapshot replay cache budget for reductions, in MiB; 0 disables incremental replay (results are identical either way)")
+	memoDir := flag.String("memo-dir", "", "persistent execution memo store directory; repeat runs warm-start from it (results are identical either way)")
+	memoMaxMB := flag.Int("memo-max-mb", 256, "memo store size budget in MiB before old segments are compacted or evicted")
 	listTargets := flag.Bool("list-targets", false, "print Table 2 and exit")
 	listRefs := flag.Bool("list-references", false, "print the reference corpus and exit")
 	table3 := flag.Bool("table3", false, "regenerate Table 3 (bug-finding ability)")
@@ -83,14 +86,23 @@ func main() {
 	c, err := experiments.RunCampaigns(experiments.Config{
 		Tests: *tests, Groups: *groups, CapPerSignature: *capPerSig,
 		Workers: *workers, ReplayCacheMB: replayCfg,
+		MemoDir: *memoDir, MemoMaxMB: *memoMaxMB,
 	})
 	fatal(err)
+	if c.Memo != nil {
+		defer func() { fatal(c.Memo.Close()) }()
+	}
 	if !*asJSON {
 		st := c.Engine.Stats()
 		fmt.Printf("gfauto: campaigns done in %v (%d workers, %d target runs, %.0f%% cache hit rate)\n",
 			time.Since(start).Round(time.Millisecond), st.Workers, st.Misses, 100*st.HitRate())
 		fmt.Printf("gfauto: shared compiles: %d compiled, %d shared (%.0f%% of compile lookups)\n",
 			st.CompileMisses, st.CompileHits, 100*ratio(st.CompileHits, st.CompileHits+st.CompileMisses))
+		if st.MemoHits+st.MemoMisses > 0 {
+			fmt.Printf("gfauto: memo store: %d disk hits, %d misses, %d spilled, %d singleflight-shared (%.0f%% warm)\n",
+				st.MemoHits, st.MemoMisses, st.MemoSpills, st.SingleflightHits,
+				100*ratio(st.MemoHits, st.MemoHits+st.MemoMisses))
+		}
 		if st.PlanHits+st.PlanMisses > 0 {
 			fmt.Printf("gfauto: interp plans: %d compiled in %v, %d shared (%.0f%% of plan lookups)\n",
 				st.PlanMisses, time.Duration(st.PlanCompileNanos).Round(time.Millisecond),
@@ -121,11 +133,17 @@ func main() {
 	}
 
 	if *asJSON {
+		var memoStats *memostore.Stats
+		if c.Memo != nil {
+			ms := c.Memo.Stats()
+			memoStats = &ms
+		}
 		out, err := json.MarshalIndent(struct {
 			Campaigns []service.CampaignStatus `json:"campaigns"`
 			Runner    runner.Stats             `json:"runner"`
 			Bisect    bisect.Stats             `json:"bisect"`
-		}{campaignSummaries(c), c.Engine.Stats(), c.BisectStats()}, "", "  ")
+			Memo      *memostore.Stats         `json:"memo,omitempty"`
+		}{campaignSummaries(c), c.Engine.Stats(), c.BisectStats(), memoStats}, "", "  ")
 		fatal(err)
 		fmt.Println(string(out))
 	}

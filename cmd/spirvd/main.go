@@ -58,6 +58,7 @@ import (
 
 	"spirvfuzz/internal/cluster"
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/service"
 	"spirvfuzz/internal/store"
 )
@@ -77,6 +78,8 @@ func serverMain(args []string) {
 	storeDir := fs.String("store", "", "store directory (required); created if missing")
 	workers := fs.Int("workers", 0, "worker-pool size; 0 means GOMAXPROCS (results are identical for any value)")
 	replayMB := fs.Int("replay-cache-mb", 64, "prefix-snapshot replay cache budget for reductions, in MiB")
+	memoDir := fs.String("memo-dir", "", "persistent execution memo store directory; empty disables (results are identical either way)")
+	memoMaxMB := fs.Int("memo-max-mb", 256, "memo store size budget in MiB before old segments are compacted or evicted")
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for test harnesses)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
@@ -112,6 +115,7 @@ func serverMain(args []string) {
 		workerMain(workerConfig{
 			join: *join, node: *node, storeDir: *storeDir,
 			workers: *workers, replayMB: *replayMB,
+			memoDir: *memoDir, memoMaxMB: *memoMaxMB,
 		})
 		return
 	}
@@ -125,6 +129,8 @@ func serverMain(args []string) {
 		svc, err := service.New(st, service.Options{
 			Workers:      *workers,
 			ReplayBudget: int64(*replayMB) << 20,
+			MemoDir:      *memoDir,
+			MemoMaxBytes: int64(*memoMaxMB) << 20,
 		})
 		fatal(err)
 		handler = newMux(svc)
@@ -134,14 +140,30 @@ func serverMain(args []string) {
 			}
 		}
 	case "coordinator":
+		// With -memo-dir the coordinator doubles as the cluster's memo-sync
+		// hub: workers pull records they lack and push new ones, so a node
+		// that rejoins cold warm-starts from the cluster's history.
+		var memo *memostore.Store
+		if *memoDir != "" {
+			memo, err = memostore.Open(*memoDir, int64(*memoMaxMB)<<20)
+			fatal(err)
+		}
 		co, err := cluster.NewCoordinator(st, cluster.Options{
 			ShardTests: *shardTests,
 			ShardCases: *shardCases,
 			LeaseTTL:   *leaseTTL,
+			Memo:       memo,
 		})
 		fatal(err)
 		handler = co.Mux()
-		shutdown = func(context.Context) { co.Close() }
+		shutdown = func(context.Context) {
+			co.Close()
+			if memo != nil {
+				if err := memo.Close(); err != nil {
+					log.Printf("spirvd: memo close: %v", err)
+				}
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "spirvd: unknown -role %q (want standalone, coordinator, or worker)\n", *role)
 		os.Exit(2)
@@ -189,13 +211,20 @@ func serverMain(args []string) {
 	if *role == "coordinator" && *nodes > 0 {
 		for i := 1; i <= *nodes; i++ {
 			name := fmt.Sprintf("local%d", i)
-			w, err := cluster.NewWorker(cluster.WorkerOptions{
+			wopts := cluster.WorkerOptions{
 				Node:         name,
 				Coordinator:  "http://" + ln.Addr().String(),
 				StoreDir:     filepath.Join(*storeDir, "nodes", name),
 				Workers:      *workers,
 				ReplayBudget: int64(*replayMB) << 20,
-			})
+			}
+			if *memoDir != "" {
+				// Per-node memo stores beside the hub's; each node syncs
+				// against the coordinator over the wire like a remote would.
+				wopts.MemoDir = filepath.Join(*memoDir, "nodes", name)
+				wopts.MemoMaxBytes = int64(*memoMaxMB) << 20
+			}
+			w, err := cluster.NewWorker(wopts)
 			fatal(err)
 			localWorkers.Add(1)
 			go func() {
@@ -219,11 +248,13 @@ func serverMain(args []string) {
 }
 
 type workerConfig struct {
-	join     string
-	node     string
-	storeDir string
-	workers  int
-	replayMB int
+	join      string
+	node      string
+	storeDir  string
+	workers   int
+	replayMB  int
+	memoDir   string
+	memoMaxMB int
 }
 
 // workerMain runs the worker role: no listener, just a loop pulling shards
@@ -247,6 +278,8 @@ func workerMain(cfg workerConfig) {
 		StoreDir:     cfg.storeDir,
 		Workers:      cfg.workers,
 		ReplayBudget: int64(cfg.replayMB) << 20,
+		MemoDir:      cfg.memoDir,
+		MemoMaxBytes: int64(cfg.memoMaxMB) << 20,
 	})
 	fatal(err)
 	defer w.Close()

@@ -130,6 +130,12 @@ type SyncStats struct {
 	BytesReferenced  uint64 `json:"bytes_referenced"`
 	BlobsTransferred uint64 `json:"blobs_transferred"`
 	BytesTransferred uint64 `json:"bytes_transferred"`
+	// MemoPulled and MemoPushed count execution-memo records the worker
+	// received from / sent to the coordinator around this shard (the
+	// join-time warm pull is attributed to the node's first shard). Zero
+	// when either side runs without a memo store.
+	MemoPulled uint64 `json:"memo_pulled,omitempty"`
+	MemoPushed uint64 `json:"memo_pushed,omitempty"`
 }
 
 func (s *SyncStats) add(o SyncStats) {
@@ -137,6 +143,8 @@ func (s *SyncStats) add(o SyncStats) {
 	s.BytesReferenced += o.BytesReferenced
 	s.BlobsTransferred += o.BlobsTransferred
 	s.BytesTransferred += o.BytesTransferred
+	s.MemoPulled += o.MemoPulled
+	s.MemoPushed += o.MemoPushed
 }
 
 // DedupFraction returns the fraction of referenced bytes that did NOT need

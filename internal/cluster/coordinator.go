@@ -9,6 +9,7 @@ import (
 
 	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/service"
@@ -69,6 +70,13 @@ type Options struct {
 	// LeaseTTL is how long a dispatched shard may go without a heartbeat
 	// before it is re-queued for another node; <= 0 selects 5s.
 	LeaseTTL time.Duration
+	// Memo, when non-nil, makes the coordinator the cluster's memo-sync
+	// hub: workers with their own memo stores pull records they lack (at
+	// join, and before each shard) and push new ones back after each shard,
+	// so a cold-rejoining node warm-starts from the cluster's accumulated
+	// execution history. The caller keeps ownership (and Close) of the
+	// store, like the blob store.
+	Memo *memostore.Store
 }
 
 func (o *Options) normalize() {
@@ -221,6 +229,9 @@ type Metrics struct {
 	Bisect         bisect.Stats `json:"bisect"`
 	Store          store.Stats  `json:"store"`
 	Cluster        ClusterStats `json:"cluster"`
+	// Memo is the coordinator memo-sync hub's snapshot (its Pulled/Pushed
+	// are the hub's side of worker sync traffic); nil without a memo store.
+	Memo *memostore.Stats `json:"memo,omitempty"`
 }
 
 // nodeState tracks one joined worker.
@@ -239,6 +250,7 @@ type nodeState struct {
 type Coordinator struct {
 	st   *store.Store
 	opts Options
+	memo *memostore.Store // nil without Options.Memo
 
 	mu           sync.Mutex
 	campaigns    map[string]*clusterCampaign
@@ -267,6 +279,7 @@ func NewCoordinator(st *store.Store, opts Options) (*Coordinator, error) {
 	co := &Coordinator{
 		st:           st,
 		opts:         opts,
+		memo:         opts.Memo,
 		campaigns:    make(map[string]*clusterCampaign),
 		nextID:       1,
 		bisects:      make(map[string]*clusterBisect),
@@ -1155,5 +1168,12 @@ func (co *Coordinator) Metrics() Metrics {
 			m.BisectJobsDone++
 		}
 	}
+	if co.memo != nil {
+		ms := co.memo.Stats()
+		m.Memo = &ms
+	}
 	return m
 }
+
+// MemoStore returns the coordinator's memo-sync hub store, nil without one.
+func (co *Coordinator) MemoStore() *memostore.Store { return co.memo }

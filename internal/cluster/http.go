@@ -177,6 +177,52 @@ func (co *Coordinator) Mux() *http.ServeMux {
 		}
 		clusterJSON(w, http.StatusOK, fetchResponse{Blobs: blobs})
 	})
+
+	// Memo-sync protocol against the coordinator's memo hub. All four
+	// endpoints are nil-safe: a coordinator without a memo store answers
+	// /memo/keys with ok=false (the worker disables sync) and degrades the
+	// rest to no-ops, so mixed deployments need no configuration handshake.
+	mux.HandleFunc("POST /memo/keys", func(w http.ResponseWriter, r *http.Request) {
+		var req memoKeysRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, co.memoKeys(req.Since))
+	})
+	mux.HandleFunc("POST /memo/has", func(w http.ResponseWriter, r *http.Request) {
+		var req memoHasRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, co.memoHas(req.Keys))
+	})
+	mux.HandleFunc("POST /memo/fetch", func(w http.ResponseWriter, r *http.Request) {
+		var req memoFetchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := co.memoFetch(req.Keys)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /memo/push", func(w http.ResponseWriter, r *http.Request) {
+		var req memoPushRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, err := co.memoPush(req.Records); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, okResponse{OK: true})
+	})
 	return mux
 }
 

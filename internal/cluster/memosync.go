@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"spirvfuzz/internal/memostore"
+)
+
+// Memo-sync wire bodies. The protocol has the same shape as blob sync —
+// hash negotiation in both directions — but over memo records instead of
+// blobs: /memo/keys lists the coordinator's record keys appended after a
+// cursor, a worker fetches only the ones its local store lacks, and pushes
+// back only new records the coordinator does not have. Records are
+// content-addressed by execution key and their payloads deterministic, so
+// put-if-absent merging is conflict-free by construction.
+type (
+	memoRecord struct {
+		K string `json:"k"` // hex execution key
+		T uint8  `json:"t"` // record kind
+		D []byte `json:"d"` // payload (base64 on the wire)
+	}
+	memoKeysRequest struct {
+		Since uint64 `json:"since"`
+	}
+	memoKeysResponse struct {
+		// OK is false when the coordinator runs without a memo store; the
+		// worker then disables sync for the session.
+		OK   bool     `json:"ok"`
+		Keys []string `json:"keys,omitempty"`
+		Mark uint64   `json:"mark"`
+	}
+	memoHasRequest struct {
+		Keys []string `json:"keys"`
+	}
+	memoHasResponse struct {
+		Has []bool `json:"has"`
+	}
+	memoFetchRequest struct {
+		Keys []string `json:"keys"`
+	}
+	memoFetchResponse struct {
+		Records []memoRecord `json:"records"`
+	}
+	memoPushRequest struct {
+		Records []memoRecord `json:"records"`
+	}
+)
+
+// memoKeys lists the coordinator's record keys appended after since, plus
+// the new cursor. Nil-safe: without a memo store it reports OK=false.
+func (co *Coordinator) memoKeys(since uint64) memoKeysResponse {
+	if co.memo == nil {
+		return memoKeysResponse{}
+	}
+	keys, mark := co.memo.KeysSince(since)
+	resp := memoKeysResponse{OK: true, Mark: mark}
+	for _, k := range keys {
+		resp.Keys = append(resp.Keys, k.String())
+	}
+	return resp
+}
+
+// memoHas answers which of the named records the coordinator already holds.
+// Unparseable keys report false (the worker's push will surface the error).
+func (co *Coordinator) memoHas(keys []string) memoHasResponse {
+	has := make([]bool, len(keys))
+	if co.memo == nil {
+		return memoHasResponse{Has: has}
+	}
+	for i, s := range keys {
+		if k, err := memostore.ParseKey(s); err == nil {
+			has[i] = co.memo.Has(k)
+		}
+	}
+	return memoHasResponse{Has: has}
+}
+
+// memoFetch returns the requested records. Keys the store no longer holds
+// (evicted between the keys listing and the fetch) are silently omitted;
+// the worker matches records by key, not by index.
+func (co *Coordinator) memoFetch(keys []string) (memoFetchResponse, error) {
+	var resp memoFetchResponse
+	if co.memo == nil {
+		return resp, nil
+	}
+	for _, s := range keys {
+		k, err := memostore.ParseKey(s)
+		if err != nil {
+			return resp, fmt.Errorf("cluster: memo fetch key %q: %w", s, err)
+		}
+		if rec, ok := co.memo.GetRecord(k); ok {
+			resp.Records = append(resp.Records, memoRecord{K: rec.Key.String(), T: rec.Kind, D: rec.Data})
+		}
+	}
+	co.memo.AddPushed(len(resp.Records))
+	return resp, nil
+}
+
+// memoPush merges worker-pushed records put-if-absent and returns how many
+// were new. A coordinator without a memo store accepts and drops them.
+func (co *Coordinator) memoPush(wrecs []memoRecord) (int, error) {
+	if co.memo == nil {
+		return 0, nil
+	}
+	recs := make([]memostore.Record, 0, len(wrecs))
+	for _, wr := range wrecs {
+		k, err := memostore.ParseKey(wr.K)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: memo push key %q: %w", wr.K, err)
+		}
+		if co.memo.Has(k) {
+			continue
+		}
+		recs = append(recs, memostore.Record{Key: k, Kind: wr.T, Data: wr.D})
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	if err := co.memo.PutBatch(recs); err != nil {
+		return 0, err
+	}
+	co.memo.AddPulled(len(recs))
+	return len(recs), nil
+}
+
+// pullMemo syncs coordinator memo records into the worker's local store:
+// list keys since the last pull cursor, fetch only the locally-missing
+// ones, merge put-if-absent. Called at join (warm start for a cold node)
+// and before each shard (picks up records other workers pushed meanwhile).
+// Sync errors are swallowed — the memo is an optimization; every record it
+// would have saved simply re-executes.
+func (w *Worker) pullMemo(ctx context.Context) {
+	if w.memo == nil || !w.memoSync {
+		return
+	}
+	var kr memoKeysResponse
+	if err := w.post(ctx, "/memo/keys", memoKeysRequest{Since: w.pullMark}, &kr); err != nil {
+		return
+	}
+	if !kr.OK {
+		w.memoSync = false
+		return
+	}
+	w.pullMark = kr.Mark
+	var missing []string
+	for _, s := range kr.Keys {
+		k, err := memostore.ParseKey(s)
+		if err != nil {
+			return
+		}
+		if !w.memo.Has(k) {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	var fr memoFetchResponse
+	if err := w.post(ctx, "/memo/fetch", memoFetchRequest{Keys: missing}, &fr); err != nil {
+		return
+	}
+	recs := make([]memostore.Record, 0, len(fr.Records))
+	for _, wr := range fr.Records {
+		k, err := memostore.ParseKey(wr.K)
+		if err != nil {
+			return
+		}
+		recs = append(recs, memostore.Record{Key: k, Kind: wr.T, Data: wr.D})
+	}
+	if err := w.memo.PutBatch(recs); err != nil {
+		return
+	}
+	w.memo.AddPulled(len(recs))
+	w.pendingPulled += uint64(len(recs))
+	// Pulled records advanced the local seq counter; move the push cursor
+	// past them so they are not offered straight back to the coordinator.
+	if _, mark := w.memo.KeysSince(w.pushMark); mark > w.pushMark {
+		w.pushMark = mark
+	}
+}
+
+// pushMemo offers the coordinator every record appended locally since the
+// last push cursor, transferring only the ones it lacks — the outbound half
+// of the negotiation. Called after each shard, once the shard's executions
+// have spilled.
+func (w *Worker) pushMemo(ctx context.Context) {
+	if w.memo == nil || !w.memoSync {
+		return
+	}
+	w.memo.Flush()
+	keys, mark := w.memo.KeysSince(w.pushMark)
+	if len(keys) == 0 {
+		w.pushMark = mark
+		return
+	}
+	manifest := make([]string, len(keys))
+	for i, k := range keys {
+		manifest[i] = k.String()
+	}
+	var hr memoHasResponse
+	if err := w.post(ctx, "/memo/has", memoHasRequest{Keys: manifest}, &hr); err != nil {
+		return
+	}
+	if len(hr.Has) != len(manifest) {
+		return
+	}
+	var recs []memoRecord
+	for i, k := range keys {
+		if hr.Has[i] {
+			continue
+		}
+		if rec, ok := w.memo.GetRecord(k); ok {
+			recs = append(recs, memoRecord{K: rec.Key.String(), T: rec.Kind, D: rec.Data})
+		}
+	}
+	if len(recs) > 0 {
+		if err := w.post(ctx, "/memo/push", memoPushRequest{Records: recs}, nil); err != nil {
+			return
+		}
+		w.memo.AddPushed(len(recs))
+		w.pendingPushed += uint64(len(recs))
+	}
+	w.pushMark = mark
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spirvfuzz/internal/memostore"
+	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/store"
+)
+
+// TestClusterMemoSyncMatchesSingleNode is the nodes {1,3} leg of the memo
+// temperature property: with a coordinator memo hub and per-node memo
+// stores, a 1-node cluster over a cold hub and a 3-node cluster over the
+// warm hub both produce buckets bitwise-identical to the single-node,
+// memo-less reference run — and the warm cluster actually serves
+// executions from synced records instead of re-running them.
+func TestClusterMemoSyncMatchesSingleNode(t *testing.T) {
+	want := referenceBuckets(t)
+	hubDir := filepath.Join(t.TempDir(), "memo-hub")
+
+	for _, nodes := range []int{1, 3} {
+		hub, err := memostore.Open(hubDir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := testOpts()
+		opts.Memo = hub
+		co, err := NewCoordinator(st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := StartSim(co, nodes, t.TempDir(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, err := co.CreateCampaign(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := waitDone(func() (service.CampaignStatus, bool) { return co.Campaign(status.ID) }); err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if got := clusterBuckets(t, co, status.ID); !bytes.Equal(got, want) {
+			t.Fatalf("%d-node memo cluster buckets differ from single-node run:\n got %s\nwant %s", nodes, got, want)
+		}
+		m := co.Metrics()
+		if m.Memo == nil || m.Memo.Records == 0 {
+			t.Fatalf("%d nodes: memo hub never received records: %+v", nodes, m.Memo)
+		}
+		if nodes == 1 && m.Cluster.Sync.MemoPushed == 0 {
+			// Only the cold-hub leg must push: over the warm hub the
+			// workers can pull every record they need and legitimately
+			// have nothing new to offer.
+			t.Fatalf("%d nodes: no worker pushed memo records: %+v", nodes, m.Cluster.Sync)
+		}
+		if nodes > 1 {
+			// Second pass over a warm hub: cold-joining workers must pull
+			// records and serve repeat executions from them.
+			if m.Cluster.Sync.MemoPulled == 0 {
+				t.Fatalf("warm hub but no worker pulled records: %+v", m.Cluster.Sync)
+			}
+			if m.Runner.MemoHits == 0 {
+				t.Fatalf("warm cluster never hit the memo: %+v", m.Runner)
+			}
+		}
+		sim.Stop()
+		co.Close()
+		st.Close()
+		hub.Close()
+	}
+}
+
+// TestClusterMemoColdRejoinWarmStart kills a worker and lets a brand-new
+// node (fresh blob cache AND fresh memo store) rejoin: the newcomer must
+// warm-start by pulling the hub's accumulated records at join, and a repeat
+// campaign on the warmed cluster must be served from the memo.
+func TestClusterMemoColdRejoinWarmStart(t *testing.T) {
+	hub, err := memostore.Open(filepath.Join(t.TempDir(), "memo-hub"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	opts := testOpts()
+	opts.Memo = hub
+	co, err := NewCoordinator(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	sim, err := StartSim(co, 2, t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Stop()
+
+	status, err := co.CreateCampaign(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := waitDone(func() (service.CampaignStatus, bool) { return co.Campaign(status.ID) }); err != nil {
+		t.Fatal(err)
+	}
+	hubLen := hub.Len()
+	if hubLen == 0 {
+		t.Fatal("campaign finished but the hub holds no records")
+	}
+
+	// Replace a node with a completely cold newcomer.
+	sim.mu.Lock()
+	victim := ""
+	for name := range sim.workers {
+		victim = name
+		break
+	}
+	sim.mu.Unlock()
+	sim.KillWorker(victim)
+	fresh, err := sim.AddWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.mu.Lock()
+	w := sim.workers[fresh]
+	sim.mu.Unlock()
+	if w == nil || w.memo == nil {
+		t.Fatalf("fresh sim worker %s has no memo store", fresh)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for w.memo.Stats().Pulled == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pulled := w.memo.Stats().Pulled; pulled == 0 {
+		t.Fatalf("cold rejoiner never pulled from the hub (hub holds %d records)", hubLen)
+	}
+	if got := w.memo.Len(); got < hubLen {
+		t.Fatalf("cold rejoiner warm-started %d of %d hub records", got, hubLen)
+	}
+
+	// A repeat campaign (same spec → same seeds → same executions) on the
+	// warmed cluster is answered from the memo tier.
+	status2, err := co.CreateCampaign(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := waitDone(func() (service.CampaignStatus, bool) { return co.Campaign(status2.ID) }); err != nil {
+		t.Fatal(err)
+	}
+	if m := co.Metrics(); m.Runner.MemoHits == 0 {
+		t.Fatalf("repeat campaign on a warm cluster never hit the memo: %+v", m.Runner)
+	}
+}

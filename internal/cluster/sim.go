@@ -67,12 +67,19 @@ func (s *Sim) AddWorker() (string, error) {
 	s.nextID++
 	name := fmt.Sprintf("sim%d", s.nextID)
 	s.mu.Unlock()
-	w, err := NewWorker(WorkerOptions{
+	opts := WorkerOptions{
 		Node:        name,
 		Coordinator: s.URL,
 		StoreDir:    filepath.Join(s.dir, "node-"+name),
 		Workers:     s.workersPer,
-	})
+	}
+	// When the coordinator is a memo hub, give every simulated node its own
+	// memo store so the sync protocol runs for real (a rejoining node gets a
+	// fresh, cold directory and must warm-start over the wire).
+	if s.Coordinator.MemoStore() != nil {
+		opts.MemoDir = filepath.Join(s.dir, "memo-"+name)
+	}
+	w, err := NewWorker(opts)
 	if err != nil {
 		return "", err
 	}

@@ -12,6 +12,7 @@ import (
 
 	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/service"
@@ -32,6 +33,15 @@ type WorkerOptions struct {
 	// ReplayBudget bounds the replay snapshot cache; <= 0 selects the
 	// replay.DefaultBudget.
 	ReplayBudget int64
+	// MemoDir, when non-empty, attaches a persistent execution memo store
+	// at that directory and syncs it with the coordinator's hub (pull
+	// missing records at join and before each shard, push new ones after
+	// each shard). Memoized results are bitwise-identical to re-execution,
+	// so shard results are unaffected — a warm node just skips work.
+	MemoDir string
+	// MemoMaxBytes bounds the memo store's segment bytes; <= 0 selects
+	// memostore.DefaultMaxBytes. Ignored without MemoDir.
+	MemoMaxBytes int64
 	// Poll is the idle backoff between work requests; <= 0 selects 10ms.
 	Poll time.Duration
 }
@@ -51,6 +61,17 @@ type Worker struct {
 	beng     *bisect.Engine
 	hc       *http.Client
 	leaseTTL time.Duration
+
+	// Memo-sync state (nil/zero without WorkerOptions.MemoDir). The marks
+	// are the incremental cursors of the two sync directions; the pending
+	// counters accumulate between shard reports and drain into the next
+	// ShardResult.Sync. All are touched only from the Run loop.
+	memo          *memostore.Store
+	memoSync      bool
+	pullMark      uint64
+	pushMark      uint64
+	pendingPulled uint64
+	pendingPushed uint64
 
 	// Decoded reference-corpus cache, keyed by the manifest's joined hashes
 	// (content-addressed, so a perfect cache key).
@@ -75,7 +96,7 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		return nil, err
 	}
 	eng := runner.New(opts.Workers)
-	return &Worker{
+	w := &Worker{
 		opts:     opts,
 		st:       st,
 		eng:      eng,
@@ -83,11 +104,30 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		beng:     bisect.New(eng),
 		hc:       &http.Client{Timeout: 30 * time.Second},
 		leaseTTL: 5 * time.Second,
-	}, nil
+	}
+	if opts.MemoDir != "" {
+		memo, err := memostore.Open(opts.MemoDir, opts.MemoMaxBytes)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		w.memo = memo
+		w.memoSync = true
+		eng.SetMemoStore(memo)
+	}
+	return w, nil
 }
 
-// Close releases the worker's local store.
-func (w *Worker) Close() error { return w.st.Close() }
+// Close releases the worker's local store and memo store.
+func (w *Worker) Close() error {
+	err := w.st.Close()
+	if w.memo != nil {
+		if merr := w.memo.Close(); err == nil {
+			err = merr
+		}
+	}
+	return err
+}
 
 // Run joins the cluster and processes shards until ctx is canceled. Errors
 // talking to the coordinator (down, restarting) are retried with backoff;
@@ -101,6 +141,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			if jr.LeaseTTLMS > 0 {
 				w.leaseTTL = time.Duration(jr.LeaseTTLMS) * time.Millisecond
 			}
+			// Warm-start: pull the cluster's accumulated execution memo
+			// before taking any work. A rejoining cold node skips every
+			// execution the cluster has already done.
+			w.pullMemo(ctx)
 			break
 		}
 		if !sleepCtx(ctx, w.opts.Poll) {
@@ -218,10 +262,18 @@ func (w *Worker) execute(ctx context.Context, sh *Shard) ShardResult {
 			}
 		}
 	}()
+	w.pullMemo(ctx) // pick up records other workers pushed meanwhile
 	err := w.executeInner(ctx, sh, &res)
 	if err != nil && ctx.Err() == nil {
 		res.Error = err.Error()
 	}
+	// Push the shard's freshly-spilled memo records, then attribute the
+	// accumulated sync traffic (including a join-time warm pull) to this
+	// shard's report.
+	w.pushMemo(ctx)
+	res.Sync.MemoPulled += w.pendingPulled
+	res.Sync.MemoPushed += w.pendingPushed
+	w.pendingPulled, w.pendingPushed = 0, 0
 	res.Runner = w.eng.Stats()
 	res.Replay = w.reng.Stats()
 	res.Bisect = w.beng.Stats()

@@ -13,6 +13,7 @@ import (
 	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/stats"
@@ -33,6 +34,13 @@ type Config struct {
 	// the reduction experiments, in MiB. 0 selects the replay.DefaultBudget;
 	// negative disables incremental replay (the honest baseline).
 	ReplayCacheMB int
+	// MemoDir, when non-empty, attaches a persistent execution memo store:
+	// a repeat run of the same experiments warm-starts from it, serving
+	// previously-executed (module, target, inputs) results from disk.
+	// Results are bitwise-identical with or without it.
+	MemoDir string
+	// MemoMaxMB bounds the memo store in MiB; <= 0 selects the default.
+	MemoMaxMB int
 }
 
 // replayBudget maps the config field to an engine byte budget.
@@ -73,6 +81,10 @@ type Campaigns struct {
 	// Bisect is the shared bisection engine (lazy; probes route through
 	// Engine so bisections hit the campaign's caches).
 	Bisect *bisect.Engine
+	// Memo is the persistent execution memo store attached to Engine when
+	// Config.MemoDir is set; nil otherwise. The caller that finished with
+	// the campaigns closes it (gfauto does).
+	Memo   *memostore.Store
 	Fuzz   *harness.CampaignResult // spirv-fuzz
 	Simple *harness.CampaignResult // spirv-fuzz-simple
 	Glsl   *harness.CampaignResult // glsl-fuzz
@@ -125,6 +137,14 @@ func RunCampaigns(cfg Config) (*Campaigns, error) {
 	donors := corpus.Donors()
 	eng := runner.New(cfg.Workers)
 	c := &Campaigns{Config: cfg, Engine: eng, Replay: replay.NewEngine(cfg.replayBudget())}
+	if cfg.MemoDir != "" {
+		memo, err := memostore.Open(cfg.MemoDir, int64(cfg.MemoMaxMB)<<20)
+		if err != nil {
+			return nil, err
+		}
+		c.Memo = memo
+		eng.SetMemoStore(memo)
+	}
 	results := []struct {
 		tool harness.Tool
 		into **harness.CampaignResult

@@ -45,6 +45,7 @@ type laneVM struct {
 	retbuf  []Value // per-lane return values of the innermost call
 	steps   int     // shared: the uniform path costs every lane the same steps
 	depth   int
+	bailMin int // bail to scalar when a group's live mask drops below this
 	stats   LaneStats
 }
 
@@ -62,6 +63,13 @@ func (p *Program) newLaneVM(in Inputs, G int) *laneVM {
 	lv.scratch = make([]Value, p.maxPhiMoves*G)
 	lv.argbuf = make([]Value, p.maxCallArgs*G)
 	lv.retbuf = make([]Value, G)
+	if G >= 2 {
+		// A warp whittled down to one live lane pays full uniform-path
+		// bookkeeping for zero amortization — strictly slower than the
+		// scalar VM. Retire such stragglers early (exec's bail-out); their
+		// pixels re-render on the scalar machine, so only time moves.
+		lv.bailMin = 2
+	}
 	return lv
 }
 
@@ -1292,6 +1300,12 @@ func (lv *laneVM) exec(pf *pfunc, fr []Value, mask uint32, ret []Value) (alive, 
 		if e.fault != nil {
 			return 0, retired | act, killed
 		}
+		if bits.OnesCount32(act) < lv.bailMin {
+			// Bail-to-scalar early-out: divergence has whittled the warp
+			// below two live lanes, so every further uniform dispatch costs
+			// more here than on the scalar VM. Retire the stragglers now.
+			return 0, retired | act, killed
+		}
 		moves, direct = e.moves, e.direct
 		bi = e.target
 	}
@@ -1332,6 +1346,14 @@ const autoProbeLanes = 8
 // probe (no divergence, no fallback) escalates to the full 16.
 const autoDivergenceMax = 0.25
 
+// laneRejectFallbackRate is the probe's retired-pixel fraction above which
+// the predicted speedup is below 1x at every width: each retired pixel is
+// paid for twice (the abandoned lane work plus a full scalar re-render), so
+// even if the surviving majority amortized perfectly, a retire rate this
+// high makes the lane render slower than going straight to the scalar VM —
+// exactly the divergent-stripe shape BenchmarkInterpVMLanes pins at ~0.5x.
+const laneRejectFallbackRate = 0.2
+
 // pickLanes is the adaptive lane-width policy behind SetLanesAuto: render
 // the first row in lane groups of autoProbeLanes into a throwaway row
 // buffer, then pick the width the observed control-flow behavior earns.
@@ -1355,6 +1377,13 @@ func (p *Program) pickLanes(in Inputs) int {
 	pick := 0
 	switch st := lv.stats; {
 	case err != nil:
+		pick = 0
+	case float64(st.Fallbacks) >= laneRejectFallbackRate*float64(w):
+		// The probe rendered w pixels; this many of them retired to the
+		// scalar VM. The measured retire rate predicts a sub-1x speedup at
+		// any width (see laneRejectFallbackRate), so reject lane mode
+		// outright rather than letting the per-group divergence heuristic
+		// weigh in.
 		pick = 0
 	case st.Divergences == 0 && st.Fallbacks == 0:
 		pick = MaxLanes

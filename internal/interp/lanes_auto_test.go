@@ -56,6 +56,35 @@ func TestPickLanesCountsPicks(t *testing.T) {
 	}
 }
 
+// TestLaneBailOut pins the bail-to-scalar early-out: a multi-lane group
+// whose live mask is below two lanes retires at the next taken edge instead
+// of dragging a one-lane warp through the uniform path, while a true
+// single-lane machine (G=1, bailMin 0) runs the same lane to completion.
+// The retired pixel re-renders on the scalar VM, so the early-out only
+// moves time, never output — TestAutoLanesDifferential holds that side.
+func TestLaneBailOut(t *testing.T) {
+	p := compileMod(t, "diamond")
+	in := Inputs{W: 8, H: 8}
+
+	wide := p.newLaneVM(in, 4)
+	if wide.bailMin != 2 {
+		t.Fatalf("G=4 laneVM bailMin = %d, want 2", wide.bailMin)
+	}
+	alive, retired, killed := wide.call(p.entry, nil, 0, 1, wide.retbuf)
+	if alive != 0 || retired != 1 || killed != 0 {
+		t.Fatalf("single live lane in a 4-lane group: alive=%b retired=%b killed=%b, want bail to scalar", alive, retired, killed)
+	}
+
+	solo := p.newLaneVM(in, 1)
+	if solo.bailMin != 0 {
+		t.Fatalf("G=1 laneVM bailMin = %d, want 0", solo.bailMin)
+	}
+	alive, retired, killed = solo.call(p.entry, nil, 0, 1, solo.retbuf)
+	if alive != 1 || retired != 0 || killed != 0 {
+		t.Fatalf("G=1 lane must complete: alive=%b retired=%b killed=%b", alive, retired, killed)
+	}
+}
+
 // TestSetLanesFlag covers the shared -lanes flag parser.
 func TestSetLanesFlag(t *testing.T) {
 	defer func() {

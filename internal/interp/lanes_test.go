@@ -69,11 +69,18 @@ func TestLaneDivergenceForcesFallback(t *testing.T) {
 			t.Fatalf("lanes=%d: Groups = %d, want %d", lanes, stats.Groups, groups)
 		}
 		// Every group splits half/half on the parity branch, so every group
-		// diverges exactly once and retires half its lanes.
+		// diverges exactly once and retires half its lanes. At lanes=2 the
+		// "majority" is a single lane, which the bail-to-scalar early-out
+		// retires as well — a one-lane warp amortizes nothing — so every
+		// pixel falls back.
 		if stats.Divergences != groups {
 			t.Fatalf("lanes=%d: Divergences = %d, want %d", lanes, stats.Divergences, groups)
 		}
-		if want := groups * uint64(lanes) / 2; stats.Fallbacks != want {
+		want := groups * uint64(lanes) / 2
+		if lanes == 2 {
+			want = groups * uint64(lanes)
+		}
+		if stats.Fallbacks != want {
 			t.Fatalf("lanes=%d: Fallbacks = %d, want %d", lanes, stats.Fallbacks, want)
 		}
 	}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"spirvfuzz/internal/interp"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/opt"
 	"spirvfuzz/internal/spirv"
 	"spirvfuzz/internal/target"
@@ -158,17 +159,32 @@ type Stats struct {
 	LaneGroups      uint64
 	LaneDivergences uint64
 	ScalarFallbacks uint64
+	// Memo tier: persistent result/compile lookups (see memo.go). All zero
+	// unless SetMemoStore attached a store. MemoHits are executions served
+	// from disk without running anything; MemoMisses are lookups that had
+	// to execute; MemoSpills are outcomes queued for persistence; and
+	// SingleflightHits are executions answered by another engine's
+	// in-flight run on the shared store.
+	MemoHits         uint64
+	MemoMisses       uint64
+	MemoSpills       uint64
+	SingleflightHits uint64
 }
 
 // HitRate returns the fraction of cache lookups served without executing
-// anything, across all layers; 0 before any Run call.
+// anything, across all layers — result, compile, render, plan, and the
+// persistent memo tier; 0 before any Run call. A singleflight hit counts
+// as served (its lookup is already in the denominator as a memo miss),
+// so the rate never exceeds 1.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses + s.CompileHits + s.CompileMisses +
-		s.RenderHits + s.RenderMisses + s.PlanHits + s.PlanMisses
+		s.RenderHits + s.RenderMisses + s.PlanHits + s.PlanMisses +
+		s.MemoHits + s.MemoMisses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.CompileHits+s.RenderHits+s.PlanHits) / float64(total)
+	return float64(s.Hits+s.CompileHits+s.RenderHits+s.PlanHits+
+		s.MemoHits+s.SingleflightHits) / float64(total)
 }
 
 // uniEntry memoizes the hash of one uniforms map. The map itself is retained
@@ -195,16 +211,24 @@ type Engine struct {
 	uniMu   sync.Mutex
 	uniMemo map[uintptr]uniEntry
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	compileHits   atomic.Uint64
-	compileMisses atomic.Uint64
-	renderHits    atomic.Uint64
-	renderMisses  atomic.Uint64
-	planHits      atomic.Uint64
-	planMisses    atomic.Uint64
-	planNanos     atomic.Int64
-	evictions     atomic.Uint64
+	// memo is the optional persistent fifth tier (see memo.go); nil when
+	// no store is attached.
+	memo *memostore.Store
+
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	compileHits      atomic.Uint64
+	compileMisses    atomic.Uint64
+	renderHits       atomic.Uint64
+	renderMisses     atomic.Uint64
+	planHits         atomic.Uint64
+	planMisses       atomic.Uint64
+	planNanos        atomic.Int64
+	evictions        atomic.Uint64
+	memoHits         atomic.Uint64
+	memoMisses       atomic.Uint64
+	memoSpills       atomic.Uint64
+	singleflightHits atomic.Uint64
 }
 
 // New returns an engine whose worker pool admits workers concurrent target
@@ -401,8 +425,7 @@ func (e *Engine) runKeyed(ctx context.Context, tg *target.Target, m *spirv.Modul
 			close(ent.done)
 			return nil, nil, ctx.Err()
 		}
-		e.misses.Add(1)
-		ent.img, ent.crash = e.runUncached(tg, m, in, k)
+		ent.img, ent.crash = e.execute(tg, m, in, k)
 		<-e.sem
 		close(ent.done)
 		return ent.img, ent.crash, nil
@@ -469,13 +492,17 @@ func (e *Engine) compile(m *spirv.Module, modHash [sha256.Size]byte, muts []targ
 	s.m[ck] = ent
 	s.mu.Unlock()
 
-	e.compileMisses.Add(1)
-	compiled, err := target.SharedCompile(m, muts)
-	if err != nil {
-		ent.errMsg = err.Error()
+	if e.memoActive() {
+		ent.compiled, ent.fp, ent.errMsg = e.compileMemoFill(m, muts, ck)
 	} else {
-		ent.compiled = compiled
-		ent.fp = compiled.Fingerprint()
+		e.compileMisses.Add(1)
+		compiled, err := target.SharedCompile(m, muts)
+		if err != nil {
+			ent.errMsg = err.Error()
+		} else {
+			ent.compiled = compiled
+			ent.fp = compiled.Fingerprint()
+		}
 	}
 	close(ent.done)
 	return ent.compiled, ent.fp, ent.errMsg
@@ -640,6 +667,10 @@ func (e *Engine) Stats() Stats {
 		Evictions:        e.evictions.Load(),
 		Workers:          e.workers,
 		OptPasses:        opt.PassStats(),
+		MemoHits:         e.memoHits.Load(),
+		MemoMisses:       e.memoMisses.Load(),
+		MemoSpills:       e.memoSpills.Load(),
+		SingleflightHits: e.singleflightHits.Load(),
 	}
 	lt := interp.LaneTotals()
 	st.LaneGroups, st.LaneDivergences, st.ScalarFallbacks = lt.Groups, lt.Divergences, lt.Fallbacks

@@ -31,6 +31,10 @@ func (s *Stats) AddEngine(o Stats) {
 	s.Evictions += o.Evictions
 	s.Entries += o.Entries
 	s.Workers += o.Workers
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+	s.MemoSpills += o.MemoSpills
+	s.SingleflightHits += o.SingleflightHits
 }
 
 // mergeShared folds the process-wide fields of o into s element-wise by max.

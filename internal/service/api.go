@@ -18,6 +18,7 @@ import (
 
 	"spirvfuzz/internal/bisect"
 	"spirvfuzz/internal/harness"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/store"
@@ -141,6 +142,13 @@ type CampaignStatus struct {
 	// case's (target, signature). Always 0 without CrossBucketPrecheck.
 	CoveredReductions int    `json:"covered_reductions,omitempty"`
 	Error             string `json:"error,omitempty"`
+	// MemoHits and MemoMisses are this campaign's slice of the persistent
+	// memo tier: engine-counter deltas over the pipeline's run window.
+	// They are observability only (never journaled, zero after a resume,
+	// approximate under concurrent campaigns) and both zero when the
+	// daemon runs without a memo store.
+	MemoHits   uint64 `json:"memo_hits,omitempty"`
+	MemoMisses uint64 `json:"memo_misses,omitempty"`
 }
 
 // Bucket is one recommended bug report (Section 3.5): the representative of
@@ -265,4 +273,7 @@ type Metrics struct {
 	Runner runner.Stats `json:"runner"`
 	Replay replay.Stats `json:"replay"`
 	Store  store.Stats  `json:"store"`
+	// Memo is the persistent execution memo store's snapshot; nil when the
+	// daemon runs without -memo-dir.
+	Memo *memostore.Stats `json:"memo,omitempty"`
 }

@@ -24,6 +24,18 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) error {
 	}
 	env := Env{Eng: s.eng, Reng: s.reng, Blobs: s.st}
 
+	// Snapshot the memo counters so the campaign can report its delta —
+	// approximate when campaigns overlap, but a faithful warm/cold signal
+	// for the common one-at-a-time case.
+	memoStart := s.eng.Stats()
+	defer func() {
+		memoEnd := s.eng.Stats()
+		c.mu.Lock()
+		c.memoHits = memoEnd.MemoHits - memoStart.MemoHits
+		c.memoMisses = memoEnd.MemoMisses - memoStart.MemoMisses
+		c.mu.Unlock()
+	}()
+
 	// Stage 1: generate and classify. Each test is one job; journaled tests
 	// are skipped (the skip counters are what GET /metrics reports as
 	// checkpoint reuse).

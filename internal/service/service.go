@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"spirvfuzz/internal/bisect"
+	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/replay"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/store"
@@ -124,6 +125,10 @@ type campaign struct {
 	reduceTotal       int
 	skippedTests      int
 	skippedReductions int
+	// memoHits/memoMisses are the engine's memo-counter deltas over this
+	// campaign's run window (observability only; see CampaignStatus).
+	memoHits   uint64
+	memoMisses uint64
 }
 
 func newCampaign(id string, spec CampaignSpec) *campaign {
@@ -156,6 +161,8 @@ func (c *campaign) status() CampaignStatus {
 		SkippedTests:      c.skippedTests,
 		SkippedReductions: c.skippedReductions,
 		Error:             c.errMsg,
+		MemoHits:          c.memoHits,
+		MemoMisses:        c.memoMisses,
 	}
 	for _, bugs := range c.testsDone {
 		st.Bugs += len(bugs)
@@ -178,6 +185,15 @@ type Options struct {
 	// ReplayBudget bounds the replay snapshot cache; <= 0 selects the
 	// replay.DefaultBudget.
 	ReplayBudget int64
+	// MemoDir, when non-empty, attaches a persistent execution memo store
+	// rooted there: campaign, bisect, and precheck executions consult it
+	// before running and spill completed outcomes back, so a restarted
+	// daemon — or a second campaign over the same corpus — warm-starts.
+	// Results are bitwise-identical at any memo temperature.
+	MemoDir string
+	// MemoMaxBytes bounds the memo store's segment bytes; <= 0 selects
+	// memostore.DefaultMaxBytes. Ignored without MemoDir.
+	MemoMaxBytes int64
 }
 
 // Service owns the campaign pipeline: a job queue over the shared execution
@@ -187,6 +203,7 @@ type Service struct {
 	eng   *runner.Engine
 	reng  *replay.Engine
 	beng  *bisect.Engine
+	memo  *memostore.Store // nil without Options.MemoDir
 	queue *Queue
 
 	ctx    context.Context
@@ -215,11 +232,24 @@ func New(st *store.Store, opts Options) (*Service, error) {
 		budget = replay.DefaultBudget
 	}
 	eng := runner.New(workers)
+	// The memo store attaches before recovery: resumed pipelines start
+	// executing immediately and must see the warm tier.
+	var memo *memostore.Store
+	if opts.MemoDir != "" {
+		var err error
+		memo, err = memostore.Open(opts.MemoDir, opts.MemoMaxBytes)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("service: memo store: %w", err)
+		}
+		eng.SetMemoStore(memo)
+	}
 	s := &Service{
 		st:           st,
 		eng:          eng,
 		reng:         replay.NewEngine(budget),
 		beng:         bisect.New(eng),
+		memo:         memo,
 		queue:        NewQueue(ctx, eng.Workers()),
 		ctx:          ctx,
 		cancel:       cancel,
@@ -231,6 +261,9 @@ func New(st *store.Store, opts Options) (*Service, error) {
 	if err := s.recover(); err != nil {
 		cancel()
 		s.queue.Drain(context.Background())
+		if memo != nil {
+			memo.Close()
+		}
 		return nil, err
 	}
 	// Resume unfinished campaigns in creation order: their journaled steps
@@ -616,6 +649,10 @@ func (s *Service) Metrics() Metrics {
 		Store:         s.st.Stats(),
 		Bisect:        s.beng.Stats(),
 	}
+	if s.memo != nil {
+		ms := s.memo.Stats()
+		m.Memo = &ms
+	}
 	for _, st := range s.Campaigns() {
 		m.Campaigns++
 		if st.State == StateDone {
@@ -640,9 +677,20 @@ func (s *Service) Close(ctx context.Context) error {
 	forced := s.queue.Drain(ctx)
 	s.cancel()
 	s.pipelines.Wait()
+	if s.memo != nil {
+		// After the pipelines stop: Close flushes the spill queue and
+		// checkpoints the index so the next daemon warm-starts cheaply.
+		if err := s.memo.Close(); err != nil && forced == nil {
+			forced = err
+		}
+	}
 	s.st.Journal().Sync()
 	if err := s.st.Close(); err != nil && forced == nil {
 		forced = err
 	}
 	return forced
 }
+
+// MemoStore returns the service's persistent memo store, or nil when the
+// daemon runs without one.
+func (s *Service) MemoStore() *memostore.Store { return s.memo }
