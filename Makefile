@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-bisect test-daemon test-cluster test-memo bench baseline bench-compare profile
+.PHONY: ci fmt vet build test test-bisect test-daemon test-cluster test-memo test-transport bench baseline bench-compare profile
 
 # Everything CI runs, in order; fails fast.
-ci: fmt vet build test test-bisect test-daemon test-cluster test-memo bench
+ci: fmt vet build test test-bisect test-daemon test-cluster test-memo test-transport bench
 
 # The bisection oracle gets its own race pass: the determinism property
 # (FirstBad identical at any worker count, lane width, or cache temperature)
@@ -26,6 +26,15 @@ test-daemon:
 test-cluster:
 	$(GO) test -race -shuffle=on ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestSpirvdCluster|TestSpirvdCoordinatorLocalNodes' .
+
+# The pipelined transport gets a dedicated race pass: the bitwise-identity
+# matrix (prefetch × compression × batching × node count must all merge the
+# same buckets), lease-steal and kill-mid-prefetch fault injection with the
+# duplicate-report guard, the gzip wire accounting round trip, and the
+# jittered idle backoff ladder.
+test-transport:
+	$(GO) test -race -count=1 -run 'Pipeline|Prefetch|LeaseSteal|Transport|Backoff' ./internal/cluster/...
+	$(GO) test -count=1 -run 'TestSpirvdClusterKillRejoin' .
 
 # The persistent memo tier gets its own race pass: the segment/index/
 # checkpoint durability suite (with -shuffle varying the spill/evict/
@@ -71,7 +80,7 @@ baseline:
 # fresh replay; journal resume over a fresh campaign; batched RunAll over a
 # per-target compile loop; the register VM over the tree-walker; lane-mode
 # rendering over the scalar VM; a warm memo repeat campaign over cold)
-# regresses below 0.75x its value in the committed BENCH_pr9.json
+# regresses below 0.75x its value in the committed BENCH_pr10.json
 # trajectory point — loose enough for machine noise, tight enough to catch
 # a disabled cache, a resume that silently re-runs journaled work, compile
 # sharing gone, the VM degenerating to tree-walker speed, or lane mode
@@ -85,27 +94,35 @@ baseline:
 # cache-hit fraction of BenchmarkBisectCampaign falling below 0.95x
 # baseline means bisect probes stopped reusing compile keys, and the
 # warm-hit-frac of BenchmarkMemoWarmCampaign falling below 0.95x means the
-# persistent memo tier stopped serving a warm repeat from disk.
+# persistent memo tier stopped serving a warm repeat from disk. The last
+# pass guards the pipelined transport's wire economy in max mode: the
+# wire-frac of BenchmarkClusterPipeline (batched+gzipped bytes over the
+# legacy protocol's) blowing past 1.5x baseline means batching or
+# compression silently stopped shrinking the protocol — its speedup floor
+# rides in the default min-mode speedup pass like every other ratio.
 bench-compare:
 	$(GO) test -short -run '^$$' -bench 'Reduce|Replay|Resume|RunAll|InterpVM|Cluster|Bisect|Memo' -benchtime=1x -benchmem . \
 		| tee /dev/stderr | awk -f scripts/bench2json.awk > /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
 		-current /tmp/bench-current.json
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
 		-current /tmp/bench-current.json -metric ns/op -mode max -tolerance 1.5 \
 		-only BenchmarkRunnerParallelReduce
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
 		-current /tmp/bench-current.json -metric allocs/op -mode max -tolerance 1.5 \
 		-only BenchmarkInterpVMLanes/uniform/l8
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
 		-current /tmp/bench-current.json -metric dedup-frac -mode min -tolerance 0.95 \
 		-only BenchmarkClusterCampaign
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
 		-current /tmp/bench-current.json -metric hit-frac -mode min -tolerance 0.95 \
 		-only BenchmarkBisectCampaign
-	$(GO) run ./scripts/benchcompare -baseline BENCH_pr9.json \
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
 		-current /tmp/bench-current.json -metric warm-hit-frac -mode min -tolerance 0.95 \
 		-only BenchmarkMemoWarmCampaign
+	$(GO) run ./scripts/benchcompare -baseline BENCH_pr10.json \
+		-current /tmp/bench-current.json -metric wire-frac -mode max -tolerance 1.5 \
+		-only BenchmarkClusterPipeline
 
 # CPU-profile the parallel-reduction campaign benchmark and print the top-10
 # functions by flat time — the quick answer to "where do campaign cycles go".

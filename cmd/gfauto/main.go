@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"spirvfuzz/internal/bisect"
+	"spirvfuzz/internal/cluster"
 	"spirvfuzz/internal/corpus"
 	"spirvfuzz/internal/experiments"
 	"spirvfuzz/internal/harness"
@@ -25,6 +27,7 @@ import (
 	"spirvfuzz/internal/memostore"
 	"spirvfuzz/internal/runner"
 	"spirvfuzz/internal/service"
+	"spirvfuzz/internal/store"
 	"spirvfuzz/internal/target"
 )
 
@@ -46,6 +49,7 @@ func main() {
 	exportReports := flag.String("export-reports", "", "reduce and export a bug-report bundle per distinct signature (Section 5 mode)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit per-tool campaign summaries as JSON (the shape spirvd serves) instead of tables")
+	clusterProbe := flag.Int("cluster-probe", 0, "run a small probe campaign over this many in-process cluster nodes and report transfer/prefetch/shard-sizing counters")
 	interpEngine := flag.String("interp", "vm", "interpreter engine: vm (compile-once register VM) or tree (tree-walking reference; results are identical)")
 	lanes := flag.String("lanes", "0", `pixels per VM instruction, warp-style: a lane count (0 = scalar, max 16) or "auto" to probe each render (results are identical either way)`)
 	flag.Parse()
@@ -69,8 +73,8 @@ func main() {
 	if *all {
 		*table3, *venn, *rq2, *table4, *bisectRQ = true, true, true, true, true
 	}
-	if !*table3 && !*venn && !*rq2 && !*table4 && !*bisectRQ && *exportReports == "" && !*asJSON {
-		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-bisect/-all/-json or -list-targets")
+	if !*table3 && !*venn && !*rq2 && !*table4 && !*bisectRQ && *exportReports == "" && !*asJSON && *clusterProbe <= 0 {
+		fmt.Fprintln(os.Stderr, "gfauto: nothing to do; pass -table3/-venn/-rq2/-table4/-bisect/-cluster-probe/-all/-json or -list-targets")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -132,6 +136,28 @@ func main() {
 		fatal(err)
 	}
 
+	// The cluster probe is a real measurement, not a replay of counters: a
+	// small campaign runs over N in-process nodes (loopback HTTP, pipelined
+	// transport) and the transfer/prefetch/shard-sizing counters that
+	// produced are reported.
+	var probeCluster *cluster.ClusterStats
+	var probeWire *cluster.WireStats
+	if *clusterProbe > 0 {
+		cs, ws, err := clusterProbeRun(*clusterProbe)
+		fatal(err)
+		probeCluster, probeWire = &cs, &ws
+		if !*asJSON {
+			fmt.Printf("gfauto: cluster probe (%d nodes): %d shards done (%d prefetched, %d requeued, %d duplicate), %d round trips, %d wire / %d raw bytes, blob dedup %.0f%%\n",
+				*clusterProbe, cs.ShardsCompleted, cs.Sync.Prefetched, cs.ShardsRequeued, cs.ShardsDuplicate,
+				ws.RoundTrips, ws.WireBytesOut+ws.WireBytesIn, ws.RawBytesOut+ws.RawBytesIn,
+				100*cs.BlobDedupFraction)
+			for _, sz := range cs.Sizing {
+				fmt.Printf("gfauto: cluster probe sizing: %-6s shard size %d/%d (unit %.1fms, sync %.1fms, %d resizes)\n",
+					sz.Phase, sz.Size, sz.MaxSize, sz.UnitMS, sz.SyncMS, sz.Resizes)
+			}
+		}
+	}
+
 	if *asJSON {
 		var memoStats *memostore.Stats
 		if c.Memo != nil {
@@ -143,7 +169,9 @@ func main() {
 			Runner    runner.Stats             `json:"runner"`
 			Bisect    bisect.Stats             `json:"bisect"`
 			Memo      *memostore.Stats         `json:"memo,omitempty"`
-		}{campaignSummaries(c), c.Engine.Stats(), c.BisectStats(), memoStats}, "", "  ")
+			Cluster   *cluster.ClusterStats    `json:"cluster,omitempty"`
+			Wire      *cluster.WireStats       `json:"wire,omitempty"`
+		}{campaignSummaries(c), c.Engine.Stats(), c.BisectStats(), memoStats, probeCluster, probeWire}, "", "  ")
 		fatal(err)
 		fmt.Println(string(out))
 	}
@@ -208,6 +236,55 @@ func campaignSummaries(c *experiments.Campaigns) []service.CampaignStatus {
 		})
 	}
 	return out
+}
+
+// clusterProbeRun runs a small fixed campaign over an n-node in-process
+// cluster — temp stores, loopback HTTP, pipelined transport, adaptive
+// shards — and returns the coordinator's cluster counters plus the
+// process-wide wire-transfer delta the probe produced.
+func clusterProbeRun(n int) (cluster.ClusterStats, cluster.WireStats, error) {
+	var zero cluster.ClusterStats
+	var zw cluster.WireStats
+	dir, err := os.MkdirTemp("", "gfauto-cluster-*")
+	if err != nil {
+		return zero, zw, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(filepath.Join(dir, "hub"))
+	if err != nil {
+		return zero, zw, err
+	}
+	defer st.Close()
+	co, err := cluster.NewCoordinator(st, cluster.Options{AdaptiveShards: true})
+	if err != nil {
+		return zero, zw, err
+	}
+	defer co.Close()
+	before := cluster.SnapshotWire()
+	sim, err := cluster.StartSim(co, n, dir, 2)
+	if err != nil {
+		return zero, zw, err
+	}
+	defer sim.Stop()
+	status, err := co.CreateCampaign(service.CampaignSpec{Tests: 24})
+	if err != nil {
+		return zero, zw, err
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		cs, ok := co.Campaign(status.ID)
+		if ok && cs.State == service.StateDone {
+			break
+		}
+		if ok && cs.State == service.StateFailed {
+			return zero, zw, fmt.Errorf("cluster probe campaign failed: %s", cs.Error)
+		}
+		if time.Now().After(deadline) {
+			return zero, zw, fmt.Errorf("cluster probe campaign timed out")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return co.Metrics().Cluster, cluster.SnapshotWire().Sub(before), nil
 }
 
 // ratio is a/b guarding the empty case.

@@ -89,8 +89,13 @@ func serverMain(args []string) {
 	node := fs.String("node", "", "worker node name (default host-pid)")
 	nodes := fs.Int("nodes", 0, "coordinator only: spawn this many in-process worker nodes")
 	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "coordinator only: shard lease before an unreported shard is re-queued")
-	shardTests := fs.Int("shard-tests", 4, "coordinator only: tests per fuzz shard")
-	shardCases := fs.Int("shard-cases", 2, "coordinator only: cases per reduce shard")
+	shardTests := fs.Int("shard-tests", 4, "coordinator only: max tests per fuzz shard")
+	shardCases := fs.Int("shard-cases", 2, "coordinator only: max cases per reduce shard")
+	adaptiveShards := fs.Bool("adaptive-shards", true, "coordinator only: size shards from observed service-vs-sync time (bounded by -shard-tests/-shard-cases; results are identical either way)")
+	syncFrac := fs.Float64("sync-frac", 0.2, "coordinator only: target fraction of shard wall time spent syncing when -adaptive-shards is on")
+	prefetch := fs.Bool("prefetch", true, "worker: pipeline the transport by leasing and syncing the next shard during execution (results are identical either way)")
+	compress := fs.Bool("compress", true, "worker: gzip-negotiate request/response bodies (results are identical either way)")
+	batch := fs.Bool("batch", true, "worker: fold per-shard blob/memo/result chatter into multi-key /cluster/sync round trips; off speaks the per-endpoint legacy protocol (results are identical either way)")
 	fs.Parse(args)
 	switch *interpEngine {
 	case "vm":
@@ -116,6 +121,7 @@ func serverMain(args []string) {
 			join: *join, node: *node, storeDir: *storeDir,
 			workers: *workers, replayMB: *replayMB,
 			memoDir: *memoDir, memoMaxMB: *memoMaxMB,
+			prefetch: *prefetch, compress: *compress, batch: *batch,
 		})
 		return
 	}
@@ -149,10 +155,12 @@ func serverMain(args []string) {
 			fatal(err)
 		}
 		co, err := cluster.NewCoordinator(st, cluster.Options{
-			ShardTests: *shardTests,
-			ShardCases: *shardCases,
-			LeaseTTL:   *leaseTTL,
-			Memo:       memo,
+			ShardTests:     *shardTests,
+			ShardCases:     *shardCases,
+			LeaseTTL:       *leaseTTL,
+			Memo:           memo,
+			AdaptiveShards: *adaptiveShards,
+			SyncFraction:   *syncFrac,
 		})
 		fatal(err)
 		handler = co.Mux()
@@ -217,6 +225,9 @@ func serverMain(args []string) {
 				StoreDir:     filepath.Join(*storeDir, "nodes", name),
 				Workers:      *workers,
 				ReplayBudget: int64(*replayMB) << 20,
+				Prefetch:     *prefetch,
+				Compress:     *compress,
+				Batch:        *batch,
 			}
 			if *memoDir != "" {
 				// Per-node memo stores beside the hub's; each node syncs
@@ -255,6 +266,9 @@ type workerConfig struct {
 	replayMB  int
 	memoDir   string
 	memoMaxMB int
+	prefetch  bool
+	compress  bool
+	batch     bool
 }
 
 // workerMain runs the worker role: no listener, just a loop pulling shards
@@ -280,6 +294,9 @@ func workerMain(cfg workerConfig) {
 		ReplayBudget: int64(cfg.replayMB) << 20,
 		MemoDir:      cfg.memoDir,
 		MemoMaxBytes: int64(cfg.memoMaxMB) << 20,
+		Prefetch:     cfg.prefetch,
+		Compress:     cfg.compress,
+		Batch:        cfg.batch,
 	})
 	fatal(err)
 	defer w.Close()

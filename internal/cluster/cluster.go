@@ -120,6 +120,10 @@ type ShardResult struct {
 	Runner runner.Stats `json:"runner"`
 	Replay replay.Stats `json:"replay"`
 	Bisect bisect.Stats `json:"bisect"`
+	// ServiceNanos is the wall time the worker spent executing the shard's
+	// units (excluding sync), the numerator of the coordinator's adaptive
+	// shard-sizing EWMA.
+	ServiceNanos int64 `json:"service_nanos,omitempty"`
 }
 
 // SyncStats accounts blob-sync traffic: how many bytes shard manifests
@@ -136,6 +140,20 @@ type SyncStats struct {
 	// when either side runs without a memo store.
 	MemoPulled uint64 `json:"memo_pulled,omitempty"`
 	MemoPushed uint64 `json:"memo_pushed,omitempty"`
+	// Transport accounting: coordinator round trips made for this shard, and
+	// the body bytes that crossed the wire versus their raw (pre-gzip) JSON
+	// size, both directions. The raw/wire gap is the compression win; the
+	// round-trip count is what batching collapses.
+	RoundTrips   uint64 `json:"round_trips,omitempty"`
+	WireBytesOut uint64 `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  uint64 `json:"wire_bytes_in,omitempty"`
+	RawBytesOut  uint64 `json:"raw_bytes_out,omitempty"`
+	RawBytesIn   uint64 `json:"raw_bytes_in,omitempty"`
+	// Prefetched counts shards whose lease+sync were pipelined behind the
+	// previous shard's execution; Nanos is the wall time spent syncing
+	// (wherever it ran), the denominator of the adaptive-sizing EWMA.
+	Prefetched uint64 `json:"prefetched,omitempty"`
+	Nanos      int64  `json:"nanos,omitempty"`
 }
 
 func (s *SyncStats) add(o SyncStats) {
@@ -145,6 +163,13 @@ func (s *SyncStats) add(o SyncStats) {
 	s.BytesTransferred += o.BytesTransferred
 	s.MemoPulled += o.MemoPulled
 	s.MemoPushed += o.MemoPushed
+	s.RoundTrips += o.RoundTrips
+	s.WireBytesOut += o.WireBytesOut
+	s.WireBytesIn += o.WireBytesIn
+	s.RawBytesOut += o.RawBytesOut
+	s.RawBytesIn += o.RawBytesIn
+	s.Prefetched += o.Prefetched
+	s.Nanos += o.Nanos
 }
 
 // DedupFraction returns the fraction of referenced bytes that did NOT need
@@ -191,6 +216,39 @@ type (
 	}
 	okResponse struct {
 		OK bool `json:"ok"`
+	}
+
+	// syncRequest/syncResponse are the batched protocol: one POST
+	// /cluster/sync round trip folds together what the legacy protocol
+	// spreads over /blobs/has+put+fetch, /memo/keys+has+fetch+push and
+	// /cluster/result. Every field is optional; the coordinator processes
+	// pushes before the folded Result (so merged records always see their
+	// blobs) and queries last. Any /cluster/sync request also renews the
+	// node's leases, so a batched exchange doubles as a heartbeat.
+	syncRequest struct {
+		Node string `json:"node"`
+		// Blob legs: fetch by hash, offer refs (response says which to push
+		// next time), push bodies.
+		BlobFetch []string  `json:"blob_fetch,omitempty"`
+		BlobOffer []BlobRef `json:"blob_offer,omitempty"`
+		BlobPush  [][]byte  `json:"blob_push,omitempty"`
+		// Memo legs, mirroring /memo/keys|fetch|has|push.
+		MemoSince *uint64      `json:"memo_since,omitempty"`
+		MemoFetch []string     `json:"memo_fetch,omitempty"`
+		MemoOffer []string     `json:"memo_offer,omitempty"`
+		MemoPush  []memoRecord `json:"memo_push,omitempty"`
+		// Result, when set, is the shard report folded into this round trip.
+		Result *ShardResult `json:"result,omitempty"`
+	}
+	syncResponse struct {
+		OK          bool         `json:"ok"`
+		Blobs       [][]byte     `json:"blobs,omitempty"`
+		BlobWant    []bool       `json:"blob_want,omitempty"`
+		MemoOK      bool         `json:"memo_ok,omitempty"`
+		MemoKeys    []string     `json:"memo_keys,omitempty"`
+		MemoMark    uint64       `json:"memo_mark,omitempty"`
+		MemoRecords []memoRecord `json:"memo_records,omitempty"`
+		MemoWant    []bool       `json:"memo_want,omitempty"`
 	}
 )
 

@@ -60,13 +60,24 @@ type campaignFailedRec struct {
 
 // Options configures a Coordinator.
 type Options struct {
-	// ShardTests is the number of tests per fuzz shard; <= 0 selects 4.
-	// Shard boundaries depend only on this and the spec — never on the node
-	// count — which keeps re-dispatch after a crash deterministic.
+	// ShardTests is the maximum number of tests per fuzz shard; <= 0 selects
+	// 4. With AdaptiveShards off every shard is cut at exactly this size;
+	// with it on the coordinator sizes shards dynamically up to this bound.
+	// Merged results are identical either way: completeness is derived from
+	// the merged records, never from shard geometry.
 	ShardTests int
-	// ShardCases is the number of reduction cases per reduce shard; <= 0
-	// selects 2.
+	// ShardCases is the maximum number of reduction (and bisect) cases per
+	// shard; <= 0 selects 2.
 	ShardCases int
+	// AdaptiveShards lets the coordinator resize shards at dispatch time from
+	// an EWMA of observed per-unit service time vs per-shard sync time,
+	// targeting shards large enough that sync overhead stays below
+	// SyncFraction of shard wall time. Bounded above by ShardTests /
+	// ShardCases, below by 1.
+	AdaptiveShards bool
+	// SyncFraction is the sync-overhead budget adaptive sizing aims for, as a
+	// fraction of total shard time; <= 0 selects 0.2.
+	SyncFraction float64
 	// LeaseTTL is how long a dispatched shard may go without a heartbeat
 	// before it is re-queued for another node; <= 0 selects 5s.
 	LeaseTTL time.Duration
@@ -89,6 +100,78 @@ func (o *Options) normalize() {
 	if o.LeaseTTL <= 0 {
 		o.LeaseTTL = 5 * time.Second
 	}
+	if o.SyncFraction <= 0 || o.SyncFraction >= 1 {
+		o.SyncFraction = 0.2
+	}
+}
+
+// phaseSizer is the adaptive shard-sizing state of one phase: EWMAs of
+// per-unit service nanos and per-shard sync nanos, and the current target
+// size. The policy: a shard of n units costs roughly sync + n·unit, so
+// keeping sync below fraction f of the total needs
+// n ≥ sync·(1−f)/(f·unit). Sizes only move on observed results, so a quiet
+// cluster keeps its last estimate.
+type phaseSizer struct {
+	unitNanos float64
+	syncNanos float64
+	size      int
+	resizes   uint64
+}
+
+// sizerAlpha is the EWMA weight of each new observation.
+const sizerAlpha = 0.3
+
+func (ps *phaseSizer) observe(units int, serviceNanos, syncNanos int64) {
+	if units <= 0 || serviceNanos <= 0 {
+		return
+	}
+	unit := float64(serviceNanos) / float64(units)
+	if ps.unitNanos == 0 {
+		ps.unitNanos = unit
+	} else {
+		ps.unitNanos += sizerAlpha * (unit - ps.unitNanos)
+	}
+	sn := float64(syncNanos)
+	if ps.syncNanos == 0 {
+		ps.syncNanos = sn
+	} else {
+		ps.syncNanos += sizerAlpha * (sn - ps.syncNanos)
+	}
+}
+
+func (ps *phaseSizer) retarget(f float64, maxSize int) {
+	if ps.unitNanos <= 0 {
+		return
+	}
+	want := int(ps.syncNanos*(1-f)/(f*ps.unitNanos)) + 1
+	if want < 1 {
+		want = 1
+	}
+	if want > maxSize {
+		want = maxSize
+	}
+	if ps.size == 0 {
+		ps.size = want
+		return
+	}
+	if want != ps.size {
+		ps.size = want
+		ps.resizes++
+	}
+}
+
+// ShardSizing is one phase's adaptive-sizing snapshot in /metrics: the
+// current target size against its configured maximum, the EWMAs behind it,
+// and how often the target moved. These are the worker auto-scaling hints —
+// a size pinned at max with a deep queue says "add nodes"; sync-dominated
+// tiny units say "the transport, not compute, is the bottleneck".
+type ShardSizing struct {
+	Phase   string  `json:"phase"`
+	Size    int     `json:"size"`
+	MaxSize int     `json:"max_size"`
+	UnitMS  float64 `json:"unit_ms"`
+	SyncMS  float64 `json:"sync_ms"`
+	Resizes uint64  `json:"resizes"`
 }
 
 // clusterCampaign is the coordinator's in-memory state of one campaign,
@@ -112,14 +195,6 @@ type clusterCampaign struct {
 	skippedReductions int
 }
 
-func (c *clusterCampaign) fuzzShards(opts Options) int {
-	return (c.spec.Tests + opts.ShardTests - 1) / opts.ShardTests
-}
-
-func (c *clusterCampaign) reduceShards(opts Options) int {
-	return (len(c.cases) + opts.ShardCases - 1) / opts.ShardCases
-}
-
 // clusterBisect is the coordinator's in-memory state of one bisection job.
 // Its case list is derived from the finished campaign's merged records in
 // the canonical selection order, so sharding is deterministic and the merged
@@ -135,10 +210,6 @@ type clusterBisect struct {
 	set      *service.BisectSet
 	errMsg   string
 	skipped  int
-}
-
-func (b *clusterBisect) shards(opts Options) int {
-	return (len(b.recs) + opts.ShardCases - 1) / opts.ShardCases
 }
 
 func (b *clusterBisect) status() service.BisectStatus {
@@ -178,14 +249,37 @@ func (c *clusterCampaign) status() service.CampaignStatus {
 	return st
 }
 
-// shardState is a queued or leased shard. Fuzz/reduce shards belong to a
-// campaign (c); bisect shards to a bisection job (b).
+// workUnit is the queue's granularity: one fuzz test index, one reduction
+// case, or one bisect case group. The queue is unit-granular so shard
+// boundaries are a *dispatch-time* decision — adaptive sizing can cut
+// differently-sized shards from the same queue, and an expired lease's units
+// simply rejoin it. Completeness is always derived from merged records, so
+// no geometry choice can change the merged result.
+type workUnit struct {
+	c     *clusterCampaign
+	b     *clusterBisect
+	phase string
+	// index is the fuzz test index, or the position of the case in the
+	// canonical selection order for reduce/bisect units.
+	index    int
+	locality string // preferred node, best-effort
+}
+
+func (u *workUnit) ownerID() string {
+	if u.b != nil {
+		return u.b.id
+	}
+	return u.c.id
+}
+
+// shardState is a leased in-flight shard: the units it was cut from, who
+// holds it, and when the lease expires.
 type shardState struct {
 	c        *clusterCampaign
 	b        *clusterBisect
 	phase    string
-	index    int
-	locality string    // preferred node, best-effort
+	index    int // first unit's index; the wire Shard.Index and key suffix
+	units    []*workUnit
 	node     string    // leased to
 	deadline time.Time // lease expiry
 }
@@ -212,6 +306,12 @@ type ClusterStats struct {
 	ShardsDuplicate   uint64    `json:"shards_duplicate"`
 	Sync              SyncStats `json:"sync"`
 	BlobDedupFraction float64   `json:"blob_dedup_fraction"`
+	// QueueDepth and LeasedShards snapshot the dispatch queue (in work
+	// units) and in-flight shard count; with Sizing they are the
+	// auto-scaling hints: deep queue + sizes pinned at max → add workers.
+	QueueDepth   int           `json:"queue_depth"`
+	LeasedShards int           `json:"leased_shards"`
+	Sizing       []ShardSizing `json:"sizing,omitempty"`
 }
 
 // Metrics is the coordinator-wide counter snapshot (GET /metrics), shaped
@@ -260,8 +360,9 @@ type Coordinator struct {
 	bisectOrder  []string
 	nextBisectID int
 	nodes        map[string]*nodeState
-	queue        []*shardState          // pending, FIFO
+	queue        []*workUnit            // pending units, FIFO
 	leased       map[string]*shardState // shard key -> in flight
+	sizers       map[string]*phaseSizer // phase -> adaptive sizing state
 
 	shardsDispatched uint64
 	shardsCompleted  uint64
@@ -286,6 +387,7 @@ func NewCoordinator(st *store.Store, opts Options) (*Coordinator, error) {
 		nextBisectID: 1,
 		nodes:        make(map[string]*nodeState),
 		leased:       make(map[string]*shardState),
+		sizers:       make(map[string]*phaseSizer),
 	}
 	if err := co.recover(); err != nil {
 		return nil, err
@@ -483,31 +585,6 @@ func (co *Coordinator) applyShard(c *clusterCampaign, rec shardDoneRec) {
 	}
 }
 
-// fuzzShardDone reports whether every test of fuzz shard i is merged.
-// Completeness is derived from the records rather than tracked by shard
-// index, so a coordinator restarted with a different ShardTests still
-// resumes correctly (it re-shards the remaining tests along new borders).
-func (co *Coordinator) fuzzShardDone(c *clusterCampaign, i int) bool {
-	lo := i * co.opts.ShardTests
-	hi := min(lo+co.opts.ShardTests, c.spec.Tests)
-	for t := lo; t < hi; t++ {
-		if _, ok := c.testsDone[t]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// reduceShardDone reports whether every case of reduce shard i is merged.
-func (co *Coordinator) reduceShardDone(c *clusterCampaign, i int) bool {
-	for _, rc := range co.shardCases(c, i) {
-		if _, ok := c.reduced[rc.Name]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
 // ensureCorpus builds (or idempotently rebuilds, after a restart) the
 // campaign's ordered corpus manifest: every reference item encoded and
 // stored as a blob. Encoding is deterministic, so the manifest — and with it
@@ -534,16 +611,16 @@ func (co *Coordinator) ensureCorpus(c *clusterCampaign) error {
 }
 
 // activate moves a pending campaign to its current phase and enqueues every
-// shard without a journaled result. Caller holds co.mu (or recovery).
+// unit without a journaled result. Caller holds co.mu (or recovery).
 func (co *Coordinator) activate(c *clusterCampaign) error {
 	if err := co.ensureCorpus(c); err != nil {
 		return err
 	}
 	if len(c.testsDone) < c.spec.Tests {
 		c.state = service.StateFuzzing
-		for i := 0; i < c.fuzzShards(co.opts); i++ {
-			if !co.fuzzShardDone(c, i) {
-				co.enqueue(&shardState{c: c, phase: PhaseFuzz, index: i})
+		for i := 0; i < c.spec.Tests; i++ {
+			if _, ok := c.testsDone[i]; !ok {
+				co.enqueue(&workUnit{c: c, phase: PhaseFuzz, index: i})
 			}
 		}
 		return nil
@@ -552,7 +629,7 @@ func (co *Coordinator) activate(c *clusterCampaign) error {
 }
 
 // enterReduce runs the deterministic selection over the merged fuzz records
-// and enqueues the missing reduce shards; with nothing left to reduce it
+// and enqueues the missing reduction cases; with nothing left to reduce it
 // goes straight to bucketing.
 func (co *Coordinator) enterReduce(c *clusterCampaign) error {
 	c.cases = service.SelectReductions(c.id, c.spec, c.testsDone)
@@ -560,17 +637,13 @@ func (co *Coordinator) enterReduce(c *clusterCampaign) error {
 		return co.finish(c)
 	}
 	c.state = service.StateReducing
-	for i := 0; i < c.reduceShards(co.opts); i++ {
-		if co.reduceShardDone(c, i) {
+	for i, rc := range c.cases {
+		if _, ok := c.reduced[rc.Name]; ok {
 			continue
 		}
-		ss := &shardState{c: c, phase: PhaseReduce, index: i}
-		// Prefer the node that fuzzed the shard's first case: it already
-		// holds the sequence blob, so the sync manifest dedupes fully.
-		if cases := co.shardCases(c, i); len(cases) > 0 {
-			ss.locality = c.caseNode[cases[0].Name]
-		}
-		co.enqueue(ss)
+		// Prefer the node that fuzzed the case: it already holds the
+		// sequence blob, so the sync manifest dedupes fully.
+		co.enqueue(&workUnit{c: c, phase: PhaseReduce, index: i, locality: c.caseNode[rc.Name]})
 	}
 	return nil
 }
@@ -620,44 +693,15 @@ func (co *Coordinator) activateBisect(j *clusterBisect) error {
 		return co.finishBisect(j)
 	}
 	j.state = service.StateBisecting
-	for i := 0; i < j.shards(co.opts); i++ {
-		if co.bisectShardDone(j, i) {
+	for i, rec := range j.recs {
+		if _, ok := j.outcomes[rec.Case]; ok {
 			continue
 		}
-		ss := &shardState{c: c, b: j, phase: PhaseBisect, index: i}
-		// Prefer the node that fuzzed the group's first case: its store
-		// already holds the campaign corpus and likely the report blob.
-		if recs := co.bisectShardRecs(j, i); len(recs) > 0 {
-			ss.locality = c.caseNode[recs[0].Case]
-		}
-		co.enqueue(ss)
+		// Prefer the node that fuzzed the case: its store already holds the
+		// campaign corpus and likely the report blob.
+		co.enqueue(&workUnit{c: c, b: j, phase: PhaseBisect, index: i, locality: c.caseNode[rec.Case]})
 	}
 	return nil
-}
-
-// bisectShardRecs returns the reduction records of bisect shard i, cut
-// deterministically from the selection order.
-func (co *Coordinator) bisectShardRecs(j *clusterBisect, i int) []service.ReducedRec {
-	lo := i * co.opts.ShardCases
-	hi := min(lo+co.opts.ShardCases, len(j.recs))
-	if lo >= hi {
-		return nil
-	}
-	return j.recs[lo:hi]
-}
-
-// bisectShardDone reports whether every case of bisect shard i is merged.
-func (co *Coordinator) bisectShardDone(j *clusterBisect, i int) bool {
-	recs := co.bisectShardRecs(j, i)
-	if len(recs) == 0 {
-		return true
-	}
-	for _, rec := range recs {
-		if _, ok := j.outcomes[rec.Case]; !ok {
-			return false
-		}
-	}
-	return true
 }
 
 // finishBisect assembles the merged result set, checkpoints it, and journals
@@ -695,9 +739,9 @@ func (co *Coordinator) failBisect(j *clusterBisect, msg string) {
 	j.errMsg = msg
 	co.st.Journal().Append(j.id, recBisectFailed, campaignFailedRec{Error: msg})
 	kept := co.queue[:0]
-	for _, ss := range co.queue {
-		if ss.b != j {
-			kept = append(kept, ss)
+	for _, u := range co.queue {
+		if u.b != j {
+			kept = append(kept, u)
 		}
 	}
 	co.queue = kept
@@ -716,9 +760,9 @@ func (co *Coordinator) fail(c *clusterCampaign, msg string) {
 	// which is the safer outcome.
 	co.st.Journal().Append(c.id, recCampaignFailed, campaignFailedRec{Error: msg})
 	kept := co.queue[:0]
-	for _, ss := range co.queue {
-		if ss.c != c {
-			kept = append(kept, ss)
+	for _, u := range co.queue {
+		if u.c != c {
+			kept = append(kept, u)
 		}
 	}
 	co.queue = kept
@@ -729,23 +773,13 @@ func (co *Coordinator) fail(c *clusterCampaign, msg string) {
 	}
 }
 
-func (co *Coordinator) enqueue(ss *shardState) {
-	co.queue = append(co.queue, ss)
+func (co *Coordinator) enqueue(u *workUnit) {
+	co.queue = append(co.queue, u)
 }
 
-// shardCases returns the case slice of reduce shard i, cut deterministically
-// from the selection order.
-func (co *Coordinator) shardCases(c *clusterCampaign, i int) []service.ReduceCase {
-	lo := i * co.opts.ShardCases
-	hi := min(lo+co.opts.ShardCases, len(c.cases))
-	if lo >= hi {
-		return nil
-	}
-	return c.cases[lo:hi]
-}
-
-// sweepLeases re-queues every leased shard whose deadline passed — the
-// work-stealing path for killed or wedged nodes. Caller holds co.mu.
+// sweepLeases re-queues the units of every leased shard whose deadline
+// passed — the work-stealing path for killed or wedged nodes. Caller holds
+// co.mu.
 func (co *Coordinator) sweepLeases(now time.Time) {
 	var expired []string
 	for k, ss := range co.leased {
@@ -757,9 +791,8 @@ func (co *Coordinator) sweepLeases(now time.Time) {
 	for _, k := range expired {
 		ss := co.leased[k]
 		delete(co.leased, k)
-		ss.node = ""
 		co.shardsRequeued++
-		co.queue = append(co.queue, ss)
+		co.queue = append(co.queue, ss.units...)
 	}
 }
 
@@ -793,9 +826,29 @@ func (co *Coordinator) Heartbeat(node string) {
 	co.sweepLeases(now)
 }
 
-// Next leases the next pending shard to a node, preferring shards whose
-// locality hint names it. The second return is false when no work is
-// pending (the worker backs off and polls again).
+// targetShardSize is how many units the next shard of a phase should carry:
+// the configured per-phase maximum, or — with adaptive sizing on and
+// observations in — the sizer's current target, never above the maximum.
+func (co *Coordinator) targetShardSize(phase string) int {
+	max := co.opts.ShardCases
+	if phase == PhaseFuzz {
+		max = co.opts.ShardTests
+	}
+	if !co.opts.AdaptiveShards {
+		return max
+	}
+	if ps := co.sizers[phase]; ps != nil && ps.size > 0 && ps.size < max {
+		return ps.size
+	}
+	return max
+}
+
+// Next cuts a shard from the unit queue and leases it to a node, preferring
+// units whose locality hint names it. The shard gathers queue-adjacent units
+// of the same job and phase up to the target size (fuzz units must also be
+// index-consecutive, since the wire shard is a [Lo, Hi) range). The second
+// return is false when no work is pending (the worker backs off and polls
+// again).
 func (co *Coordinator) Next(node string) (Shard, bool) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -808,16 +861,36 @@ func (co *Coordinator) Next(node string) (Shard, bool) {
 		return Shard{}, false
 	}
 	pick := 0
-	for i, ss := range co.queue {
-		if ss.locality == node {
+	for i, u := range co.queue {
+		if u.locality == node {
 			pick = i
 			break
 		}
 	}
-	ss := co.queue[pick]
+	first := co.queue[pick]
+	units := []*workUnit{first}
 	co.queue = append(co.queue[:pick], co.queue[pick+1:]...)
-	ss.node = node
-	ss.deadline = now.Add(co.opts.LeaseTTL)
+	target := co.targetShardSize(first.phase)
+	for len(units) < target && pick < len(co.queue) {
+		u := co.queue[pick]
+		if u.c != first.c || u.b != first.b || u.phase != first.phase {
+			break
+		}
+		if u.phase == PhaseFuzz && u.index != units[len(units)-1].index+1 {
+			break
+		}
+		units = append(units, u)
+		co.queue = append(co.queue[:pick], co.queue[pick+1:]...)
+	}
+	ss := &shardState{
+		c:        first.c,
+		b:        first.b,
+		phase:    first.phase,
+		index:    first.index,
+		units:    units,
+		node:     node,
+		deadline: now.Add(co.opts.LeaseTTL),
+	}
 	co.leased[ss.key()] = ss
 	co.shardsDispatched++
 
@@ -830,18 +903,20 @@ func (co *Coordinator) Next(node string) (Shard, bool) {
 	}
 	switch ss.phase {
 	case PhaseFuzz:
-		sh.Lo = ss.index * co.opts.ShardTests
-		sh.Hi = min(sh.Lo+co.opts.ShardTests, ss.c.spec.Tests)
+		sh.Lo = units[0].index
+		sh.Hi = units[len(units)-1].index + 1
 	case PhaseReduce:
-		sh.Cases = ss.c.shardCasesCopy(co, ss.index)
-		for _, rc := range sh.Cases {
+		for _, u := range units {
+			rc := ss.c.cases[u.index]
+			sh.Cases = append(sh.Cases, rc)
 			if size, ok := co.st.StatBlob(rc.Bug.SeqHash); ok {
 				sh.Needs = append(sh.Needs, BlobRef{Hash: rc.Bug.SeqHash, Size: size})
 			}
 		}
 	case PhaseBisect:
-		sh.Recs = append([]service.ReducedRec(nil), co.bisectShardRecs(ss.b, ss.index)...)
-		for _, rec := range sh.Recs {
+		for _, u := range units {
+			rec := ss.b.recs[u.index]
+			sh.Recs = append(sh.Recs, rec)
 			if size, ok := co.st.StatBlob(rec.ReportHash); ok {
 				sh.Needs = append(sh.Needs, BlobRef{Hash: rec.ReportHash, Size: size})
 			}
@@ -850,15 +925,35 @@ func (co *Coordinator) Next(node string) (Shard, bool) {
 	return sh, true
 }
 
-func (c *clusterCampaign) shardCasesCopy(co *Coordinator, i int) []service.ReduceCase {
-	return append([]service.ReduceCase(nil), co.shardCases(c, i)...)
+// observeShard feeds one merged shard result into the phase's adaptive
+// sizer. Observations are recorded (and surfaced in /metrics) even with
+// AdaptiveShards off — only dispatch consults the flag — so the sizing
+// hints are available before anyone opts in. Caller holds co.mu.
+func (co *Coordinator) observeShard(res ShardResult, units int) {
+	if units <= 0 {
+		return
+	}
+	ps := co.sizers[res.Phase]
+	if ps == nil {
+		ps = &phaseSizer{}
+		co.sizers[res.Phase] = ps
+	}
+	ps.observe(units, res.ServiceNanos, res.Sync.Nanos)
+	max := co.opts.ShardCases
+	if res.Phase == PhaseFuzz {
+		max = co.opts.ShardTests
+	}
+	ps.retarget(co.opts.SyncFraction, max)
 }
 
 // Result merges a worker's shard result: journal first, then apply, then
 // advance the campaign phase if the shard completed it. Duplicate results —
-// a slow node finishing a shard that was re-queued and completed elsewhere —
-// are acknowledged and dropped; both executions produced identical records,
-// so either journaling order yields the same campaign.
+// a slow or prefetching node finishing a shard that was re-queued and
+// completed elsewhere — are acknowledged and dropped; both executions
+// produced identical records, so either journaling order yields the same
+// campaign. Because shard geometry is a dispatch-time decision, duplicates
+// are detected against the merged records (is every unit of this result
+// already merged?), never against shard indices.
 func (co *Coordinator) Result(res ShardResult) error {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -880,16 +975,28 @@ func (co *Coordinator) Result(res ShardResult) error {
 	}
 	key := fmt.Sprintf("%s/%s/%d", res.Campaign, res.Phase, res.Index)
 	delete(co.leased, key)
-	done := false
+	dup := false
 	switch res.Phase {
 	case PhaseFuzz:
-		done = co.fuzzShardDone(c, res.Index)
+		dup = len(res.Tests) > 0
+		for _, tr := range res.Tests {
+			if _, ok := c.testsDone[tr.Index]; !ok {
+				dup = false
+				break
+			}
+		}
 	case PhaseReduce:
-		done = len(c.cases) > 0 && co.reduceShardDone(c, res.Index)
+		dup = len(res.Reduced) > 0 && len(c.cases) > 0
+		for _, rr := range res.Reduced {
+			if _, ok := c.reduced[rr.Case]; !ok {
+				dup = false
+				break
+			}
+		}
 	default:
 		return fmt.Errorf("cluster: result with unknown phase %q", res.Phase)
 	}
-	if done || c.state == service.StateDone || c.state == service.StateFailed {
+	if dup || c.state == service.StateDone || c.state == service.StateFailed {
 		co.shardsDuplicate++
 		return nil
 	}
@@ -903,6 +1010,7 @@ func (co *Coordinator) Result(res ShardResult) error {
 	}
 	co.applyShard(c, rec)
 	co.shardsCompleted++
+	co.observeShard(res, len(res.Tests)+len(res.Reduced))
 
 	switch res.Phase {
 	case PhaseFuzz:
@@ -930,7 +1038,14 @@ func (co *Coordinator) bisectResult(j *clusterBisect, res ShardResult) error {
 	if res.Phase != PhaseBisect {
 		return fmt.Errorf("cluster: bisect job %s: result with phase %q", j.id, res.Phase)
 	}
-	if co.bisectShardDone(j, res.Index) || j.state == service.StateDone || j.state == service.StateFailed {
+	dup := len(res.Bisects) > 0
+	for _, out := range res.Bisects {
+		if _, ok := j.outcomes[out.Case]; !ok {
+			dup = false
+			break
+		}
+	}
+	if dup || j.state == service.StateDone || j.state == service.StateFailed {
 		co.shardsDuplicate++
 		return nil
 	}
@@ -946,6 +1061,7 @@ func (co *Coordinator) bisectResult(j *clusterBisect, res ShardResult) error {
 		j.outcomes[out.Case] = out
 	}
 	co.shardsCompleted++
+	co.observeShard(res, len(res.Bisects))
 	if len(j.outcomes) >= len(j.recs) {
 		if err := co.finishBisect(j); err != nil {
 			co.failBisect(j, err.Error())
@@ -1154,7 +1270,33 @@ func (co *Coordinator) Metrics() Metrics {
 			ShardsDuplicate:   co.shardsDuplicate,
 			Sync:              co.sync,
 			BlobDedupFraction: co.sync.DedupFraction(),
+			QueueDepth:        len(co.queue),
+			LeasedShards:      len(co.leased),
 		},
+	}
+	phases := make([]string, 0, len(co.sizers))
+	for phase := range co.sizers {
+		phases = append(phases, phase)
+	}
+	sort.Strings(phases)
+	for _, phase := range phases {
+		ps := co.sizers[phase]
+		max := co.opts.ShardCases
+		if phase == PhaseFuzz {
+			max = co.opts.ShardTests
+		}
+		size := ps.size
+		if size <= 0 || size > max {
+			size = max
+		}
+		m.Cluster.Sizing = append(m.Cluster.Sizing, ShardSizing{
+			Phase:   phase,
+			Size:    size,
+			MaxSize: max,
+			UnitMS:  ps.unitNanos / 1e6,
+			SyncMS:  ps.syncNanos / 1e6,
+			Resizes: ps.resizes,
+		})
 	}
 	for _, id := range co.order {
 		m.Campaigns++
@@ -1177,3 +1319,71 @@ func (co *Coordinator) Metrics() Metrics {
 
 // MemoStore returns the coordinator's memo-sync hub store, nil without one.
 func (co *Coordinator) MemoStore() *memostore.Store { return co.memo }
+
+// SyncBatch serves one batched /cluster/sync exchange: pushes land first
+// (blobs, then memo records), then the folded shard result — so merged
+// records always find their blobs already in the store — then the node's
+// leases renew (a batched exchange doubles as a heartbeat), then the
+// queries answer. Every leg is optional; the legacy per-endpoint protocol
+// remains served for mixed-version clusters.
+func (co *Coordinator) SyncBatch(req syncRequest) (syncResponse, error) {
+	var resp syncResponse
+	if len(req.BlobPush) > 0 {
+		if _, err := co.st.PutBatch(req.BlobPush); err != nil {
+			return resp, err
+		}
+	}
+	if len(req.MemoPush) > 0 {
+		// Memo records are an optimization; a bad record drops rather than
+		// failing the exchange (which carries the shard result).
+		co.memoPush(req.MemoPush)
+	}
+	if req.Result != nil {
+		if err := co.Result(*req.Result); err != nil {
+			return resp, err
+		}
+	}
+	if req.Node != "" {
+		co.Heartbeat(req.Node)
+	}
+	if len(req.BlobFetch) > 0 {
+		blobs, err := co.st.GetBatch(req.BlobFetch)
+		if err != nil {
+			return resp, err
+		}
+		resp.Blobs = blobs
+	}
+	if len(req.BlobOffer) > 0 {
+		hashes := make([]string, len(req.BlobOffer))
+		for i, ref := range req.BlobOffer {
+			hashes[i] = ref.Hash
+		}
+		has := co.st.HasBatch(hashes)
+		resp.BlobWant = make([]bool, len(has))
+		for i, h := range has {
+			resp.BlobWant[i] = !h
+		}
+	}
+	if req.MemoSince != nil {
+		kr := co.memoKeys(*req.MemoSince)
+		resp.MemoOK = kr.OK
+		resp.MemoKeys = kr.Keys
+		resp.MemoMark = kr.Mark
+	}
+	if len(req.MemoFetch) > 0 {
+		fr, err := co.memoFetch(req.MemoFetch)
+		if err != nil {
+			return resp, err
+		}
+		resp.MemoRecords = fr.Records
+	}
+	if len(req.MemoOffer) > 0 {
+		hr := co.memoHas(req.MemoOffer)
+		resp.MemoWant = make([]bool, len(hr.Has))
+		for i, h := range hr.Has {
+			resp.MemoWant[i] = !h
+		}
+	}
+	resp.OK = true
+	return resp, nil
+}

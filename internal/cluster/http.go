@@ -1,12 +1,38 @@
 package cluster
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"spirvfuzz/internal/service"
 )
+
+// readJSON decodes a request body that may carry Content-Encoding: gzip —
+// the worker protocol negotiates compression per request, and every handler
+// must accept both codings so mixed clusters (compressing and legacy
+// workers against one coordinator) need no handshake.
+func readJSON(r *http.Request, v any) error {
+	body := r.Body
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return fmt.Errorf("bad gzip request body: %w", err)
+		}
+		defer zr.Close()
+		return json.NewDecoder(zr).Decode(v)
+	}
+	return json.NewDecoder(body).Decode(v)
+}
+
+// acceptsGzip reports whether the client explicitly asked for gzip
+// responses. Workers send Accept-Encoding explicitly either way, so this is
+// the negotiation bit, not a heuristic.
+func acceptsGzip(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+}
 
 // Mux returns the coordinator's complete HTTP API: the same campaign
 // endpoints spirvd serves in standalone mode (so the spirvd client and the
@@ -100,16 +126,16 @@ func (co *Coordinator) Mux() *http.ServeMux {
 	// Worker protocol.
 	mux.HandleFunc("POST /cluster/join", func(w http.ResponseWriter, r *http.Request) {
 		var req joinRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+		if err := readJSON(r, &req); err != nil || req.Node == "" {
 			clusterError(w, http.StatusBadRequest, fmt.Errorf("join needs a node name"))
 			return
 		}
 		ttl := co.Join(req.Node, req.ProcToken)
-		clusterJSON(w, http.StatusOK, joinResponse{OK: true, LeaseTTLMS: ttl.Milliseconds()})
+		clusterJSONN(w, r, http.StatusOK, joinResponse{OK: true, LeaseTTLMS: ttl.Milliseconds()})
 	})
 	mux.HandleFunc("POST /cluster/next", func(w http.ResponseWriter, r *http.Request) {
 		var req nodeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+		if err := readJSON(r, &req); err != nil || req.Node == "" {
 			clusterError(w, http.StatusBadRequest, fmt.Errorf("next needs a node name"))
 			return
 		}
@@ -118,20 +144,20 @@ func (co *Coordinator) Mux() *http.ServeMux {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		clusterJSON(w, http.StatusOK, sh)
+		clusterJSONN(w, r, http.StatusOK, sh)
 	})
 	mux.HandleFunc("POST /cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req nodeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+		if err := readJSON(r, &req); err != nil || req.Node == "" {
 			clusterError(w, http.StatusBadRequest, fmt.Errorf("heartbeat needs a node name"))
 			return
 		}
 		co.Heartbeat(req.Node)
-		clusterJSON(w, http.StatusOK, okResponse{OK: true})
+		clusterJSONN(w, r, http.StatusOK, okResponse{OK: true})
 	})
 	mux.HandleFunc("POST /cluster/result", func(w http.ResponseWriter, r *http.Request) {
 		var res ShardResult
-		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		if err := readJSON(r, &res); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -139,21 +165,37 @@ func (co *Coordinator) Mux() *http.ServeMux {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, okResponse{OK: true})
+		clusterJSONN(w, r, http.StatusOK, okResponse{OK: true})
+	})
+	// Batched protocol: one round trip folds blob pushes/fetches/offers,
+	// memo sync legs, and optionally the shard result itself. Responses are
+	// compact JSON with negotiated gzip.
+	mux.HandleFunc("POST /cluster/sync", func(w http.ResponseWriter, r *http.Request) {
+		var req syncRequest
+		if err := readJSON(r, &req); err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := co.SyncBatch(req)
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		clusterJSONC(w, r, http.StatusOK, resp)
 	})
 
 	// Blob-sync protocol against the coordinator's authoritative store.
 	mux.HandleFunc("POST /blobs/has", func(w http.ResponseWriter, r *http.Request) {
 		var req hasRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, hasResponse{Has: co.st.HasBatch(req.Hashes)})
+		clusterJSONN(w, r, http.StatusOK, hasResponse{Has: co.st.HasBatch(req.Hashes)})
 	})
 	mux.HandleFunc("POST /blobs/put", func(w http.ResponseWriter, r *http.Request) {
 		var req putRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -162,11 +204,11 @@ func (co *Coordinator) Mux() *http.ServeMux {
 			clusterError(w, http.StatusInternalServerError, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, putResponse{Hashes: hashes})
+		clusterJSONN(w, r, http.StatusOK, putResponse{Hashes: hashes})
 	})
 	mux.HandleFunc("POST /blobs/fetch", func(w http.ResponseWriter, r *http.Request) {
 		var req fetchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -175,7 +217,7 @@ func (co *Coordinator) Mux() *http.ServeMux {
 			clusterError(w, http.StatusNotFound, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, fetchResponse{Blobs: blobs})
+		clusterJSONN(w, r, http.StatusOK, fetchResponse{Blobs: blobs})
 	})
 
 	// Memo-sync protocol against the coordinator's memo hub. All four
@@ -184,23 +226,23 @@ func (co *Coordinator) Mux() *http.ServeMux {
 	// rest to no-ops, so mixed deployments need no configuration handshake.
 	mux.HandleFunc("POST /memo/keys", func(w http.ResponseWriter, r *http.Request) {
 		var req memoKeysRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, co.memoKeys(req.Since))
+		clusterJSONN(w, r, http.StatusOK, co.memoKeys(req.Since))
 	})
 	mux.HandleFunc("POST /memo/has", func(w http.ResponseWriter, r *http.Request) {
 		var req memoHasRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, co.memoHas(req.Keys))
+		clusterJSONN(w, r, http.StatusOK, co.memoHas(req.Keys))
 	})
 	mux.HandleFunc("POST /memo/fetch", func(w http.ResponseWriter, r *http.Request) {
 		var req memoFetchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -209,11 +251,11 @@ func (co *Coordinator) Mux() *http.ServeMux {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, resp)
+		clusterJSONN(w, r, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /memo/push", func(w http.ResponseWriter, r *http.Request) {
 		var req memoPushRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := readJSON(r, &req); err != nil {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -221,7 +263,7 @@ func (co *Coordinator) Mux() *http.ServeMux {
 			clusterError(w, http.StatusBadRequest, err)
 			return
 		}
-		clusterJSON(w, http.StatusOK, okResponse{OK: true})
+		clusterJSONN(w, r, http.StatusOK, okResponse{OK: true})
 	})
 	return mux
 }
@@ -232,6 +274,46 @@ func clusterJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// clusterJSONN is clusterJSON with negotiated response compression: the
+// same indented encoding the protocol has always used (so a legacy worker
+// sees byte-identical responses), gzip-coded only when the client asked for
+// it and the body clears the size floor.
+func clusterJSONN(w http.ResponseWriter, r *http.Request, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	data = append(data, '\n')
+	writeNegotiated(w, r, status, data)
+}
+
+// clusterJSONC is the batched endpoint's encoder: compact JSON (the batched
+// protocol is new, so there is no byte image to preserve and no reason to
+// ship indentation), gzip negotiated the same way.
+func clusterJSONC(w http.ResponseWriter, r *http.Request, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeNegotiated(w, r, status, data)
+}
+
+func writeNegotiated(w http.ResponseWriter, r *http.Request, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if acceptsGzip(r) && len(data) >= gzipMinBytes {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.WriteHeader(status)
+		zw := gzip.NewWriter(w)
+		zw.Write(data)
+		zw.Close()
+		return
+	}
+	w.WriteHeader(status)
+	w.Write(data)
 }
 
 func clusterError(w http.ResponseWriter, status int, err error) {

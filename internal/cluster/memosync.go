@@ -128,15 +128,25 @@ func (co *Coordinator) memoPush(wrecs []memoRecord) (int, error) {
 // list keys since the last pull cursor, fetch only the locally-missing
 // ones, merge put-if-absent. Called at join (warm start for a cold node)
 // and before each shard (picks up records other workers pushed meanwhile).
-// Sync errors are swallowed — the memo is an optimization; every record it
-// would have saved simply re-executes.
-func (w *Worker) pullMemo(ctx context.Context) {
+// Batched mode folds both legs into /cluster/sync bodies. Sync errors are
+// swallowed — the memo is an optimization; every record it would have saved
+// simply re-executes. Traffic accrues into sync.
+func (w *Worker) pullMemo(ctx context.Context, sync *SyncStats) {
 	if w.memo == nil || !w.memoSync {
 		return
 	}
 	var kr memoKeysResponse
-	if err := w.post(ctx, "/memo/keys", memoKeysRequest{Since: w.pullMark}, &kr); err != nil {
-		return
+	if w.opts.Batch {
+		since := w.pullMark
+		var sr syncResponse
+		if err := w.post(ctx, "/cluster/sync", syncRequest{Node: w.opts.Node, MemoSince: &since}, &sr, sync); err != nil {
+			return
+		}
+		kr = memoKeysResponse{OK: sr.MemoOK, Keys: sr.MemoKeys, Mark: sr.MemoMark}
+	} else {
+		if err := w.post(ctx, "/memo/keys", memoKeysRequest{Since: w.pullMark}, &kr, sync); err != nil {
+			return
+		}
 	}
 	if !kr.OK {
 		w.memoSync = false
@@ -156,12 +166,22 @@ func (w *Worker) pullMemo(ctx context.Context) {
 	if len(missing) == 0 {
 		return
 	}
-	var fr memoFetchResponse
-	if err := w.post(ctx, "/memo/fetch", memoFetchRequest{Keys: missing}, &fr); err != nil {
-		return
+	var records []memoRecord
+	if w.opts.Batch {
+		var sr syncResponse
+		if err := w.post(ctx, "/cluster/sync", syncRequest{Node: w.opts.Node, MemoFetch: missing}, &sr, sync); err != nil {
+			return
+		}
+		records = sr.MemoRecords
+	} else {
+		var fr memoFetchResponse
+		if err := w.post(ctx, "/memo/fetch", memoFetchRequest{Keys: missing}, &fr, sync); err != nil {
+			return
+		}
+		records = fr.Records
 	}
-	recs := make([]memostore.Record, 0, len(fr.Records))
-	for _, wr := range fr.Records {
+	recs := make([]memostore.Record, 0, len(records))
+	for _, wr := range records {
 		k, err := memostore.ParseKey(wr.K)
 		if err != nil {
 			return
@@ -172,7 +192,7 @@ func (w *Worker) pullMemo(ctx context.Context) {
 		return
 	}
 	w.memo.AddPulled(len(recs))
-	w.pendingPulled += uint64(len(recs))
+	sync.MemoPulled += uint64(len(recs))
 	// Pulled records advanced the local seq counter; move the push cursor
 	// past them so they are not offered straight back to the coordinator.
 	if _, mark := w.memo.KeysSince(w.pushMark); mark > w.pushMark {
@@ -183,8 +203,9 @@ func (w *Worker) pullMemo(ctx context.Context) {
 // pushMemo offers the coordinator every record appended locally since the
 // last push cursor, transferring only the ones it lacks — the outbound half
 // of the negotiation. Called after each shard, once the shard's executions
-// have spilled.
-func (w *Worker) pushMemo(ctx context.Context) {
+// have spilled (legacy protocol path; batched reporting folds the offer and
+// push into the result round trips instead).
+func (w *Worker) pushMemo(ctx context.Context, sync *SyncStats) {
 	if w.memo == nil || !w.memoSync {
 		return
 	}
@@ -199,7 +220,7 @@ func (w *Worker) pushMemo(ctx context.Context) {
 		manifest[i] = k.String()
 	}
 	var hr memoHasResponse
-	if err := w.post(ctx, "/memo/has", memoHasRequest{Keys: manifest}, &hr); err != nil {
+	if err := w.post(ctx, "/memo/has", memoHasRequest{Keys: manifest}, &hr, sync); err != nil {
 		return
 	}
 	if len(hr.Has) != len(manifest) {
@@ -215,11 +236,11 @@ func (w *Worker) pushMemo(ctx context.Context) {
 		}
 	}
 	if len(recs) > 0 {
-		if err := w.post(ctx, "/memo/push", memoPushRequest{Records: recs}, nil); err != nil {
+		if err := w.post(ctx, "/memo/push", memoPushRequest{Records: recs}, nil, sync); err != nil {
 			return
 		}
 		w.memo.AddPushed(len(recs))
-		w.pendingPushed += uint64(len(recs))
+		sync.MemoPushed += uint64(len(recs))
 	}
 	w.pushMark = mark
 }

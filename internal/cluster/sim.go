@@ -6,7 +6,9 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Sim is a simulated in-process cluster: one coordinator served over a real
@@ -21,6 +23,7 @@ type Sim struct {
 
 	dir        string
 	workersPer int
+	worker     func(*WorkerOptions)
 	srv        *http.Server
 	ln         net.Listener
 
@@ -31,32 +34,73 @@ type Sim struct {
 	workers map[string]*Worker
 }
 
-// StartSim serves co on a loopback listener and spawns n workers against it.
-// dir roots the per-worker stores; workersPer sizes each worker's engine
-// pool (0 = GOMAXPROCS).
+// SimConfig parameterizes a simulated cluster beyond the StartSim defaults.
+type SimConfig struct {
+	// Nodes is the initial worker count.
+	Nodes int
+	// Dir roots the per-worker store (and memo) directories.
+	Dir string
+	// WorkersPer sizes each worker's engine pool (0 = GOMAXPROCS).
+	WorkersPer int
+	// Latency, when > 0, is injected into every worker-protocol request
+	// (/cluster/, /blobs/, /memo/ paths) before it is served — a loopback
+	// stand-in for a real network round trip. Campaign-API requests are not
+	// delayed, so tests polling for completion stay fast.
+	Latency time.Duration
+	// Worker, when non-nil, edits each worker's options before it starts
+	// (e.g. to turn the pipelined transport off for a baseline leg).
+	Worker func(*WorkerOptions)
+}
+
+// StartSim serves co on a loopback listener and spawns n workers against it
+// with the pipelined transport on (prefetch + batched, compressed sync) —
+// the production default.
 func StartSim(co *Coordinator, n int, dir string, workersPer int) (*Sim, error) {
+	return StartSimCfg(co, SimConfig{Nodes: n, Dir: dir, WorkersPer: workersPer})
+}
+
+// StartSimCfg serves co on a loopback listener per cfg.
+func StartSimCfg(co *Coordinator, cfg SimConfig) (*Sim, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
+	var handler http.Handler = co.Mux()
+	if cfg.Latency > 0 {
+		handler = latencyMiddleware(handler, cfg.Latency)
+	}
 	s := &Sim{
 		Coordinator: co,
 		URL:         "http://" + ln.Addr().String(),
-		dir:         dir,
-		workersPer:  workersPer,
+		dir:         cfg.Dir,
+		workersPer:  cfg.WorkersPer,
+		worker:      cfg.Worker,
 		ln:          ln,
-		srv:         &http.Server{Handler: co.Mux()},
+		srv:         &http.Server{Handler: handler},
 		cancels:     make(map[string]context.CancelFunc),
 		workers:     make(map[string]*Worker),
 	}
 	go s.srv.Serve(ln)
-	for i := 0; i < n; i++ {
+	for i := 0; i < cfg.Nodes; i++ {
 		if _, err := s.AddWorker(); err != nil {
 			s.Stop()
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// latencyMiddleware sleeps d before serving worker-protocol requests,
+// simulating wire latency on the shard/blob/memo exchanges without slowing
+// the campaign API the tests poll.
+func latencyMiddleware(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Path
+		if strings.HasPrefix(p, "/cluster/") || strings.HasPrefix(p, "/blobs/") || strings.HasPrefix(p, "/memo/") {
+			time.Sleep(d)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // AddWorker spawns one more worker node and returns its name. Each worker
@@ -72,12 +116,18 @@ func (s *Sim) AddWorker() (string, error) {
 		Coordinator: s.URL,
 		StoreDir:    filepath.Join(s.dir, "node-"+name),
 		Workers:     s.workersPer,
+		Prefetch:    true,
+		Compress:    true,
+		Batch:       true,
 	}
 	// When the coordinator is a memo hub, give every simulated node its own
 	// memo store so the sync protocol runs for real (a rejoining node gets a
 	// fresh, cold directory and must warm-start over the wire).
 	if s.Coordinator.MemoStore() != nil {
 		opts.MemoDir = filepath.Join(s.dir, "memo-"+name)
+	}
+	if s.worker != nil {
+		s.worker(&opts)
 	}
 	w, err := NewWorker(opts)
 	if err != nil {

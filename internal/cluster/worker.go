@@ -1,11 +1,9 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"time"
@@ -42,8 +40,35 @@ type WorkerOptions struct {
 	// MemoMaxBytes bounds the memo store's segment bytes; <= 0 selects
 	// memostore.DefaultMaxBytes. Ignored without MemoDir.
 	MemoMaxBytes int64
-	// Poll is the idle backoff between work requests; <= 0 selects 10ms.
+	// Poll is the initial idle backoff between work requests; <= 0 selects
+	// 10ms. Idle sleeps are jittered and double up to PollMax, resetting
+	// whenever work arrives.
 	Poll time.Duration
+	// PollMax caps the idle backoff; <= 0 selects 500ms.
+	PollMax time.Duration
+	// Prefetch pipelines the transport: while a shard executes, the worker
+	// concurrently requests and blob-syncs the next one, so dispatch and
+	// sync latency hide behind compute. Each in-flight shard holds its own
+	// lease (heartbeats are node-wide and renew both); a prefetched shard
+	// the worker never reports simply expires and re-queues, and a
+	// duplicate execution is dropped by the coordinator — merged results
+	// are bitwise-identical to the serial loop either way.
+	Prefetch bool
+	// Compress negotiates gzip content-coding per request (bodies above a
+	// size floor, both directions).
+	Compress bool
+	// Batch collapses per-shard has/fetch/push chatter into multi-key
+	// /cluster/sync round trips, folding the shard result into the final
+	// one. Off, the worker speaks the per-endpoint protocol unchanged —
+	// a mixed cluster needs no handshake.
+	Batch bool
+}
+
+// prefetched is a shard whose lease and blob sync already happened, plus the
+// sync traffic that cost; the Run loop hands it straight to execution.
+type prefetched struct {
+	shard Shard
+	sync  SyncStats
 }
 
 // Worker is one pull-model cluster node: it loops requesting shards from the
@@ -62,16 +87,27 @@ type Worker struct {
 	hc       *http.Client
 	leaseTTL time.Duration
 
+	// Idle-backoff state (Run loop only): current delay and the jitter rng.
+	idle time.Duration
+	rng  *rand.Rand
+
+	// pendingSync accumulates transport traffic that has no shard to bill
+	// yet — the join exchange, the warm memo pull, the round trip that
+	// carried the previous result — and drains into the next shard's
+	// report. Run loop only.
+	pendingSync SyncStats
+
+	// inFlight is the outcome channel of the one asynchronous report the
+	// pipelined loop may have outstanding; nil when none. Run loop only.
+	inFlight chan reportOutcome
+
 	// Memo-sync state (nil/zero without WorkerOptions.MemoDir). The marks
-	// are the incremental cursors of the two sync directions; the pending
-	// counters accumulate between shard reports and drain into the next
-	// ShardResult.Sync. All are touched only from the Run loop.
-	memo          *memostore.Store
-	memoSync      bool
-	pullMark      uint64
-	pushMark      uint64
-	pendingPulled uint64
-	pendingPushed uint64
+	// are the incremental cursors of the two sync directions. All are
+	// touched only from the Run loop.
+	memo     *memostore.Store
+	memoSync bool
+	pullMark uint64
+	pushMark uint64
 
 	// Decoded reference-corpus cache, keyed by the manifest's joined hashes
 	// (content-addressed, so a perfect cache key).
@@ -86,6 +122,12 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	}
 	if opts.Poll <= 0 {
 		opts.Poll = 10 * time.Millisecond
+	}
+	if opts.PollMax <= 0 {
+		opts.PollMax = 500 * time.Millisecond
+	}
+	if opts.PollMax < opts.Poll {
+		opts.PollMax = opts.Poll
 	}
 	budget := opts.ReplayBudget
 	if budget <= 0 {
@@ -102,8 +144,9 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		eng:      eng,
 		reng:     replay.NewEngine(budget),
 		beng:     bisect.New(eng),
-		hc:       &http.Client{Timeout: 30 * time.Second},
+		hc:       newWorkerClient(),
 		leaseTTL: 5 * time.Second,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	if opts.MemoDir != "" {
 		memo, err := memostore.Open(opts.MemoDir, opts.MemoMaxBytes)
@@ -130,51 +173,155 @@ func (w *Worker) Close() error {
 }
 
 // Run joins the cluster and processes shards until ctx is canceled. Errors
-// talking to the coordinator (down, restarting) are retried with backoff;
-// deterministic shard failures are reported so the coordinator can fail the
-// campaign rather than re-dispatch forever.
+// talking to the coordinator (down, restarting) are retried with jittered
+// exponential backoff; deterministic shard failures are reported so the
+// coordinator can fail the campaign rather than re-dispatch forever.
 func (w *Worker) Run(ctx context.Context) error {
 	for ctx.Err() == nil {
 		var jr joinResponse
-		err := w.post(ctx, "/cluster/join", joinRequest{Node: w.opts.Node, ProcToken: runner.ProcessToken()}, &jr)
+		err := w.post(ctx, "/cluster/join", joinRequest{Node: w.opts.Node, ProcToken: runner.ProcessToken()}, &jr, &w.pendingSync)
 		if err == nil {
 			if jr.LeaseTTLMS > 0 {
 				w.leaseTTL = time.Duration(jr.LeaseTTLMS) * time.Millisecond
 			}
+			w.gotWork()
 			// Warm-start: pull the cluster's accumulated execution memo
 			// before taking any work. A rejoining cold node skips every
 			// execution the cluster has already done.
-			w.pullMemo(ctx)
+			w.pullMemo(ctx, &w.pendingSync)
 			break
 		}
-		if !sleepCtx(ctx, w.opts.Poll) {
+		if !w.idleSleep(ctx) {
 			return ctx.Err()
 		}
 	}
+	// Before returning, collect any report still in flight so Close never
+	// races a goroutine still reading the store (it exits promptly once ctx
+	// is canceled).
+	defer w.joinReport()
+	// pending is the shard the previous iteration prefetched, if any.
+	var pending *prefetched
 	for ctx.Err() == nil {
-		var sh Shard
-		ok, err := w.next(ctx, &sh)
-		if err != nil || !ok {
-			if !sleepCtx(ctx, w.opts.Poll) {
-				break
+		var cur *prefetched
+		if pending != nil {
+			cur, pending = pending, nil
+			cur.sync.Prefetched++
+		} else {
+			p := &prefetched{}
+			start := time.Now()
+			ok, err := w.next(ctx, &p.shard, &p.sync)
+			if err != nil || !ok {
+				if !w.idleSleep(ctx) {
+					break
+				}
+				continue
 			}
-			continue
+			if err := w.syncShardBlobs(ctx, &p.shard, &p.sync); err != nil {
+				// Sync failed (coordinator blip): don't execute on partial
+				// inputs; the lease expires and the shard re-queues.
+				if !w.idleSleep(ctx) {
+					break
+				}
+				continue
+			}
+			p.sync.Nanos += time.Since(start).Nanoseconds()
+			cur = p
 		}
-		res := w.execute(ctx, &sh)
+		w.gotWork()
+		// Pipeline: lease + sync the next shard while this one executes.
+		// The execute loop's heartbeats are node-wide, so they keep every
+		// in-flight lease alive — the executing shard, the prefetched one,
+		// and an unacknowledged report's.
+		var pf chan *prefetched
+		if w.opts.Prefetch {
+			pf = make(chan *prefetched, 1)
+			go func() { pf <- w.prefetch(ctx) }()
+		}
+		res, produced := w.execute(ctx, &cur.shard, cur.sync)
 		if ctx.Err() != nil {
-			// Killed mid-shard: report nothing; the lease expires and the
-			// coordinator re-queues the shard.
+			// Killed mid-shard: report nothing; the leases expire and the
+			// coordinator re-queues every in-flight shard.
 			break
 		}
-		for ctx.Err() == nil {
-			var ok okResponse
-			if err := w.post(ctx, "/cluster/result", res, &ok); err == nil {
-				break
-			}
-			sleepCtx(ctx, w.opts.Poll)
+		if w.opts.Prefetch && w.opts.Batch {
+			// Fully pipelined: the report's round trips overlap the next
+			// shard's execution. At most one report is outstanding, joined
+			// before the next one starts (and before any memo-cursor use),
+			// so the Run loop's state never races the sender.
+			w.joinReport()
+			rep := w.prepareReport(&res, produced)
+			ch := make(chan reportOutcome, 1)
+			go func() { ch <- w.sendReport(ctx, rep) }()
+			w.inFlight = ch
+		} else {
+			w.report(ctx, &res, produced)
+		}
+		if pf != nil {
+			pending = <-pf
 		}
 	}
 	return ctx.Err()
+}
+
+// reportOutcome is what an asynchronous report hands back to the Run loop:
+// traffic to bill to the next shard and the memo push cursor to commit.
+type reportOutcome struct {
+	sync     SyncStats
+	pushMark uint64
+	pushed   int
+}
+
+// joinReport blocks until the in-flight report (if any) lands and applies
+// its outcome to the Run loop's state.
+func (w *Worker) joinReport() {
+	if w.inFlight == nil {
+		return
+	}
+	w.applyReport(<-w.inFlight)
+	w.inFlight = nil
+}
+
+// tryJoinReport applies the in-flight report's outcome if it already landed.
+// Returns true when no report remains outstanding afterwards.
+func (w *Worker) tryJoinReport() bool {
+	if w.inFlight == nil {
+		return true
+	}
+	select {
+	case o := <-w.inFlight:
+		w.applyReport(o)
+		w.inFlight = nil
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *Worker) applyReport(o reportOutcome) {
+	w.pendingSync.add(o.sync)
+	if o.pushMark > w.pushMark {
+		w.pushMark = o.pushMark
+	}
+	if o.pushed > 0 && w.memo != nil {
+		w.memo.AddPushed(o.pushed)
+	}
+}
+
+// prefetch leases and blob-syncs one shard ahead of execution. A nil return
+// means no work was pending or the sync failed; an abandoned lease expires
+// and re-queues, so dropping a prefetch is always safe.
+func (w *Worker) prefetch(ctx context.Context) *prefetched {
+	p := &prefetched{}
+	start := time.Now()
+	ok, err := w.next(ctx, &p.shard, &p.sync)
+	if err != nil || !ok {
+		return nil
+	}
+	if err := w.syncShardBlobs(ctx, &p.shard, &p.sync); err != nil {
+		return nil
+	}
+	p.sync.Nanos += time.Since(start).Nanoseconds()
+	return p
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) bool {
@@ -186,68 +333,114 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// next asks the coordinator for a shard; false means no work is pending.
-func (w *Worker) next(ctx context.Context, sh *Shard) (bool, error) {
-	req, err := json.Marshal(nodeRequest{Node: w.opts.Node})
-	if err != nil {
-		return false, err
+// idleSleep sleeps the current backoff (jittered to [d/2, d)) and doubles it
+// toward PollMax, so an idle fleet's /cluster/next polls thin out and spread
+// instead of arriving in lockstep. Returns false when ctx ended.
+func (w *Worker) idleSleep(ctx context.Context) bool {
+	d := w.idle
+	if d <= 0 {
+		d = w.opts.Poll
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+"/cluster/next", bytes.NewReader(req))
-	if err != nil {
-		return false, err
+	jittered := d/2 + time.Duration(w.rng.Int63n(int64(d/2)+1))
+	if !sleepCtx(ctx, jittered) {
+		return false
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := w.hc.Do(httpReq)
-	if err != nil {
-		return false, err
+	w.idle = d * 2
+	if w.idle > w.opts.PollMax {
+		w.idle = w.opts.PollMax
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNoContent {
-		return false, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return false, fmt.Errorf("cluster: next: %s: %s", resp.Status, body)
-	}
-	return true, json.NewDecoder(resp.Body).Decode(sh)
+	return true
 }
 
-// post sends a JSON request body and decodes a JSON response into out.
-func (w *Worker) post(ctx context.Context, path string, body, out any) error {
-	data, err := json.Marshal(body)
+// gotWork resets the idle backoff to its floor.
+func (w *Worker) gotWork() { w.idle = 0 }
+
+// speculativePushMax bounds how many produced bytes a batched report will
+// push without a has-negotiation round trip first.
+const speculativePushMax = 64 << 10
+
+// next asks the coordinator for a shard; false means no work is pending.
+func (w *Worker) next(ctx context.Context, sh *Shard, sync *SyncStats) (bool, error) {
+	status, err := postWire(ctx, w.hc, w.opts.Coordinator, "/cluster/next", nodeRequest{Node: w.opts.Node}, sh, w.opts.Compress, sync)
 	if err != nil {
-		return err
+		return false, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(data))
-	if err != nil {
-		return err
+	return status == http.StatusOK, nil
+}
+
+// post sends a JSON request body and decodes a JSON response into out,
+// negotiating compression and accounting the traffic into sync (nil for
+// unattributed requests like heartbeats, which still count process-wide).
+func (w *Worker) post(ctx context.Context, path string, body, out any, sync *SyncStats) error {
+	_, err := postWire(ctx, w.hc, w.opts.Coordinator, path, body, out, w.opts.Compress, sync)
+	return err
+}
+
+// syncShardBlobs pulls every blob the shard references (corpus manifest and
+// extra needs) that the local store lacks. Batched mode collapses it into a
+// single multi-key round trip; otherwise the legacy per-manifest /blobs/fetch
+// exchanges run unchanged.
+func (w *Worker) syncShardBlobs(ctx context.Context, sh *Shard, sync *SyncStats) error {
+	if !w.opts.Batch {
+		if err := w.ensureBlobs(ctx, sh.Corpus, sync); err != nil {
+			return err
+		}
+		return w.ensureBlobs(ctx, sh.Needs, sync)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.hc.Do(req)
-	if err != nil {
-		return err
+	var missing []string
+	seen := map[string]bool{}
+	for _, refs := range [][]BlobRef{sh.Corpus, sh.Needs} {
+		for _, ref := range refs {
+			sync.BlobsReferenced++
+			sync.BytesReferenced += uint64(ref.Size)
+			if !w.st.HasBlob(ref.Hash) && !seen[ref.Hash] {
+				seen[ref.Hash] = true
+				missing = append(missing, ref.Hash)
+			}
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, msg)
-	}
-	if out == nil {
+	if len(missing) == 0 {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	var sr syncResponse
+	if err := w.post(ctx, "/cluster/sync", syncRequest{Node: w.opts.Node, BlobFetch: missing}, &sr, sync); err != nil {
+		return err
+	}
+	if len(sr.Blobs) != len(missing) {
+		return fmt.Errorf("cluster: sync fetch returned %d blobs for %d hashes", len(sr.Blobs), len(missing))
+	}
+	hashes, err := w.st.PutBatch(sr.Blobs)
+	if err != nil {
+		return err
+	}
+	for i, h := range hashes {
+		if h != missing[i] {
+			return fmt.Errorf("cluster: fetched blob %s hashes to %s", missing[i], h)
+		}
+		sync.BlobsTransferred++
+		sync.BytesTransferred += uint64(len(sr.Blobs[i]))
+	}
+	return nil
 }
 
-// execute runs one shard and assembles its result. The heartbeat goroutine
-// keeps the lease alive for shards that outlast the TTL (long reductions).
-func (w *Worker) execute(ctx context.Context, sh *Shard) ShardResult {
+// execute runs one already-synced shard and assembles its result. The
+// heartbeat goroutine keeps the node's leases alive — this shard's and any
+// concurrently prefetched one — for shards that outlast the TTL (long
+// reductions). Returns the result and the produced blob hashes for report
+// to upload.
+func (w *Worker) execute(ctx context.Context, sh *Shard, pre SyncStats) (ShardResult, []string) {
 	res := ShardResult{
 		Campaign:  sh.Campaign,
 		Phase:     sh.Phase,
 		Index:     sh.Index,
 		Node:      w.opts.Node,
 		ProcToken: runner.ProcessToken(),
+		Sync:      pre,
 	}
+	// Traffic with no shard of its own (join, warm pull, the previous
+	// result's round trip) bills to this shard.
+	res.Sync.add(w.pendingSync)
+	w.pendingSync = SyncStats{}
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	go func() {
@@ -258,93 +451,256 @@ func (w *Worker) execute(ctx context.Context, sh *Shard) ShardResult {
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				w.post(hbCtx, "/cluster/heartbeat", nodeRequest{Node: w.opts.Node}, nil)
+				w.post(hbCtx, "/cluster/heartbeat", nodeRequest{Node: w.opts.Node}, nil, nil)
 			}
 		}
 	}()
-	w.pullMemo(ctx) // pick up records other workers pushed meanwhile
-	err := w.executeInner(ctx, sh, &res)
+	if w.tryJoinReport() {
+		// Pick up records other workers pushed meanwhile — but never while
+		// a report is still in flight (the memo cursors belong to it until
+		// it lands; skipping a pull costs nothing but a few re-executions).
+		start := time.Now()
+		w.pullMemo(ctx, &res.Sync)
+		res.Sync.Nanos += time.Since(start).Nanoseconds()
+	}
+	start := time.Now()
+	produced, err := w.executeInner(ctx, sh, &res)
+	res.ServiceNanos = time.Since(start).Nanoseconds()
 	if err != nil && ctx.Err() == nil {
 		res.Error = err.Error()
 	}
-	// Push the shard's freshly-spilled memo records, then attribute the
-	// accumulated sync traffic (including a join-time warm pull) to this
-	// shard's report.
-	w.pushMemo(ctx)
-	res.Sync.MemoPulled += w.pendingPulled
-	res.Sync.MemoPushed += w.pendingPushed
-	w.pendingPulled, w.pendingPushed = 0, 0
 	res.Runner = w.eng.Stats()
 	res.Replay = w.reng.Stats()
 	res.Bisect = w.beng.Stats()
-	return res
+	return res, produced
 }
 
-func (w *Worker) executeInner(ctx context.Context, sh *Shard, res *ShardResult) error {
-	refs, err := w.ensureRefs(ctx, sh, &res.Sync)
+// report delivers a shard result: upload the produced blobs the coordinator
+// lacks, push new memo records, and post the result — as three legacy
+// exchanges, or folded into two batched round trips (offers, then pushes +
+// result). Delivery retries until it lands or ctx ends; re-delivery is safe
+// because the coordinator drops results whose units are already merged.
+func (w *Worker) report(ctx context.Context, res *ShardResult, produced []string) {
+	if w.opts.Batch {
+		w.reportBatch(ctx, res, produced)
+		return
+	}
+	start := time.Now()
+	if err := w.push(ctx, produced, &res.Sync); err != nil && ctx.Err() == nil && res.Error == "" {
+		res.Error = err.Error()
+	}
+	w.pushMemo(ctx, &res.Sync)
+	res.Sync.Nanos += time.Since(start).Nanoseconds()
+	for ctx.Err() == nil {
+		var ok okResponse
+		// The result round trip itself can't be billed to the result it
+		// carries; it accrues to the next shard via pendingSync.
+		if err := w.post(ctx, "/cluster/result", *res, &ok, &w.pendingSync); err == nil {
+			return
+		}
+		sleepCtx(ctx, w.opts.Poll)
+	}
+}
+
+// reportBatch is the synchronous batched delivery (Batch without Prefetch):
+// prepare, send, apply in place.
+func (w *Worker) reportBatch(ctx context.Context, res *ShardResult, produced []string) {
+	w.applyReport(w.sendReport(ctx, w.prepareReport(res, produced)))
+}
+
+// reportPrep is a report snapshot the Run loop assembles before handing the
+// delivery to a goroutine: after prepareReport, sending touches no Run-loop
+// state (the blob store and memo store are safe for concurrent readers).
+type reportPrep struct {
+	res       *ShardResult
+	offer     []BlobRef
+	memoKeys  []memostore.Key
+	memoOffer []string
+	memoMark  uint64
+	start     time.Time
+}
+
+// prepareReport snapshots everything a batched report needs: the produced
+// blob manifest (with sizes) and the memo keys appended since the last push
+// cursor. Run loop only.
+func (w *Worker) prepareReport(res *ShardResult, produced []string) reportPrep {
+	rep := reportPrep{res: res, start: time.Now()}
+	for _, h := range dedupeHashes(produced) {
+		size, ok := w.st.StatBlob(h)
+		if !ok {
+			if res.Error == "" {
+				res.Error = fmt.Sprintf("cluster: produced blob %s missing locally", h)
+			}
+			continue
+		}
+		rep.offer = append(rep.offer, BlobRef{Hash: h, Size: size})
+		res.Sync.BlobsReferenced++
+		res.Sync.BytesReferenced += uint64(size)
+	}
+	if w.memo != nil && w.memoSync {
+		w.memo.Flush()
+		rep.memoKeys, rep.memoMark = w.memo.KeysSince(w.pushMark)
+		for _, k := range rep.memoKeys {
+			rep.memoOffer = append(rep.memoOffer, k.String())
+		}
+	}
+	return rep
+}
+
+// sendReport delivers a prepared report: round trip 1 offers the produced
+// blob manifest and new memo keys (accounted into the result's own sync
+// stats, since the result has not been marshaled yet); round trip 2 pushes
+// the wanted bodies with the shard result folded in, retrying until it lands
+// or ctx ends. Safe to run concurrently with the Run loop — it touches only
+// the prep snapshot, the (concurrency-safe) stores, and its own outcome.
+func (w *Worker) sendReport(ctx context.Context, rep reportPrep) reportOutcome {
+	var out reportOutcome
+	res := rep.res
+	// Speculative push: produced blobs are almost always new to the
+	// coordinator (fresh reduction reports, fresh bug sequences), so when
+	// the whole payload is small the offer round trip costs more latency
+	// than the negotiation could ever save in bytes. Push unconditionally
+	// in that case — the coordinator's put-if-absent store makes a
+	// redundant body harmless, and the size gate bounds the waste. Memo
+	// offers always negotiate: other nodes routinely hold the same keys.
+	speculative := len(rep.memoOffer) == 0
+	if speculative {
+		total := uint64(0)
+		for _, ref := range rep.offer {
+			total += uint64(ref.Size)
+		}
+		speculative = total <= speculativePushMax
+	}
+	var sr syncResponse
+	if speculative {
+		sr.BlobWant = make([]bool, len(rep.offer))
+		for i := range sr.BlobWant {
+			sr.BlobWant[i] = true
+		}
+	} else if len(rep.offer) > 0 || len(rep.memoOffer) > 0 {
+		for ctx.Err() == nil {
+			err := w.post(ctx, "/cluster/sync", syncRequest{Node: w.opts.Node, BlobOffer: rep.offer, MemoOffer: rep.memoOffer}, &sr, &res.Sync)
+			if err == nil {
+				break
+			}
+			sleepCtx(ctx, w.opts.Poll)
+		}
+		if ctx.Err() != nil {
+			return out
+		}
+	}
+	push := syncRequest{Node: w.opts.Node, Result: res}
+	for i, want := range sr.BlobWant {
+		if !want || i >= len(rep.offer) {
+			continue
+		}
+		data, err := w.st.GetBlob(rep.offer[i].Hash)
+		if err != nil {
+			continue
+		}
+		push.BlobPush = append(push.BlobPush, data)
+		res.Sync.BlobsTransferred++
+		res.Sync.BytesTransferred += uint64(len(data))
+	}
+	for i, want := range sr.MemoWant {
+		if !want || i >= len(rep.memoKeys) {
+			continue
+		}
+		if rec, ok := w.memo.GetRecord(rep.memoKeys[i]); ok {
+			push.MemoPush = append(push.MemoPush, memoRecord{K: rec.Key.String(), T: rec.Kind, D: rec.Data})
+		}
+	}
+	res.Sync.MemoPushed += uint64(len(push.MemoPush))
+	res.Sync.Nanos += time.Since(rep.start).Nanoseconds()
+	for ctx.Err() == nil {
+		var resp syncResponse
+		// This round trip carries the result, so its own bytes bill to the
+		// next shard via the outcome.
+		if err := w.post(ctx, "/cluster/sync", push, &resp, &out.sync); err == nil {
+			// Commit the push cursor only after delivery; a retry after a
+			// failed attempt re-offers idempotently.
+			out.pushMark = rep.memoMark
+			out.pushed = len(push.MemoPush)
+			return out
+		}
+		sleepCtx(ctx, w.opts.Poll)
+	}
+	return out
+}
+
+func dedupeHashes(hashes []string) []string {
+	uniq := map[string]bool{}
+	var manifest []string
+	for _, h := range hashes {
+		if h == "" || uniq[h] {
+			continue
+		}
+		uniq[h] = true
+		manifest = append(manifest, h)
+	}
+	sort.Strings(manifest)
+	return manifest
+}
+
+// executeInner runs the shard's units (blobs already synced) and returns the
+// produced blob hashes for the report to upload.
+func (w *Worker) executeInner(ctx context.Context, sh *Shard, res *ShardResult) ([]string, error) {
+	refs, err := w.decodeRefs(sh)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	env := service.Env{Eng: w.eng, Reng: w.reng, Blobs: w.st}
 	switch sh.Phase {
 	case PhaseFuzz:
 		targets, err := service.ResolveTargets(sh.Spec.Targets)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		donors := corpus.Donors()
 		var produced []string
 		for i := sh.Lo; i < sh.Hi; i++ {
 			bugs, err := service.FuzzStep(ctx, env, sh.Spec, targets, refs, donors, i)
 			if err != nil {
-				return err
+				return produced, err
 			}
 			res.Tests = append(res.Tests, TestResult{Index: i, Bugs: bugs})
 			for _, bug := range bugs {
 				produced = append(produced, bug.SeqHash, bug.VariantHash)
 			}
 		}
-		return w.push(ctx, produced, &res.Sync)
+		return produced, nil
 	case PhaseReduce:
-		if err := w.ensureBlobs(ctx, sh.Needs, &res.Sync); err != nil {
-			return err
-		}
 		var produced []string
 		for _, rc := range sh.Cases {
 			rec, err := service.ReduceStep(ctx, env, sh.Campaign, sh.Spec, refs, rc)
 			if err != nil {
-				return err
+				return produced, err
 			}
 			res.Reduced = append(res.Reduced, rec)
 			produced = append(produced, rec.ReportHash)
 		}
-		return w.push(ctx, produced, &res.Sync)
+		return produced, nil
 	case PhaseBisect:
-		if err := w.ensureBlobs(ctx, sh.Needs, &res.Sync); err != nil {
-			return err
-		}
 		for _, rec := range sh.Recs {
 			out, err := service.BisectStep(ctx, env, w.beng, refs, rec)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			res.Bisects = append(res.Bisects, out)
 		}
 		// Verdicts travel in the result record itself; no blobs to push.
-		return nil
+		return nil, nil
 	default:
-		return fmt.Errorf("cluster: unknown shard phase %q", sh.Phase)
+		return nil, fmt.Errorf("cluster: unknown shard phase %q", sh.Phase)
 	}
 }
 
-// ensureRefs syncs the shard's corpus manifest into the local store and
-// decodes it to reference items, memoizing the decode across shards of the
-// same campaign (the manifest is content-addressed, so the joined hash is a
-// perfect cache key).
-func (w *Worker) ensureRefs(ctx context.Context, sh *Shard, sync *SyncStats) ([]corpus.Item, error) {
-	if err := w.ensureBlobs(ctx, sh.Corpus, sync); err != nil {
-		return nil, err
-	}
+// decodeRefs decodes the shard's (already-synced) corpus manifest to
+// reference items, memoizing the decode across shards of the same campaign
+// (the manifest is content-addressed, so the joined hash is a perfect cache
+// key). Run loop only — the prefetch goroutine syncs blobs but never touches
+// this cache.
+func (w *Worker) decodeRefs(sh *Shard) ([]corpus.Item, error) {
 	key := ""
 	for _, ref := range sh.Corpus {
 		key += ref.Hash
@@ -370,7 +726,7 @@ func (w *Worker) ensureRefs(ctx context.Context, sh *Shard, sync *SyncStats) ([]
 
 // ensureBlobs pulls the referenced blobs the local store lacks: every ref
 // counts as referenced bytes, only the locally-missing ones transfer. This
-// is the inbound half of the hash-negotiated sync.
+// is the inbound half of the hash-negotiated sync (legacy protocol).
 func (w *Worker) ensureBlobs(ctx context.Context, refs []BlobRef, sync *SyncStats) error {
 	var missing []string
 	for _, ref := range refs {
@@ -384,7 +740,7 @@ func (w *Worker) ensureBlobs(ctx context.Context, refs []BlobRef, sync *SyncStat
 		return nil
 	}
 	var fr fetchResponse
-	if err := w.post(ctx, "/blobs/fetch", fetchRequest{Hashes: missing}, &fr); err != nil {
+	if err := w.post(ctx, "/blobs/fetch", fetchRequest{Hashes: missing}, &fr, sync); err != nil {
 		return err
 	}
 	if len(fr.Blobs) != len(missing) {
@@ -405,35 +761,23 @@ func (w *Worker) ensureBlobs(ctx context.Context, refs []BlobRef, sync *SyncStat
 }
 
 // push uploads the produced blobs the coordinator lacks: the outbound half
-// of the sync. Re-executed shards (after a rejoin or a lease steal) re-push
-// nothing — the coordinator already has every hash.
+// of the sync (legacy protocol). Re-executed shards (after a rejoin or a
+// lease steal) re-push nothing — the coordinator already has every hash.
 func (w *Worker) push(ctx context.Context, hashes []string, sync *SyncStats) error {
-	// Dedupe and order the manifest.
-	uniq := map[string]bool{}
-	var manifest []string
-	for _, h := range hashes {
-		if h == "" || uniq[h] {
-			continue
-		}
-		uniq[h] = true
-		manifest = append(manifest, h)
-	}
-	sort.Strings(manifest)
+	manifest := dedupeHashes(hashes)
 	if len(manifest) == 0 {
 		return nil
 	}
-	sizes := make([]int64, len(manifest))
-	for i, h := range manifest {
+	for _, h := range manifest {
 		size, ok := w.st.StatBlob(h)
 		if !ok {
 			return fmt.Errorf("cluster: produced blob %s missing locally", h)
 		}
-		sizes[i] = size
 		sync.BlobsReferenced++
 		sync.BytesReferenced += uint64(size)
 	}
 	var hr hasResponse
-	if err := w.post(ctx, "/blobs/has", hasRequest{Hashes: manifest}, &hr); err != nil {
+	if err := w.post(ctx, "/blobs/has", hasRequest{Hashes: manifest}, &hr, sync); err != nil {
 		return err
 	}
 	if len(hr.Has) != len(manifest) {
@@ -456,5 +800,5 @@ func (w *Worker) push(ctx context.Context, hashes []string, sync *SyncStats) err
 		return nil
 	}
 	var pr putResponse
-	return w.post(ctx, "/blobs/put", putRequest{Blobs: blobs}, &pr)
+	return w.post(ctx, "/blobs/put", putRequest{Blobs: blobs}, &pr, sync)
 }

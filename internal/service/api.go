@@ -49,6 +49,10 @@ type CampaignSpec struct {
 	// during reduction. A pacing knob for tests that must interrupt a daemon
 	// mid-reduction; it alters timing only, never results. Default 0.
 	ReduceSlowdownMS int `json:"reduce_slowdown_ms,omitempty"`
+	// FuzzSlowdownMS sleeps this long before each fuzz test. Like
+	// ReduceSlowdownMS it is a pacing knob for interruption and pipelining
+	// tests — timing only, never results. Default 0.
+	FuzzSlowdownMS int `json:"fuzz_slowdown_ms,omitempty"`
 	// CrossBucketPrecheck opts the reduce stage into the cross-bucket
 	// pre-check: cases run serially in selection order, and before a case is
 	// reduced, every earlier case's minimized variant is tried against its
@@ -96,6 +100,9 @@ func (sp *CampaignSpec) Normalize() error {
 	}
 	if sp.ReduceSlowdownMS < 0 || sp.ReduceSlowdownMS > 60_000 {
 		return fmt.Errorf("service: reduce_slowdown_ms must be in [0, 60000]")
+	}
+	if sp.FuzzSlowdownMS < 0 || sp.FuzzSlowdownMS > 60_000 {
+		return fmt.Errorf("service: fuzz_slowdown_ms must be in [0, 60000]")
 	}
 	if len(sp.Targets) == 0 {
 		for _, tg := range target.All() {

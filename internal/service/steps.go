@@ -110,6 +110,14 @@ func ResolveTargets(names []string) ([]*target.Target, error) {
 // (spec, refs, donors, i); the returned BugRefs reference artifacts by
 // content hash, so two nodes running the same step produce identical records.
 func FuzzStep(ctx context.Context, env Env, spec CampaignSpec, targets []*target.Target, refs []corpus.Item, donors []*spirv.Module, i int) ([]BugRef, error) {
+	if d := time.Duration(spec.FuzzSlowdownMS) * time.Millisecond; d > 0 {
+		// Pacing for interruption and pipelining tests; results unaffected.
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	item := refs[i%len(refs)]
 	seed := spec.SeedBase + int64(i)
 	res, err := fuzz.Fuzz(item.Mod, item.Inputs, fuzz.Options{

@@ -1,8 +1,11 @@
 // End-to-end test of the distributed deployment: a coordinator process plus
 // real worker processes over HTTP must converge on buckets bitwise-identical
 // to a standalone daemon running the same campaign — including when one
-// worker is SIGKILLed mid-reduction and a cold replacement node joins — with
-// the hash-negotiated blob sync deduplicating most referenced bytes.
+// worker is SIGKILLed mid-reduction and a cold replacement node joins, and
+// when pipelined and legacy-protocol workers share one cluster — with the
+// hash-negotiated blob sync deduplicating most referenced bytes and the
+// transport counters (round trips, wire/raw bytes, prefetches, adaptive
+// sizing) surfaced through /metrics.
 package spirvfuzz_test
 
 import (
@@ -50,17 +53,25 @@ func startCoordinator(t *testing.T, bin, storeDir string, extra ...string) (*exe
 }
 
 // startWorker launches a spirvd -role worker process against the coordinator.
-func startWorker(t *testing.T, bin, coordAddr, node, storeDir string) *exec.Cmd {
+func startWorker(t *testing.T, bin, coordAddr, node, storeDir string, extra ...string) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(bin,
-		"-role", "worker", "-join", "http://"+coordAddr,
-		"-node", node, "-store", storeDir, "-workers", "2")
+	args := append([]string{
+		"-role", "worker", "-join", "http://" + coordAddr,
+		"-node", node, "-store", storeDir, "-workers", "2",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 	return cmd
 }
+
+// legacyProtoArgs runs a worker on the pre-pipeline wire protocol: no shard
+// prefetch, no gzip, per-endpoint requests instead of batched /cluster/sync.
+// Mixing it with pipelined workers in one cluster proves the two protocols
+// interoperate against the same coordinator with identical results.
+var legacyProtoArgs = []string{"-prefetch=false", "-compress=false", "-batch=false"}
 
 func clusterMetrics(t *testing.T, bin, addr string) cluster.Metrics {
 	t.Helper()
@@ -100,7 +111,9 @@ func TestSpirvdClusterKillRejoinBitwiseIdentical(t *testing.T) {
 	workDir := t.TempDir()
 	w1 := startWorker(t, bin, addr, "w1", filepath.Join(workDir, "w1"))
 	defer w1.Process.Kill()
-	w2 := startWorker(t, bin, addr, "w2", filepath.Join(workDir, "w2"))
+	// w2 speaks the legacy protocol: a mixed-protocol cluster must still
+	// converge on the same buckets.
+	w2 := startWorker(t, bin, addr, "w2", filepath.Join(workDir, "w2"), legacyProtoArgs...)
 	defer w2.Process.Kill()
 
 	var status service.CampaignStatus
@@ -153,6 +166,31 @@ func TestSpirvdClusterKillRejoinBitwiseIdentical(t *testing.T) {
 	}
 	if m.Cluster.BlobDedupFraction < 0.5 {
 		t.Fatalf("blob sync dedup %.2f too low: %+v", m.Cluster.BlobDedupFraction, m.Cluster.Sync)
+	}
+	// Transport telemetry merged from both protocols: round trips and wire
+	// bytes were counted, gzip never inflated a body past its raw size, and
+	// the pipelined workers actually prefetched shards behind execution.
+	s := m.Cluster.Sync
+	if s.RoundTrips == 0 {
+		t.Fatalf("no transport round trips counted: %+v", s)
+	}
+	if s.WireBytesOut == 0 || s.WireBytesIn == 0 {
+		t.Fatalf("wire byte counters missing: %+v", s)
+	}
+	if s.RawBytesOut < s.WireBytesOut || s.RawBytesIn < s.WireBytesIn {
+		t.Fatalf("wire bytes exceed raw bytes: %+v", s)
+	}
+	if s.Prefetched == 0 {
+		t.Fatalf("pipelined workers never prefetched a shard: %+v", s)
+	}
+	// The adaptive sizer observed service/sync time for each executed phase.
+	if len(m.Cluster.Sizing) == 0 {
+		t.Fatalf("no adaptive sizing snapshot in /metrics: %+v", m.Cluster)
+	}
+	for _, sz := range m.Cluster.Sizing {
+		if sz.Size < 1 || sz.Size > sz.MaxSize {
+			t.Fatalf("sizing target out of bounds: %+v", sz)
+		}
 	}
 	// Merged worker telemetry crossed the wire: the workers executed
 	// toolchains and compiled modules; the coordinator itself ran nothing.
